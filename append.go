@@ -1,0 +1,58 @@
+package xks
+
+import (
+	"fmt"
+
+	"xks/internal/dewey"
+	"xks/internal/xmltree"
+)
+
+// AppendXML parses an XML snippet and appends it as the last child of the
+// node at parentDewey (dotted form, e.g. "0.2"), updating the inverted
+// index incrementally — the engine's support for the growing documents the
+// axiomatic data-monotonicity property is about.
+//
+// Only tree-backed engines support appends (a store is a frozen shredded
+// snapshot). AppendXML must not run concurrently with Search; interleave
+// them from a single goroutine or add external synchronization.
+func (e *Engine) AppendXML(parentDewey, snippet string) error {
+	if e.tree == nil {
+		return fmt.Errorf("xks: AppendXML requires a tree-backed engine")
+	}
+	parent, err := dewey.Parse(parentDewey)
+	if err != nil {
+		return fmt.Errorf("xks: bad parent code: %w", err)
+	}
+	sub, err := xmltree.ParseString(snippet)
+	if err != nil {
+		return fmt.Errorf("xks: bad snippet: %w", err)
+	}
+	node, err := e.tree.AppendChild(parent, treeToE(sub.Root))
+	if err != nil {
+		return err
+	}
+	// Index exactly the new nodes.
+	var rec func(n *xmltree.Node)
+	rec = func(n *xmltree.Node) {
+		e.ix.Insert(n.Code, e.an.ContentSet(n.ContentPieces()...))
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(node)
+	return nil
+}
+
+// treeToE converts a parsed subtree back into the builder form AppendChild
+// consumes.
+func treeToE(n *xmltree.Node) xmltree.E {
+	e := xmltree.E{Label: n.Label, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		e.Attrs = make([]xmltree.Attr, len(n.Attrs))
+		copy(e.Attrs, n.Attrs)
+	}
+	for _, c := range n.Children {
+		e.Kids = append(e.Kids, treeToE(c))
+	}
+	return e
+}

@@ -1,0 +1,327 @@
+package xks
+
+// Benchmarks regenerating the paper's evaluation artifacts with testing.B.
+//
+// Figure 5 (per-dataset runtime of MaxMatch vs ValidRTF over the query mix)
+// maps to BenchmarkFigure5*; Figure 6 (CFR / APR' / Max APR) maps to
+// BenchmarkFigure6*, which reports the ratios as custom benchmark metrics.
+// The datasets here are the "small" presets so `go test -bench=.` stays
+// fast; `cmd/xkbench` runs the full medium/large sweeps with the paper's
+// repeat-and-discard timing protocol.
+//
+// Ablation benchmarks cover the design choices DESIGN.md calls out: the
+// ELCA algorithm variants, SLCA-only vs all-LCA semantics, and the (min,max)
+// cID feature vs exact content-set comparison.
+
+import (
+	"sync"
+	"testing"
+
+	"xks/internal/datagen"
+	"xks/internal/lca"
+	"xks/internal/prune"
+	"xks/internal/rtf"
+	"xks/internal/workload"
+)
+
+type benchDataset struct {
+	name    string
+	engine  *Engine
+	queries []string
+}
+
+var (
+	benchOnce sync.Once
+	benchSets []benchDataset
+)
+
+func benchData(b *testing.B) []benchDataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		dblpW := workload.DBLP()
+		dblpSpecs, err := dblpW.Specs(0, 400.0/20000.0)
+		if err != nil {
+			panic(err)
+		}
+		dblpQs, err := dblpW.ExpandAll()
+		if err != nil {
+			panic(err)
+		}
+		dblpTree := datagen.DBLP(datagen.DBLPConfig{Seed: 1, NumRecords: 400, Keywords: dblpSpecs})
+
+		xmW := workload.XMark()
+		xmQs, err := xmW.ExpandAll()
+		if err != nil {
+			panic(err)
+		}
+		mkXMark := func(variant, items int, seed int64) *Engine {
+			specs, err := xmW.Specs(variant, 120.0/20000.0)
+			if err != nil {
+				panic(err)
+			}
+			return FromTree(datagen.XMark(datagen.XMarkConfig{Seed: seed, Items: items, Keywords: specs}))
+		}
+
+		benchSets = []benchDataset{
+			{name: "DBLP", engine: FromTree(dblpTree), queries: dblpQs},
+			{name: "XMarkStandard", engine: mkXMark(0, 120, 2), queries: xmQs},
+			{name: "XMarkData1", engine: mkXMark(1, 360, 3), queries: xmQs},
+			{name: "XMarkData2", engine: mkXMark(2, 720, 4), queries: xmQs},
+		}
+	})
+	return benchSets
+}
+
+// runQueryMix executes every workload query under the given options and
+// returns the total number of fragments (kept alive so the compiler cannot
+// elide the work).
+func runQueryMix(b *testing.B, ds benchDataset, opts Options) int {
+	total := 0
+	for _, q := range ds.queries {
+		res, err := ds.engine.Search(q, opts)
+		if err != nil {
+			b.Fatalf("%s: query %q: %v", ds.name, q, err)
+		}
+		total += len(res.Fragments)
+	}
+	return total
+}
+
+func benchFigure5(b *testing.B, idx int) {
+	ds := benchData(b)[idx]
+	for _, algo := range []Algorithm{MaxMatch, ValidRTF} {
+		b.Run(algo.String(), func(b *testing.B) {
+			opts := Options{Algorithm: algo}
+			b.ReportAllocs()
+			fragments := 0
+			for i := 0; i < b.N; i++ {
+				fragments = runQueryMix(b, ds, opts)
+			}
+			b.ReportMetric(float64(fragments), "fragments")
+		})
+	}
+}
+
+// BenchmarkFigure5DBLP regenerates Figure 5(a): the DBLP query mix under
+// both algorithms.
+func BenchmarkFigure5DBLP(b *testing.B) { benchFigure5(b, 0) }
+
+// BenchmarkFigure5XMarkStandard regenerates Figure 5(b).
+func BenchmarkFigure5XMarkStandard(b *testing.B) { benchFigure5(b, 1) }
+
+// BenchmarkFigure5XMarkData1 regenerates Figure 5(c) (3× the standard
+// size).
+func BenchmarkFigure5XMarkData1(b *testing.B) { benchFigure5(b, 2) }
+
+// BenchmarkFigure5XMarkData2 regenerates Figure 5(d) (6× the standard
+// size).
+func BenchmarkFigure5XMarkData2(b *testing.B) { benchFigure5(b, 3) }
+
+func benchFigure6(b *testing.B, idx int) {
+	ds := benchData(b)[idx]
+	b.ReportAllocs()
+	var cfr, aprPrime, maxAPR float64
+	for i := 0; i < b.N; i++ {
+		cfr, aprPrime, maxAPR = 0, 0, 0
+		for _, q := range ds.queries {
+			cmp, err := ds.engine.Compare(q, Options{})
+			if err != nil {
+				b.Fatalf("%s: %v", q, err)
+			}
+			cfr += cmp.Ratios.CFR
+			aprPrime += cmp.Ratios.APRPrime
+			maxAPR += cmp.Ratios.MaxAPR
+		}
+	}
+	n := float64(len(ds.queries))
+	b.ReportMetric(cfr/n, "meanCFR")
+	b.ReportMetric(aprPrime/n, "meanAPR'")
+	b.ReportMetric(maxAPR/n, "meanMaxAPR")
+}
+
+// BenchmarkFigure6DBLP regenerates Figure 6(a): effectiveness ratios on
+// DBLP, reported as custom metrics.
+func BenchmarkFigure6DBLP(b *testing.B) { benchFigure6(b, 0) }
+
+// BenchmarkFigure6XMarkStandard regenerates Figure 6(b).
+func BenchmarkFigure6XMarkStandard(b *testing.B) { benchFigure6(b, 1) }
+
+// BenchmarkFigure6XMarkData1 regenerates Figure 6(c).
+func BenchmarkFigure6XMarkData1(b *testing.B) { benchFigure6(b, 2) }
+
+// BenchmarkFigure6XMarkData2 regenerates Figure 6(d).
+func BenchmarkFigure6XMarkData2(b *testing.B) { benchFigure6(b, 3) }
+
+// BenchmarkAblationSemantics compares all-LCA fragments against SLCA-only
+// fragments (the restriction the paper argues is insufficient).
+func BenchmarkAblationSemantics(b *testing.B) {
+	ds := benchData(b)[1]
+	for _, sem := range []Semantics{AllLCA, SLCAOnly} {
+		b.Run(sem.String(), func(b *testing.B) {
+			opts := Options{Semantics: sem}
+			b.ReportAllocs()
+			fragments := 0
+			for i := 0; i < b.N; i++ {
+				fragments = runQueryMix(b, ds, opts)
+			}
+			b.ReportMetric(float64(fragments), "fragments")
+		})
+	}
+}
+
+// BenchmarkAblationContentFeature compares the paper's (min,max) cID
+// approximation against exact tree-content-set comparison in rule 2(b).
+func BenchmarkAblationContentFeature(b *testing.B) {
+	ds := benchData(b)[1]
+	for _, mode := range []struct {
+		name  string
+		exact bool
+	}{{"cID", false}, {"exact", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := Options{ExactContent: mode.exact}
+			b.ReportAllocs()
+			fragments := 0
+			for i := 0; i < b.N; i++ {
+				fragments = runQueryMix(b, ds, opts)
+			}
+			b.ReportMetric(float64(fragments), "fragments")
+		})
+	}
+}
+
+// BenchmarkAblationRanking measures the overhead of the ranking extension.
+func BenchmarkAblationRanking(b *testing.B) {
+	ds := benchData(b)[0]
+	for _, mode := range []struct {
+		name string
+		rank bool
+	}{{"unranked", false}, {"ranked", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := Options{Rank: mode.rank}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runQueryMix(b, ds, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkIndexBuild measures engine construction (parse-free: from an
+// already-built tree), which the paper's timing excludes.
+func BenchmarkIndexBuild(b *testing.B) {
+	w := workload.DBLP()
+	specs, err := w.Specs(0, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := datagen.DBLP(datagen.DBLPConfig{Seed: 9, NumRecords: 400, Keywords: specs})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromTree(tree)
+	}
+}
+
+// BenchmarkSingleQuery isolates one mid-frequency query end to end on the
+// largest XMark dataset.
+func BenchmarkSingleQuery(b *testing.B) {
+	ds := benchData(b)[3]
+	const q = "preventions description order"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.engine.Search(q, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStages isolates the four stages of Algorithm 1 on the
+// xmark-standard dataset with a mid-frequency query, exposing where the
+// time goes (the paper's §4.3(4) argues pruneRTF is dominated by the
+// covered-key-number checks).
+func BenchmarkStages(b *testing.B) {
+	ds := benchData(b)[1]
+	const q = "preventions description order"
+	_, _, sets, err := ds.engine.resolveSets(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("getKeywordNodes", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := ds.engine.resolveSets(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("getLCA", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lca.ELCAStackMerge(sets)
+		}
+	})
+	roots := lca.ELCAStackMerge(sets)
+	b.Run("getRTF", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rtf.Build(roots, sets)
+		}
+	})
+	rtfs := rtf.Build(roots, sets)
+	b.Run("pruneRTF", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range rtfs {
+				f := prune.BuildFragment(r, ds.engine.labelOf, ds.engine.contentOf, prune.Options{})
+				f.Prune(prune.ValidContributor, prune.Options{})
+			}
+		}
+	})
+}
+
+// BenchmarkAblationELCA compares the two production interesting-LCA
+// algorithms on real workload posting lists.
+func BenchmarkAblationELCA(b *testing.B) {
+	ds := benchData(b)[3]
+	const q = "preventions description order"
+	_, _, sets, err := ds.engine.resolveSets(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("StackMerge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lca.ELCAStackMerge(sets)
+		}
+	})
+	b.Run("IndexedDispatch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lca.ELCAIndexedDispatch(sets)
+		}
+	})
+}
+
+// BenchmarkAblationSLCA compares the two SLCA strategies on the same
+// posting lists.
+func BenchmarkAblationSLCA(b *testing.B) {
+	ds := benchData(b)[3]
+	const q = "preventions description order"
+	_, _, sets, err := ds.engine.resolveSets(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("IndexedLookupEager", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lca.SLCA(sets)
+		}
+	})
+	b.Run("ScanEager", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lca.SLCAScanEager(sets)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+// Command xkbench regenerates the paper's evaluation figures: the runtime
+// comparison of Figure 5 and the effectiveness ratios of Figure 6, over the
+// four synthetic datasets (DBLP and three XMark sizes).
+//
+// Usage:
+//
+//	xkbench                      # all four dataset panels, medium scale
+//	xkbench -figure 5b           # one panel (5a..5d or 6a..6d)
+//	xkbench -size large -csv     # bigger sweep, CSV output
+//	xkbench -repeats 5           # the paper's 6-runs-discard-first protocol
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xks/internal/experiments"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "", "single figure panel to run (5a..5d, 6a..6d); empty = all")
+		size     = flag.String("size", "medium", "dataset scale: small, medium or large")
+		repeats  = flag.Int("repeats", 3, "timed runs per query after the discarded warm-up")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Int("parallel", 0, "run queries across N workers (timings become indicative; 0 = sequential)")
+	)
+	flag.Parse()
+
+	specs, err := experiments.Presets(*size)
+	if err != nil {
+		fatal(err)
+	}
+	selected := specs
+	if *figure != "" {
+		idx, err := experiments.PresetByFigure(*figure)
+		if err != nil {
+			fatal(err)
+		}
+		selected = specs[idx : idx+1]
+	}
+
+	if *csv {
+		fmt.Println("dataset,query,keywords,maxmatch_ms,validrtf_ms,rtfs,cfr,apr_prime,max_apr")
+	}
+	for _, spec := range selected {
+		var (
+			res *experiments.FigureResult
+			err error
+		)
+		if *parallel > 0 {
+			res, err = experiments.RunParallel(spec, *parallel)
+		} else {
+			res, err = experiments.Run(spec, *repeats)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			// Skip the embedded header; it was printed once above.
+			out := res.CSV()
+			for i, c := range out {
+				if c == '\n' {
+					fmt.Print(out[i+1:])
+					break
+				}
+			}
+			continue
+		}
+		fmt.Println(res.Table())
+		s := res.Summarize()
+		fmt.Printf("summary: mean ValidRTF/MaxMatch time ratio %.2f; CFR<1 on %d/%d queries; APR'>0 on %d/%d; min MaxAPR %.3f\n\n",
+			s.MeanTimeRatio, s.QueriesWithCFRBelow1, s.Queries, s.QueriesWithAPRPrimePositive, s.Queries, s.MinMaxAPR)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xkbench:", err)
+	os.Exit(1)
+}

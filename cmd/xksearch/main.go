@@ -1,0 +1,106 @@
+// Command xksearch runs a keyword query against an XML document and prints
+// the meaningful fragments.
+//
+// Usage:
+//
+//	xksearch -file doc.xml [-algo validrtf|maxmatch|raw] [-slca] [-rank]
+//	         [-limit N] [-format ascii|xml|snippet] "keyword query"
+//	xksearch -store doc.xks "keyword query"          # search a shredded store
+//
+// Query terms may carry label predicates: "title:xml author: keyword".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xks"
+)
+
+func main() {
+	var (
+		file   = flag.String("file", "", "XML document to search")
+		storeF = flag.String("store", "", "shredded store file to search instead of an XML document")
+		algo   = flag.String("algo", "validrtf", "pruning algorithm: validrtf, maxmatch or raw")
+		slca   = flag.Bool("slca", false, "restrict fragment roots to smallest LCAs")
+		rankIt = flag.Bool("rank", false, "order fragments by relevance score")
+		limit  = flag.Int("limit", 0, "maximum number of fragments (0 = all)")
+		format = flag.String("format", "ascii", "output format: ascii, xml or snippet")
+		exact  = flag.Bool("exact-content", false, "compare exact content sets instead of (min,max) features")
+		stats  = flag.Bool("stats", false, "print search statistics")
+	)
+	flag.Parse()
+	if (*file == "" && *storeF == "") || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xksearch -file doc.xml | -store doc.xks [flags] \"keyword query\"")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	query := strings.Join(flag.Args(), " ")
+
+	var (
+		engine *xks.Engine
+		err    error
+	)
+	if *storeF != "" {
+		engine, err = xks.OpenStore(*storeF)
+	} else {
+		engine, err = xks.LoadFile(*file)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	opts := xks.Options{Rank: *rankIt, Limit: *limit, ExactContent: *exact}
+	switch strings.ToLower(*algo) {
+	case "validrtf":
+		opts.Algorithm = xks.ValidRTF
+	case "maxmatch":
+		opts.Algorithm = xks.MaxMatch
+	case "raw":
+		opts.Algorithm = xks.RawRTF
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if *slca {
+		opts.Semantics = xks.SLCAOnly
+	}
+
+	res, err := engine.Search(query, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Printf("keywords: %v\nkeyword nodes: %d\nfragments: %d\nelapsed: %v\n\n",
+			res.Stats.Keywords, res.Stats.KeywordNodes, res.Stats.NumLCAs, res.Stats.Elapsed)
+	}
+	if len(res.Fragments) == 0 {
+		fmt.Println("no fragments found")
+		return
+	}
+	for i, f := range res.Fragments {
+		kind := "LCA"
+		if f.IsSLCA {
+			kind = "SLCA"
+		}
+		fmt.Printf("--- fragment %d: root %s (%s) [%s]", i+1, f.Root, f.RootLabel, kind)
+		if opts.Rank {
+			fmt.Printf(" score=%.3f", f.Score)
+		}
+		fmt.Println()
+		switch *format {
+		case "xml":
+			fmt.Print(f.XML())
+		case "snippet":
+			fmt.Println(f.Snippet())
+		default:
+			fmt.Print(f.ASCII())
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xksearch:", err)
+	os.Exit(1)
+}

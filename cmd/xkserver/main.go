@@ -1,0 +1,54 @@
+// Command xkserver serves keyword search over an XML document or a
+// shredded store as a small JSON HTTP API (see internal/httpapi).
+//
+// Usage:
+//
+//	xkserver -file doc.xml -addr :8080
+//	xkserver -store doc.xks -addr :8080
+//
+// Endpoints:
+//
+//	GET /search?q=keyword+query[&algo=validrtf|maxmatch|raw][&slca=1]
+//	           [&rank=1][&limit=N][&snippets=1]
+//	GET /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"xks"
+	"xks/internal/httpapi"
+)
+
+func main() {
+	var (
+		file   = flag.String("file", "", "XML document to serve")
+		storeF = flag.String("store", "", "shredded store file to serve")
+		addr   = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *file == "" && *storeF == "" {
+		fmt.Fprintln(os.Stderr, "usage: xkserver -file doc.xml | -store doc.xks [-addr :8080]")
+		os.Exit(2)
+	}
+	var (
+		engine *xks.Engine
+		err    error
+	)
+	if *storeF != "" {
+		engine, err = xks.OpenStore(*storeF)
+	} else {
+		engine, err = xks.LoadFile(*file)
+	}
+	if err != nil {
+		log.Fatalf("xkserver: %v", err)
+	}
+	log.Printf("loaded: %d distinct words indexed", engine.Index().NumWords())
+	log.Printf("listening on %s", *addr)
+	logger := log.New(os.Stderr, "xkserver: ", log.LstdFlags)
+	log.Fatal(http.ListenAndServe(*addr, httpapi.NewHandler(engine, logger)))
+}

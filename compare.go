@@ -1,0 +1,86 @@
+package xks
+
+import (
+	"time"
+
+	"xks/internal/dewey"
+	"xks/internal/index"
+	"xks/internal/lca"
+	"xks/internal/metrics"
+	"xks/internal/prune"
+	"xks/internal/rtf"
+)
+
+// Comparison is the outcome of running ValidRTF and the revised MaxMatch on
+// the same query, with the §5.1 effectiveness ratios.
+type Comparison struct {
+	Query string
+	// NumRTFs is the number of interesting LCA fragments (|A|).
+	NumRTFs int
+	// ValidElapsed and MaxElapsed time the two pipelines end to end
+	// (LCA computation + RTF construction + pruning), mirroring Figure 5.
+	ValidElapsed time.Duration
+	MaxElapsed   time.Duration
+	// Ratios holds CFR / APR / APR' / Max APR, mirroring Figure 6.
+	Ratios metrics.Ratios
+}
+
+// Compare runs both pruning mechanisms over the same fragments and derives
+// the paper's effectiveness ratios. Semantics follows opts.Semantics;
+// opts.Algorithm is ignored.
+func (e *Engine) Compare(queryText string, opts Options) (*Comparison, error) {
+	cmp := &Comparison{Query: queryText}
+	_, _, sets, err := e.resolveSets(queryText)
+	if err != nil {
+		var nm *index.ErrNoMatch
+		if asErr(err, &nm) {
+			cmp.Ratios.CFR = 1
+			return cmp, nil
+		}
+		return nil, err
+	}
+	pruneOpts := prune.Options{ExactContent: opts.ExactContent}
+
+	// Timed ValidRTF pipeline.
+	startValid := time.Now()
+	roots := e.rootsFor(sets, opts)
+	rtfs := rtf.Build(roots, sets)
+	validResults := make([]*prune.Result, len(rtfs))
+	frags := make([]*prune.Fragment, len(rtfs))
+	for i, r := range rtfs {
+		frags[i] = prune.BuildFragment(r, e.labelOf, e.contentOf, pruneOpts)
+		validResults[i] = frags[i].Prune(prune.ValidContributor, pruneOpts)
+	}
+	cmp.ValidElapsed = time.Since(startValid)
+
+	// Timed MaxMatch pipeline (recomputing LCA+RTF+construction so both
+	// sides pay the same shared costs, as the paper's implementations do).
+	startMax := time.Now()
+	rootsM := e.rootsFor(sets, opts)
+	rtfsM := rtf.Build(rootsM, sets)
+	maxResults := make([]*prune.Result, len(rtfsM))
+	for i, r := range rtfsM {
+		f := prune.BuildFragment(r, e.labelOf, e.contentOf, pruneOpts)
+		maxResults[i] = f.Prune(prune.Contributor, pruneOpts)
+	}
+	cmp.MaxElapsed = time.Since(startMax)
+
+	cmp.NumRTFs = len(rtfs)
+	pairs := make([]metrics.FragmentPair, len(rtfs))
+	for i := range rtfs {
+		pairs[i] = metrics.FragmentPair{
+			Root:  rtfs[i].Root,
+			Valid: validResults[i].KeepSet(),
+			Max:   maxResults[i].KeepSet(),
+		}
+	}
+	cmp.Ratios = metrics.Compute(pairs)
+	return cmp, nil
+}
+
+func (e *Engine) rootsFor(sets [][]dewey.Code, opts Options) []dewey.Code {
+	if opts.Semantics == SLCAOnly {
+		return lca.SLCA(sets)
+	}
+	return lca.ELCAStackMerge(sets)
+}

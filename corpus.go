@@ -1,0 +1,138 @@
+package xks
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"xks/internal/concurrent"
+)
+
+// Corpus searches a collection of XML documents — the digital-library
+// setting the paper's introduction motivates — by fanning a query out to
+// per-document engines concurrently and merging the fragments.
+type Corpus struct {
+	names   []string
+	engines map[string]*Engine
+	// Workers bounds the per-search concurrency (0 = GOMAXPROCS).
+	Workers int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{engines: map[string]*Engine{}}
+}
+
+// Add registers a document engine under a name. Adding a name twice
+// replaces the previous engine.
+func (c *Corpus) Add(name string, e *Engine) {
+	if _, dup := c.engines[name]; !dup {
+		c.names = append(c.names, name)
+	}
+	c.engines[name] = e
+}
+
+// AddFile loads one XML file under its base name.
+func (c *Corpus) AddFile(path string) error {
+	e, err := LoadFile(path)
+	if err != nil {
+		return err
+	}
+	c.Add(filepath.Base(path), e)
+	return nil
+}
+
+// LoadDir builds a corpus from every *.xml file in a directory.
+func LoadDir(dir string) (*Corpus, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCorpus()
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".xml") {
+			continue
+		}
+		if err := c.AddFile(filepath.Join(dir, ent.Name())); err != nil {
+			return nil, fmt.Errorf("xks: loading %s: %w", ent.Name(), err)
+		}
+	}
+	if len(c.names) == 0 {
+		return nil, fmt.Errorf("xks: no .xml files in %s", dir)
+	}
+	return c, nil
+}
+
+// Len returns the number of documents.
+func (c *Corpus) Len() int { return len(c.names) }
+
+// Names returns the document names in insertion order.
+func (c *Corpus) Names() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// Engine returns the engine registered under name, or nil.
+func (c *Corpus) Engine(name string) *Engine { return c.engines[name] }
+
+// CorpusFragment tags a fragment with its source document.
+type CorpusFragment struct {
+	Document string
+	*Fragment
+}
+
+// CorpusResult is the merged outcome of a corpus search.
+type CorpusResult struct {
+	Query     string
+	Fragments []CorpusFragment
+	// PerDocument counts fragments per document (documents with zero
+	// matches included).
+	PerDocument map[string]int
+}
+
+// Search fans the query out to every document and merges the fragments.
+// With opts.Rank set, fragments are ordered by descending score across
+// documents; otherwise they follow document insertion order. opts.Limit
+// applies to the merged list. A keyword missing from one document simply
+// yields no fragments there; the query fails only if it is unsearchable
+// (e.g. all stop words).
+func (c *Corpus) Search(query string, opts Options) (*CorpusResult, error) {
+	perDocLimit := opts.Limit // applied after merging; keep per-doc searches complete
+	docOpts := opts
+	docOpts.Limit = 0
+
+	type docOut struct {
+		name string
+		res  *Result
+	}
+	outs, err := concurrent.Map(c.names, c.Workers, func(name string) (docOut, error) {
+		res, err := c.engines[name].Search(query, docOpts)
+		if err != nil {
+			return docOut{}, fmt.Errorf("xks: document %s: %w", name, err)
+		}
+		return docOut{name: name, res: res}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	merged := &CorpusResult{Query: query, PerDocument: map[string]int{}}
+	for _, o := range outs {
+		merged.PerDocument[o.name] = len(o.res.Fragments)
+		for _, f := range o.res.Fragments {
+			merged.Fragments = append(merged.Fragments, CorpusFragment{Document: o.name, Fragment: f})
+		}
+	}
+	if opts.Rank {
+		sort.SliceStable(merged.Fragments, func(i, j int) bool {
+			return merged.Fragments[i].Score > merged.Fragments[j].Score
+		})
+	}
+	if perDocLimit > 0 && len(merged.Fragments) > perDocLimit {
+		merged.Fragments = merged.Fragments[:perDocLimit]
+	}
+	return merged, nil
+}

@@ -1,0 +1,158 @@
+package xks
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xks/internal/paperdata"
+)
+
+func testCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c := NewCorpus()
+	c.Add("publications", FromTree(paperdata.Publications()))
+	c.Add("team", FromTree(paperdata.Team()))
+	return c
+}
+
+func TestCorpusSearchMergesDocuments(t *testing.T) {
+	c := testCorpus(t)
+	// "keyword" matches only the publications document.
+	res, err := c.Search("liu keyword", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 2 {
+		t.Fatalf("fragments = %d", len(res.Fragments))
+	}
+	for _, f := range res.Fragments {
+		if f.Document != "publications" {
+			t.Errorf("fragment from %s", f.Document)
+		}
+	}
+	if res.PerDocument["publications"] != 2 || res.PerDocument["team"] != 0 {
+		t.Errorf("per-document counts = %v", res.PerDocument)
+	}
+}
+
+func TestCorpusSearchBothDocuments(t *testing.T) {
+	c := testCorpus(t)
+	// "name" matches via labels in both documents.
+	res, err := c.Search("name", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerDocument["publications"] == 0 || res.PerDocument["team"] == 0 {
+		t.Errorf("per-document counts = %v", res.PerDocument)
+	}
+	// Unranked order: document insertion order.
+	if res.Fragments[0].Document != "publications" {
+		t.Errorf("first fragment from %s", res.Fragments[0].Document)
+	}
+}
+
+func TestCorpusRankAcrossDocuments(t *testing.T) {
+	c := testCorpus(t)
+	res, err := c.Search("name", Options{Rank: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Fragments); i++ {
+		if res.Fragments[i].Score > res.Fragments[i-1].Score+1e-12 {
+			t.Fatalf("scores not descending at %d", i)
+		}
+	}
+}
+
+func TestCorpusLimitAfterMerge(t *testing.T) {
+	c := testCorpus(t)
+	res, err := c.Search("name", Options{Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 1 {
+		t.Errorf("limit ignored: %d", len(res.Fragments))
+	}
+}
+
+func TestCorpusUnsearchableQueryFails(t *testing.T) {
+	c := testCorpus(t)
+	if _, err := c.Search("the of", Options{}); err == nil {
+		t.Error("stop-word query should fail")
+	}
+}
+
+func TestCorpusAddReplaces(t *testing.T) {
+	c := testCorpus(t)
+	c.Add("team", FromTree(paperdata.Publications()))
+	if c.Len() != 2 {
+		t.Errorf("Len = %d after replacement", c.Len())
+	}
+	if got := c.Names(); len(got) != 2 || got[0] != "publications" || got[1] != "team" {
+		t.Errorf("Names = %v", got)
+	}
+	if c.Engine("team") == nil || c.Engine("absent") != nil {
+		t.Error("Engine lookup broken")
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.xml", `<a><t>alpha keyword</t></a>`)
+	write("b.xml", `<b><t>beta keyword</t></b>`)
+	write("ignored.txt", `not xml`)
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	res, err := c.Search("keyword", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerDocument["a.xml"] == 0 || res.PerDocument["b.xml"] == 0 {
+		t.Errorf("per-document = %v", res.PerDocument)
+	}
+
+	if _, err := LoadDir(filepath.Join(dir, "sub")); err == nil {
+		t.Error("empty dir should fail")
+	}
+	if _, err := LoadDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing dir should fail")
+	}
+
+	write("broken.xml", `<unclosed>`)
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("broken document should fail loading")
+	}
+}
+
+func TestCorpusConcurrentSafety(t *testing.T) {
+	c := testCorpus(t)
+	c.Workers = 4
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := c.Search("name", Options{Rank: true})
+			done <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

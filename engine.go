@@ -1,0 +1,382 @@
+// Package xks is an XML keyword search engine implementing the ValidRTF
+// algorithm of "Retrieving Meaningful Relaxed Tightest Fragments for XML
+// Keyword Search" (Kong, Gilleron, Lemay — EDBT 2009), together with the
+// revised MaxMatch baseline it is evaluated against.
+//
+// Given an XML document and a keyword query, the engine returns meaningful
+// fragments: one Relaxed Tightest Fragment (RTF) per interesting LCA node
+// (the ELCA semantics), pruned so that every kept node is a valid
+// contributor to its parent — label-aware and content-aware filtering that
+// avoids MaxMatch's false positive and redundancy problems.
+//
+// Basic use:
+//
+//	engine, err := xks.Load(file)
+//	res, err := engine.Search("xml keyword search", xks.Options{})
+//	for _, f := range res.Fragments {
+//	    fmt.Println(f.ASCII())
+//	}
+package xks
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"xks/internal/analysis"
+	"xks/internal/dewey"
+	"xks/internal/index"
+	"xks/internal/lca"
+	"xks/internal/prune"
+	"xks/internal/query"
+	"xks/internal/rank"
+	"xks/internal/rtf"
+	"xks/internal/snippet"
+	"xks/internal/store"
+	"xks/internal/xmltree"
+)
+
+// Algorithm selects the pruning mechanism.
+type Algorithm int
+
+const (
+	// ValidRTF is the paper's valid-contributor filtering (the default).
+	ValidRTF Algorithm = iota
+	// MaxMatch is the contributor filtering of Liu & Chen (VLDB 2008),
+	// revised to operate on RTFs.
+	MaxMatch
+	// RawRTF disables pruning and returns whole RTFs.
+	RawRTF
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case ValidRTF:
+		return "ValidRTF"
+	case MaxMatch:
+		return "MaxMatch"
+	case RawRTF:
+		return "RawRTF"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+func (a Algorithm) mode() prune.Mode {
+	switch a {
+	case MaxMatch:
+		return prune.Contributor
+	case RawRTF:
+		return prune.NoPruning
+	default:
+		return prune.ValidContributor
+	}
+}
+
+// Semantics selects which LCA nodes root the fragments.
+type Semantics int
+
+const (
+	// AllLCA roots one fragment at every interesting LCA node (the ELCA
+	// semantics of the paper's getLCA — the default).
+	AllLCA Semantics = iota
+	// SLCAOnly restricts fragments to smallest-LCA roots, the semantics of
+	// the original MaxMatch.
+	SLCAOnly
+)
+
+func (s Semantics) String() string {
+	if s == SLCAOnly {
+		return "SLCAOnly"
+	}
+	return "AllLCA"
+}
+
+// Options configures one search.
+type Options struct {
+	// Algorithm is the pruning mechanism (default ValidRTF).
+	Algorithm Algorithm
+	// Semantics picks the fragment roots (default AllLCA).
+	Semantics Semantics
+	// ExactContent replaces the (min,max) cID approximation of rule 2(b)
+	// with exact tree-content-set comparison (ablation switch).
+	ExactContent bool
+	// Rank orders fragments by descending relevance score instead of
+	// document order.
+	Rank bool
+	// Limit truncates the fragment list when positive.
+	Limit int
+}
+
+// Engine is an immutable, concurrency-safe search engine over one XML
+// document: a document source (the parsed tree, or the shredded store)
+// plus its inverted keyword index.
+type Engine struct {
+	tree   *xmltree.Tree // nil for store-backed engines
+	src    docSource
+	an     *analysis.Analyzer
+	ix     *index.Index
+	scorer *rank.Scorer
+	snip   *snippet.Generator
+}
+
+// Load parses an XML document and builds the engine.
+func Load(r io.Reader) (*Engine, error) {
+	t, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromTree(t), nil
+}
+
+// LoadString builds an engine from an XML string.
+func LoadString(s string) (*Engine, error) {
+	return Load(strings.NewReader(s))
+}
+
+// LoadFile builds an engine from an XML file on disk.
+func LoadFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// FromTree builds an engine over an already-parsed tree. The tree must not
+// be mutated afterwards.
+func FromTree(t *xmltree.Tree) *Engine {
+	an := analysis.New()
+	ix := index.Build(t, an)
+	return &Engine{
+		tree:   t,
+		src:    &treeSource{tree: t, an: an},
+		an:     an,
+		ix:     ix,
+		scorer: rank.NewScorer(ix),
+		snip:   snippet.NewGenerator(an, snippet.Options{}),
+	}
+}
+
+// FromStore builds an engine over a shredded store — the paper's actual
+// architecture, where searches run off the three relational tables without
+// the original document. Fragment rendering shows the element skeleton and
+// content words (the store does not retain raw text).
+func FromStore(st *store.Store) *Engine {
+	an := analysis.New()
+	ix := st.BuildIndex(an)
+	return &Engine{
+		src:    &storeSource{st: st},
+		an:     an,
+		ix:     ix,
+		scorer: rank.NewScorer(ix),
+		snip:   snippet.NewGenerator(an, snippet.Options{}),
+	}
+}
+
+// OpenStore loads a store file written by store.Save / cmd/xkshred and
+// builds an engine over it.
+func OpenStore(path string) (*Engine, error) {
+	st, err := store.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromStore(st), nil
+}
+
+// Tree exposes the underlying document tree (read-only); nil when the
+// engine is store-backed.
+func (e *Engine) Tree() *xmltree.Tree { return e.tree }
+
+// Index exposes the underlying inverted index (read-only).
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Stats summarizes one search execution.
+type Stats struct {
+	// Keywords are the normalized query keywords in mask-bit order.
+	Keywords []string
+	// KeywordNodes is the total number of keyword-node postings consulted.
+	KeywordNodes int
+	// NumLCAs is the number of fragment roots (|A| in §5.1).
+	NumLCAs int
+	// Elapsed is the wall-clock time of the LCA + RTF + prune pipeline
+	// (excluding index construction, matching the paper's measurement).
+	Elapsed time.Duration
+}
+
+// Result is the outcome of one search.
+type Result struct {
+	Query     string
+	Options   Options
+	Fragments []*Fragment
+	Stats     Stats
+}
+
+// Search runs the four-stage pipeline (getKeywordNodes → getLCA → getRTF →
+// pruneRTF) and returns the meaningful fragments. Query terms may carry
+// XSearch-style label predicates ("title:xml", "author:"); see
+// internal/query. A term that matches nothing yields an empty result (no
+// fragment can cover the query), not an error; queries with no searchable
+// term at all are errors.
+func (e *Engine) Search(queryText string, opts Options) (*Result, error) {
+	res := &Result{Query: queryText, Options: opts}
+	words, idfWords, sets, err := e.resolveSets(queryText)
+	if err != nil {
+		var nm *index.ErrNoMatch
+		if asErr(err, &nm) {
+			res.Stats.Keywords = words
+			return res, nil
+		}
+		return nil, err
+	}
+	res.Stats.Keywords = words
+	for _, s := range sets {
+		res.Stats.KeywordNodes += len(s)
+	}
+
+	start := time.Now()
+	var roots []dewey.Code
+	if opts.Semantics == SLCAOnly {
+		roots = lca.SLCA(sets)
+	} else {
+		roots = lca.ELCAStackMerge(sets)
+	}
+	rtfs := rtf.Build(roots, sets)
+	res.Stats.NumLCAs = len(rtfs)
+
+	pruneOpts := prune.Options{ExactContent: opts.ExactContent}
+	allRoots := make([]dewey.Code, len(rtfs))
+	for i, r := range rtfs {
+		allRoots[i] = r.Root
+	}
+	for _, r := range rtfs {
+		f := prune.BuildFragment(r, e.labelOf, e.contentOf, pruneOpts)
+		kept := f.Prune(opts.Algorithm.mode(), pruneOpts)
+		res.Fragments = append(res.Fragments, e.assemble(r, kept, allRoots, words, idfWords))
+	}
+	res.Stats.Elapsed = time.Since(start)
+
+	if opts.Rank {
+		scores := make([]float64, len(res.Fragments))
+		for i, f := range res.Fragments {
+			scores[i] = e.scorer.Score(f.rootCode, f.events, idfWords)
+			res.Fragments[i].Score = scores[i]
+		}
+		ordered := rank.Order(scores)
+		ranked := make([]*Fragment, len(ordered))
+		for i, r := range ordered {
+			ranked[i] = res.Fragments[r.Index]
+		}
+		res.Fragments = ranked
+	}
+	if opts.Limit > 0 && len(res.Fragments) > opts.Limit {
+		res.Fragments = res.Fragments[:opts.Limit]
+	}
+	return res, nil
+}
+
+// resolveSets turns the query text into per-term posting lists. Plain
+// keywords read straight off the inverted index; label predicates filter
+// postings through the document source's labels. It returns the display
+// strings, the words used for IDF scoring, and the sets D1..Dk.
+func (e *Engine) resolveSets(queryText string) (display, idfWords []string, sets [][]dewey.Code, err error) {
+	terms, err := query.Parse(queryText, e.an)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	display = make([]string, len(terms))
+	for i, t := range terms {
+		display[i] = t.String()
+	}
+	idfWords = make([]string, len(terms))
+	sets = make([][]dewey.Code, len(terms))
+	for i, t := range terms {
+		word := t.Keyword
+		if word == "" {
+			word = e.an.Normalize(t.Label)
+			if word == "" {
+				// Label normalizes to nothing (stop word / punctuation):
+				// nothing can match.
+				return display, nil, nil, &index.ErrNoMatch{Word: t.Raw}
+			}
+		}
+		idfWords[i] = word
+		postings := e.ix.Lookup(word)
+		if t.Label != "" {
+			var filtered []dewey.Code
+			for _, c := range postings {
+				if t.MatchesLabel(e.src.labelOf(c)) {
+					filtered = append(filtered, c)
+				}
+			}
+			postings = filtered
+		}
+		if len(postings) == 0 {
+			return display, nil, nil, &index.ErrNoMatch{Word: t.Raw}
+		}
+		sets[i] = postings
+	}
+	return display, idfWords, sets, nil
+}
+
+func (e *Engine) labelOf(c dewey.Code) string { return e.src.labelOf(c) }
+
+func (e *Engine) contentOf(c dewey.Code) []string { return e.src.contentOf(c) }
+
+func asErr(err error, target interface{}) bool {
+	nm, ok := target.(**index.ErrNoMatch)
+	if !ok {
+		return false
+	}
+	for err != nil {
+		if e, ok := err.(*index.ErrNoMatch); ok {
+			*nm = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func (e *Engine) assemble(r *rtf.RTF, kept *prune.Result, allRoots []dewey.Code, words, idfWords []string) *Fragment {
+	f := &Fragment{
+		Root:      r.Root.String(),
+		RootLabel: e.src.labelOf(r.Root),
+		IsSLCA:    r.IsSLCA(allRoots),
+		rootCode:  r.Root,
+		events:    r.KeywordNodes,
+		keep:      kept.KeepSet(),
+		src:       e.src,
+		words:     idfWords,
+		snip:      e.snip,
+	}
+	matched := map[string]uint64{}
+	for _, ev := range r.KeywordNodes {
+		matched[ev.Code.Key()] = ev.Mask
+	}
+	for _, c := range kept.Kept {
+		fn := FragmentNode{
+			Dewey: c.String(),
+			Label: e.src.labelOf(c),
+			Text:  e.src.nodeText(c),
+			Level: c.Level(),
+		}
+		if mask, ok := matched[c.Key()]; ok {
+			fn.IsKeywordNode = true
+			for i, w := range words {
+				if mask&(1<<uint(i)) != 0 {
+					fn.Matched = append(fn.Matched, w)
+				}
+			}
+		}
+		f.Nodes = append(f.Nodes, fn)
+	}
+	return f
+}

@@ -1,0 +1,383 @@
+package xks
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xks/internal/paperdata"
+	"xks/internal/xmltree"
+)
+
+func pubEngine(t *testing.T) *Engine {
+	t.Helper()
+	return FromTree(paperdata.Publications())
+}
+
+func teamEngine(t *testing.T) *Engine {
+	t.Helper()
+	return FromTree(paperdata.Team())
+}
+
+func fragmentRoots(res *Result) []string {
+	out := make([]string, len(res.Fragments))
+	for i, f := range res.Fragments {
+		out[i] = f.Root
+	}
+	return out
+}
+
+func TestSearchQ3DefaultValidRTF(t *testing.T) {
+	e := pubEngine(t)
+	res, err := e.Search(paperdata.Q3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 1 {
+		t.Fatalf("fragments = %v", fragmentRoots(res))
+	}
+	f := res.Fragments[0]
+	if f.Root != "0" || f.RootLabel != "Publications" || !f.IsSLCA {
+		t.Errorf("fragment header = %+v", f)
+	}
+	// Figure 2(d): 8 nodes, article 0.2.1 branch pruned.
+	if f.Len() != 8 {
+		t.Errorf("kept %d nodes, want 8:\n%s", f.Len(), f.ASCII())
+	}
+	if f.Contains("0.2.1") || f.Contains("0.2.1.1") {
+		t.Error("pruned branch leaked into result")
+	}
+	if !f.Contains("0.2.0.3.0") {
+		t.Error("ref node missing")
+	}
+	if got := len(res.Stats.Keywords); got != 5 {
+		t.Errorf("keywords = %v", res.Stats.Keywords)
+	}
+	// 1 (vldb) + 3 (title) + 3 (xml) + 3 (keyword) + 3 (search) postings.
+	if res.Stats.NumLCAs != 1 || res.Stats.KeywordNodes != 13 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if res.Stats.Elapsed <= 0 {
+		t.Error("Elapsed not recorded")
+	}
+}
+
+func TestSearchQ3MaxMatch(t *testing.T) {
+	e := pubEngine(t)
+	res, err := e.Search(paperdata.Q3, Options{Algorithm: MaxMatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Fragments[0]
+	if f.Len() != 5 {
+		t.Errorf("MaxMatch kept %d nodes, want 5:\n%s", f.Len(), f.ASCII())
+	}
+	if f.Contains("0.2.0.2") {
+		t.Error("MaxMatch should discard the abstract under contributor filtering")
+	}
+}
+
+func TestSearchQ3Raw(t *testing.T) {
+	e := pubEngine(t)
+	res, err := e.Search(paperdata.Q3, Options{Algorithm: RawRTF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fragments[0].Len() != 10 {
+		t.Errorf("raw RTF has %d nodes, want 10", res.Fragments[0].Len())
+	}
+}
+
+func TestSearchQ2TwoFragments(t *testing.T) {
+	e := pubEngine(t)
+	res, err := e.Search(paperdata.Q2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := fragmentRoots(res)
+	if strings.Join(roots, " ") != "0.2.0 0.2.0.3.0" {
+		t.Fatalf("roots = %v", roots)
+	}
+	if res.Fragments[0].IsSLCA || !res.Fragments[1].IsSLCA {
+		t.Error("SLCA flags wrong")
+	}
+}
+
+func TestSearchQ2SLCAOnly(t *testing.T) {
+	e := pubEngine(t)
+	res, err := e.Search(paperdata.Q2, Options{Semantics: SLCAOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := fragmentRoots(res)
+	if strings.Join(roots, " ") != "0.2.0.3.0" {
+		t.Fatalf("SLCA-only roots = %v", roots)
+	}
+}
+
+func TestSearchNoMatchKeywordYieldsEmpty(t *testing.T) {
+	e := pubEngine(t)
+	res, err := e.Search("liu zebra", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 0 {
+		t.Errorf("fragments = %v", fragmentRoots(res))
+	}
+}
+
+func TestSearchUnusableQueryErrors(t *testing.T) {
+	e := pubEngine(t)
+	if _, err := e.Search("the of and", Options{}); err == nil {
+		t.Error("stop-word-only query should error")
+	}
+	if _, err := e.Search("", Options{}); err == nil {
+		t.Error("empty query should error")
+	}
+}
+
+func TestSearchRankOrdersBySpecificity(t *testing.T) {
+	e := pubEngine(t)
+	res, err := e.Search(paperdata.Q2, Options{Rank: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 2 {
+		t.Fatal("want 2 fragments")
+	}
+	// The ref fragment matches both keywords at its root; it outranks the
+	// article fragment whose occurrences are deeper.
+	if res.Fragments[0].Root != "0.2.0.3.0" {
+		t.Errorf("top-ranked fragment = %s (scores %v, %v)",
+			res.Fragments[0].Root, res.Fragments[0].Score, res.Fragments[1].Score)
+	}
+	if res.Fragments[0].Score <= res.Fragments[1].Score {
+		t.Errorf("scores not descending: %v, %v", res.Fragments[0].Score, res.Fragments[1].Score)
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	e := pubEngine(t)
+	res, err := e.Search(paperdata.Q2, Options{Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 1 {
+		t.Errorf("Limit ignored: %d fragments", len(res.Fragments))
+	}
+}
+
+func TestFragmentRendering(t *testing.T) {
+	e := teamEngine(t)
+	res, err := e.Search(paperdata.Q4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Fragments[0]
+	ascii := f.ASCII()
+	if !strings.Contains(ascii, "0.1.0 (player)") || strings.Contains(ascii, "0.1.2") {
+		t.Errorf("ASCII rendering wrong:\n%s", ascii)
+	}
+	xmlOut := f.XML()
+	if !strings.Contains(xmlOut, "<team>") || !strings.Contains(xmlOut, "guard") {
+		t.Errorf("XML rendering wrong:\n%s", xmlOut)
+	}
+	if strings.Contains(xmlOut, "Warrick") {
+		t.Errorf("pruned player leaked into XML:\n%s", xmlOut)
+	}
+}
+
+func TestFragmentNodeMetadata(t *testing.T) {
+	e := teamEngine(t)
+	res, err := e.Search(paperdata.Q4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Fragments[0]
+	kns := f.KeywordNodes()
+	if len(kns) != 3 {
+		t.Fatalf("keyword nodes = %+v", kns)
+	}
+	if kns[0].Dewey != "0.0" || len(kns[0].Matched) != 1 || kns[0].Matched[0] != "grizzlies" {
+		t.Errorf("first keyword node = %+v", kns[0])
+	}
+	for _, n := range f.Nodes {
+		if n.Level != len(strings.Split(n.Dewey, "."))-1 {
+			t.Errorf("level mismatch for %s", n.Dewey)
+		}
+	}
+	if f.Contains("not a dewey") {
+		t.Error("Contains on malformed code should be false")
+	}
+}
+
+func TestCompareQ4(t *testing.T) {
+	e := teamEngine(t)
+	cmp, err := e.Compare(paperdata.Q4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.NumRTFs != 1 {
+		t.Fatalf("NumRTFs = %d", cmp.NumRTFs)
+	}
+	// ValidRTF prunes the duplicate forward player (2 of 9 nodes).
+	if cmp.Ratios.CFR != 0 {
+		t.Errorf("CFR = %v, want 0", cmp.Ratios.CFR)
+	}
+	want := 2.0 / 9.0
+	if diff := cmp.Ratios.MaxAPR - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("MaxAPR = %v, want %v", cmp.Ratios.MaxAPR, want)
+	}
+	if cmp.ValidElapsed <= 0 || cmp.MaxElapsed <= 0 {
+		t.Error("elapsed times not recorded")
+	}
+}
+
+func TestCompareQ5Identical(t *testing.T) {
+	e := teamEngine(t)
+	cmp, err := e.Compare(paperdata.Q5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Ratios.CFR != 1 {
+		t.Errorf("CFR = %v, want 1 (both mechanisms agree on Q5)", cmp.Ratios.CFR)
+	}
+}
+
+func TestCompareNoMatch(t *testing.T) {
+	e := teamEngine(t)
+	cmp, err := e.Compare("zebra position", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.NumRTFs != 0 || cmp.Ratios.CFR != 1 {
+		t.Errorf("cmp = %+v", cmp)
+	}
+}
+
+func TestLoadVariants(t *testing.T) {
+	xml := `<a><b>hello keyword</b><c>keyword world</c></a>`
+	e1, err := LoadString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e1.Search("hello world", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 1 || res.Fragments[0].Root != "0" {
+		t.Errorf("fragments = %v", fragmentRoots(res))
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(path, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Tree().Size() != 3 {
+		t.Errorf("tree size = %d", e2.Tree().Size())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "absent.xml")); err == nil {
+		t.Error("LoadFile on absent path should fail")
+	}
+	if _, err := LoadString("not xml"); err == nil {
+		t.Error("LoadString on garbage should fail")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e := pubEngine(t)
+	if e.Tree() == nil || e.Index() == nil {
+		t.Error("nil accessors")
+	}
+	if e.Index().Frequency("keyword") != 3 {
+		t.Error("index not built")
+	}
+}
+
+func TestAlgorithmAndSemanticsStrings(t *testing.T) {
+	if ValidRTF.String() != "ValidRTF" || MaxMatch.String() != "MaxMatch" || RawRTF.String() != "RawRTF" {
+		t.Error("Algorithm.String broken")
+	}
+	if Algorithm(9).String() == "" {
+		t.Error("unknown algorithm string empty")
+	}
+	if AllLCA.String() != "AllLCA" || SLCAOnly.String() != "SLCAOnly" {
+		t.Error("Semantics.String broken")
+	}
+}
+
+func TestConcurrentSearches(t *testing.T) {
+	e := pubEngine(t)
+	queries := []string{paperdata.Q1, paperdata.Q2, paperdata.Q3, paperdata.QLiuKeyword}
+	done := make(chan error, len(queries)*8)
+	for i := 0; i < 8; i++ {
+		for _, q := range queries {
+			go func(q string) {
+				_, err := e.Search(q, Options{Rank: true})
+				done <- err
+			}(q)
+		}
+	}
+	for i := 0; i < len(queries)*8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExactContentOption(t *testing.T) {
+	tree := xmltree.Build(xmltree.E{Label: "root", Kids: []xmltree.E{
+		{Label: "tag", Text: "special"},
+		{Label: "item", Text: "alpha keyword zebra"},
+		{Label: "item", Text: "alpha keyword middle zebra"},
+	}})
+	e := FromTree(tree)
+	approx, err := e.Search("special keyword", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := e.Search("special keyword", Options{ExactContent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Fragments[0].Len() >= exact.Fragments[0].Len() {
+		t.Errorf("exact mode should keep more nodes here: approx %d, exact %d",
+			approx.Fragments[0].Len(), exact.Fragments[0].Len())
+	}
+}
+
+func TestFragmentSnippet(t *testing.T) {
+	e := pubEngine(t)
+	res, err := e.Search(paperdata.Q2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Fragments {
+		sn := f.Snippet()
+		if !strings.Contains(sn, "[") || !strings.Contains(sn, "]") {
+			t.Errorf("fragment %s snippet has no highlights: %q", f.Root, sn)
+		}
+		lower := strings.ToLower(sn)
+		if !strings.Contains(lower, "liu") || !strings.Contains(lower, "keyword") {
+			t.Errorf("fragment %s snippet misses keywords: %q", f.Root, sn)
+		}
+	}
+}
+
+func TestFragmentSnippetStoreBacked(t *testing.T) {
+	e := storeEngine(t)
+	res, err := e.Search(paperdata.Q2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := res.Fragments[0].Snippet()
+	if !strings.Contains(strings.ToLower(sn), "[liu]") {
+		t.Errorf("store-backed snippet = %q", sn)
+	}
+}

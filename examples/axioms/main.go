@@ -1,0 +1,69 @@
+// Axiomatic properties: demonstrate the four properties of Liu & Chen that
+// ValidRTF satisfies (§4.3(2) of the paper) by mutating a document and a
+// query and watching the result set respond.
+//
+//	go run ./examples/axioms
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xks"
+	"xks/internal/axioms"
+	"xks/internal/dewey"
+	"xks/internal/paperdata"
+	"xks/internal/xmltree"
+)
+
+func main() {
+	tree := paperdata.Team()
+	engine := xks.FromTree(tree)
+
+	// Baseline: Q4 = "Grizzlies position".
+	res, err := engine.Search(paperdata.Q4, xks.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline %q: %d fragment(s)\n", paperdata.Q4, len(res.Fragments))
+	fmt.Print(res.Fragments[0].ASCII())
+
+	// Data monotonicity + consistency: add a fourth player.
+	newPlayer := xmltree.E{Label: "player", Kids: []xmltree.E{
+		{Label: "name", Text: "Conley"},
+		{Label: "position", Text: "guard"},
+	}}
+	extended := tree.Clone()
+	if _, err := extended.AddChild(dewey.MustParse("0.1"), newPlayer); err != nil {
+		log.Fatal(err)
+	}
+	after, err := xks.FromTree(extended).Search(paperdata.Q4, xks.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter inserting a player: %d fragment(s) (was %d) — data monotonicity\n",
+		len(after.Fragments), len(res.Fragments))
+
+	// Query monotonicity: extend the query.
+	narrower, err := engine.Search(paperdata.Q4+" gassol", xks.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after adding keyword \"gassol\": %d fragment(s) (was %d) — query monotonicity\n",
+		len(narrower.Fragments), len(res.Fragments))
+
+	// Run all four formal checkers.
+	verdicts, err := axioms.CheckAll(tree, dewey.MustParse("0.1"), newPlayer,
+		paperdata.Q4, "gassol", xks.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nformal checks:")
+	for _, v := range verdicts {
+		status := "PASS"
+		if !v.Holds {
+			status = "FAIL: " + v.Detail
+		}
+		fmt.Printf("  %-20s %s\n", v.Property, status)
+	}
+}

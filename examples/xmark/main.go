@@ -1,0 +1,83 @@
+// Auction-site search: generate an XMark-like document and show how the
+// valid-contributor rule removes redundant equal-content siblings that the
+// contributor rule keeps (the redundancy problem of Example 2 of the
+// paper), at dataset scale.
+//
+//	go run ./examples/xmark
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xks"
+	"xks/internal/datagen"
+	"xks/internal/workload"
+)
+
+func main() {
+	w := workload.XMark()
+	specs, err := w.Specs(int(workload.XMarkStandard), 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree := datagen.XMark(datagen.XMarkConfig{Seed: 11, Items: 500, Keywords: specs})
+	engine := xks.FromTree(tree)
+	fmt.Printf("dataset: %d nodes\n\n", tree.Size())
+
+	// Run the paper's own example query "vdo" = preventions description
+	// order, under both pruning mechanisms.
+	query, err := w.Expand("vdo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := engine.Compare(query, xks.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %q (the paper's vdo):\n", query)
+	fmt.Printf("  fragments: %d\n", cmp.NumRTFs)
+	fmt.Printf("  ValidRTF: %v   MaxMatch: %v\n", cmp.ValidElapsed, cmp.MaxElapsed)
+	fmt.Printf("  CFR=%.3f APR'=%.3f MaxAPR=%.3f\n\n",
+		cmp.Ratios.CFR, cmp.Ratios.APRPrime, cmp.Ratios.MaxAPR)
+
+	// Show one fragment where the two mechanisms disagree.
+	valid, err := engine.Search(query, xks.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	max, err := engine.Search(query, xks.Options{Algorithm: xks.MaxMatch})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range valid.Fragments {
+		v, m := valid.Fragments[i], max.Fragments[i]
+		if v.Len() < m.Len() {
+			fmt.Printf("fragment at %s: MaxMatch kept %d nodes, ValidRTF pruned to %d\n",
+				v.Root, m.Len(), v.Len())
+			fmt.Println("ValidRTF version:")
+			fmt.Print(v.ASCII())
+			break
+		}
+	}
+
+	// Run the whole XMark query mix and report the aggregate shape.
+	queries, err := w.ExpandAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree, prunedFurther := 0, 0
+	for _, q := range queries {
+		c, err := engine.Compare(q, xks.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c.Ratios.CFR == 1 {
+			agree++
+		} else {
+			prunedFurther++
+		}
+	}
+	fmt.Printf("\nacross %d XMark queries: ValidRTF pruned further on %d, identical on %d\n",
+		len(queries), prunedFurther, agree)
+}

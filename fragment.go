@@ -1,0 +1,109 @@
+package xks
+
+import (
+	"strings"
+
+	"xks/internal/dewey"
+	"xks/internal/lca"
+	"xks/internal/snippet"
+)
+
+// FragmentNode is one kept node of a meaningful fragment.
+type FragmentNode struct {
+	// Dewey is the node's Dewey code in dotted form, e.g. "0.2.0.1".
+	Dewey string
+	// Label is the element name.
+	Label string
+	// Text is the element's own text value, if any.
+	Text string
+	// Level is the node depth in the document (root = 0).
+	Level int
+	// IsKeywordNode reports whether the node matched query keywords.
+	IsKeywordNode bool
+	// Matched lists the query keywords this node matched.
+	Matched []string
+}
+
+// Fragment is one meaningful RTF of a search result.
+type Fragment struct {
+	// Root is the Dewey code of the fragment's interesting LCA node.
+	Root string
+	// RootLabel is that node's element name.
+	RootLabel string
+	// IsSLCA reports whether the root is a smallest LCA (no interesting
+	// LCA below it).
+	IsSLCA bool
+	// Nodes are the kept nodes in pre-order.
+	Nodes []FragmentNode
+	// Score is the ranking score (populated when Options.Rank is set).
+	Score float64
+
+	rootCode dewey.Code
+	events   []lca.Event
+	keep     map[string]bool
+	src      docSource
+	words    []string
+	snip     *snippet.Generator
+}
+
+// Len returns the number of kept nodes.
+func (f *Fragment) Len() int { return len(f.Nodes) }
+
+// Contains reports whether the fragment kept the node with the given Dewey
+// code (dotted form).
+func (f *Fragment) Contains(deweyCode string) bool {
+	c, err := dewey.Parse(deweyCode)
+	if err != nil {
+		return false
+	}
+	return f.keep[c.Key()]
+}
+
+// KeywordNodes returns the kept nodes that matched query keywords.
+func (f *Fragment) KeywordNodes() []FragmentNode {
+	var out []FragmentNode
+	for _, n := range f.Nodes {
+		if n.IsKeywordNode {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Snippet returns a query-biased one-line summary of the fragment: every
+// query keyword shown highlighted in its surrounding text, labelled by the
+// element it occurs in (in the spirit of the snippet generation work the
+// paper cites as related).
+func (f *Fragment) Snippet() string {
+	var sources []snippet.Source
+	for _, n := range f.Nodes {
+		if !n.IsKeywordNode {
+			continue
+		}
+		c, err := dewey.Parse(n.Dewey)
+		if err != nil {
+			continue
+		}
+		text := n.Text
+		if text == "" {
+			// Store-backed fragments have no raw text; use the content
+			// words instead.
+			text = strings.Join(f.src.contentOf(c), " ")
+		}
+		sources = append(sources, snippet.Source{Label: n.Label, Text: text})
+	}
+	return f.snip.Generate(sources, f.words)
+}
+
+// ASCII renders the fragment as an indented tree in the style of the
+// paper's figures. Store-backed fragments show content words instead of
+// raw text.
+func (f *Fragment) ASCII() string {
+	return f.src.renderASCII(f.rootCode, f.keep)
+}
+
+// XML serializes the fragment as an XML snippet. Store-backed fragments
+// render the element skeleton with content words.
+func (f *Fragment) XML() string {
+	return f.src.renderXML(f.rootCode, f.keep)
+}

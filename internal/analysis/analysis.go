@@ -1,0 +1,154 @@
+// Package analysis provides the text pipeline used to derive the content set
+// Cv of an XML node: tokenization, lower-casing and English stop-word
+// removal.
+//
+// The paper tokenizes node labels, attribute values and text values, filters
+// stop words with Lucene's English stop filter, and treats the remaining
+// lower-cased words as the node's content. This package reproduces that
+// pipeline with the standard library only: the stop list is the classic
+// Lucene/Smart English list.
+package analysis
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Analyzer turns raw text into content words. The zero value is not usable;
+// construct one with New.
+type Analyzer struct {
+	stop       map[string]struct{}
+	keepDigits bool
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer)
+
+// WithStopWords replaces the default stop list. Passing an empty slice
+// disables stop-word filtering.
+func WithStopWords(words []string) Option {
+	return func(a *Analyzer) {
+		a.stop = make(map[string]struct{}, len(words))
+		for _, w := range words {
+			a.stop[strings.ToLower(w)] = struct{}{}
+		}
+	}
+}
+
+// WithDigits keeps purely numeric tokens (they are dropped by default, the
+// way the paper's shredder only records "interesting words").
+func WithDigits() Option {
+	return func(a *Analyzer) { a.keepDigits = true }
+}
+
+// New returns an Analyzer with the default English stop list.
+func New(opts ...Option) *Analyzer {
+	a := &Analyzer{stop: defaultStopSet()}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Tokens splits s into lower-cased word tokens, dropping stop words and (by
+// default) purely numeric tokens. Tokens preserve input order and may
+// repeat.
+func (a *Analyzer) Tokens(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	a.appendTokens(&out, s)
+	return out
+}
+
+// ContentSet returns the distinct content words of the given pieces of text
+// (label, attribute values, text value), in unspecified order. This is the
+// Cv of the paper: the word set implied in a node's label, text and
+// attributes.
+func (a *Analyzer) ContentSet(pieces ...string) []string {
+	var toks []string
+	for _, p := range pieces {
+		a.appendTokens(&toks, p)
+	}
+	if len(toks) == 0 {
+		return nil
+	}
+	seen := make(map[string]struct{}, len(toks))
+	out := toks[:0]
+	for _, t := range toks {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Normalize lower-cases a single query keyword, returning "" if the keyword
+// is a stop word or tokenizes to nothing. Multi-word input keeps only the
+// first token.
+func (a *Analyzer) Normalize(word string) string {
+	toks := a.Tokens(word)
+	if len(toks) == 0 {
+		return ""
+	}
+	return toks[0]
+}
+
+// NormalizeQuery normalizes every keyword of a whitespace-separated query,
+// dropping empties and duplicates while preserving first-occurrence order.
+func (a *Analyzer) NormalizeQuery(q string) []string {
+	toks := a.Tokens(q)
+	seen := make(map[string]struct{}, len(toks))
+	var out []string
+	for _, t := range toks {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// IsStopWord reports whether w (any case) is on the analyzer's stop list.
+func (a *Analyzer) IsStopWord(w string) bool {
+	_, ok := a.stop[strings.ToLower(w)]
+	return ok
+}
+
+func (a *Analyzer) appendTokens(dst *[]string, s string) {
+	start := -1
+	hasLetter := false
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		tok := strings.ToLower(s[start:end])
+		start = -1
+		if !hasLetter && !a.keepDigits {
+			hasLetter = false
+			return
+		}
+		hasLetter = false
+		if _, stop := a.stop[tok]; stop {
+			return
+		}
+		*dst = append(*dst, tok)
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			if unicode.IsLetter(r) {
+				hasLetter = true
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(s))
+}

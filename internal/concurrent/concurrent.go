@@ -1,0 +1,78 @@
+// Package concurrent runs query batches across worker goroutines. The
+// engine is immutable after construction, so N workers can share it; the
+// experiment harness uses this to cut wall-clock time on multi-core
+// machines without perturbing per-query timing (each query still times its
+// own pipeline).
+package concurrent
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Result pairs a job index with its outcome.
+type Result[T any] struct {
+	Index int
+	Value T
+	Err   error
+}
+
+// Map runs fn over every job on up to workers goroutines (default
+// GOMAXPROCS) and returns the results in job order. The first error is
+// returned alongside the partial results; remaining jobs still run.
+func Map[J, T any](jobs []J, workers int, fn func(J) (T, error)) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	if workers <= 1 {
+		for i, j := range jobs {
+			out[i], errs[i] = fn(j)
+		}
+		return out, firstError(errs)
+	}
+	var (
+		wg   sync.WaitGroup
+		next int
+		mu   sync.Mutex
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(jobs) {
+					return
+				}
+				out[i], errs[i] = fn(jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out, firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// ForEach is Map without per-job results.
+func ForEach[J any](jobs []J, workers int, fn func(J) error) error {
+	_, err := Map(jobs, workers, func(j J) (struct{}, error) {
+		return struct{}{}, fn(j)
+	})
+	return err
+}

@@ -1,0 +1,93 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xks/internal/xmltree"
+)
+
+// DBLPConfig sizes the synthetic bibliography.
+type DBLPConfig struct {
+	// Seed drives every random choice; equal configs generate equal trees.
+	Seed int64
+	// NumRecords is the number of bibliographic records (articles,
+	// inproceedings, phdtheses).
+	NumRecords int
+	// Keywords places the query keywords at the requested node counts.
+	Keywords []KeywordSpec
+	// VocabSize is the background vocabulary size (default 2000).
+	VocabSize int
+}
+
+// DBLP generates a DBLP-shaped document: a flat sequence of shallow,
+// regular bibliographic records under a single root — the structure that
+// makes the paper's DBLP fragments "self-complete" (APR′ = 0): siblings
+// under a record have distinct labels, and same-label siblings (authors)
+// rarely share keyword sets.
+func DBLP(cfg DBLPConfig) *xmltree.Tree {
+	if cfg.NumRecords <= 0 {
+		cfg.NumRecords = 1000
+	}
+	if cfg.VocabSize <= 0 {
+		cfg.VocabSize = 2000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := newVocab(rng, cfg.VocabSize, avoidSet(cfg.Keywords))
+
+	venues := make([]string, 20)
+	for i := range venues {
+		venues[i] = v.name() + " " + v.name()
+	}
+
+	root := xmltree.E{Label: "dblp"}
+	root.Kids = make([]xmltree.E, 0, cfg.NumRecords)
+	for i := 0; i < cfg.NumRecords; i++ {
+		root.Kids = append(root.Kids, dblpRecord(rng, v, venues, i))
+	}
+	inject(rng, &root, cfg.Keywords)
+	return xmltree.Build(root)
+}
+
+func dblpRecord(rng *rand.Rand, v *vocab, venues []string, seq int) xmltree.E {
+	kind := "article"
+	switch rng.Intn(10) {
+	case 0, 1, 2:
+		kind = "inproceedings"
+	case 3:
+		kind = "phdthesis"
+	}
+	rec := xmltree.E{
+		Label: kind,
+		Attrs: []xmltree.Attr{
+			{Name: "key", Value: fmt.Sprintf("rec/%s/%d", kind, seq)},
+			{Name: "mdate", Value: fmt.Sprintf("2003-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))},
+		},
+	}
+	nAuthors := 1 + rng.Intn(3)
+	for a := 0; a < nAuthors; a++ {
+		rec.Kids = append(rec.Kids, xmltree.E{Label: "author", Text: v.name() + " " + v.name()})
+	}
+	rec.Kids = append(rec.Kids, xmltree.E{Label: "title", Text: v.text(4 + rng.Intn(7))})
+	if kind == "article" {
+		rec.Kids = append(rec.Kids,
+			xmltree.E{Label: "journal", Text: venues[rng.Intn(len(venues))]},
+			xmltree.E{Label: "volume", Text: fmt.Sprintf("vol%d", 1+rng.Intn(40))},
+		)
+	} else if kind == "inproceedings" {
+		rec.Kids = append(rec.Kids,
+			xmltree.E{Label: "booktitle", Text: venues[rng.Intn(len(venues))]},
+		)
+	}
+	rec.Kids = append(rec.Kids, xmltree.E{Label: "year", Text: fmt.Sprintf("y%d", 1985+rng.Intn(20))})
+	if rng.Intn(3) == 0 {
+		rec.Kids = append(rec.Kids, xmltree.E{Label: "pages", Text: fmt.Sprintf("p%d-p%d", rng.Intn(500), rng.Intn(500)+500)})
+	}
+	if rng.Intn(2) == 0 {
+		rec.Kids = append(rec.Kids, xmltree.E{Label: "ee", Text: "doi " + v.word() + " " + v.word()})
+	}
+	if rng.Intn(4) == 0 {
+		rec.Kids = append(rec.Kids, xmltree.E{Label: "cite", Text: v.text(3 + rng.Intn(4))})
+	}
+	return rec
+}

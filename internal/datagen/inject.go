@@ -1,0 +1,89 @@
+package datagen
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"xks/internal/xmltree"
+)
+
+// KeywordSpec requests that Word occur in the content of exactly Count
+// distinct nodes of the generated document (matching the paper's habit of
+// quoting per-keyword frequencies next to each keyword).
+type KeywordSpec struct {
+	Word  string
+	Count int
+}
+
+// avoidSet collects the keyword strings so the background vocabulary never
+// produces them accidentally.
+func avoidSet(specs []KeywordSpec) map[string]bool {
+	out := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		out[strings.ToLower(s.Word)] = true
+	}
+	return out
+}
+
+// slotCollector gathers pointers to the text-bearing elements of a document
+// under construction, so keywords can be injected after the structure is
+// built but before the tree is frozen.
+type slotCollector struct {
+	slots []*xmltree.E
+}
+
+func (sc *slotCollector) add(e *xmltree.E) { sc.slots = append(sc.slots, e) }
+
+// collect walks an element and registers every element with text.
+func (sc *slotCollector) collect(e *xmltree.E) {
+	if e.Text != "" {
+		sc.add(e)
+	}
+	for i := range e.Kids {
+		sc.collect(&e.Kids[i])
+	}
+}
+
+// inject appends each keyword to Count distinct slots, chosen uniformly
+// without replacement. If Count exceeds the slot count it is capped (the
+// generators size their documents so this does not happen in practice).
+// Injection into distinct slots keeps index.Frequency(word) == Count, since
+// the content set of a node deduplicates words.
+func inject(rng *rand.Rand, root *xmltree.E, specs []KeywordSpec) {
+	sc := &slotCollector{}
+	sc.collect(root)
+	if len(sc.slots) == 0 {
+		return
+	}
+	for _, spec := range specs {
+		count := spec.Count
+		if count > len(sc.slots) {
+			count = len(sc.slots)
+		}
+		if count <= 0 {
+			continue
+		}
+		for _, idx := range samplePartial(rng, len(sc.slots), count) {
+			slot := sc.slots[idx]
+			slot.Text = slot.Text + " " + spec.Word
+		}
+	}
+}
+
+// samplePartial draws k distinct indexes from [0,n) with a partial
+// Fisher-Yates shuffle, returning them sorted for deterministic injection
+// order.
+func samplePartial(rng *rand.Rand, n, k int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := idx[:k]
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,235 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xks/internal/xmltree"
+)
+
+// XMarkConfig sizes the synthetic auction site.
+type XMarkConfig struct {
+	// Seed drives every random choice; equal configs generate equal trees.
+	Seed int64
+	// Items is the number of items across the six regions. People, open
+	// and closed auctions, and categories scale from it with XMark's
+	// characteristic proportions when left zero.
+	Items          int
+	People         int
+	OpenAuctions   int
+	ClosedAuctions int
+	Categories     int
+	// Keywords places the query keywords at the requested node counts.
+	Keywords []KeywordSpec
+	// VocabSize is the background vocabulary size (default 3000).
+	VocabSize int
+}
+
+// withDefaults fills the dependent sizes with XMark's proportions
+// (people ≈ items, open auctions ≈ items/2, closed ≈ items/4,
+// categories ≈ items/20).
+func (cfg XMarkConfig) withDefaults() XMarkConfig {
+	if cfg.Items <= 0 {
+		cfg.Items = 400
+	}
+	if cfg.People <= 0 {
+		cfg.People = cfg.Items
+	}
+	if cfg.OpenAuctions <= 0 {
+		cfg.OpenAuctions = cfg.Items / 2
+	}
+	if cfg.ClosedAuctions <= 0 {
+		cfg.ClosedAuctions = cfg.Items / 4
+	}
+	if cfg.Categories <= 0 {
+		cfg.Categories = cfg.Items/20 + 1
+	}
+	if cfg.VocabSize <= 0 {
+		cfg.VocabSize = 3000
+	}
+	return cfg
+}
+
+var xmarkRegions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// XMark generates an auction document with the XMark schema shape: deep
+// item/auction records whose long description text repeats background
+// words heavily — the structure that leaves MaxMatch with redundant
+// same-label siblings (the paper's Figure 6(b–d): APR′ > 0 everywhere).
+func XMark(cfg XMarkConfig) *xmltree.Tree {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := newVocab(rng, cfg.VocabSize, avoidSet(cfg.Keywords))
+
+	root := xmltree.E{Label: "site"}
+
+	// Regions with items.
+	regions := xmltree.E{Label: "regions"}
+	perRegion := cfg.Items / len(xmarkRegions)
+	itemSeq := 0
+	for _, rg := range xmarkRegions {
+		region := xmltree.E{Label: rg}
+		n := perRegion
+		if rg == xmarkRegions[len(xmarkRegions)-1] {
+			n = cfg.Items - perRegion*(len(xmarkRegions)-1)
+		}
+		for i := 0; i < n; i++ {
+			region.Kids = append(region.Kids, xmarkItem(rng, v, itemSeq, cfg.Categories))
+			itemSeq++
+		}
+		regions.Kids = append(regions.Kids, region)
+	}
+	root.Kids = append(root.Kids, regions)
+
+	// Categories.
+	cats := xmltree.E{Label: "categories"}
+	for i := 0; i < cfg.Categories; i++ {
+		cats.Kids = append(cats.Kids, xmltree.E{
+			Label: "category",
+			Attrs: []xmltree.Attr{{Name: "id", Value: fmt.Sprintf("category%d", i)}},
+			Kids: []xmltree.E{
+				{Label: "name", Text: v.name()},
+				{Label: "description", Kids: []xmltree.E{
+					{Label: "text", Text: v.phrase()},
+				}},
+			},
+		})
+	}
+	root.Kids = append(root.Kids, cats)
+
+	// People.
+	people := xmltree.E{Label: "people"}
+	for i := 0; i < cfg.People; i++ {
+		people.Kids = append(people.Kids, xmarkPerson(rng, v, i))
+	}
+	root.Kids = append(root.Kids, people)
+
+	// Open auctions.
+	open := xmltree.E{Label: "open_auctions"}
+	for i := 0; i < cfg.OpenAuctions; i++ {
+		open.Kids = append(open.Kids, xmarkOpenAuction(rng, v, i, cfg))
+	}
+	root.Kids = append(root.Kids, open)
+
+	// Closed auctions.
+	closed := xmltree.E{Label: "closed_auctions"}
+	for i := 0; i < cfg.ClosedAuctions; i++ {
+		closed.Kids = append(closed.Kids, xmarkClosedAuction(rng, v, i, cfg))
+	}
+	root.Kids = append(root.Kids, closed)
+
+	inject(rng, &root, cfg.Keywords)
+	return xmltree.Build(root)
+}
+
+func xmarkItem(rng *rand.Rand, v *vocab, seq, nCats int) xmltree.E {
+	item := xmltree.E{
+		Label: "item",
+		Attrs: []xmltree.Attr{{Name: "id", Value: fmt.Sprintf("item%d", seq)}},
+		Kids: []xmltree.E{
+			{Label: "location", Text: v.name()},
+			{Label: "quantity", Text: fmt.Sprintf("q%d", 1+rng.Intn(5))},
+			{Label: "name", Text: v.text(2 + rng.Intn(3))},
+			{Label: "payment", Text: "money wire " + v.word()},
+			{Label: "description", Kids: []xmltree.E{
+				{Label: "parlist", Kids: []xmltree.E{
+					{Label: "listitem", Text: v.phrase()},
+					{Label: "listitem", Text: v.phrase()},
+				}},
+			}},
+			{Label: "shipping", Text: "ships worldwide " + v.word()},
+		},
+	}
+	for c := 0; c < 1+rng.Intn(2); c++ {
+		item.Kids = append(item.Kids, xmltree.E{
+			Label: "incategory",
+			Attrs: []xmltree.Attr{{Name: "category", Value: fmt.Sprintf("category%d", rng.Intn(nCats))}},
+		})
+	}
+	return item
+}
+
+func xmarkPerson(rng *rand.Rand, v *vocab, seq int) xmltree.E {
+	p := xmltree.E{
+		Label: "person",
+		Attrs: []xmltree.Attr{{Name: "id", Value: fmt.Sprintf("person%d", seq)}},
+		Kids: []xmltree.E{
+			{Label: "name", Text: v.name() + " " + v.name()},
+			{Label: "emailaddress", Text: "mailto " + v.word()},
+		},
+	}
+	if rng.Intn(2) == 0 {
+		p.Kids = append(p.Kids, xmltree.E{Label: "phone", Text: fmt.Sprintf("ph%d", rng.Intn(1000000))})
+	}
+	if rng.Intn(2) == 0 {
+		p.Kids = append(p.Kids, xmltree.E{Label: "address", Kids: []xmltree.E{
+			{Label: "street", Text: v.text(2)},
+			{Label: "city", Text: v.name()},
+			{Label: "country", Text: v.name()},
+			{Label: "zipcode", Text: fmt.Sprintf("z%d", rng.Intn(100000))},
+		}})
+	}
+	profile := xmltree.E{Label: "profile", Kids: []xmltree.E{
+		{Label: "education", Text: v.word()},
+		{Label: "business", Text: "yes " + v.word()},
+	}}
+	for i := 0; i < rng.Intn(3); i++ {
+		profile.Kids = append(profile.Kids, xmltree.E{
+			Label: "interest",
+			Attrs: []xmltree.Attr{{Name: "category", Value: fmt.Sprintf("category%d", rng.Intn(10))}},
+		})
+	}
+	p.Kids = append(p.Kids, profile)
+	return p
+}
+
+func xmarkOpenAuction(rng *rand.Rand, v *vocab, seq int, cfg XMarkConfig) xmltree.E {
+	a := xmltree.E{
+		Label: "open_auction",
+		Attrs: []xmltree.Attr{{Name: "id", Value: fmt.Sprintf("open_auction%d", seq)}},
+		Kids: []xmltree.E{
+			{Label: "initial", Text: fmt.Sprintf("amt%d", 1+rng.Intn(200))},
+		},
+	}
+	for b := 0; b < 1+rng.Intn(4); b++ {
+		a.Kids = append(a.Kids, xmltree.E{Label: "bidder", Kids: []xmltree.E{
+			{Label: "date", Text: fmt.Sprintf("d%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))},
+			{Label: "personref", Attrs: []xmltree.Attr{{Name: "person", Value: fmt.Sprintf("person%d", rng.Intn(cfg.People))}}},
+			{Label: "increase", Text: fmt.Sprintf("inc%d", 1+rng.Intn(50))},
+		}})
+	}
+	a.Kids = append(a.Kids,
+		xmltree.E{Label: "current", Text: fmt.Sprintf("amt%d", 200+rng.Intn(400))},
+		xmltree.E{Label: "itemref", Attrs: []xmltree.Attr{{Name: "item", Value: fmt.Sprintf("item%d", rng.Intn(cfg.Items))}}},
+		xmltree.E{Label: "seller", Attrs: []xmltree.Attr{{Name: "person", Value: fmt.Sprintf("person%d", rng.Intn(cfg.People))}}},
+		xmltree.E{Label: "annotation", Kids: []xmltree.E{
+			{Label: "author", Attrs: []xmltree.Attr{{Name: "person", Value: fmt.Sprintf("person%d", rng.Intn(cfg.People))}}},
+			{Label: "description", Kids: []xmltree.E{
+				{Label: "text", Text: v.phraseText(1 + rng.Intn(2))},
+			}},
+		}},
+		xmltree.E{Label: "interval", Kids: []xmltree.E{
+			{Label: "start", Text: fmt.Sprintf("s%02d", 1+rng.Intn(12))},
+			{Label: "end", Text: fmt.Sprintf("e%02d", 1+rng.Intn(12))},
+		}},
+	)
+	return a
+}
+
+func xmarkClosedAuction(rng *rand.Rand, v *vocab, seq int, cfg XMarkConfig) xmltree.E {
+	return xmltree.E{
+		Label: "closed_auction",
+		Kids: []xmltree.E{
+			{Label: "seller", Attrs: []xmltree.Attr{{Name: "person", Value: fmt.Sprintf("person%d", rng.Intn(cfg.People))}}},
+			{Label: "buyer", Attrs: []xmltree.Attr{{Name: "person", Value: fmt.Sprintf("person%d", rng.Intn(cfg.People))}}},
+			{Label: "itemref", Attrs: []xmltree.Attr{{Name: "item", Value: fmt.Sprintf("item%d", rng.Intn(cfg.Items))}}},
+			{Label: "price", Text: fmt.Sprintf("amt%d", 50+rng.Intn(500))},
+			{Label: "date", Text: fmt.Sprintf("d%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))},
+			{Label: "annotation", Kids: []xmltree.E{
+				{Label: "description", Kids: []xmltree.E{
+					{Label: "text", Text: v.phraseText(1 + rng.Intn(2))},
+				}},
+			}},
+		},
+	}
+}

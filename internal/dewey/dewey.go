@@ -1,0 +1,308 @@
+// Package dewey implements Dewey codes for XML trees.
+//
+// A Dewey code identifies a node by the path of child ordinals from the
+// root, e.g. "0.2.0.1" (Tatarinov & Viglas, SIGMOD 2002). Dewey codes are
+// compatible with pre-order document numbering: node u precedes node v in a
+// pre-order left-to-right depth-first traversal exactly when
+// Compare(u, v) < 0. The code of an ancestor is a proper prefix of the code
+// of each of its descendants, which makes ancestor tests and lowest common
+// ancestor computation (longest common prefix) cheap. This is the node
+// identity used throughout the ValidRTF reproduction.
+package dewey
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Code is a Dewey code: the sequence of child ordinals on the path from the
+// root to a node. The root itself is conventionally Code{0}. The zero value
+// (nil) is not a valid node code; it compares before every valid code and is
+// an ancestor of nothing.
+type Code []uint32
+
+// Parse converts the textual form "0.2.0.1" into a Code.
+func Parse(s string) (Code, error) {
+	if s == "" {
+		return nil, fmt.Errorf("dewey: empty code")
+	}
+	parts := strings.Split(s, ".")
+	c := make(Code, len(parts))
+	for i, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dewey: bad component %q in %q: %v", p, s, err)
+		}
+		c[i] = uint32(n)
+	}
+	return c, nil
+}
+
+// MustParse is Parse that panics on malformed input. It is intended for
+// tests and package-level literals.
+func MustParse(s string) Code {
+	c, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// String renders the code in the dotted form used in the paper, e.g.
+// "0.2.0.1". The nil code renders as "ε".
+func (c Code) String() string {
+	if len(c) == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	for i, v := range c {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.FormatUint(uint64(v), 10))
+	}
+	return b.String()
+}
+
+// Key returns a compact string usable as a map key. Unlike String it is not
+// human-oriented; two codes have equal keys exactly when Equal reports true.
+// Keys also sort in pre-order (each component is big-endian fixed width).
+func (c Code) Key() string {
+	b := make([]byte, 0, len(c)*4)
+	for _, v := range c {
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(b)
+}
+
+// FromKey reverses Key.
+func FromKey(k string) (Code, error) {
+	if len(k)%4 != 0 {
+		return nil, fmt.Errorf("dewey: key length %d not a multiple of 4", len(k))
+	}
+	c := make(Code, len(k)/4)
+	for i := range c {
+		c[i] = uint32(k[4*i])<<24 | uint32(k[4*i+1])<<16 | uint32(k[4*i+2])<<8 | uint32(k[4*i+3])
+	}
+	return c, nil
+}
+
+// Clone returns an independent copy of c.
+func (c Code) Clone() Code {
+	if c == nil {
+		return nil
+	}
+	out := make(Code, len(c))
+	copy(out, c)
+	return out
+}
+
+// Level reports the depth of the node: the root (Code{0}) is level 0.
+func (c Code) Level() int {
+	if len(c) == 0 {
+		return -1
+	}
+	return len(c) - 1
+}
+
+// Compare orders codes in pre-order (document order): component-wise
+// numeric, with a prefix ordering before its extensions. It returns -1, 0 or
+// +1.
+func Compare(a, b Code) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether a and b denote the same node.
+func Equal(a, b Code) bool { return Compare(a, b) == 0 }
+
+// IsAncestorOf reports whether a is a proper ancestor of b (a ≺a b in the
+// paper's notation): a is a strict prefix of b.
+func (c Code) IsAncestorOf(b Code) bool {
+	if len(c) >= len(b) {
+		return false
+	}
+	for i, v := range c {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAncestorOrSelf reports whether c is an ancestor of b or equal to b.
+func (c Code) IsAncestorOrSelf(b Code) bool {
+	if len(c) > len(b) {
+		return false
+	}
+	for i, v := range c {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Parent returns the code of the parent node, or nil for the root (or a nil
+// code).
+func (c Code) Parent() Code {
+	if len(c) <= 1 {
+		return nil
+	}
+	return c[:len(c)-1].Clone()
+}
+
+// Child returns the code of the i-th child of c.
+func (c Code) Child(i uint32) Code {
+	out := make(Code, len(c)+1)
+	copy(out, c)
+	out[len(c)] = i
+	return out
+}
+
+// LCA returns the lowest common ancestor of a and b: their longest common
+// prefix. If either code is nil the result is nil.
+func LCA(a, b Code) Code {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	if i == 0 {
+		return nil // distinct roots: no common ancestor (cannot happen in one tree)
+	}
+	return a[:i].Clone()
+}
+
+// LCAAll returns the lowest common ancestor of all given codes. With no
+// arguments it returns nil; with one it returns a clone of that code.
+func LCAAll(codes ...Code) Code {
+	if len(codes) == 0 {
+		return nil
+	}
+	acc := codes[0].Clone()
+	for _, c := range codes[1:] {
+		acc = LCA(acc, c)
+		if acc == nil {
+			return nil
+		}
+	}
+	return acc
+}
+
+// CommonPrefixLen returns the number of leading components a and b share.
+func CommonPrefixLen(a, b Code) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// Sort orders a slice of codes in pre-order, in place.
+func Sort(cs []Code) {
+	sortCodes(cs)
+}
+
+func sortCodes(cs []Code) {
+	// Insertion sort for tiny slices, quicksort otherwise. Implemented by
+	// hand to keep the package dependency-free and allocation-free.
+	if len(cs) < 12 {
+		for i := 1; i < len(cs); i++ {
+			for j := i; j > 0 && Compare(cs[j-1], cs[j]) > 0; j-- {
+				cs[j-1], cs[j] = cs[j], cs[j-1]
+			}
+		}
+		return
+	}
+	pivot := cs[len(cs)/2]
+	lo, hi := 0, len(cs)-1
+	for lo <= hi {
+		for Compare(cs[lo], pivot) < 0 {
+			lo++
+		}
+		for Compare(cs[hi], pivot) > 0 {
+			hi--
+		}
+		if lo <= hi {
+			cs[lo], cs[hi] = cs[hi], cs[lo]
+			lo++
+			hi--
+		}
+	}
+	sortCodes(cs[:hi+1])
+	sortCodes(cs[lo:])
+}
+
+// SearchGE returns the index of the first code in the pre-order-sorted slice
+// cs that is >= c, or len(cs) if all codes precede c.
+func SearchGE(cs []Code, c Code) int {
+	lo, hi := 0, len(cs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Compare(cs[mid], c) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SearchLE returns the index of the last code in the pre-order-sorted slice
+// cs that is <= c, or -1 if all codes follow c.
+func SearchLE(cs []Code, c Code) int {
+	lo, hi := 0, len(cs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Compare(cs[mid], c) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// Dedup removes duplicate codes from a pre-order-sorted slice, in place,
+// returning the shortened slice.
+func Dedup(cs []Code) []Code {
+	if len(cs) == 0 {
+		return cs
+	}
+	out := cs[:1]
+	for _, c := range cs[1:] {
+		if !Equal(out[len(out)-1], c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+package dewey
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Code
+		ok   bool
+	}{
+		{"0", Code{0}, true},
+		{"0.2.0.1", Code{0, 2, 0, 1}, true},
+		{"10.20.30", Code{10, 20, 30}, true},
+		{"", nil, false},
+		{"0..1", nil, false},
+		{"a.b", nil, false},
+		{"-1", nil, false},
+		{"4294967296", nil, false}, // out of uint32 range
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if c.ok && err != nil {
+			t.Errorf("Parse(%q) unexpected error: %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("Parse(%q) expected error, got %v", c.in, got)
+			}
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+		if got.String() != c.in {
+			t.Errorf("String round trip: %q != %q", got.String(), c.in)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("not a code")
+}
+
+func TestNilString(t *testing.T) {
+	if got := Code(nil).String(); got != "ε" {
+		t.Errorf("nil code String() = %q", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	ordered := []string{"0", "0.0", "0.0.0", "0.0.1", "0.1", "0.2", "0.2.0", "0.2.0.1", "0.2.1", "0.10", "1"}
+	for i := range ordered {
+		for j := range ordered {
+			a, b := MustParse(ordered[i]), MustParse(ordered[j])
+			got := Compare(a, b)
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%s,%s) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestAncestor(t *testing.T) {
+	cases := []struct {
+		a, b       string
+		anc, ancOS bool
+	}{
+		{"0", "0.2.0.1", true, true},
+		{"0.2", "0.2.0.1", true, true},
+		{"0.2.0.1", "0.2.0.1", false, true},
+		{"0.2.0.1", "0.2", false, false},
+		{"0.1", "0.2.0", false, false},
+		{"0.2.0", "0.2.1", false, false},
+	}
+	for _, c := range cases {
+		a, b := MustParse(c.a), MustParse(c.b)
+		if got := a.IsAncestorOf(b); got != c.anc {
+			t.Errorf("%s.IsAncestorOf(%s) = %v, want %v", a, b, got, c.anc)
+		}
+		if got := a.IsAncestorOrSelf(b); got != c.ancOS {
+			t.Errorf("%s.IsAncestorOrSelf(%s) = %v, want %v", a, b, got, c.ancOS)
+		}
+	}
+}
+
+func TestLCA(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"0.2.0.1", "0.2.0.3", "0.2.0"},
+		{"0.2.0.1", "0.2.0.1", "0.2.0.1"},
+		{"0.2.0.1", "0.2", "0.2"},
+		{"0.0", "0.2.0.3.0", "0"},
+		{"0", "0", "0"},
+	}
+	for _, c := range cases {
+		got := LCA(MustParse(c.a), MustParse(c.b))
+		if got.String() != c.want {
+			t.Errorf("LCA(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+	if LCA(nil, MustParse("0.1")) != nil {
+		t.Error("LCA(nil, x) should be nil")
+	}
+}
+
+func TestLCAAll(t *testing.T) {
+	got := LCAAll(MustParse("0.2.0.0.0.0"), MustParse("0.2.0.1"), MustParse("0.2.0.2"))
+	if got.String() != "0.2.0" {
+		t.Errorf("LCAAll = %s, want 0.2.0", got)
+	}
+	if LCAAll() != nil {
+		t.Error("LCAAll() should be nil")
+	}
+	one := LCAAll(MustParse("0.1.2"))
+	if one.String() != "0.1.2" {
+		t.Errorf("LCAAll(x) = %s", one)
+	}
+}
+
+func TestParentChildLevel(t *testing.T) {
+	c := MustParse("0.2.0")
+	if got := c.Parent().String(); got != "0.2" {
+		t.Errorf("Parent = %s", got)
+	}
+	if got := c.Child(3).String(); got != "0.2.0.3" {
+		t.Errorf("Child = %s", got)
+	}
+	if MustParse("0").Parent() != nil {
+		t.Error("root Parent should be nil")
+	}
+	if got := MustParse("0").Level(); got != 0 {
+		t.Errorf("root Level = %d", got)
+	}
+	if got := c.Level(); got != 2 {
+		t.Errorf("Level = %d", got)
+	}
+	if got := Code(nil).Level(); got != -1 {
+		t.Errorf("nil Level = %d", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := MustParse("0.1.2")
+	d := c.Clone()
+	d[2] = 9
+	if c[2] != 2 {
+		t.Error("Clone shares storage with original")
+	}
+	if Code(nil).Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+}
+
+func TestChildDoesNotAliasParentStorage(t *testing.T) {
+	c := MustParse("0.1")
+	a := c.Child(0)
+	b := c.Child(1)
+	if !Equal(a, MustParse("0.1.0")) || !Equal(b, MustParse("0.1.1")) {
+		t.Fatalf("children corrupted: %s %s", a, b)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	for _, s := range []string{"0", "0.2.0.1", "4294967295.0.7"} {
+		c := MustParse(s)
+		back, err := FromKey(c.Key())
+		if err != nil {
+			t.Fatalf("FromKey error: %v", err)
+		}
+		if !Equal(back, c) {
+			t.Errorf("Key round trip %s -> %s", c, back)
+		}
+	}
+	if _, err := FromKey("abc"); err == nil {
+		t.Error("FromKey on odd-length key should fail")
+	}
+}
+
+func TestKeyOrderMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		a := randomCode(rng)
+		b := randomCode(rng)
+		cmpKeys := 0
+		ka, kb := a.Key(), b.Key()
+		if ka < kb {
+			cmpKeys = -1
+		} else if ka > kb {
+			cmpKeys = 1
+		}
+		if got := Compare(a, b); got != cmpKeys {
+			t.Fatalf("Compare(%s,%s)=%d but key order %d", a, b, got, cmpKeys)
+		}
+	}
+}
+
+func randomCode(rng *rand.Rand) Code {
+	n := 1 + rng.Intn(6)
+	c := make(Code, n)
+	for i := range c {
+		c[i] = uint32(rng.Intn(5))
+	}
+	return c
+}
+
+func TestSortMatchesStdSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(100)
+		a := make([]Code, n)
+		for i := range a {
+			a[i] = randomCode(rng)
+		}
+		b := make([]Code, n)
+		copy(b, a)
+		Sort(a)
+		sort.Slice(b, func(i, j int) bool { return Compare(b[i], b[j]) < 0 })
+		for i := range a {
+			if !Equal(a[i], b[i]) {
+				t.Fatalf("trial %d: Sort mismatch at %d: %s vs %s", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSearchGE(t *testing.T) {
+	cs := []Code{MustParse("0.0"), MustParse("0.1"), MustParse("0.1.2"), MustParse("0.3")}
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"0", 0},
+		{"0.0", 0},
+		{"0.0.5", 1},
+		{"0.1", 1},
+		{"0.1.2", 2},
+		{"0.2", 3},
+		{"0.3", 3},
+		{"0.4", 4},
+	}
+	for _, c := range cases {
+		if got := SearchGE(cs, MustParse(c.q)); got != c.want {
+			t.Errorf("SearchGE(%s) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSearchLE(t *testing.T) {
+	cs := []Code{MustParse("0.0"), MustParse("0.1"), MustParse("0.1.2"), MustParse("0.3")}
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"0", -1},
+		{"0.0", 0},
+		{"0.0.5", 0},
+		{"0.1", 1},
+		{"0.1.2", 2},
+		{"0.2", 2},
+		{"0.3", 3},
+		{"0.4", 3},
+	}
+	for _, c := range cases {
+		if got := SearchLE(cs, MustParse(c.q)); got != c.want {
+			t.Errorf("SearchLE(%s) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	cs := []Code{MustParse("0.0"), MustParse("0.0"), MustParse("0.1"), MustParse("0.1"), MustParse("0.1"), MustParse("0.2")}
+	got := Dedup(cs)
+	if len(got) != 3 {
+		t.Fatalf("Dedup len = %d, want 3", len(got))
+	}
+	if Dedup(nil) != nil {
+		t.Error("Dedup(nil) should be nil")
+	}
+}
+
+// Property: LCA is commutative, idempotent and is an ancestor-or-self of both
+// arguments.
+func TestLCAProperties(t *testing.T) {
+	f := func(aRaw, bRaw []uint8) bool {
+		a := codeFromBytes(aRaw)
+		b := codeFromBytes(bRaw)
+		l := LCA(a, b)
+		l2 := LCA(b, a)
+		if !Equal(l, l2) {
+			return false
+		}
+		if l == nil {
+			return len(a) == 0 || len(b) == 0 || a[0] != b[0]
+		}
+		return l.IsAncestorOrSelf(a) && l.IsAncestorOrSelf(b) && Equal(LCA(l, a), l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare defines a total order consistent with ancestor
+// relations: an ancestor always precedes its descendants.
+func TestAncestorPrecedesDescendant(t *testing.T) {
+	f := func(raw []uint8, extra []uint8) bool {
+		a := codeFromBytes(raw)
+		if len(a) == 0 {
+			return true
+		}
+		b := a.Clone()
+		for _, e := range extra {
+			b = append(b, uint32(e%4))
+		}
+		if len(extra) == 0 {
+			return Compare(a, b) == 0
+		}
+		return a.IsAncestorOf(b) && Compare(a, b) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func codeFromBytes(raw []uint8) Code {
+	if len(raw) > 8 {
+		raw = raw[:8]
+	}
+	c := make(Code, 0, len(raw)+1)
+	c = append(c, 0) // shared root, as in a real document
+	for _, r := range raw {
+		c = append(c, uint32(r%4))
+	}
+	return c
+}
+
+func BenchmarkCompare(b *testing.B) {
+	x := MustParse("0.2.0.1.5.3.2")
+	y := MustParse("0.2.0.1.5.3.4")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compare(x, y)
+	}
+}
+
+func BenchmarkLCA(b *testing.B) {
+	x := MustParse("0.2.0.1.5.3.2")
+	y := MustParse("0.2.0.4.5.3.4")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LCA(x, y)
+	}
+}
+
+func BenchmarkSearchGE(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cs := make([]Code, 10000)
+	for i := range cs {
+		cs[i] = randomCode(rng)
+	}
+	Sort(cs)
+	q := MustParse("2.1.0")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SearchGE(cs, q)
+	}
+}

@@ -1,0 +1,291 @@
+// Package experiments regenerates the paper's evaluation artifacts:
+// Figure 5 (elapsed time of MaxMatch vs ValidRTF plus the number of RTFs
+// per query) and Figure 6 (CFR, APR′ and Max APR per query) over the four
+// datasets — DBLP and three XMark sizes — rebuilt synthetically at a
+// configurable scale.
+//
+// Timing follows §5.1: each query runs repeats+1 times, the first run is
+// discarded, and the remaining runs are averaged.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xks"
+	"xks/internal/concurrent"
+	"xks/internal/datagen"
+	"xks/internal/workload"
+	"xks/internal/xmltree"
+)
+
+// DatasetSpec describes one dataset of the evaluation.
+type DatasetSpec struct {
+	// Name labels the output (e.g. "dblp", "xmark-standard").
+	Name string
+	// Kind is "dblp" or "xmark".
+	Kind string
+	// Variant selects the frequency column for XMark (0..2); DBLP has one.
+	Variant int
+	// Records is the number of DBLP records or XMark items.
+	Records int
+	// FreqFactor scales the paper's keyword frequencies down to this
+	// dataset's size.
+	FreqFactor float64
+	// Seed drives generation.
+	Seed int64
+}
+
+// Presets returns the four datasets of §5.1 at the requested scale:
+// "small" for tests, "medium" for the default harness run, "large" for a
+// longer-running sweep. XMark data1/data2 keep the paper's 1:3:6 size
+// ratio, and the single frequency factor keeps each variant's frequency
+// column consistent with its size.
+func Presets(size string) ([]DatasetSpec, error) {
+	var dblpRecords, xmarkItems int
+	switch size {
+	case "small":
+		dblpRecords, xmarkItems = 400, 120
+	case "medium":
+		dblpRecords, xmarkItems = 3000, 600
+	case "large":
+		dblpRecords, xmarkItems = 12000, 2400
+	default:
+		return nil, fmt.Errorf("experiments: unknown preset size %q (want small, medium or large)", size)
+	}
+	// Frequency factors: the generated documents are a few thousandths of
+	// the paper's datasets, but keyword density (occurrences per node) is
+	// kept a few times higher than a pure size scale so that per-fragment
+	// sibling structure — what the pruning mechanisms disagree on —
+	// remains as rich as on the full-size data.
+	dblpFactor := float64(dblpRecords) / 20000.0
+	xmarkFactor := float64(xmarkItems) / 20000.0
+	return []DatasetSpec{
+		{Name: "dblp", Kind: "dblp", Variant: 0, Records: dblpRecords, FreqFactor: dblpFactor, Seed: 1},
+		{Name: "xmark-standard", Kind: "xmark", Variant: int(workload.XMarkStandard), Records: xmarkItems, FreqFactor: xmarkFactor, Seed: 2},
+		{Name: "xmark-data1", Kind: "xmark", Variant: int(workload.XMarkData1), Records: xmarkItems * 3, FreqFactor: xmarkFactor, Seed: 3},
+		{Name: "xmark-data2", Kind: "xmark", Variant: int(workload.XMarkData2), Records: xmarkItems * 6, FreqFactor: xmarkFactor, Seed: 4},
+	}, nil
+}
+
+// PresetByFigure maps the paper's figure panel names (5a..5d, 6a..6d) to
+// the dataset index within Presets.
+func PresetByFigure(figure string) (int, error) {
+	if len(figure) != 2 || (figure[0] != '5' && figure[0] != '6') {
+		return 0, fmt.Errorf("experiments: unknown figure %q (want 5a..5d or 6a..6d)", figure)
+	}
+	idx := int(figure[1] - 'a')
+	if idx < 0 || idx > 3 {
+		return 0, fmt.Errorf("experiments: unknown figure panel %q", figure)
+	}
+	return idx, nil
+}
+
+// Generate materializes the dataset's tree and its workload.
+func Generate(spec DatasetSpec) (*xmltree.Tree, workload.Workload, error) {
+	switch spec.Kind {
+	case "dblp":
+		w := workload.DBLP()
+		specs, err := w.Specs(spec.Variant, spec.FreqFactor)
+		if err != nil {
+			return nil, w, err
+		}
+		return datagen.DBLP(datagen.DBLPConfig{Seed: spec.Seed, NumRecords: spec.Records, Keywords: specs}), w, nil
+	case "xmark":
+		w := workload.XMark()
+		specs, err := w.Specs(spec.Variant, spec.FreqFactor)
+		if err != nil {
+			return nil, w, err
+		}
+		return datagen.XMark(datagen.XMarkConfig{Seed: spec.Seed, Items: spec.Records, Keywords: specs}), w, nil
+	default:
+		return nil, workload.Workload{}, fmt.Errorf("experiments: unknown dataset kind %q", spec.Kind)
+	}
+}
+
+// QueryRow is one x-axis position of Figures 5 and 6: one query's timing
+// and effectiveness numbers.
+type QueryRow struct {
+	// Abbrev is the letter abbreviation used on the figure axis.
+	Abbrev string
+	// Query is the expanded keyword query.
+	Query string
+	// MaxMatch and ValidRTF are the averaged elapsed times.
+	MaxMatch time.Duration
+	ValidRTF time.Duration
+	// NumRTFs is the "RTFs" line of Figure 5.
+	NumRTFs int
+	// CFR, APRPrime and MaxAPR are the Figure 6 series.
+	CFR      float64
+	APRPrime float64
+	MaxAPR   float64
+}
+
+// FigureResult holds all rows for one dataset panel.
+type FigureResult struct {
+	Spec     DatasetSpec
+	Nodes    int
+	Rows     []QueryRow
+	Workload workload.Workload
+}
+
+// Run generates the dataset and executes the full query mix, producing the
+// data behind one panel of Figure 5 and one of Figure 6. repeats is the
+// number of timed runs after the discarded warm-up (the paper uses 5).
+func Run(spec DatasetSpec, repeats int) (*FigureResult, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	tree, w, err := Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	engine := xks.FromTree(tree)
+	res := &FigureResult{Spec: spec, Nodes: tree.Size(), Workload: w}
+	for _, abbrev := range w.Queries {
+		query, err := w.Expand(abbrev)
+		if err != nil {
+			return nil, err
+		}
+		row := QueryRow{Abbrev: abbrev, Query: query}
+		// Warm-up run, discarded per §5.1.
+		first, err := engine.Compare(query, xks.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s query %q: %w", spec.Name, abbrev, err)
+		}
+		row.NumRTFs = first.NumRTFs
+		row.CFR = first.Ratios.CFR
+		row.APRPrime = first.Ratios.APRPrime
+		row.MaxAPR = first.Ratios.MaxAPR
+		var sumValid, sumMax time.Duration
+		for i := 0; i < repeats; i++ {
+			cmp, err := engine.Compare(query, xks.Options{})
+			if err != nil {
+				return nil, err
+			}
+			sumValid += cmp.ValidElapsed
+			sumMax += cmp.MaxElapsed
+		}
+		row.ValidRTF = sumValid / time.Duration(repeats)
+		row.MaxMatch = sumMax / time.Duration(repeats)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RunParallel generates the dataset and executes the query mix across
+// worker goroutines (0 = GOMAXPROCS). Effectiveness ratios are identical to
+// Run's; per-query times come from a single run each and are indicative
+// only (parallel execution perturbs timing), so use Run for Figure 5 and
+// RunParallel when only the Figure 6 series matter.
+func RunParallel(spec DatasetSpec, workers int) (*FigureResult, error) {
+	tree, w, err := Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	engine := xks.FromTree(tree)
+	res := &FigureResult{Spec: spec, Nodes: tree.Size(), Workload: w}
+	rows, err := concurrent.Map(w.Queries, workers, func(abbrev string) (QueryRow, error) {
+		queryText, err := w.Expand(abbrev)
+		if err != nil {
+			return QueryRow{}, err
+		}
+		cmp, err := engine.Compare(queryText, xks.Options{})
+		if err != nil {
+			return QueryRow{}, fmt.Errorf("experiments: %s query %q: %w", spec.Name, abbrev, err)
+		}
+		return QueryRow{
+			Abbrev:   abbrev,
+			Query:    queryText,
+			MaxMatch: cmp.MaxElapsed,
+			ValidRTF: cmp.ValidElapsed,
+			NumRTFs:  cmp.NumRTFs,
+			CFR:      cmp.Ratios.CFR,
+			APRPrime: cmp.Ratios.APRPrime,
+			MaxAPR:   cmp.Ratios.MaxAPR,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// Table renders the result in the layout of the paper's figures: the
+// Figure 5 series (times, RTFs) and Figure 6 series (CFR, APR', Max APR)
+// side by side, one query per row.
+func (r *FigureResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %d nodes (records=%d, seed=%d)\n",
+		r.Spec.Name, r.Nodes, r.Spec.Records, r.Spec.Seed)
+	fmt.Fprintf(&b, "%-10s %-9s %-9s %6s %7s %7s %7s  %s\n",
+		"query", "MaxM(ms)", "Valid(ms)", "RTFs", "CFR", "APR'", "MaxAPR", "keywords")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %-9.3f %-9.3f %6d %7.3f %7.3f %7.3f  %s\n",
+			row.Abbrev,
+			float64(row.MaxMatch.Microseconds())/1000.0,
+			float64(row.ValidRTF.Microseconds())/1000.0,
+			row.NumRTFs, row.CFR, row.APRPrime, row.MaxAPR, row.Query)
+	}
+	return b.String()
+}
+
+// CSV renders the rows as comma-separated values with a header.
+func (r *FigureResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("dataset,query,keywords,maxmatch_ms,validrtf_ms,rtfs,cfr,apr_prime,max_apr\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%s,%q,%.3f,%.3f,%d,%.4f,%.4f,%.4f\n",
+			r.Spec.Name, row.Abbrev, row.Query,
+			float64(row.MaxMatch.Microseconds())/1000.0,
+			float64(row.ValidRTF.Microseconds())/1000.0,
+			row.NumRTFs, row.CFR, row.APRPrime, row.MaxAPR)
+	}
+	return b.String()
+}
+
+// Summary reports panel-level aggregates used to check the paper's claims:
+// the time ratio between the two algorithms and the CFR/APR' aggregates.
+type Summary struct {
+	Dataset string
+	// MeanTimeRatio is mean(ValidRTF / MaxMatch) across queries.
+	MeanTimeRatio float64
+	// QueriesWithCFRBelow1 counts queries where ValidRTF pruned further.
+	QueriesWithCFRBelow1 int
+	// QueriesWithAPRPrimePositive counts queries with APR' > 0.
+	QueriesWithAPRPrimePositive int
+	// MinMaxAPR is the smallest Max APR across queries with any pruning.
+	MinMaxAPR float64
+	Queries   int
+}
+
+// Summarize aggregates a panel.
+func (r *FigureResult) Summarize() Summary {
+	s := Summary{Dataset: r.Spec.Name, Queries: len(r.Rows), MinMaxAPR: 2}
+	ratioSum := 0.0
+	for _, row := range r.Rows {
+		if row.MaxMatch > 0 {
+			ratioSum += float64(row.ValidRTF) / float64(row.MaxMatch)
+		} else {
+			ratioSum += 1
+		}
+		if row.CFR < 1 {
+			s.QueriesWithCFRBelow1++
+		}
+		if row.APRPrime > 0 {
+			s.QueriesWithAPRPrimePositive++
+		}
+		if row.MaxAPR > 0 && row.MaxAPR < s.MinMaxAPR {
+			s.MinMaxAPR = row.MaxAPR
+		}
+	}
+	if len(r.Rows) > 0 {
+		s.MeanTimeRatio = ratioSum / float64(len(r.Rows))
+	}
+	if s.MinMaxAPR > 1 {
+		s.MinMaxAPR = 0
+	}
+	return s
+}

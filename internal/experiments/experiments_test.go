@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"xks/internal/workload"
+)
+
+func TestPresets(t *testing.T) {
+	for _, size := range []string{"small", "medium", "large"} {
+		specs, err := Presets(size)
+		if err != nil {
+			t.Fatalf("%s: %v", size, err)
+		}
+		if len(specs) != 4 {
+			t.Fatalf("%s: %d specs", size, len(specs))
+		}
+		if specs[0].Kind != "dblp" {
+			t.Errorf("first preset should be dblp")
+		}
+		// XMark sizes keep the 1:3:6 ratio.
+		if specs[2].Records != specs[1].Records*3 || specs[3].Records != specs[1].Records*6 {
+			t.Errorf("%s: xmark ratio broken: %d %d %d", size, specs[1].Records, specs[2].Records, specs[3].Records)
+		}
+		// Same frequency factor across XMark variants.
+		if specs[1].FreqFactor != specs[2].FreqFactor || specs[2].FreqFactor != specs[3].FreqFactor {
+			t.Errorf("%s: xmark frequency factors differ", size)
+		}
+	}
+	if _, err := Presets("gigantic"); err == nil {
+		t.Error("unknown preset size should fail")
+	}
+}
+
+func TestPresetByFigure(t *testing.T) {
+	cases := map[string]int{"5a": 0, "5b": 1, "5c": 2, "5d": 3, "6a": 0, "6d": 3}
+	for fig, want := range cases {
+		got, err := PresetByFigure(fig)
+		if err != nil || got != want {
+			t.Errorf("PresetByFigure(%s) = %d, %v", fig, got, err)
+		}
+	}
+	for _, bad := range []string{"", "7a", "5e", "55", "figure5a"} {
+		if _, err := PresetByFigure(bad); err == nil {
+			t.Errorf("PresetByFigure(%q) should fail", bad)
+		}
+	}
+}
+
+func TestGenerateDBLP(t *testing.T) {
+	specs, _ := Presets("small")
+	tree, w, err := Generate(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.Label != "dblp" || w.Name != "dblp" {
+		t.Errorf("wrong dataset: %s / %s", tree.Root.Label, w.Name)
+	}
+}
+
+func TestGenerateXMark(t *testing.T) {
+	specs, _ := Presets("small")
+	tree, w, err := Generate(specs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.Label != "site" || w.Name != "xmark" {
+		t.Errorf("wrong dataset: %s / %s", tree.Root.Label, w.Name)
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if _, _, err := Generate(DatasetSpec{Kind: "unknown"}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, _, err := Generate(DatasetSpec{Kind: "xmark", Variant: 9, Records: 10, FreqFactor: 1}); err == nil {
+		t.Error("bad variant should fail")
+	}
+}
+
+func TestRunSmallDBLP(t *testing.T) {
+	specs, _ := Presets("small")
+	res, err := Run(specs[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.DBLP()
+	if len(res.Rows) != len(w.Queries) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(w.Queries))
+	}
+	for _, row := range res.Rows {
+		if row.ValidRTF <= 0 || row.MaxMatch <= 0 {
+			t.Errorf("query %s: times not recorded (%v / %v)", row.Abbrev, row.ValidRTF, row.MaxMatch)
+		}
+		if row.CFR < 0 || row.CFR > 1 {
+			t.Errorf("query %s: CFR out of range: %v", row.Abbrev, row.CFR)
+		}
+		if row.MaxAPR < 0 || row.MaxAPR > 1 || row.APRPrime < 0 || row.APRPrime > 1 {
+			t.Errorf("query %s: APR out of range: %v / %v", row.Abbrev, row.APRPrime, row.MaxAPR)
+		}
+	}
+	table := res.Table()
+	if !strings.Contains(table, "dblp") || !strings.Contains(table, "CFR") {
+		t.Errorf("table header missing:\n%s", table)
+	}
+	csv := res.CSV()
+	if !strings.HasPrefix(csv, "dataset,query") || strings.Count(csv, "\n") != len(res.Rows)+1 {
+		t.Errorf("csv malformed:\n%s", csv)
+	}
+	sum := res.Summarize()
+	if sum.Queries != len(res.Rows) || sum.MeanTimeRatio <= 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestRunSmallXMarkShape(t *testing.T) {
+	specs, _ := Presets("small")
+	res, err := Run(specs[1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summarize()
+	// The paper's XMark claim: ValidRTF prunes further on (nearly) every
+	// query — CFR < 1 on most queries of the mix.
+	if sum.QueriesWithCFRBelow1 < len(res.Rows)/2 {
+		t.Errorf("too few queries with CFR<1: %d of %d", sum.QueriesWithCFRBelow1, len(res.Rows))
+	}
+	// Runtime parity: same order of magnitude on average.
+	if sum.MeanTimeRatio > 5 || sum.MeanTimeRatio < 0.2 {
+		t.Errorf("time ratio out of parity band: %v", sum.MeanTimeRatio)
+	}
+}
+
+func TestRunRepeatsClamped(t *testing.T) {
+	specs, _ := Presets("small")
+	spec := specs[0]
+	spec.Records = 100
+	spec.FreqFactor = 0.005
+	if _, err := Run(spec, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelMatchesSequentialRatios(t *testing.T) {
+	specs, _ := Presets("small")
+	spec := specs[1]
+	seq, err := Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Rows) != len(par.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq.Rows), len(par.Rows))
+	}
+	for i := range seq.Rows {
+		a, b := seq.Rows[i], par.Rows[i]
+		if a.Abbrev != b.Abbrev || a.NumRTFs != b.NumRTFs ||
+			a.CFR != b.CFR || a.APRPrime != b.APRPrime || a.MaxAPR != b.MaxAPR {
+			t.Errorf("row %s differs: %+v vs %+v", a.Abbrev, a, b)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package httpapi exposes an engine as a small JSON HTTP API, used by
+// cmd/xkserver and testable with net/http/httptest.
+//
+// Endpoints:
+//
+//	GET /search?q=keyword+query[&algo=validrtf|maxmatch|raw][&slca=1]
+//	           [&rank=1][&limit=N][&snippets=1]
+//	GET /healthz
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"xks"
+)
+
+// Fragment is the JSON shape of one result fragment.
+type Fragment struct {
+	Root      string  `json:"root"`
+	RootLabel string  `json:"rootLabel"`
+	IsSLCA    bool    `json:"isSlca"`
+	Score     float64 `json:"score,omitempty"`
+	Snippet   string  `json:"snippet,omitempty"`
+	XML       string  `json:"xml"`
+	Nodes     int     `json:"nodes"`
+}
+
+// Response is the JSON shape of a search response.
+type Response struct {
+	Query     string     `json:"query"`
+	Keywords  []string   `json:"keywords"`
+	NumLCAs   int        `json:"numLcas"`
+	ElapsedMS float64    `json:"elapsedMs"`
+	Fragments []Fragment `json:"fragments"`
+}
+
+// NewHandler builds the API router over the engine. logger may be nil.
+func NewHandler(engine *xks.Engine, logger *log.Logger) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, `missing "q" parameter`, http.StatusBadRequest)
+			return
+		}
+		opts := xks.Options{}
+		switch r.URL.Query().Get("algo") {
+		case "", "validrtf":
+		case "maxmatch":
+			opts.Algorithm = xks.MaxMatch
+		case "raw":
+			opts.Algorithm = xks.RawRTF
+		default:
+			http.Error(w, "unknown algo", http.StatusBadRequest)
+			return
+		}
+		if r.URL.Query().Get("slca") == "1" {
+			opts.Semantics = xks.SLCAOnly
+		}
+		if r.URL.Query().Get("rank") == "1" {
+			opts.Rank = true
+		}
+		if l := r.URL.Query().Get("limit"); l != "" {
+			n, err := strconv.Atoi(l)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			opts.Limit = n
+		}
+		withSnippets := r.URL.Query().Get("snippets") == "1"
+
+		res, err := engine.Search(q, opts)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := Response{
+			Query:     q,
+			Keywords:  res.Stats.Keywords,
+			NumLCAs:   res.Stats.NumLCAs,
+			ElapsedMS: float64(res.Stats.Elapsed.Microseconds()) / 1000.0,
+		}
+		for _, f := range res.Fragments {
+			out := Fragment{
+				Root:      f.Root,
+				RootLabel: f.RootLabel,
+				IsSLCA:    f.IsSLCA,
+				Score:     f.Score,
+				XML:       f.XML(),
+				Nodes:     f.Len(),
+			}
+			if withSnippets {
+				out.Snippet = f.Snippet()
+			}
+			resp.Fragments = append(resp.Fragments, out)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil && logger != nil {
+			logger.Printf("httpapi: encode: %v", err)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,134 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xks"
+	"xks/internal/paperdata"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(xks.FromTree(paperdata.Publications()), nil))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string) (int, *Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, &out
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+func TestSearchBasic(t *testing.T) {
+	srv := testServer(t)
+	code, out := getJSON(t, srv.URL+"/search?q=liu+keyword")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if out.NumLCAs != 2 || len(out.Fragments) != 2 {
+		t.Fatalf("response = %+v", out)
+	}
+	if out.Fragments[0].Root != "0.2.0" || !out.Fragments[1].IsSLCA {
+		t.Errorf("fragments = %+v", out.Fragments)
+	}
+	if !strings.Contains(out.Fragments[0].XML, "<article>") {
+		t.Errorf("xml missing: %q", out.Fragments[0].XML)
+	}
+	if len(out.Keywords) != 2 || out.ElapsedMS < 0 {
+		t.Errorf("stats = %+v", out)
+	}
+}
+
+func TestSearchOptions(t *testing.T) {
+	srv := testServer(t)
+	// SLCA-only restricts to one fragment.
+	_, slca := getJSON(t, srv.URL+"/search?q=liu+keyword&slca=1")
+	if len(slca.Fragments) != 1 {
+		t.Errorf("slca fragments = %d", len(slca.Fragments))
+	}
+	// Ranked results carry scores.
+	_, ranked := getJSON(t, srv.URL+"/search?q=liu+keyword&rank=1")
+	if ranked.Fragments[0].Score <= 0 {
+		t.Errorf("ranked score = %v", ranked.Fragments[0].Score)
+	}
+	// Limit.
+	_, limited := getJSON(t, srv.URL+"/search?q=liu+keyword&limit=1")
+	if len(limited.Fragments) != 1 {
+		t.Errorf("limited fragments = %d", len(limited.Fragments))
+	}
+	// Snippets on demand.
+	_, snip := getJSON(t, srv.URL+"/search?q=liu+keyword&snippets=1")
+	if !strings.Contains(snip.Fragments[0].Snippet, "[") {
+		t.Errorf("snippet = %q", snip.Fragments[0].Snippet)
+	}
+	// MaxMatch algorithm selector.
+	code, _ := getJSON(t, srv.URL+"/search?q=liu+keyword&algo=maxmatch")
+	if code != http.StatusOK {
+		t.Errorf("maxmatch status = %d", code)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	srv := testServer(t)
+	cases := []string{
+		"/search",                      // missing q
+		"/search?q=the+of",             // unsearchable query
+		"/search?q=liu&algo=bogus",     // unknown algorithm
+		"/search?q=liu&limit=notanint", // bad limit
+		"/search?q=liu&limit=-3",       // negative limit
+	}
+	for _, path := range cases {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestSearchNoMatchIsEmptyOK(t *testing.T) {
+	srv := testServer(t)
+	code, out := getJSON(t, srv.URL+"/search?q=zebra+liu")
+	if code != http.StatusOK || len(out.Fragments) != 0 {
+		t.Errorf("no-match response: %d %+v", code, out)
+	}
+}
+
+func TestPredicateQueryOverHTTP(t *testing.T) {
+	srv := testServer(t)
+	code, out := getJSON(t, srv.URL+"/search?q=title:skyline+wong")
+	if code != http.StatusOK || len(out.Fragments) != 1 {
+		t.Fatalf("predicate query: %d %+v", code, out)
+	}
+}

@@ -1,0 +1,161 @@
+// Package index builds the inverted keyword index used by getKeywordNodes:
+// for each content word w, the pre-order-sorted list of Dewey codes of the
+// keyword nodes whose content set Cv contains w (the paper's Di sets).
+//
+// The index is immutable after Build and safe for concurrent readers.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"xks/internal/analysis"
+	"xks/internal/dewey"
+	"xks/internal/xmltree"
+)
+
+// Index maps content words to keyword-node posting lists.
+type Index struct {
+	analyzer *analysis.Analyzer
+	postings map[string][]dewey.Code
+	numNodes int
+}
+
+// Build indexes every node of the tree. A node is a keyword node for w when
+// w appears among the words of its label, attributes or text.
+func Build(t *xmltree.Tree, a *analysis.Analyzer) *Index {
+	if a == nil {
+		a = analysis.New()
+	}
+	ix := &Index{analyzer: a, postings: make(map[string][]dewey.Code)}
+	t.Walk(func(n *xmltree.Node) bool {
+		ix.numNodes++
+		for _, w := range a.ContentSet(n.ContentPieces()...) {
+			ix.postings[w] = append(ix.postings[w], n.Code)
+		}
+		return true
+	})
+	// Pre-order walk yields pre-order postings already; keep the sort as a
+	// defensive invariant for postings assembled by other builders.
+	for _, list := range ix.postings {
+		if !sortedPreOrder(list) {
+			dewey.Sort(list)
+		}
+	}
+	return ix
+}
+
+// FromPostings constructs an index directly from word → posting-list data,
+// as when loading from the shredded store. Lists are sorted defensively.
+func FromPostings(postings map[string][]dewey.Code, numNodes int, a *analysis.Analyzer) *Index {
+	if a == nil {
+		a = analysis.New()
+	}
+	for _, list := range postings {
+		if !sortedPreOrder(list) {
+			dewey.Sort(list)
+		}
+	}
+	return &Index{analyzer: a, postings: postings, numNodes: numNodes}
+}
+
+func sortedPreOrder(list []dewey.Code) bool {
+	for i := 1; i < len(list); i++ {
+		if dewey.Compare(list[i-1], list[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Analyzer returns the analyzer the index was built with.
+func (ix *Index) Analyzer() *analysis.Analyzer { return ix.analyzer }
+
+// NumNodes returns the number of indexed nodes.
+func (ix *Index) NumNodes() int { return ix.numNodes }
+
+// NumWords returns the vocabulary size.
+func (ix *Index) NumWords() int { return len(ix.postings) }
+
+// Lookup returns the posting list Di for the (already normalized) word, or
+// nil if the word does not occur. The returned slice is shared; callers must
+// not modify it.
+func (ix *Index) Lookup(word string) []dewey.Code {
+	return ix.postings[word]
+}
+
+// Frequency returns the number of keyword nodes containing the word.
+func (ix *Index) Frequency(word string) int {
+	return len(ix.postings[word])
+}
+
+// Words returns the vocabulary in lexical order.
+func (ix *Index) Words() []string {
+	out := make([]string, 0, len(ix.postings))
+	for w := range ix.postings {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrNoMatch reports a query keyword with an empty posting list.
+type ErrNoMatch struct{ Word string }
+
+func (e *ErrNoMatch) Error() string {
+	return fmt.Sprintf("index: no node contains keyword %q", e.Word)
+}
+
+// KeywordSets normalizes the raw query keywords and returns their posting
+// lists D1..Dk in query order along with the normalized keywords. It fails
+// with *ErrNoMatch if any keyword matches nothing (then no fragment can
+// cover the query), and with a plain error if the query normalizes to
+// nothing or to more than 64 keywords (the kList bitmask width).
+func (ix *Index) KeywordSets(query string) (words []string, sets [][]dewey.Code, err error) {
+	words = ix.analyzer.NormalizeQuery(query)
+	if len(words) == 0 {
+		return nil, nil, fmt.Errorf("index: query %q contains no searchable keywords", query)
+	}
+	if len(words) > 64 {
+		return nil, nil, fmt.Errorf("index: query has %d keywords; at most 64 supported", len(words))
+	}
+	sets = make([][]dewey.Code, len(words))
+	for i, w := range words {
+		list := ix.postings[w]
+		if len(list) == 0 {
+			return nil, nil, &ErrNoMatch{Word: w}
+		}
+		sets[i] = list
+	}
+	return words, sets, nil
+}
+
+// Insert adds one node's postings incrementally (used by the engine's
+// append path). The posting list of each word stays pre-order sorted via
+// insertion at the binary-search position; inserting an already-present
+// (word, code) pair is a no-op. Not safe for use concurrently with
+// readers.
+func (ix *Index) Insert(c dewey.Code, words []string) {
+	ix.numNodes++
+	for _, w := range words {
+		list := ix.postings[w]
+		i := dewey.SearchGE(list, c)
+		if i < len(list) && dewey.Equal(list[i], c) {
+			continue
+		}
+		list = append(list, nil)
+		copy(list[i+1:], list[i:])
+		list[i] = c
+		ix.postings[w] = list
+	}
+}
+
+// Postings exposes a copy of the word → posting map, used when shredding an
+// index into the store. Lists are shared, not copied.
+func (ix *Index) Postings() map[string][]dewey.Code {
+	out := make(map[string][]dewey.Code, len(ix.postings))
+	for w, l := range ix.postings {
+		out[w] = l
+	}
+	return out
+}

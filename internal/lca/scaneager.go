@@ -1,0 +1,59 @@
+package lca
+
+import "xks/internal/dewey"
+
+// SLCAScanEager computes the smallest LCA set with the Scan Eager strategy
+// of Xu & Papakonstantinou (SIGMOD 2005): a single merge scan over all
+// posting lists in document order, emitting a candidate whenever the
+// running LCA window closes, then removing non-minimal candidates. It is
+// preferable to the indexed variant when the keyword frequencies are of
+// similar magnitude; the engine uses SLCA (indexed lookup eager) by
+// default and the two are property-tested equal.
+func SLCAScanEager(sets [][]dewey.Code) []dewey.Code {
+	if len(sets) == 0 {
+		return nil
+	}
+	for _, s := range sets {
+		if len(s) == 0 {
+			return nil
+		}
+	}
+	events := MergeSets(sets)
+
+	// Sliding window over the merged stream: maintain, for each keyword,
+	// the most recent occurrence; when all keywords have been seen, the
+	// LCA of the current "closest" occurrence set is a candidate. A
+	// linear scan with per-keyword last-seen codes reproduces Scan Eager's
+	// behaviour without the original paper's cursor bookkeeping.
+	last := make([]dewey.Code, len(sets))
+	var candidates []dewey.Code
+	for _, ev := range events {
+		for i := range sets {
+			if ev.Mask&(1<<uint(i)) != 0 {
+				last[i] = ev.Code
+			}
+		}
+		ready := true
+		var acc dewey.Code
+		for i := range last {
+			if last[i] == nil {
+				ready = false
+				break
+			}
+			if acc == nil {
+				acc = last[i].Clone()
+			} else {
+				acc = dewey.LCA(acc, last[i])
+			}
+		}
+		if ready && acc != nil {
+			candidates = append(candidates, acc)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	dewey.Sort(candidates)
+	candidates = dewey.Dedup(candidates)
+	return removeAncestors(candidates)
+}

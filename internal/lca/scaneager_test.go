@@ -1,0 +1,47 @@
+package lca
+
+import (
+	"math/rand"
+	"testing"
+
+	"xks/internal/dewey"
+)
+
+// SLCAScanEager agrees with the naive definition over thousands of random
+// inputs.
+func TestScanEagerAgreesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 3000; trial++ {
+		k := 1 + rng.Intn(4)
+		sets := randomSets(rng, k)
+		got := SLCAScanEager(sets)
+		want := SLCANaive(sets)
+		assertSame(t, trial, "ScanEager vs naive", got, want, sets)
+	}
+}
+
+func TestScanEagerPaperQueries(t *testing.T) {
+	sets := setsFor(t, "Liu keyword", true)
+	wantCodes(t, SLCAScanEager(sets), "0.2.0.3.0")
+	sets = setsFor(t, "VLDB title XML keyword search", true)
+	wantCodes(t, SLCAScanEager(sets), "0")
+}
+
+func TestScanEagerEmpty(t *testing.T) {
+	if SLCAScanEager(nil) != nil {
+		t.Error("nil input")
+	}
+	if SLCAScanEager([][]dewey.Code{{dewey.MustParse("0.1")}, {}}) != nil {
+		t.Error("empty posting list should give nil")
+	}
+}
+
+func BenchmarkSLCAScanEager(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	sets := benchmarkSets(rng, 3, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SLCAScanEager(sets)
+	}
+}

@@ -1,0 +1,108 @@
+// Package metrics implements the effectiveness ratios of §5.1 of the paper,
+// comparing the fragments kept by ValidRTF (va) against those kept by the
+// revised MaxMatch (xa) for the same interesting LCA nodes:
+//
+//   - CFR (common fragment ratio): |V∩X| / |A| — the share of fragments on
+//     which both mechanisms agree exactly.
+//   - APR (average pruning ratio): the mean, over the differing fragments,
+//     of |xa−va| / |xa| — how much of each MaxMatch fragment ValidRTF prunes
+//     further.
+//   - Max APR: the largest per-fragment pruning ratio (the paper's "extreme
+//     RTF", usually the fragment rooted near the document root).
+//   - APR′: the APR recomputed after discarding the extreme fragment,
+//     highlighting the pruning on regular fragments.
+package metrics
+
+import "xks/internal/dewey"
+
+// FragmentPair holds, for one interesting LCA node, the node sets kept by
+// the two mechanisms, keyed by dewey key.
+type FragmentPair struct {
+	Root  dewey.Code
+	Valid map[string]bool // va: kept by ValidRTF
+	Max   map[string]bool // xa: kept by MaxMatch
+}
+
+// equalSets reports whether the two fragments kept exactly the same nodes.
+func (p *FragmentPair) equalSets() bool {
+	if len(p.Valid) != len(p.Max) {
+		return false
+	}
+	for k := range p.Valid {
+		if !p.Max[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// PruneRatio returns |xa − va| / |xa|: the share of MaxMatch's fragment
+// that ValidRTF discards further. Zero when MaxMatch's fragment is empty.
+func (p *FragmentPair) PruneRatio() float64 {
+	if len(p.Max) == 0 {
+		return 0
+	}
+	extra := 0
+	for k := range p.Max {
+		if !p.Valid[k] {
+			extra++
+		}
+	}
+	return float64(extra) / float64(len(p.Max))
+}
+
+// Ratios aggregates the §5.1 effectiveness measures for one query.
+type Ratios struct {
+	// NumRTFs is |A|, the number of interesting LCA nodes / fragments.
+	NumRTFs int
+	// NumCommon is |V∩X|, the number of identical fragments.
+	NumCommon int
+	// CFR is NumCommon / NumRTFs (1 when there are no fragments).
+	CFR float64
+	// APR is the average pruning ratio over the differing fragments.
+	APR float64
+	// MaxAPR is the largest per-fragment pruning ratio.
+	MaxAPR float64
+	// APRPrime is the APR after discarding the extreme fragment.
+	APRPrime float64
+}
+
+// Compute derives the ratios from the per-fragment pairs.
+func Compute(pairs []FragmentPair) Ratios {
+	r := Ratios{NumRTFs: len(pairs)}
+	if len(pairs) == 0 {
+		r.CFR = 1
+		return r
+	}
+	var (
+		diffRatios []float64
+		maxRatio   float64
+		maxIdx     = -1
+	)
+	for i := range pairs {
+		if pairs[i].equalSets() {
+			r.NumCommon++
+			continue
+		}
+		ratio := pairs[i].PruneRatio()
+		diffRatios = append(diffRatios, ratio)
+		if maxIdx < 0 || ratio > maxRatio {
+			maxRatio = ratio
+			maxIdx = len(diffRatios) - 1
+		}
+	}
+	r.CFR = float64(r.NumCommon) / float64(r.NumRTFs)
+	if len(diffRatios) == 0 {
+		return r
+	}
+	sum := 0.0
+	for _, x := range diffRatios {
+		sum += x
+	}
+	r.APR = sum / float64(len(diffRatios))
+	r.MaxAPR = maxRatio
+	if len(diffRatios) > 1 {
+		r.APRPrime = (sum - maxRatio) / float64(len(diffRatios)-1)
+	}
+	return r
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"xks/internal/dewey"
+)
+
+func set(codes ...string) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range codes {
+		out[dewey.MustParse(c).Key()] = true
+	}
+	return out
+}
+
+func pair(root string, valid, max map[string]bool) FragmentPair {
+	return FragmentPair{Root: dewey.MustParse(root), Valid: valid, Max: max}
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestComputeEmpty(t *testing.T) {
+	r := Compute(nil)
+	if r.CFR != 1 || r.APR != 0 || r.MaxAPR != 0 || r.APRPrime != 0 {
+		t.Errorf("empty ratios = %+v", r)
+	}
+}
+
+func TestAllEqual(t *testing.T) {
+	s := set("0", "0.1")
+	r := Compute([]FragmentPair{pair("0", s, s), pair("1", set("1"), set("1"))})
+	if r.CFR != 1 || r.NumCommon != 2 || r.NumRTFs != 2 {
+		t.Errorf("ratios = %+v", r)
+	}
+	if r.APR != 0 || r.MaxAPR != 0 {
+		t.Errorf("APR should be 0: %+v", r)
+	}
+}
+
+func TestSingleDiffering(t *testing.T) {
+	// MaxMatch kept 4 nodes, ValidRTF kept 3 of them: ratio 1/4.
+	valid := set("0", "0.0", "0.1")
+	max := set("0", "0.0", "0.1", "0.2")
+	r := Compute([]FragmentPair{pair("0", valid, max)})
+	if r.NumRTFs != 1 || r.NumCommon != 0 {
+		t.Fatalf("counts wrong: %+v", r)
+	}
+	if !approx(r.CFR, 0) || !approx(r.APR, 0.25) || !approx(r.MaxAPR, 0.25) {
+		t.Errorf("ratios = %+v", r)
+	}
+	// Only one differing fragment: APR' is 0 by definition.
+	if r.APRPrime != 0 {
+		t.Errorf("APRPrime = %v, want 0", r.APRPrime)
+	}
+}
+
+func TestExtremeDiscardedInAPRPrime(t *testing.T) {
+	// Two differing fragments: ratios 0.5 (extreme) and 0.25.
+	p1 := pair("0", set("0"), set("0", "0.1"))                             // 1/2
+	p2 := pair("1", set("1", "1.0", "1.1"), set("1", "1.0", "1.1", "1.2")) // 1/4
+	same := pair("2", set("2"), set("2"))
+	r := Compute([]FragmentPair{p1, p2, same})
+	if r.NumRTFs != 3 || r.NumCommon != 1 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if !approx(r.CFR, 1.0/3) {
+		t.Errorf("CFR = %v", r.CFR)
+	}
+	if !approx(r.MaxAPR, 0.5) {
+		t.Errorf("MaxAPR = %v", r.MaxAPR)
+	}
+	if !approx(r.APR, (0.5+0.25)/2) {
+		t.Errorf("APR = %v", r.APR)
+	}
+	if !approx(r.APRPrime, 0.25) {
+		t.Errorf("APRPrime = %v", r.APRPrime)
+	}
+}
+
+// Fragments can differ with a zero pruning ratio when ValidRTF keeps a
+// superset of MaxMatch (the false-positive fix). CFR drops, APR stays 0.
+func TestValidKeepsMoreThanMax(t *testing.T) {
+	p := pair("0", set("0", "0.0", "0.1"), set("0", "0.0"))
+	r := Compute([]FragmentPair{p})
+	if r.CFR != 0 {
+		t.Errorf("CFR = %v", r.CFR)
+	}
+	if r.APR != 0 || r.MaxAPR != 0 {
+		t.Errorf("APR should be 0 when nothing is pruned further: %+v", r)
+	}
+}
+
+func TestPruneRatioEmptyMax(t *testing.T) {
+	p := pair("0", set("0"), map[string]bool{})
+	if p.PruneRatio() != 0 {
+		t.Error("PruneRatio on empty Max should be 0")
+	}
+}
+
+func TestEqualSetsAsymmetry(t *testing.T) {
+	p := pair("0", set("0", "0.1"), set("0", "0.2"))
+	if p.equalSets() {
+		t.Error("sets with equal size but different members reported equal")
+	}
+}

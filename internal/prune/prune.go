@@ -1,0 +1,464 @@
+// Package prune implements the pruneRTF stage of ValidRTF (Algorithm 1 of
+// the paper) and the contributor-based pruning of the revised MaxMatch
+// baseline (Liu & Chen, VLDB 2008, adapted to RTFs).
+//
+// A Fragment is the annotated node tree of §4.1: every RTF node carries its
+// Dewey code, label, kList (tree keyword set as a bitmask — its integer
+// value is the paper's "key number"), and cID (the (min,max) word-pair
+// feature approximating the tree content set). Children information is
+// grouped per distinct label, with the sorted distinct child key numbers
+// (chkList) and child cIDs (chcIDList) the pruning step consults.
+//
+// Prune(ValidContributor) keeps exactly the valid contributors of
+// Definition 4: a child with a label unique among its siblings is always
+// kept (rule 1, fixing MaxMatch's false positive problem); among same-label
+// siblings, a child whose keyword set is strictly covered by a sibling's is
+// discarded (rule 2a), and of several children with equal keyword sets and
+// equal content only the first is kept (rule 2b, fixing the redundancy
+// problem).
+//
+// Prune(Contributor) keeps MaxMatch's contributors: a child is discarded
+// exactly when some sibling's keyword set strictly covers its own,
+// regardless of labels and content.
+package prune
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xks/internal/dewey"
+	"xks/internal/rtf"
+)
+
+// Mode selects the filtering mechanism.
+type Mode int
+
+const (
+	// ValidContributor is the paper's valid-contributor filtering
+	// (Definition 4), used by ValidRTF.
+	ValidContributor Mode = iota
+	// Contributor is MaxMatch's contributor filtering: discard a child iff
+	// a sibling's keyword set strictly covers its own.
+	Contributor
+	// NoPruning keeps the whole RTF (the raw fragment).
+	NoPruning
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ValidContributor:
+		return "ValidContributor"
+	case Contributor:
+		return "Contributor"
+	case NoPruning:
+		return "NoPruning"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options tunes pruning behaviour.
+type Options struct {
+	// ExactContent compares full tree content sets in rule 2b instead of
+	// the (min,max) cID feature. The paper uses the cID approximation
+	// (§4.1); exact comparison is provided for the ablation study.
+	ExactContent bool
+}
+
+// CID is the (min,max) content feature of §4.1.
+type CID struct {
+	Min, Max string
+}
+
+func (c CID) String() string { return "(" + c.Min + "," + c.Max + ")" }
+
+// Less orders cIDs lexically, Min first.
+func (c CID) Less(o CID) bool {
+	if c.Min != o.Min {
+		return c.Min < o.Min
+	}
+	return c.Max < o.Max
+}
+
+// Node is the §4.1 node data structure: "Self Info" fields plus per-label
+// children information.
+type Node struct {
+	Code  dewey.Code
+	Label string
+	// KList is the tree keyword set TKv as a bitmask over the query
+	// keywords; its integer value is the paper's key number.
+	KList uint64
+	// CID is the (min,max) feature of the tree content set TCv.
+	CID CID
+	// IsKeywordNode reports whether the node itself matched some keyword.
+	IsKeywordNode bool
+	// Mask is the bitmask of keywords the node itself matches (zero for
+	// pure path nodes).
+	Mask uint64
+
+	Parent   *Node
+	Children []*Node // document order
+	Items    []*LabelItem
+
+	content map[string]struct{} // full tree content set (ExactContent mode)
+}
+
+// HasContentWord reports whether w is in the node's tree content set. Only
+// populated when the fragment was built with exact content tracking.
+func (n *Node) HasContentWord(w string) bool {
+	_, ok := n.content[w]
+	return ok
+}
+
+// ContentSize returns the tree content set cardinality (exact mode only).
+func (n *Node) ContentSize() int { return len(n.content) }
+
+// LabelItem groups a node's children sharing one label ("Children Info").
+type LabelItem struct {
+	Label string
+	// Counter is the number of children with this label.
+	Counter int
+	// ChKList holds the sorted distinct key numbers of those children.
+	ChKList []uint64
+	// ChCIDs holds their sorted distinct cIDs.
+	ChCIDs []CID
+	// Children references the children in document order.
+	Children []*Node
+}
+
+// coveredByLarger reports whether some key number in the sorted chkList is
+// strictly larger than knum and a superset of it — the §4.1 bit trick for
+// rule 2(a).
+func (li *LabelItem) coveredByLarger(knum uint64) bool {
+	i := sort.Search(len(li.ChKList), func(j int) bool { return li.ChKList[j] > knum })
+	for ; i < len(li.ChKList); i++ {
+		if li.ChKList[i]&knum == knum {
+			return true
+		}
+	}
+	return false
+}
+
+// LabelFunc resolves a node's label from its Dewey code.
+type LabelFunc func(dewey.Code) string
+
+// ContentFunc resolves the content word set Cv of a keyword node.
+type ContentFunc func(dewey.Code) []string
+
+// Fragment is one RTF materialized as an annotated node tree, ready for
+// pruning. Build it once and prune it under several modes.
+type Fragment struct {
+	Root   *Node
+	byKey  map[string]*Node
+	source *rtf.RTF
+	exact  bool
+}
+
+// BuildFragment runs the constructing step of pruneRTF: it materializes
+// every node on the paths between the RTF root and its keyword nodes,
+// filling the §4.1 data structure. Keyword masks and content features are
+// transferred to every ancestor up to the RTF root (the paper's lines
+// 11–12). labelOf must resolve every path node's label; contentOf must
+// resolve each keyword node's content set.
+func BuildFragment(r *rtf.RTF, labelOf LabelFunc, contentOf ContentFunc, opts Options) *Fragment {
+	f := &Fragment{
+		byKey:  make(map[string]*Node),
+		source: r,
+		exact:  opts.ExactContent,
+	}
+	f.Root = f.ensure(r.Root, labelOf)
+	for _, ev := range r.KeywordNodes {
+		// Materialize the path from the root to the keyword node.
+		var prev *Node
+		for l := len(r.Root); l <= len(ev.Code); l++ {
+			n := f.ensure(ev.Code[:l].Clone(), labelOf)
+			if prev != nil && n.Parent == nil && n != f.Root {
+				n.Parent = prev
+				prev.Children = append(prev.Children, n)
+			}
+			prev = n
+		}
+		kn := f.byKey[ev.Code.Key()]
+		kn.IsKeywordNode = true
+		kn.Mask |= ev.Mask
+		words := contentOf(ev.Code)
+		// Transfer keyword mask and content feature to the node and every
+		// ancestor within the fragment.
+		for n := kn; n != nil; n = n.Parent {
+			n.KList |= ev.Mask
+			mergeContent(n, words, f.exact)
+		}
+	}
+	f.fillChildrenInfo()
+	return f
+}
+
+func (f *Fragment) ensure(c dewey.Code, labelOf LabelFunc) *Node {
+	if n, ok := f.byKey[c.Key()]; ok {
+		return n
+	}
+	n := &Node{Code: c, Label: labelOf(c)}
+	f.byKey[c.Key()] = n
+	return n
+}
+
+func mergeContent(n *Node, words []string, exact bool) {
+	for _, w := range words {
+		if n.CID.Min == "" || w < n.CID.Min {
+			n.CID.Min = w
+		}
+		if w > n.CID.Max {
+			n.CID.Max = w
+		}
+	}
+	if exact {
+		if n.content == nil {
+			n.content = make(map[string]struct{}, len(words))
+		}
+		for _, w := range words {
+			n.content[w] = struct{}{}
+		}
+	}
+}
+
+func (f *Fragment) fillChildrenInfo() {
+	for _, n := range f.byKey {
+		if len(n.Children) == 0 {
+			continue
+		}
+		// Children were appended in keyword-node order, which follows the
+		// pre-order of the RTF's keyword nodes; sort defensively.
+		sort.Slice(n.Children, func(i, j int) bool {
+			return dewey.Compare(n.Children[i].Code, n.Children[j].Code) < 0
+		})
+		items := map[string]*LabelItem{}
+		var order []*LabelItem
+		for _, ch := range n.Children {
+			li, ok := items[ch.Label]
+			if !ok {
+				li = &LabelItem{Label: ch.Label}
+				items[ch.Label] = li
+				order = append(order, li)
+			}
+			li.Counter++
+			li.Children = append(li.Children, ch)
+		}
+		for _, li := range order {
+			seenK := map[uint64]bool{}
+			seenC := map[CID]bool{}
+			for _, ch := range li.Children {
+				if !seenK[ch.KList] {
+					seenK[ch.KList] = true
+					li.ChKList = append(li.ChKList, ch.KList)
+				}
+				if !seenC[ch.CID] {
+					seenC[ch.CID] = true
+					li.ChCIDs = append(li.ChCIDs, ch.CID)
+				}
+			}
+			sort.Slice(li.ChKList, func(i, j int) bool { return li.ChKList[i] < li.ChKList[j] })
+			sort.Slice(li.ChCIDs, func(i, j int) bool { return li.ChCIDs[i].Less(li.ChCIDs[j]) })
+		}
+		n.Items = order
+	}
+}
+
+// NodeAt returns the fragment node with the given code, or nil.
+func (f *Fragment) NodeAt(c dewey.Code) *Node { return f.byKey[c.Key()] }
+
+// Size returns the number of nodes in the unpruned fragment.
+func (f *Fragment) Size() int { return len(f.byKey) }
+
+// Source returns the RTF the fragment was built from.
+func (f *Fragment) Source() *rtf.RTF { return f.source }
+
+// Result is the outcome of pruning a fragment under one mode: the kept node
+// codes in pre-order.
+type Result struct {
+	Root dewey.Code
+	Kept []dewey.Code
+	keep map[string]bool
+}
+
+// KeepSet returns the kept codes keyed by dewey key (shared map; do not
+// modify).
+func (r *Result) KeepSet() map[string]bool { return r.keep }
+
+// Contains reports whether the pruned fragment kept the node.
+func (r *Result) Contains(c dewey.Code) bool { return r.keep[c.Key()] }
+
+// Len returns the number of kept nodes.
+func (r *Result) Len() int { return len(r.Kept) }
+
+// Equal reports whether two results kept exactly the same node set.
+func (r *Result) Equal(o *Result) bool {
+	if len(r.Kept) != len(o.Kept) {
+		return false
+	}
+	for i := range r.Kept {
+		if !dewey.Equal(r.Kept[i], o.Kept[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Prune applies the selected filtering mechanism (the pruning step of
+// pruneRTF) and returns the kept node set. The fragment itself is not
+// mutated, so several modes can be applied to the same fragment.
+func (f *Fragment) Prune(mode Mode, opts Options) *Result {
+	res := &Result{Root: f.Root.Code, keep: map[string]bool{}}
+	// Breadth-first traversal; children of discarded nodes are never
+	// visited, discarding whole subtrees.
+	queue := []*Node{f.Root}
+	res.keep[f.Root.Code.Key()] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		var keptKids []*Node
+		switch mode {
+		case NoPruning:
+			keptKids = n.Children
+		case Contributor:
+			keptKids = contributorChildren(n)
+		default:
+			keptKids = validContributorChildren(n, f.exact && opts.ExactContent)
+		}
+		for _, ch := range keptKids {
+			res.keep[ch.Code.Key()] = true
+			queue = append(queue, ch)
+		}
+	}
+	for _, c := range collectCodes(res.keep) {
+		res.Kept = append(res.Kept, c)
+	}
+	return res
+}
+
+// validContributorChildren implements lines 16–26 of Algorithm 1.
+func validContributorChildren(n *Node, exact bool) []*Node {
+	var out []*Node
+	for _, li := range n.Items {
+		if li.Counter == 1 {
+			// Rule 1: unique label among siblings — always a valid
+			// contributor.
+			out = append(out, li.Children[0])
+			continue
+		}
+		usedKNums := map[uint64]bool{}
+		usedCIDs := map[CID]bool{}
+		var keptExact []*Node
+		for _, ch := range li.Children {
+			knum := ch.KList
+			if usedKNums[knum] {
+				// Rule 2(b): equal keyword set — keep only if the content
+				// differs from every kept equal-keyword sibling.
+				if exact {
+					if !duplicateContent(ch, keptExact) {
+						out = append(out, ch)
+						keptExact = append(keptExact, ch)
+					}
+					continue
+				}
+				if !usedCIDs[ch.CID] {
+					out = append(out, ch)
+					usedCIDs[ch.CID] = true
+				}
+				continue
+			}
+			// Rule 2(a): discard when a same-label sibling's keyword set
+			// strictly covers this child's.
+			if li.coveredByLarger(knum) {
+				continue
+			}
+			out = append(out, ch)
+			usedKNums[knum] = true
+			usedCIDs[ch.CID] = true
+			if exact {
+				keptExact = append(keptExact, ch)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return dewey.Compare(out[i].Code, out[j].Code) < 0 })
+	return out
+}
+
+func duplicateContent(ch *Node, kept []*Node) bool {
+	for _, k := range kept {
+		if k.KList != ch.KList || len(k.content) != len(ch.content) {
+			continue
+		}
+		same := true
+		for w := range ch.content {
+			if _, ok := k.content[w]; !ok {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// contributorChildren implements MaxMatch's pruneMatches condition: child c
+// survives iff no sibling's keyword set strictly covers dMatch(c). Labels
+// and content are ignored.
+func contributorChildren(n *Node) []*Node {
+	var out []*Node
+	for _, ch := range n.Children {
+		covered := false
+		for _, sib := range n.Children {
+			if sib == ch {
+				continue
+			}
+			if sib.KList != ch.KList && sib.KList&ch.KList == ch.KList {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+func collectCodes(keep map[string]bool) []dewey.Code {
+	out := make([]dewey.Code, 0, len(keep))
+	for k := range keep {
+		c, err := dewey.FromKey(k)
+		if err != nil {
+			continue
+		}
+		out = append(out, c)
+	}
+	dewey.Sort(out)
+	return out
+}
+
+// Sketch renders the fragment's annotated nodes for debugging, in the style
+// of Figure 4(b): code, label, key number and cID per node.
+func (f *Fragment) Sketch() string {
+	codes := collectCodes(keysOf(f.byKey))
+	var b strings.Builder
+	for _, c := range codes {
+		n := f.byKey[c.Key()]
+		fmt.Fprintf(&b, "%s%s (%s) k=%d cID=%s", strings.Repeat("  ", len(n.Code)-len(f.Root.Code)), n.Code, n.Label, n.KList, n.CID)
+		if n.IsKeywordNode {
+			b.WriteString(" *")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func keysOf(m map[string]*Node) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

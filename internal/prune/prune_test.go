@@ -1,0 +1,363 @@
+package prune
+
+import (
+	"strings"
+	"testing"
+
+	"xks/internal/analysis"
+	"xks/internal/dewey"
+	"xks/internal/index"
+	"xks/internal/lca"
+	"xks/internal/paperdata"
+	"xks/internal/rtf"
+	"xks/internal/xmltree"
+)
+
+// harness builds all fragments for a query over a tree.
+type harness struct {
+	tree *xmltree.Tree
+	an   *analysis.Analyzer
+	rtfs []*rtf.RTF
+}
+
+func newHarness(t *testing.T, tree *xmltree.Tree, query string) *harness {
+	t.Helper()
+	an := analysis.New()
+	ix := index.Build(tree, an)
+	_, sets, err := ix.KeywordSets(query)
+	if err != nil {
+		t.Fatalf("KeywordSets(%q): %v", query, err)
+	}
+	return &harness{tree: tree, an: an, rtfs: rtf.Build(lca.ELCAStackMerge(sets), sets)}
+}
+
+func (h *harness) labelOf(c dewey.Code) string {
+	return h.tree.NodeAt(c).Label
+}
+
+func (h *harness) contentOf(c dewey.Code) []string {
+	return h.an.ContentSet(h.tree.NodeAt(c).ContentPieces()...)
+}
+
+func (h *harness) fragment(t *testing.T, i int, opts Options) *Fragment {
+	t.Helper()
+	if i >= len(h.rtfs) {
+		t.Fatalf("only %d fragments", len(h.rtfs))
+	}
+	return BuildFragment(h.rtfs[i], h.labelOf, h.contentOf, opts)
+}
+
+func keptStrings(r *Result) []string {
+	out := make([]string, len(r.Kept))
+	for i, c := range r.Kept {
+		out[i] = c.String()
+	}
+	return out
+}
+
+func assertKept(t *testing.T, r *Result, want ...string) {
+	t.Helper()
+	got := keptStrings(r)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("kept = %v, want %v", got, want)
+	}
+}
+
+// Figure 3(b): the raw RTF for Q1; ValidRTF keeps all of it (rule 1 saves
+// the uniquely-labelled title node — no false positive).
+func TestQ1ValidRTFKeepsTitle(t *testing.T) {
+	h := newHarness(t, paperdata.Publications(), paperdata.Q1)
+	f := h.fragment(t, 0, Options{})
+	res := f.Prune(ValidContributor, Options{})
+	assertKept(t, res,
+		"0.2.1", "0.2.1.0", "0.2.1.0.0", "0.2.1.0.0.0",
+		"0.2.1.0.1", "0.2.1.0.1.0", "0.2.1.1", "0.2.1.2")
+}
+
+// Figure 3(c): MaxMatch discards the title node for Q1 (the false positive
+// problem: dMatch(title) ⊂ dMatch(abstract)).
+func TestQ1MaxMatchDiscardsTitle(t *testing.T) {
+	h := newHarness(t, paperdata.Publications(), paperdata.Q1)
+	f := h.fragment(t, 0, Options{})
+	res := f.Prune(Contributor, Options{})
+	assertKept(t, res,
+		"0.2.1", "0.2.1.0", "0.2.1.0.0", "0.2.1.0.0.0",
+		"0.2.1.0.1", "0.2.1.0.1.0", "0.2.1.2")
+	if res.Contains(dewey.MustParse("0.2.1.1")) {
+		t.Error("MaxMatch should discard the title node")
+	}
+}
+
+// Figure 2(d): the meaningful RTF for Q3 after valid-contributor pruning;
+// article 0.2.1 is discarded by rule 2(a), everything on the 0.2.0 branch
+// and the VLDB title node are kept.
+func TestQ3ValidRTFFigure2d(t *testing.T) {
+	h := newHarness(t, paperdata.Publications(), paperdata.Q3)
+	f := h.fragment(t, 0, Options{})
+	res := f.Prune(ValidContributor, Options{})
+	assertKept(t, res,
+		"0", "0.0", "0.2", "0.2.0", "0.2.0.1", "0.2.0.2", "0.2.0.3", "0.2.0.3.0")
+}
+
+// MaxMatch on the Q3 RTF additionally discards the abstract and references
+// branches (their keyword sets are strict subsets of the title's),
+// illustrating the false positive problem on deeper structures.
+func TestQ3MaxMatchOverprunes(t *testing.T) {
+	h := newHarness(t, paperdata.Publications(), paperdata.Q3)
+	f := h.fragment(t, 0, Options{})
+	res := f.Prune(Contributor, Options{})
+	assertKept(t, res, "0", "0.0", "0.2", "0.2.0", "0.2.0.1")
+}
+
+// NoPruning returns the raw RTF (Figure 2(c)).
+func TestQ3NoPruning(t *testing.T) {
+	h := newHarness(t, paperdata.Publications(), paperdata.Q3)
+	f := h.fragment(t, 0, Options{})
+	res := f.Prune(NoPruning, Options{})
+	assertKept(t, res,
+		"0", "0.0", "0.2", "0.2.0", "0.2.0.1", "0.2.0.2", "0.2.0.3", "0.2.0.3.0", "0.2.1", "0.2.1.1")
+}
+
+// Figure 3(d) → Example 5 [redundancy]: for Q4 ValidRTF keeps one forward
+// and one guard player; MaxMatch keeps all three position branches.
+func TestQ4RedundancyProblem(t *testing.T) {
+	h := newHarness(t, paperdata.Team(), paperdata.Q4)
+	f := h.fragment(t, 0, Options{})
+
+	valid := f.Prune(ValidContributor, Options{})
+	assertKept(t, valid, "0", "0.0", "0.1", "0.1.0", "0.1.0.1", "0.1.1", "0.1.1.1")
+
+	max := f.Prune(Contributor, Options{})
+	assertKept(t, max, "0", "0.0", "0.1",
+		"0.1.0", "0.1.0.1", "0.1.1", "0.1.1.1", "0.1.2", "0.1.2.1")
+}
+
+// Figure 3(a) → Example 5 [positive example]: for Q5 both mechanisms agree
+// and return the Gassol fragment inside the team.
+func TestQ5PositiveExample(t *testing.T) {
+	h := newHarness(t, paperdata.Team(), paperdata.Q5)
+	f := h.fragment(t, 0, Options{})
+	want := []string{"0", "0.0", "0.1", "0.1.0", "0.1.0.0", "0.1.0.1"}
+	assertKept(t, f.Prune(ValidContributor, Options{}), want...)
+	assertKept(t, f.Prune(Contributor, Options{}), want...)
+}
+
+// Q2 produces two fragments; both filtering mechanisms keep them whole
+// (Figures 2(a) and 2(b)).
+func TestQ2BothFragmentsStable(t *testing.T) {
+	h := newHarness(t, paperdata.Publications(), paperdata.Q2)
+	if len(h.rtfs) != 2 {
+		t.Fatalf("want 2 RTFs, got %d", len(h.rtfs))
+	}
+	art := h.fragment(t, 0, Options{})
+	assertKept(t, art.Prune(ValidContributor, Options{}),
+		"0.2.0", "0.2.0.0", "0.2.0.0.0", "0.2.0.0.0.0", "0.2.0.1", "0.2.0.2")
+	ref := h.fragment(t, 1, Options{})
+	assertKept(t, ref.Prune(ValidContributor, Options{}), "0.2.0.3.0")
+	if !art.Prune(ValidContributor, Options{}).Equal(art.Prune(Contributor, Options{})) {
+		t.Error("Q2 article fragment should be identical under both mechanisms")
+	}
+}
+
+// Figure 4(c)-style inspection of the constructed node data structure for
+// Q3: key numbers (our bit order: bit i = query keyword i) and label items.
+func TestQ3NodeDataStructure(t *testing.T) {
+	h := newHarness(t, paperdata.Publications(), paperdata.Q3)
+	f := h.fragment(t, 0, Options{})
+
+	// Q3 = vldb(b0) title(b1) xml(b2) keyword(b3) search(b4).
+	root := f.NodeAt(dewey.MustParse("0"))
+	if root == nil {
+		t.Fatal("root missing")
+	}
+	if root.KList != 0b11111 {
+		t.Errorf("root kList = %b, want 11111", root.KList)
+	}
+	if len(root.Items) != 2 {
+		t.Fatalf("root label items = %d, want 2 (title, Articles)", len(root.Items))
+	}
+
+	articles := f.NodeAt(dewey.MustParse("0.2"))
+	if articles.KList != 0b11110 {
+		t.Errorf("Articles kList = %b, want 11110", articles.KList)
+	}
+	if len(articles.Items) != 1 || articles.Items[0].Counter != 2 {
+		t.Fatalf("Articles should have one label item with counter 2, got %+v", articles.Items)
+	}
+	chk := articles.Items[0].ChKList
+	if len(chk) != 2 || chk[0] != 0b00010 || chk[1] != 0b11110 {
+		t.Errorf("chkList = %b, want [10 11110]", chk)
+	}
+	if !articles.Items[0].coveredByLarger(0b00010) {
+		t.Error("key number 2 should be covered by 30")
+	}
+	if articles.Items[0].coveredByLarger(0b11110) {
+		t.Error("the maximal key number should not be covered")
+	}
+
+	title00 := f.NodeAt(dewey.MustParse("0.0"))
+	if title00.KList != 0b00011 {
+		t.Errorf("node 0.0 kList = %b, want 11", title00.KList)
+	}
+	if !title00.IsKeywordNode {
+		t.Error("0.0 should be a keyword node")
+	}
+	if f.NodeAt(dewey.MustParse("0.2")).IsKeywordNode {
+		t.Error("0.2 is a pure path node")
+	}
+}
+
+// cID features: the team players of Q4 have the content features the paper
+// derives in Example 5 (lower-cased by our analyzer).
+func TestQ4CIDFeatures(t *testing.T) {
+	h := newHarness(t, paperdata.Team(), paperdata.Q4)
+	f := h.fragment(t, 0, Options{})
+	p0 := f.NodeAt(dewey.MustParse("0.1.0"))
+	if p0.CID != (CID{Min: "forward", Max: "position"}) {
+		t.Errorf("player 0 cID = %s", p0.CID)
+	}
+	p1 := f.NodeAt(dewey.MustParse("0.1.1"))
+	if p1.CID != (CID{Min: "guard", Max: "position"}) {
+		t.Errorf("player 1 cID = %s", p1.CID)
+	}
+	p2 := f.NodeAt(dewey.MustParse("0.1.2"))
+	if p2.CID != p0.CID {
+		t.Errorf("players 0 and 2 should share a cID: %s vs %s", p0.CID, p2.CID)
+	}
+}
+
+// ExactContent mode agrees with the cID approximation on the paper data and
+// still prunes the duplicate forward player.
+func TestQ4ExactContent(t *testing.T) {
+	h := newHarness(t, paperdata.Team(), paperdata.Q4)
+	opts := Options{ExactContent: true}
+	f := h.fragment(t, 0, opts)
+	res := f.Prune(ValidContributor, opts)
+	assertKept(t, res, "0", "0.0", "0.1", "0.1.0", "0.1.0.1", "0.1.1", "0.1.1.1")
+	p0 := f.NodeAt(dewey.MustParse("0.1.0"))
+	if !p0.HasContentWord("forward") || p0.HasContentWord("guard") {
+		t.Error("exact content set wrong for player 0")
+	}
+	if p0.ContentSize() == 0 {
+		t.Error("ContentSize should be positive in exact mode")
+	}
+}
+
+// The cID approximation can treat two different content sets as equal; the
+// exact mode distinguishes them. This constructs two same-label siblings
+// whose content sets differ only in a middle word.
+func TestCIDApproximationVsExact(t *testing.T) {
+	tree := xmltree.Build(xmltree.E{Label: "root", Kids: []xmltree.E{
+		{Label: "tag", Text: "special"},
+		{Label: "item", Text: "alpha keyword zebra"},
+		{Label: "item", Text: "alpha keyword middle zebra"},
+	}})
+	h := newHarness(t, tree, "special keyword")
+	approx := h.fragment(t, 0, Options{})
+	resApprox := approx.Prune(ValidContributor, Options{})
+	// Equal kLists and equal cIDs (alpha, zebra): the approximation treats
+	// the second item as a duplicate even though "middle" differs.
+	assertKept(t, resApprox, "0", "0.0", "0.1")
+
+	exactOpts := Options{ExactContent: true}
+	exact := h.fragment(t, 0, exactOpts)
+	resExact := exact.Prune(ValidContributor, exactOpts)
+	// Exact comparison sees the differing "middle" word and keeps both.
+	assertKept(t, resExact, "0", "0.0", "0.1", "0.2")
+}
+
+// Root is never pruned, even as a single keyword node fragment.
+func TestRootOnlyFragment(t *testing.T) {
+	h := newHarness(t, paperdata.Publications(), paperdata.Q2)
+	ref := h.fragment(t, 1, Options{})
+	for _, mode := range []Mode{ValidContributor, Contributor, NoPruning} {
+		res := ref.Prune(mode, Options{})
+		if res.Len() != 1 || !res.Contains(dewey.MustParse("0.2.0.3.0")) {
+			t.Errorf("mode %s: ref fragment = %v", mode, keptStrings(res))
+		}
+	}
+}
+
+// Discarding a child must discard its whole subtree (BFS never descends).
+func TestDiscardIsRecursive(t *testing.T) {
+	tree := xmltree.Build(xmltree.E{Label: "root", Kids: []xmltree.E{
+		{Label: "marker", Text: "gamma"},
+		{Label: "rich", Kids: []xmltree.E{
+			{Label: "x", Text: "alpha"},
+			{Label: "y", Text: "beta"},
+		}},
+		{Label: "rich", Kids: []xmltree.E{
+			{Label: "x", Text: "alpha"},
+		}},
+	}})
+	h := newHarness(t, tree, "gamma alpha beta")
+	f := h.fragment(t, 0, Options{})
+	res := f.Prune(ValidContributor, Options{})
+	// Second "rich" ({alpha} ⊂ {alpha,beta}) goes away along with its child
+	// 0.2.0, which must not be visited.
+	assertKept(t, res, "0", "0.0", "0.1", "0.1.0", "0.1.1")
+}
+
+func TestResultHelpers(t *testing.T) {
+	h := newHarness(t, paperdata.Team(), paperdata.Q4)
+	f := h.fragment(t, 0, Options{})
+	a := f.Prune(ValidContributor, Options{})
+	b := f.Prune(ValidContributor, Options{})
+	if !a.Equal(b) {
+		t.Error("identical prunes should be Equal")
+	}
+	c := f.Prune(Contributor, Options{})
+	if a.Equal(c) {
+		t.Error("different prunes should not be Equal")
+	}
+	if !a.KeepSet()[dewey.MustParse("0.1.0").Key()] {
+		t.Error("KeepSet missing kept node")
+	}
+	if a.Root.String() != "0" {
+		t.Errorf("Root = %s", a.Root)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ValidContributor.String() != "ValidContributor" || Contributor.String() != "Contributor" ||
+		NoPruning.String() != "NoPruning" || Mode(42).String() != "Mode(42)" {
+		t.Error("Mode.String broken")
+	}
+}
+
+func TestFragmentAccessors(t *testing.T) {
+	h := newHarness(t, paperdata.Team(), paperdata.Q4)
+	f := h.fragment(t, 0, Options{})
+	if f.Size() != 9 {
+		t.Errorf("Size = %d, want 9", f.Size())
+	}
+	if f.Source() != h.rtfs[0] {
+		t.Error("Source mismatch")
+	}
+	if f.NodeAt(dewey.MustParse("9.9")) != nil {
+		t.Error("NodeAt absent should be nil")
+	}
+	sk := f.Sketch()
+	if !strings.Contains(sk, "0.1.0 (player)") || !strings.Contains(sk, "*") {
+		t.Errorf("Sketch output unexpected:\n%s", sk)
+	}
+}
+
+func BenchmarkBuildAndPrune(b *testing.B) {
+	tree := paperdata.Publications()
+	an := analysis.New()
+	ix := index.Build(tree, an)
+	_, sets, err := ix.KeywordSets(paperdata.Q3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rtfs := rtf.Build(lca.ELCAStackMerge(sets), sets)
+	labelOf := func(c dewey.Code) string { return tree.NodeAt(c).Label }
+	contentOf := func(c dewey.Code) []string { return an.ContentSet(tree.NodeAt(c).ContentPieces()...) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := BuildFragment(rtfs[0], labelOf, contentOf, Options{})
+		f.Prune(ValidContributor, Options{})
+	}
+}

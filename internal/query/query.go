@@ -1,0 +1,111 @@
+// Package query parses keyword queries with optional label predicates, the
+// XSearch-style extension (Cohen et al., VLDB 2003) the paper's related
+// work discusses for incorporating more information into keywords:
+//
+//	xml keyword             plain keywords (the paper's core query model)
+//	title:xml               keyword "xml" restricted to <title> nodes
+//	author:                 any <author> node (label-only predicate)
+//
+// Terms normalize through the same analyzer as document content, so
+// matching stays consistent with the index.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"xks/internal/analysis"
+)
+
+// Term is one parsed query term.
+type Term struct {
+	// Keyword is the normalized keyword, or "" for a label-only term.
+	Keyword string
+	// Label restricts matches to nodes with this element name ("" = any).
+	// Comparison is case-insensitive.
+	Label string
+	// Raw preserves the original token for display.
+	Raw string
+}
+
+// IsLabelOnly reports whether the term matches by label alone.
+func (t Term) IsLabelOnly() bool { return t.Keyword == "" && t.Label != "" }
+
+// String renders the term in input syntax.
+func (t Term) String() string {
+	if t.Label == "" {
+		return t.Keyword
+	}
+	return t.Label + ":" + t.Keyword
+}
+
+// MatchesLabel reports whether the term's label predicate accepts the
+// element name.
+func (t Term) MatchesLabel(label string) bool {
+	return t.Label == "" || strings.EqualFold(t.Label, label)
+}
+
+// Parse splits a query into terms, normalizing keywords with the analyzer
+// and dropping duplicates. It fails when nothing searchable remains or a
+// token is malformed.
+func Parse(q string, an *analysis.Analyzer) ([]Term, error) {
+	if an == nil {
+		an = analysis.New()
+	}
+	var out []Term
+	seen := map[string]bool{}
+	for _, tok := range strings.Fields(q) {
+		var term Term
+		term.Raw = tok
+		if i := strings.IndexByte(tok, ':'); i >= 0 {
+			label := strings.TrimSpace(tok[:i])
+			word := strings.TrimSpace(tok[i+1:])
+			if label == "" && word == "" {
+				return nil, fmt.Errorf("query: malformed term %q", tok)
+			}
+			if strings.ContainsRune(word, ':') {
+				return nil, fmt.Errorf("query: malformed term %q (multiple colons)", tok)
+			}
+			term.Label = label
+			if word != "" {
+				term.Keyword = an.Normalize(word)
+				if term.Keyword == "" {
+					// Keyword part was a stop word or unsearchable: the
+					// term cannot match anything meaningful.
+					return nil, fmt.Errorf("query: term %q has an unsearchable keyword", tok)
+				}
+			} else if label == "" {
+				return nil, fmt.Errorf("query: malformed term %q", tok)
+			}
+		} else {
+			term.Keyword = an.Normalize(tok)
+			if term.Keyword == "" {
+				continue // plain stop words are silently dropped
+			}
+		}
+		key := strings.ToLower(term.Label) + ":" + term.Keyword
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, term)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("query: %q contains no searchable terms", q)
+	}
+	if len(out) > 64 {
+		return nil, fmt.Errorf("query: %d terms; at most 64 supported", len(out))
+	}
+	return out, nil
+}
+
+// HasPredicates reports whether any term carries a label predicate; plain
+// queries take the fast path through the inverted index alone.
+func HasPredicates(terms []Term) bool {
+	for _, t := range terms {
+		if t.Label != "" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+// Package rank scores meaningful RTFs for result ordering — the ranking the
+// paper's conclusion names as future work ("the ranking of the retrieved
+// meaningful RTFs is still needed").
+//
+// The scorer follows the XRank intuition adapted to fragments: each keyword
+// occurrence contributes the keyword's inverse document frequency, decayed
+// by the occurrence's distance from the fragment root, and occurrences of
+// rare keywords near the root dominate. More specific (deeper-rooted)
+// fragments additionally win ties because their occurrences sit closer to
+// their root.
+package rank
+
+import (
+	"math"
+	"sort"
+
+	"xks/internal/dewey"
+	"xks/internal/index"
+	"xks/internal/lca"
+)
+
+// Scorer assigns scores to fragments.
+type Scorer struct {
+	// Decay is the per-level attenuation of keyword occurrences below the
+	// fragment root, in (0,1]. Defaults to 0.8.
+	Decay float64
+	// IDF returns the inverse-document-frequency weight of a keyword.
+	IDF func(word string) float64
+}
+
+// NewScorer builds a scorer whose IDF derives from the posting-list sizes
+// of the given index: idf(w) = log(1 + N/df(w)).
+func NewScorer(ix *index.Index) *Scorer {
+	return &Scorer{
+		Decay: 0.8,
+		IDF: func(word string) float64 {
+			df := float64(ix.Frequency(word))
+			if df == 0 {
+				return 0
+			}
+			// NumNodes is read per call so incremental index updates
+			// (index.Insert) are reflected without rebuilding the scorer.
+			return math.Log1p(float64(ix.NumNodes()) / df)
+		},
+	}
+}
+
+// Score rates one fragment: root is the fragment root, events its keyword
+// nodes with their match masks, and words the query keywords in mask-bit
+// order. Higher is better.
+func (s *Scorer) Score(root dewey.Code, events []lca.Event, words []string) float64 {
+	decay := s.Decay
+	if decay <= 0 || decay > 1 {
+		decay = 0.8
+	}
+	// Per keyword, take the best (closest to the root) occurrence and add a
+	// small bonus for additional occurrences, so a fragment with the same
+	// best occurrences but more support ranks higher.
+	best := make([]float64, len(words))
+	extra := make([]float64, len(words))
+	for _, ev := range events {
+		dist := len(ev.Code) - len(root)
+		if dist < 0 {
+			dist = 0
+		}
+		w := math.Pow(decay, float64(dist))
+		for i := range words {
+			if ev.Mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			contrib := w * s.idf(words[i])
+			if contrib > best[i] {
+				extra[i] += best[i]
+				best[i] = contrib
+			} else {
+				extra[i] += contrib
+			}
+		}
+	}
+	score := 0.0
+	for i := range words {
+		score += best[i] + 0.1*extra[i]
+	}
+	return score
+}
+
+func (s *Scorer) idf(word string) float64 {
+	if s.IDF == nil {
+		return 1
+	}
+	return s.IDF(word)
+}
+
+// Ranked pairs an index into a fragment list with its score.
+type Ranked struct {
+	Index int
+	Score float64
+}
+
+// Order returns the fragment indices ordered by descending score, breaking
+// ties by ascending index (document order).
+func Order(scores []float64) []Ranked {
+	out := make([]Ranked, len(scores))
+	for i, s := range scores {
+		out[i] = Ranked{Index: i, Score: s}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}

@@ -1,0 +1,138 @@
+package snippet
+
+import (
+	"strings"
+	"testing"
+)
+
+func gen(opts Options) *Generator { return NewGenerator(nil, opts) }
+
+func TestGenerateHighlightsKeywords(t *testing.T) {
+	g := gen(Options{})
+	out := g.Generate([]Source{
+		{Label: "title", Text: "Efficient XML Keyword Search over large documents"},
+	}, []string{"keyword", "search"})
+	if !strings.Contains(out, "[Keyword]") || !strings.Contains(out, "[Search]") {
+		t.Errorf("missing highlights: %q", out)
+	}
+	if !strings.HasPrefix(out, "title: ") {
+		t.Errorf("missing label prefix: %q", out)
+	}
+}
+
+func TestGenerateWindow(t *testing.T) {
+	g := gen(Options{Window: 1})
+	out := g.Generate([]Source{
+		{Text: "one two three keyword five six seven"},
+	}, []string{"keyword"})
+	if !strings.Contains(out, "three [keyword] five") {
+		t.Errorf("window cut wrong: %q", out)
+	}
+	if strings.Contains(out, "two") || strings.Contains(out, "six") {
+		t.Errorf("window too wide: %q", out)
+	}
+	// Ellipses mark both truncated sides.
+	if strings.Count(out, "…") != 2 {
+		t.Errorf("ellipsis markers: %q", out)
+	}
+}
+
+func TestGenerateMergesOverlaps(t *testing.T) {
+	g := gen(Options{Window: 2})
+	out := g.Generate([]Source{
+		{Text: "alpha keyword beta search gamma"},
+	}, []string{"keyword", "search"})
+	// The two windows overlap and must merge into one extract without a
+	// separating ellipsis.
+	if strings.Contains(out, "… …") || strings.Count(out, "[") != 2 {
+		t.Errorf("merge failed: %q", out)
+	}
+}
+
+func TestGenerateCoversAllKeywordsFirst(t *testing.T) {
+	g := gen(Options{Window: 1, MaxWords: 8})
+	out := g.Generate([]Source{
+		{Text: "alpha alpha alpha alpha alpha"}, // no keywords
+		{Text: "xx keyword yy"},                 // keyword 1
+		{Text: "aa keyword bb"},                 // keyword 1 again
+		{Text: "cc search dd"},                  // keyword 2
+	}, []string{"keyword", "search"})
+	if !strings.Contains(out, "[keyword]") || !strings.Contains(out, "[search]") {
+		t.Errorf("coverage sacrificed to repetition: %q", out)
+	}
+}
+
+func TestGenerateBudget(t *testing.T) {
+	g := gen(Options{Window: 10, MaxWords: 5})
+	out := g.Generate([]Source{
+		{Text: "w1 w2 w3 w4 w5 w6 w7 keyword w8 w9 w10 w11 w12"},
+	}, []string{"keyword"})
+	// The only extract exceeds the budget entirely: nothing fits, fall back
+	// to leading words.
+	if len(strings.Fields(out)) > 7 {
+		t.Errorf("budget exceeded: %q", out)
+	}
+}
+
+func TestGenerateFallbackNoMatches(t *testing.T) {
+	g := gen(Options{MaxWords: 3})
+	out := g.Generate([]Source{
+		{Label: "abstract", Text: "completely unrelated text body here"},
+	}, []string{"zebra"})
+	if !strings.HasPrefix(out, "abstract: completely unrelated text") {
+		t.Errorf("fallback = %q", out)
+	}
+	if !strings.HasSuffix(out, "…") {
+		t.Errorf("fallback should mark truncation: %q", out)
+	}
+}
+
+func TestGenerateEmptySources(t *testing.T) {
+	g := gen(Options{})
+	if out := g.Generate(nil, []string{"x"}); out != "" {
+		t.Errorf("empty sources produced %q", out)
+	}
+	if out := g.Generate([]Source{{Text: ""}}, []string{"x"}); out != "" {
+		t.Errorf("blank source produced %q", out)
+	}
+}
+
+func TestCustomHighlightAndEllipsis(t *testing.T) {
+	g := gen(Options{HighlightL: "<b>", HighlightR: "</b>", Ellipsis: " // ", Window: 0})
+	out := g.Generate([]Source{
+		{Text: "aa keyword bb"},
+		{Text: "cc search dd"},
+	}, []string{"keyword", "search"})
+	if !strings.Contains(out, "<b>keyword</b>") || !strings.Contains(out, " // ") {
+		t.Errorf("custom options ignored: %q", out)
+	}
+}
+
+func TestStopWordsNeverMatch(t *testing.T) {
+	g := gen(Options{})
+	out := g.Generate([]Source{{Text: "the keyword the"}}, []string{"the", "keyword"})
+	if strings.Contains(out, "[the]") {
+		t.Errorf("stop word highlighted: %q", out)
+	}
+}
+
+func TestPunctuationAroundKeywords(t *testing.T) {
+	g := gen(Options{Window: 1})
+	out := g.Generate([]Source{{Text: "intro (Keyword), outro"}}, []string{"keyword"})
+	if !strings.Contains(out, "[(Keyword),]") {
+		t.Errorf("punctuated match lost: %q", out)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	g := gen(Options{})
+	src := []Source{
+		{Label: "title", Text: "Efficient XML Keyword Search over large document collections"},
+		{Label: "abstract", Text: strings.Repeat("filler words about data management and query processing ", 20) + "with keyword search semantics"},
+	}
+	kws := []string{"keyword", "search", "xml"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Generate(src, kws)
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"xks/internal/analysis"
+	"xks/internal/datagen"
+	"xks/internal/index"
+	"xks/internal/paperdata"
+	"xks/internal/xmltree"
+)
+
+func TestAnalyzePublications(t *testing.T) {
+	tree := paperdata.Publications()
+	r := Analyze(tree, 0)
+	if r.Nodes != tree.Size() {
+		t.Errorf("Nodes = %d, want %d", r.Nodes, tree.Size())
+	}
+	if r.MaxDepth != 5 {
+		t.Errorf("MaxDepth = %d, want 5", r.MaxDepth)
+	}
+	if r.Labels != len(tree.SortedLabels()) {
+		t.Errorf("Labels = %d", r.Labels)
+	}
+	sum := 0
+	for _, c := range r.DepthCounts {
+		sum += c
+	}
+	if sum != r.Nodes {
+		t.Errorf("depth counts sum %d != nodes %d", sum, r.Nodes)
+	}
+	if r.DepthCounts[0] != 1 {
+		t.Errorf("one root expected, got %d", r.DepthCounts[0])
+	}
+	if r.Leaves == 0 || r.Leaves >= r.Nodes {
+		t.Errorf("Leaves = %d of %d", r.Leaves, r.Nodes)
+	}
+	if r.AvgDepth <= 0 || r.AvgDepth > float64(r.MaxDepth) {
+		t.Errorf("AvgDepth = %v", r.AvgDepth)
+	}
+	if r.MaxFanOut < 3 { // Publications has 3 children
+		t.Errorf("MaxFanOut = %d", r.MaxFanOut)
+	}
+	if r.TextNodes == 0 || r.TotalTextLen == 0 {
+		t.Error("text statistics empty")
+	}
+}
+
+func TestTopLabelsSortedAndLimited(t *testing.T) {
+	tree := paperdata.Publications()
+	r := Analyze(tree, 3)
+	if len(r.TopLabels) != 3 {
+		t.Fatalf("TopLabels = %d", len(r.TopLabels))
+	}
+	for i := 1; i < len(r.TopLabels); i++ {
+		if r.TopLabels[i-1].Count < r.TopLabels[i].Count {
+			t.Fatalf("TopLabels not sorted: %+v", r.TopLabels)
+		}
+	}
+}
+
+func TestKeywordFrequencies(t *testing.T) {
+	tree := datagen.DBLP(datagen.DBLPConfig{Seed: 1, NumRecords: 50, Keywords: []datagen.KeywordSpec{
+		{Word: "xml", Count: 9},
+	}})
+	ix := index.Build(tree, analysis.New())
+	freqs := KeywordFrequencies(ix, 0)
+	if len(freqs) == 0 {
+		t.Fatal("no frequencies")
+	}
+	for i := 1; i < len(freqs); i++ {
+		if freqs[i-1].Count < freqs[i].Count {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	found := false
+	for _, f := range freqs {
+		if f.Label == "xml" && f.Count == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("injected keyword frequency not reported")
+	}
+	limited := KeywordFrequencies(ix, 5)
+	if len(limited) != 5 {
+		t.Errorf("limit ignored: %d", len(limited))
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Analyze(paperdata.Team(), 2)
+	out := r.String()
+	for _, want := range []string{"nodes:", "max depth:", "top labels:", "player"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeSingleNode(t *testing.T) {
+	tree := xmltree.Build(xmltree.E{Label: "only"})
+	r := Analyze(tree, 0)
+	if r.Nodes != 1 || r.Leaves != 1 || r.MaxDepth != 0 || r.MaxFanOut != 0 {
+		t.Errorf("single node report = %+v", r)
+	}
+}

@@ -1,0 +1,37 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"xks/internal/analysis"
+	"xks/internal/paperdata"
+)
+
+// FuzzLoad checks the binary reader never panics on corrupted input and
+// either fails cleanly or returns a structurally valid store.
+func FuzzLoad(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Shred(paperdata.Publications(), analysis.New()).Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully loaded store must be self-consistent.
+		if s.NumNodes() != len(s.elements) {
+			t.Fatal("NumNodes inconsistent with element table")
+		}
+		for _, w := range s.Keywords() {
+			if len(s.Postings(w)) == 0 {
+				t.Fatalf("keyword %q has empty postings", w)
+			}
+		}
+	})
+}

@@ -1,0 +1,542 @@
+// Package store is the shredded-document storage layer: the embedded
+// substitute for the PostgreSQL 8.2 instance of §5.2 of the paper.
+//
+// The paper shreds each XML document into three tables:
+//
+//	label   (label, ID)                                   — distinct labels
+//	element (label, dewey, level, label number sequence,
+//	         content feature)                             — one row per node
+//	value   (label, dewey, attribute, keyword)            — keyword postings
+//
+// Store reproduces those tables as sorted in-memory columns with a binary
+// on-disk format (magic header, version, CRC32-guarded sections) written
+// and read with encoding/binary. Keyword lookups — the only query shape the
+// algorithms issue — run off the value table's sorted keyword index exactly
+// like the paper's SQL SELECTs, and the element table serves label /
+// label-path / content-feature lookups by Dewey code.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"xks/internal/analysis"
+	"xks/internal/dewey"
+	"xks/internal/index"
+	"xks/internal/xmltree"
+)
+
+// ElementRow is one row of the element table.
+type ElementRow struct {
+	Dewey dewey.Code
+	// LabelID indexes the label table.
+	LabelID uint32
+	// Level is the node depth (root = 0).
+	Level uint16
+	// LabelPath holds the label IDs from the root to the node — the
+	// paper's "label number sequence", used to resolve ancestor labels
+	// without the original document.
+	LabelPath []uint32
+	// CIDMin and CIDMax form the node's content feature.
+	CIDMin, CIDMax string
+}
+
+// ValueRow is one row of the value table: one keyword occurrence.
+type ValueRow struct {
+	Keyword string
+	Dewey   dewey.Code
+	LabelID uint32
+}
+
+// Store holds the three shredded tables.
+type Store struct {
+	labels   []string          // ID → label
+	labelIDs map[string]uint32 // label → ID
+	elements []ElementRow      // sorted by Dewey pre-order
+	values   []ValueRow        // sorted by (Keyword, Dewey)
+	numNodes int
+
+	nodeWordsOnce sync.Once
+	nodeWords     []nodeWord // sorted by (dewey key, word); built lazily
+}
+
+type nodeWord struct {
+	key  string
+	word string
+}
+
+// Shred builds the three tables from a document, analyzing content with the
+// given analyzer (nil for the default).
+func Shred(t *xmltree.Tree, an *analysis.Analyzer) *Store {
+	if an == nil {
+		an = analysis.New()
+	}
+	s := &Store{labelIDs: map[string]uint32{}}
+	var path []uint32
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		id := s.internLabel(n.Label)
+		path = append(path, id)
+		words := an.ContentSet(n.ContentPieces()...)
+		row := ElementRow{
+			Dewey:     n.Code,
+			LabelID:   id,
+			Level:     uint16(n.Level()),
+			LabelPath: append([]uint32(nil), path...),
+		}
+		for _, w := range words {
+			if row.CIDMin == "" || w < row.CIDMin {
+				row.CIDMin = w
+			}
+			if w > row.CIDMax {
+				row.CIDMax = w
+			}
+			s.values = append(s.values, ValueRow{Keyword: w, Dewey: n.Code, LabelID: id})
+		}
+		s.elements = append(s.elements, row)
+		s.numNodes++
+		for _, c := range n.Children {
+			walk(c)
+		}
+		path = path[:len(path)-1]
+	}
+	if t.Root != nil {
+		walk(t.Root)
+	}
+	sort.Slice(s.values, func(i, j int) bool {
+		if s.values[i].Keyword != s.values[j].Keyword {
+			return s.values[i].Keyword < s.values[j].Keyword
+		}
+		return dewey.Compare(s.values[i].Dewey, s.values[j].Dewey) < 0
+	})
+	return s
+}
+
+func (s *Store) internLabel(l string) uint32 {
+	if id, ok := s.labelIDs[l]; ok {
+		return id
+	}
+	id := uint32(len(s.labels))
+	s.labels = append(s.labels, l)
+	s.labelIDs[l] = id
+	return id
+}
+
+// NumNodes returns the number of element rows.
+func (s *Store) NumNodes() int { return s.numNodes }
+
+// NumLabels returns the number of distinct labels.
+func (s *Store) NumLabels() int { return len(s.labels) }
+
+// NumValues returns the number of keyword-occurrence rows.
+func (s *Store) NumValues() int { return len(s.values) }
+
+// Label resolves a label ID, or "" when out of range.
+func (s *Store) Label(id uint32) string {
+	if int(id) >= len(s.labels) {
+		return ""
+	}
+	return s.labels[id]
+}
+
+// LabelID resolves a label to its ID.
+func (s *Store) LabelID(label string) (uint32, bool) {
+	id, ok := s.labelIDs[label]
+	return id, ok
+}
+
+// Postings returns the pre-order-sorted Dewey codes of the nodes containing
+// the keyword — the SQL "SELECT dewey FROM value WHERE keyword = ?" of the
+// paper's getKeywordNodes.
+func (s *Store) Postings(keyword string) []dewey.Code {
+	lo := sort.Search(len(s.values), func(i int) bool { return s.values[i].Keyword >= keyword })
+	var out []dewey.Code
+	for i := lo; i < len(s.values) && s.values[i].Keyword == keyword; i++ {
+		out = append(out, s.values[i].Dewey)
+	}
+	return out
+}
+
+// Element returns the element row for a Dewey code.
+func (s *Store) Element(c dewey.Code) (ElementRow, bool) {
+	i := sort.Search(len(s.elements), func(i int) bool {
+		return dewey.Compare(s.elements[i].Dewey, c) >= 0
+	})
+	if i < len(s.elements) && dewey.Equal(s.elements[i].Dewey, c) {
+		return s.elements[i], true
+	}
+	return ElementRow{}, false
+}
+
+// LabelOf resolves a node's label directly from the element table.
+func (s *Store) LabelOf(c dewey.Code) string {
+	row, ok := s.Element(c)
+	if !ok {
+		return ""
+	}
+	return s.Label(row.LabelID)
+}
+
+// Keywords returns the distinct keywords in lexical order.
+func (s *Store) Keywords() []string {
+	var out []string
+	for i := 0; i < len(s.values); {
+		out = append(out, s.values[i].Keyword)
+		j := i
+		for j < len(s.values) && s.values[j].Keyword == s.values[i].Keyword {
+			j++
+		}
+		i = j
+	}
+	return out
+}
+
+// BuildIndex assembles an inverted index from the value table, so searches
+// can run off a loaded store without the original document.
+func (s *Store) BuildIndex(an *analysis.Analyzer) *index.Index {
+	postings := map[string][]dewey.Code{}
+	for _, v := range s.values {
+		postings[v.Keyword] = append(postings[v.Keyword], v.Dewey)
+	}
+	return index.FromPostings(postings, s.numNodes, an)
+}
+
+// ContentOf returns the content word set of the node — the inverse view of
+// the value table, materialized lazily on first use. Words come back in
+// lexical order.
+func (s *Store) ContentOf(c dewey.Code) []string {
+	s.nodeWordsOnce.Do(s.buildNodeWords)
+	key := c.Key()
+	lo := sort.Search(len(s.nodeWords), func(i int) bool { return s.nodeWords[i].key >= key })
+	var out []string
+	for i := lo; i < len(s.nodeWords) && s.nodeWords[i].key == key; i++ {
+		out = append(out, s.nodeWords[i].word)
+	}
+	return out
+}
+
+func (s *Store) buildNodeWords() {
+	s.nodeWords = make([]nodeWord, len(s.values))
+	for i, v := range s.values {
+		s.nodeWords[i] = nodeWord{key: v.Dewey.Key(), word: v.Keyword}
+	}
+	sort.Slice(s.nodeWords, func(i, j int) bool {
+		if s.nodeWords[i].key != s.nodeWords[j].key {
+			return s.nodeWords[i].key < s.nodeWords[j].key
+		}
+		return s.nodeWords[i].word < s.nodeWords[j].word
+	})
+}
+
+// Children returns the element rows of the node's children in document
+// order, used by store-backed fragment rendering.
+func (s *Store) Children(c dewey.Code) []ElementRow {
+	i := sort.Search(len(s.elements), func(i int) bool {
+		return dewey.Compare(s.elements[i].Dewey, c) > 0
+	})
+	var out []ElementRow
+	for ; i < len(s.elements); i++ {
+		d := s.elements[i].Dewey
+		if !c.IsAncestorOf(d) {
+			break
+		}
+		if len(d) == len(c)+1 {
+			out = append(out, s.elements[i])
+		}
+	}
+	return out
+}
+
+// ---- Binary persistence -------------------------------------------------
+
+const (
+	magic   = "XKSSTORE"
+	version = uint32(1)
+)
+
+// Save writes the store to w in the binary table format.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write([]byte(magic)); err != nil {
+		return err
+	}
+	if err := writeU32(cw, version); err != nil {
+		return err
+	}
+	// Label table.
+	if err := writeU32(cw, uint32(len(s.labels))); err != nil {
+		return err
+	}
+	for _, l := range s.labels {
+		if err := writeString(cw, l); err != nil {
+			return err
+		}
+	}
+	// Element table.
+	if err := writeU32(cw, uint32(len(s.elements))); err != nil {
+		return err
+	}
+	for _, e := range s.elements {
+		if err := writeCode(cw, e.Dewey); err != nil {
+			return err
+		}
+		if err := writeU32(cw, e.LabelID); err != nil {
+			return err
+		}
+		if err := writeU32(cw, uint32(e.Level)); err != nil {
+			return err
+		}
+		if err := writeU32(cw, uint32(len(e.LabelPath))); err != nil {
+			return err
+		}
+		for _, id := range e.LabelPath {
+			if err := writeU32(cw, id); err != nil {
+				return err
+			}
+		}
+		if err := writeString(cw, e.CIDMin); err != nil {
+			return err
+		}
+		if err := writeString(cw, e.CIDMax); err != nil {
+			return err
+		}
+	}
+	// Value table.
+	if err := writeU32(cw, uint32(len(s.values))); err != nil {
+		return err
+	}
+	for _, v := range s.values {
+		if err := writeString(cw, v.Keyword); err != nil {
+			return err
+		}
+		if err := writeCode(cw, v.Dewey); err != nil {
+			return err
+		}
+		if err := writeU32(cw, v.LabelID); err != nil {
+			return err
+		}
+	}
+	// Trailing checksum over everything written so far.
+	if err := binary.Write(bw, binary.BigEndian, cw.sum); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the store to a file.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a store written by Save, verifying magic, version and
+// checksum.
+func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(cr, head); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", head)
+	}
+	ver, err := readU32(cr)
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("store: unsupported version %d", ver)
+	}
+	s := &Store{labelIDs: map[string]uint32{}}
+	nLabels, err := readU32(cr)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nLabels; i++ {
+		l, err := readString(cr)
+		if err != nil {
+			return nil, err
+		}
+		s.labels = append(s.labels, l)
+		s.labelIDs[l] = i
+	}
+	nElems, err := readU32(cr)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nElems; i++ {
+		var e ElementRow
+		if e.Dewey, err = readCode(cr); err != nil {
+			return nil, err
+		}
+		if e.LabelID, err = readU32(cr); err != nil {
+			return nil, err
+		}
+		lvl, err := readU32(cr)
+		if err != nil {
+			return nil, err
+		}
+		e.Level = uint16(lvl)
+		nPath, err := readU32(cr)
+		if err != nil {
+			return nil, err
+		}
+		if nPath > 1<<16 {
+			return nil, fmt.Errorf("store: label path too long: %d", nPath)
+		}
+		e.LabelPath = make([]uint32, nPath)
+		for j := range e.LabelPath {
+			if e.LabelPath[j], err = readU32(cr); err != nil {
+				return nil, err
+			}
+		}
+		if e.CIDMin, err = readString(cr); err != nil {
+			return nil, err
+		}
+		if e.CIDMax, err = readString(cr); err != nil {
+			return nil, err
+		}
+		s.elements = append(s.elements, e)
+	}
+	s.numNodes = len(s.elements)
+	nVals, err := readU32(cr)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nVals; i++ {
+		var v ValueRow
+		if v.Keyword, err = readString(cr); err != nil {
+			return nil, err
+		}
+		if v.Dewey, err = readCode(cr); err != nil {
+			return nil, err
+		}
+		if v.LabelID, err = readU32(cr); err != nil {
+			return nil, err
+		}
+		s.values = append(s.values, v)
+	}
+	want := cr.sum
+	var got uint32
+	if err := binary.Read(br, binary.BigEndian, &got); err != nil {
+		return nil, fmt.Errorf("store: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("store: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	return s, nil
+}
+
+// LoadFile reads a store from a file.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+type crcReader struct {
+	r   io.Reader
+	sum uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(buf[:]), nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("store: string too long: %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeCode(w io.Writer, c dewey.Code) error {
+	if err := writeU32(w, uint32(len(c))); err != nil {
+		return err
+	}
+	for _, v := range c {
+		if err := writeU32(w, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readCode(r io.Reader) (dewey.Code, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("store: dewey code too long: %d", n)
+	}
+	c := make(dewey.Code, n)
+	for i := range c {
+		if c[i], err = readU32(r); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

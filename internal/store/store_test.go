@@ -1,0 +1,358 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"xks/internal/analysis"
+	"xks/internal/dewey"
+	"xks/internal/index"
+	"xks/internal/paperdata"
+)
+
+func pubStore() *Store {
+	return Shred(paperdata.Publications(), analysis.New())
+}
+
+func TestShredCounts(t *testing.T) {
+	s := pubStore()
+	tree := paperdata.Publications()
+	if s.NumNodes() != tree.Size() {
+		t.Errorf("NumNodes = %d, want %d", s.NumNodes(), tree.Size())
+	}
+	if s.NumLabels() != len(tree.SortedLabels()) {
+		t.Errorf("NumLabels = %d, want %d", s.NumLabels(), len(tree.SortedLabels()))
+	}
+	if s.NumValues() == 0 {
+		t.Error("no value rows")
+	}
+}
+
+func TestPostingsMatchIndex(t *testing.T) {
+	s := pubStore()
+	ix := index.Build(paperdata.Publications(), analysis.New())
+	for _, w := range ix.Words() {
+		fromIx := ix.Lookup(w)
+		fromStore := s.Postings(w)
+		if len(fromIx) != len(fromStore) {
+			t.Fatalf("postings(%q): store %d vs index %d", w, len(fromStore), len(fromIx))
+		}
+		for i := range fromIx {
+			if !dewey.Equal(fromIx[i], fromStore[i]) {
+				t.Fatalf("postings(%q) differ at %d", w, i)
+			}
+		}
+	}
+	if s.Postings("zebra") != nil {
+		t.Error("postings for absent keyword should be nil")
+	}
+}
+
+func TestElementLookup(t *testing.T) {
+	s := pubStore()
+	row, ok := s.Element(dewey.MustParse("0.2.0.1"))
+	if !ok {
+		t.Fatal("element 0.2.0.1 missing")
+	}
+	if s.Label(row.LabelID) != "title" {
+		t.Errorf("label = %q", s.Label(row.LabelID))
+	}
+	if row.Level != 3 {
+		t.Errorf("level = %d", row.Level)
+	}
+	// Label path: Publications → Articles → article → title.
+	wantPath := []string{"Publications", "Articles", "article", "title"}
+	var gotPath []string
+	for _, id := range row.LabelPath {
+		gotPath = append(gotPath, s.Label(id))
+	}
+	if !reflect.DeepEqual(gotPath, wantPath) {
+		t.Errorf("label path = %v, want %v", gotPath, wantPath)
+	}
+	if row.CIDMin == "" || row.CIDMax == "" || row.CIDMin > row.CIDMax {
+		t.Errorf("content feature = (%q,%q)", row.CIDMin, row.CIDMax)
+	}
+	if _, ok := s.Element(dewey.MustParse("9.9")); ok {
+		t.Error("absent element found")
+	}
+	if s.LabelOf(dewey.MustParse("0.2")) != "Articles" {
+		t.Errorf("LabelOf = %q", s.LabelOf(dewey.MustParse("0.2")))
+	}
+	if s.LabelOf(dewey.MustParse("9.9")) != "" {
+		t.Error("LabelOf absent should be empty")
+	}
+}
+
+func TestLabelHelpers(t *testing.T) {
+	s := pubStore()
+	id, ok := s.LabelID("article")
+	if !ok {
+		t.Fatal("article label missing")
+	}
+	if s.Label(id) != "article" {
+		t.Error("Label/LabelID not inverse")
+	}
+	if _, ok := s.LabelID("nonexistent"); ok {
+		t.Error("absent label found")
+	}
+	if s.Label(9999) != "" {
+		t.Error("out-of-range label should be empty")
+	}
+}
+
+func TestKeywordsSorted(t *testing.T) {
+	s := pubStore()
+	ks := s.Keywords()
+	if len(ks) == 0 {
+		t.Fatal("no keywords")
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("keywords not strictly sorted at %d: %v", i, ks[i-1:i+1])
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := pubStore()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != s.NumNodes() || back.NumLabels() != s.NumLabels() || back.NumValues() != s.NumValues() {
+		t.Fatalf("counts differ after round trip: %d/%d/%d vs %d/%d/%d",
+			back.NumNodes(), back.NumLabels(), back.NumValues(),
+			s.NumNodes(), s.NumLabels(), s.NumValues())
+	}
+	for _, w := range s.Keywords() {
+		a, b := s.Postings(w), back.Postings(w)
+		if len(a) != len(b) {
+			t.Fatalf("postings(%q) differ", w)
+		}
+		for i := range a {
+			if !dewey.Equal(a[i], b[i]) {
+				t.Fatalf("postings(%q)[%d] differ", w, i)
+			}
+		}
+	}
+	row, ok := back.Element(dewey.MustParse("0.2.0.1"))
+	if !ok || back.Label(row.LabelID) != "title" {
+		t.Error("element table corrupted by round trip")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	s := pubStore()
+	path := filepath.Join(t.TempDir(), "pub.xks")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != s.NumNodes() {
+		t.Error("file round trip lost nodes")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("LoadFile on absent path should fail")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	s := pubStore()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, data...)
+	bad[0] ^= 0xFF
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted magic accepted")
+	}
+
+	// Flipped payload byte → checksum mismatch.
+	bad = append([]byte{}, data...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+
+	// Truncated file.
+	if _, err := Load(bytes.NewReader(data[:len(data)-6])); err == nil {
+		t.Error("truncated file accepted")
+	}
+
+	// Wrong version.
+	bad = append([]byte{}, data...)
+	bad[len(magic)+3] = 99
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("wrong version accepted")
+	}
+
+	// Empty input.
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBuildIndexFromStoreSearchesEqually(t *testing.T) {
+	s := pubStore()
+	an := analysis.New()
+	fromStore := s.BuildIndex(an)
+	fromTree := index.Build(paperdata.Publications(), an)
+	_, setsA, errA := fromStore.KeywordSets(paperdata.Q3)
+	_, setsB, errB := fromTree.KeywordSets(paperdata.Q3)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	for i := range setsA {
+		if len(setsA[i]) != len(setsB[i]) {
+			t.Fatalf("set %d sizes differ", i)
+		}
+		for j := range setsA[i] {
+			if !dewey.Equal(setsA[i][j], setsB[i][j]) {
+				t.Fatalf("set %d posting %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestShredNilAnalyzer(t *testing.T) {
+	s := Shred(paperdata.Team(), nil)
+	if got := len(s.Postings("gassol")); got != 1 {
+		t.Errorf("postings(gassol) = %d", got)
+	}
+}
+
+func BenchmarkShred(b *testing.B) {
+	tree := paperdata.Publications()
+	an := analysis.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Shred(tree, an)
+	}
+}
+
+func BenchmarkSaveLoad(b *testing.B) {
+	s := pubStore()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestChildren(t *testing.T) {
+	s := pubStore()
+	kids := s.Children(dewey.MustParse("0"))
+	if len(kids) != 3 {
+		t.Fatalf("root children = %d, want 3", len(kids))
+	}
+	wantLabels := []string{"title", "year", "Articles"}
+	for i, k := range kids {
+		if s.Label(k.LabelID) != wantLabels[i] {
+			t.Errorf("child %d label = %q, want %q", i, s.Label(k.LabelID), wantLabels[i])
+		}
+	}
+	// Depth-2 lookup skips grandchildren.
+	arts := s.Children(dewey.MustParse("0.2"))
+	if len(arts) != 2 || s.Label(arts[0].LabelID) != "article" {
+		t.Errorf("Articles children = %v", arts)
+	}
+	if got := s.Children(dewey.MustParse("0.0")); len(got) != 0 {
+		t.Errorf("leaf children = %d", len(got))
+	}
+	if got := s.Children(dewey.MustParse("9.9")); len(got) != 0 {
+		t.Errorf("absent node children = %d", len(got))
+	}
+}
+
+func TestContentOf(t *testing.T) {
+	s := pubStore()
+	words := s.ContentOf(dewey.MustParse("0.0"))
+	if len(words) != 2 || words[0] != "title" || words[1] != "vldb" {
+		t.Errorf("ContentOf(0.0) = %v", words)
+	}
+	if got := s.ContentOf(dewey.MustParse("9.9")); got != nil {
+		t.Errorf("ContentOf absent = %v", got)
+	}
+	// Lazy index is stable across calls.
+	again := s.ContentOf(dewey.MustParse("0.0"))
+	if len(again) != 2 {
+		t.Errorf("second ContentOf = %v", again)
+	}
+}
+
+// failWriter errors after n bytes, exercising every Save error branch.
+type failWriter struct {
+	n     int
+	limit int
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n+len(p) > f.limit {
+		allowed := f.limit - f.n
+		if allowed < 0 {
+			allowed = 0
+		}
+		f.n += allowed
+		return allowed, errFull
+	}
+	f.n += len(p)
+	return len(p), nil
+}
+
+var errFull = bytes.ErrTooLarge
+
+func TestSaveWriterFailuresAtEveryOffset(t *testing.T) {
+	s := pubStore()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Len()
+	// Failing at a sample of offsets across the file must always surface an
+	// error, never a silent truncation.
+	for _, limit := range []int{0, 4, len(magic), len(magic) + 2, full / 4, full / 2, full - 5} {
+		if err := s.Save(&failWriter{limit: limit}); err == nil {
+			t.Errorf("Save with writer failing at %d bytes reported success", limit)
+		}
+	}
+}
+
+func TestSaveFileUnwritablePath(t *testing.T) {
+	s := pubStore()
+	if err := s.SaveFile(filepath.Join(t.TempDir(), "missing-dir", "x.xks")); err == nil {
+		t.Error("SaveFile into missing directory should fail")
+	}
+}
+
+func TestLoadOversizedFieldsRejected(t *testing.T) {
+	// Craft a header claiming a preposterous string length: magic + version
+	// + label count 1 + string length 2^30.
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	buf.Write([]byte{0, 0, 0, 1})    // version
+	buf.Write([]byte{0, 0, 0, 1})    // one label
+	buf.Write([]byte{0x40, 0, 0, 0}) // string length 2^30
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("oversized string length accepted")
+	}
+}

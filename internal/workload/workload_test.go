@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDBLPWorkloadShape(t *testing.T) {
+	w := DBLP()
+	if len(w.Keywords) != 20 {
+		t.Errorf("DBLP keywords = %d, want 20", len(w.Keywords))
+	}
+	if len(w.Queries) != 20 {
+		t.Errorf("DBLP queries = %d, want 20", len(w.Queries))
+	}
+	// Every abbreviation letter unique.
+	seen := map[byte]string{}
+	for _, k := range w.Keywords {
+		if prev, dup := seen[k.Letter]; dup {
+			t.Errorf("letter %q used by %q and %q", k.Letter, prev, k.Word)
+		}
+		seen[k.Letter] = k.Word
+		if len(k.Freqs) != 1 {
+			t.Errorf("keyword %q has %d frequency columns, want 1", k.Word, len(k.Freqs))
+		}
+		if !strings.ContainsRune(k.Word, rune(k.Letter)) {
+			t.Errorf("letter %q not in keyword %q", k.Letter, k.Word)
+		}
+	}
+}
+
+func TestXMarkWorkloadShape(t *testing.T) {
+	w := XMark()
+	if len(w.Keywords) != 13 {
+		t.Errorf("XMark keywords = %d, want 13", len(w.Keywords))
+	}
+	if len(w.Queries) != 24 {
+		t.Errorf("XMark queries = %d, want 24", len(w.Queries))
+	}
+	for _, k := range w.Keywords {
+		if len(k.Freqs) != 3 {
+			t.Errorf("keyword %q has %d frequency columns, want 3", k.Word, len(k.Freqs))
+		}
+		// Frequencies grow with the dataset size.
+		if !(k.Freqs[0] <= k.Freqs[1] && k.Freqs[1] <= k.Freqs[2]) {
+			t.Errorf("keyword %q frequencies not monotone: %v", k.Word, k.Freqs)
+		}
+	}
+}
+
+func TestExpandVDO(t *testing.T) {
+	w := XMark()
+	got, err := w.Expand("vdo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's own example: "the 'vdo' for XMark series means the
+	// keyword query is 'preventions description order'".
+	if got != "preventions description order" {
+		t.Errorf("Expand(vdo) = %q", got)
+	}
+}
+
+func TestExpandAllQueriesResolve(t *testing.T) {
+	for _, w := range []Workload{DBLP(), XMark()} {
+		qs, err := w.ExpandAll()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for i, q := range qs {
+			words := strings.Fields(q)
+			if len(words) != len(w.Queries[i]) {
+				t.Errorf("%s query %q expanded to %d words", w.Name, w.Queries[i], len(words))
+			}
+			// No duplicate keyword within one query.
+			seen := map[string]bool{}
+			for _, word := range words {
+				if seen[word] {
+					t.Errorf("%s query %q repeats keyword %q", w.Name, w.Queries[i], word)
+				}
+				seen[word] = true
+			}
+		}
+	}
+}
+
+func TestExpandUnknownLetter(t *testing.T) {
+	w := DBLP()
+	if _, err := w.Expand("kz"); err == nil {
+		t.Error("unknown letter should fail")
+	}
+}
+
+func TestSpecsScaling(t *testing.T) {
+	w := XMark()
+	specs, err := w.Specs(int(XMarkStandard), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byWord := map[string]int{}
+	for _, s := range specs {
+		byWord[s.Word] = s.Count
+	}
+	// particle 12 × 0.01 → clamped to 1; order 12705 × 0.01 ≈ 127.
+	if byWord["particle"] != 1 {
+		t.Errorf("particle = %d, want 1 (clamped)", byWord["particle"])
+	}
+	if byWord["order"] != 127 {
+		t.Errorf("order = %d, want 127", byWord["order"])
+	}
+	// Rare keywords stay rarer than common ones after scaling.
+	if byWord["particle"] > byWord["preventions"] {
+		t.Error("scaling broke frequency order")
+	}
+}
+
+func TestSpecsBadVariant(t *testing.T) {
+	w := DBLP()
+	if _, err := w.Specs(2, 1); err == nil {
+		t.Error("out-of-range variant should fail")
+	}
+	if _, err := w.Specs(-1, 1); err == nil {
+		t.Error("negative variant should fail")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if XMarkStandard.String() != "xmark-standard" ||
+		XMarkData1.String() != "xmark-data1" ||
+		XMarkData2.String() != "xmark-data2" {
+		t.Error("variant strings broken")
+	}
+}

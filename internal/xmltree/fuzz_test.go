@@ -1,0 +1,36 @@
+package xmltree
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that every successfully
+// parsed document survives a serialize → reparse round trip with the same
+// node count.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleXML)
+	f.Add(`<a/>`)
+	f.Add(`<a><b>text</b><c x="1"/></a>`)
+	f.Add(`<a>` + "\x00" + `</a>`)
+	f.Add(`<a><b></a></b>`)
+	f.Add(`<?xml version="1.0"?><!-- c --><r>t</r>`)
+	f.Add(`<r xmlns:x="u"><x:e x:a="v"/></r>`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		tr, err := ParseString(doc)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteXML(&buf, tr.Root); err != nil {
+			t.Fatalf("WriteXML failed on parsed tree: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\ninput: %q\nserialized: %q", err, doc, buf.String())
+		}
+		if back.Size() != tr.Size() {
+			t.Fatalf("round trip changed node count: %d -> %d (input %q)", tr.Size(), back.Size(), doc)
+		}
+	})
+}

@@ -1,0 +1,493 @@
+// Package xmltree models an XML document as the labelled tree
+// T = (r, V, E, Σ, λ) of the paper and assigns every node a Dewey code.
+//
+// Nodes carry a label (the element name), optional attributes and optional
+// text. Following the paper's model (Figure 1(a)), text values live on the
+// element node itself rather than in separate text nodes: the content set Cv
+// of a node is derived from its label, attribute names/values and text.
+//
+// The package provides a streaming parser built on encoding/xml, a
+// programmatic builder used by tests and generators, pre-order navigation,
+// and serialization of whole trees or of fragments (arbitrary
+// ancestor-closed subsets of nodes).
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"unicode"
+
+	"xks/internal/dewey"
+)
+
+// Attr is a single XML attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is an element node of the tree.
+type Node struct {
+	Code     dewey.Code
+	Label    string
+	Attrs    []Attr
+	Text     string // concatenated trimmed character data directly under the element
+	Parent   *Node
+	Children []*Node
+}
+
+// IsLeaf reports whether the node has no element children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Level is the node depth; the root is level 0.
+func (n *Node) Level() int { return n.Code.Level() }
+
+// ContentPieces returns the raw strings whose words form the node's content
+// set Cv: label, attribute names and values, and text.
+func (n *Node) ContentPieces() []string {
+	pieces := make([]string, 0, 2+2*len(n.Attrs))
+	pieces = append(pieces, n.Label)
+	for _, a := range n.Attrs {
+		pieces = append(pieces, a.Name, a.Value)
+	}
+	if n.Text != "" {
+		pieces = append(pieces, n.Text)
+	}
+	return pieces
+}
+
+// String renders the node as in the paper, e.g. "0.2.0.1 (title)".
+func (n *Node) String() string {
+	return fmt.Sprintf("%s (%s)", n.Code, n.Label)
+}
+
+// Tree is a parsed XML document with Dewey-coded nodes.
+type Tree struct {
+	Root  *Node
+	byKey map[string]*Node
+	size  int
+}
+
+// Size returns the number of element nodes in the tree.
+func (t *Tree) Size() int { return t.size }
+
+// NodeAt returns the node with the given Dewey code, or nil.
+func (t *Tree) NodeAt(c dewey.Code) *Node {
+	return t.byKey[c.Key()]
+}
+
+// MustNodeAt returns the node at the code given in dotted text form and
+// panics if absent. Intended for tests.
+func (t *Tree) MustNodeAt(s string) *Node {
+	n := t.NodeAt(dewey.MustParse(s))
+	if n == nil {
+		panic(fmt.Sprintf("xmltree: no node at %s", s))
+	}
+	return n
+}
+
+// Walk visits every node in pre-order. Returning false from fn prunes the
+// node's subtree from the traversal.
+func (t *Tree) Walk(fn func(*Node) bool) {
+	if t.Root == nil {
+		return
+	}
+	var rec func(*Node)
+	rec = func(n *Node) {
+		if !fn(n) {
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+}
+
+// Nodes returns all nodes in pre-order.
+func (t *Tree) Nodes() []*Node {
+	out := make([]*Node, 0, t.size)
+	t.Walk(func(n *Node) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// MaxDepth returns the deepest node level in the tree.
+func (t *Tree) MaxDepth() int {
+	max := 0
+	t.Walk(func(n *Node) bool {
+		if l := n.Level(); l > max {
+			max = l
+		}
+		return true
+	})
+	return max
+}
+
+// rebuildIndex recomputes Dewey codes, parents and the code index for the
+// whole tree. Called after structural edits (see AddChild / RemoveNode).
+func (t *Tree) rebuildIndex() {
+	t.byKey = make(map[string]*Node)
+	t.size = 0
+	if t.Root == nil {
+		return
+	}
+	var rec func(n *Node, code dewey.Code)
+	rec = func(n *Node, code dewey.Code) {
+		n.Code = code
+		t.byKey[code.Key()] = n
+		t.size++
+		for i, c := range n.Children {
+			c.Parent = n
+			rec(c, code.Child(uint32(i)))
+		}
+	}
+	t.Root.Parent = nil
+	rec(t.Root, dewey.Code{0})
+}
+
+// AddChild appends a new subtree (given as a builder element) under the node
+// with the given code and re-indexes the tree. It returns the new node. Used
+// by the axiomatic-property tests (data monotonicity / consistency).
+func (t *Tree) AddChild(parent dewey.Code, e E) (*Node, error) {
+	p := t.NodeAt(parent)
+	if p == nil {
+		return nil, fmt.Errorf("xmltree: no node at %s", parent)
+	}
+	n := e.node()
+	p.Children = append(p.Children, n)
+	t.rebuildIndex()
+	return n, nil
+}
+
+// AppendChild appends a new subtree under the given parent and indexes only
+// the new nodes — an O(new subtree) operation. Appending at the end of the
+// child list never renumbers existing nodes, which is what makes
+// incremental maintenance sound (contrast RemoveNode, which renumbers and
+// therefore rebuilds).
+func (t *Tree) AppendChild(parent dewey.Code, e E) (*Node, error) {
+	p := t.NodeAt(parent)
+	if p == nil {
+		return nil, fmt.Errorf("xmltree: no node at %s", parent)
+	}
+	n := e.node()
+	n.Parent = p
+	ordinal := uint32(len(p.Children))
+	p.Children = append(p.Children, n)
+	var rec func(node *Node, code dewey.Code)
+	rec = func(node *Node, code dewey.Code) {
+		node.Code = code
+		t.byKey[code.Key()] = node
+		t.size++
+		for i, c := range node.Children {
+			c.Parent = node
+			rec(c, code.Child(uint32(i)))
+		}
+	}
+	rec(n, parent.Child(ordinal))
+	return n, nil
+}
+
+// RemoveNode deletes the subtree rooted at the given code and re-indexes.
+func (t *Tree) RemoveNode(c dewey.Code) error {
+	n := t.NodeAt(c)
+	if n == nil {
+		return fmt.Errorf("xmltree: no node at %s", c)
+	}
+	if n.Parent == nil {
+		return fmt.Errorf("xmltree: cannot remove the root")
+	}
+	sibs := n.Parent.Children
+	for i, s := range sibs {
+		if s == n {
+			n.Parent.Children = append(sibs[:i], sibs[i+1:]...)
+			break
+		}
+	}
+	t.rebuildIndex()
+	return nil
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	if t.Root == nil {
+		return &Tree{}
+	}
+	var rec func(*Node) *Node
+	rec = func(n *Node) *Node {
+		cp := &Node{Label: n.Label, Text: n.Text}
+		if len(n.Attrs) > 0 {
+			cp.Attrs = make([]Attr, len(n.Attrs))
+			copy(cp.Attrs, n.Attrs)
+		}
+		cp.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			cp.Children[i] = rec(c)
+		}
+		return cp
+	}
+	nt := &Tree{Root: rec(t.Root)}
+	nt.rebuildIndex()
+	return nt
+}
+
+// Parse reads an XML document and builds the tree. Character data is
+// trimmed and concatenated (space separated) onto the innermost open
+// element. Processing instructions, comments and directives are ignored.
+func Parse(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var (
+		root  *Node
+		stack []*Node
+	)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			// encoding/xml splits prefixed names on the colon without
+			// validating the local part ("A:0" yields local name "0"), so
+			// names that are not well-formed XML slip through; reject them
+			// here, since they cannot be re-serialized.
+			if !validXMLName(el.Name.Local) {
+				return nil, fmt.Errorf("xmltree: invalid element name %q", el.Name.Local)
+			}
+			n := &Node{Label: el.Name.Local}
+			for _, a := range el.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				if !validXMLName(a.Name.Local) {
+					return nil, fmt.Errorf("xmltree: invalid attribute name %q", a.Name.Local)
+				}
+				n.Attrs = append(n.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: multiple root elements")
+				}
+				root = n
+			} else {
+				top := stack[len(stack)-1]
+				n.Parent = top
+				top.Children = append(top.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %s", el.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			txt := strings.TrimSpace(string(el))
+			if txt == "" {
+				continue
+			}
+			top := stack[len(stack)-1]
+			if top.Text == "" {
+				top.Text = txt
+			} else {
+				top.Text += " " + txt
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: no root element")
+	}
+	t := &Tree{Root: root}
+	t.rebuildIndex()
+	return t, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Tree, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// E is a literal element description used to build trees programmatically.
+type E struct {
+	Label string
+	Text  string
+	Attrs []Attr
+	Kids  []E
+}
+
+func (e E) node() *Node {
+	n := &Node{Label: e.Label, Text: e.Text}
+	if len(e.Attrs) > 0 {
+		n.Attrs = make([]Attr, len(e.Attrs))
+		copy(n.Attrs, e.Attrs)
+	}
+	n.Children = make([]*Node, len(e.Kids))
+	for i, k := range e.Kids {
+		n.Children[i] = k.node()
+	}
+	return n
+}
+
+// Build constructs a tree from a literal element description.
+func Build(rootElem E) *Tree {
+	t := &Tree{Root: rootElem.node()}
+	t.rebuildIndex()
+	return t
+}
+
+// WriteXML serializes the subtree rooted at n with two-space indentation.
+func WriteXML(w io.Writer, n *Node) error {
+	return writeNode(w, n, 0, nil)
+}
+
+// WriteFragmentXML serializes only the nodes of the subtree rooted at root
+// whose Dewey codes are in keep. keep must be ancestor-closed with respect
+// to root (every kept node's ancestors up to root are kept), which holds for
+// all fragments produced in this repository.
+func WriteFragmentXML(w io.Writer, root *Node, keep map[string]bool) error {
+	return writeNode(w, root, 0, keep)
+}
+
+func writeNode(w io.Writer, n *Node, depth int, keep map[string]bool) error {
+	if keep != nil && !keep[n.Code.Key()] {
+		return nil
+	}
+	ind := strings.Repeat("  ", depth)
+	var b strings.Builder
+	b.WriteString(ind)
+	b.WriteByte('<')
+	b.WriteString(n.Label)
+	for _, a := range n.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		xmlEscape(&b, a.Value)
+		b.WriteByte('"')
+	}
+	keptKids := 0
+	for _, c := range n.Children {
+		if keep == nil || keep[c.Code.Key()] {
+			keptKids++
+		}
+	}
+	if n.Text == "" && keptKids == 0 {
+		b.WriteString("/>\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	b.WriteByte('>')
+	if n.Text != "" {
+		xmlEscape(&b, n.Text)
+	}
+	if keptKids == 0 {
+		b.WriteString("</")
+		b.WriteString(n.Label)
+		b.WriteString(">\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := writeNode(w, c, depth+1, keep); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s</%s>\n", ind, n.Label)
+	return err
+}
+
+// validXMLName reports whether s can serve as a serializable XML name
+// (letter or underscore start, then letters, digits, '-', '_', '.').
+func validXMLName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		letter := unicode.IsLetter(r) || r == '_'
+		if i == 0 {
+			if !letter {
+				return false
+			}
+			continue
+		}
+		if !letter && !unicode.IsDigit(r) && r != '-' && r != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+func xmlEscape(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// ASCIITree renders the subtree rooted at root as an indented tree in the
+// style of the paper's figures ("0.2.0.1 (title) "Keyword Search""),
+// restricted to the kept codes if keep is non-nil.
+func ASCIITree(root *Node, keep map[string]bool) string {
+	var b strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		if keep != nil && !keep[n.Code.Key()] {
+			return
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.String())
+		if n.Text != "" {
+			fmt.Fprintf(&b, " %q", n.Text)
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(root, 0)
+	return b.String()
+}
+
+// LabelHistogram counts nodes per label, useful for dataset statistics.
+func (t *Tree) LabelHistogram() map[string]int {
+	h := make(map[string]int)
+	t.Walk(func(n *Node) bool {
+		h[n.Label]++
+		return true
+	})
+	return h
+}
+
+// SortedLabels returns the distinct labels in lexical order.
+func (t *Tree) SortedLabels() []string {
+	h := t.LabelHistogram()
+	out := make([]string, 0, len(h))
+	for l := range h {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

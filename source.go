@@ -1,0 +1,137 @@
+package xks
+
+import (
+	"fmt"
+	"strings"
+
+	"xks/internal/analysis"
+	"xks/internal/dewey"
+	"xks/internal/store"
+	"xks/internal/xmltree"
+)
+
+// docSource abstracts where node labels, content and rendering come from:
+// the parsed tree (FromTree / Load*) or the shredded store (FromStore).
+type docSource interface {
+	labelOf(c dewey.Code) string
+	contentOf(c dewey.Code) []string
+	nodeText(c dewey.Code) string
+	renderASCII(root dewey.Code, keep map[string]bool) string
+	renderXML(root dewey.Code, keep map[string]bool) string
+}
+
+// treeSource serves everything from the in-memory document tree.
+type treeSource struct {
+	tree *xmltree.Tree
+	an   *analysis.Analyzer
+}
+
+func (s *treeSource) labelOf(c dewey.Code) string {
+	if n := s.tree.NodeAt(c); n != nil {
+		return n.Label
+	}
+	return ""
+}
+
+func (s *treeSource) contentOf(c dewey.Code) []string {
+	if n := s.tree.NodeAt(c); n != nil {
+		return s.an.ContentSet(n.ContentPieces()...)
+	}
+	return nil
+}
+
+func (s *treeSource) nodeText(c dewey.Code) string {
+	if n := s.tree.NodeAt(c); n != nil {
+		return n.Text
+	}
+	return ""
+}
+
+func (s *treeSource) renderASCII(root dewey.Code, keep map[string]bool) string {
+	n := s.tree.NodeAt(root)
+	if n == nil {
+		return ""
+	}
+	return xmltree.ASCIITree(n, keep)
+}
+
+func (s *treeSource) renderXML(root dewey.Code, keep map[string]bool) string {
+	n := s.tree.NodeAt(root)
+	if n == nil {
+		return ""
+	}
+	var b strings.Builder
+	if err := xmltree.WriteFragmentXML(&b, n, keep); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// storeSource serves labels and content from the shredded tables. Original
+// text values are not stored (only their content words are), so rendering
+// shows the element skeleton with each node's content words.
+type storeSource struct {
+	st *store.Store
+}
+
+func (s *storeSource) labelOf(c dewey.Code) string { return s.st.LabelOf(c) }
+
+func (s *storeSource) contentOf(c dewey.Code) []string { return s.st.ContentOf(c) }
+
+func (s *storeSource) nodeText(c dewey.Code) string { return "" }
+
+// keepCodes orders the kept codes under root in pre-order.
+func keepCodes(root dewey.Code, keep map[string]bool) []dewey.Code {
+	out := make([]dewey.Code, 0, len(keep))
+	for k := range keep {
+		c, err := dewey.FromKey(k)
+		if err != nil || !root.IsAncestorOrSelf(c) {
+			continue
+		}
+		out = append(out, c)
+	}
+	dewey.Sort(out)
+	return out
+}
+
+func (s *storeSource) renderASCII(root dewey.Code, keep map[string]bool) string {
+	var b strings.Builder
+	for _, c := range keepCodes(root, keep) {
+		b.WriteString(strings.Repeat("  ", len(c)-len(root)))
+		fmt.Fprintf(&b, "%s (%s)", c, s.st.LabelOf(c))
+		if words := s.st.ContentOf(c); len(words) > 0 {
+			fmt.Fprintf(&b, " {%s}", strings.Join(words, " "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (s *storeSource) renderXML(root dewey.Code, keep map[string]bool) string {
+	codes := keepCodes(root, keep)
+	var b strings.Builder
+	var stack []dewey.Code
+	closeTo := func(depth int) {
+		for len(stack) > depth {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			fmt.Fprintf(&b, "%s</%s>\n", strings.Repeat("  ", len(stack)), s.st.LabelOf(top))
+		}
+	}
+	for _, c := range codes {
+		for len(stack) > 0 && !stack[len(stack)-1].IsAncestorOf(c) {
+			closeTo(len(stack) - 1)
+		}
+		ind := strings.Repeat("  ", len(stack))
+		label := s.st.LabelOf(c)
+		fmt.Fprintf(&b, "%s<%s>", ind, label)
+		if words := s.st.ContentOf(c); len(words) > 0 {
+			b.WriteString(strings.Join(words, " "))
+		}
+		b.WriteByte('\n')
+		// Reopen: we emitted the start tag inline; push for closing later.
+		stack = append(stack, c)
+	}
+	closeTo(0)
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package xks
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xks/internal/analysis"
+	"xks/internal/paperdata"
+	"xks/internal/store"
+)
+
+func storeEngine(t *testing.T) *Engine {
+	t.Helper()
+	return FromStore(store.Shred(paperdata.Publications(), analysis.New()))
+}
+
+// Store-backed search returns exactly the same fragments (roots and kept
+// node sets) as tree-backed search, across all paper queries and both
+// algorithms.
+func TestStoreBackedSearchMatchesTree(t *testing.T) {
+	fromTree := FromTree(paperdata.Publications())
+	fromStore := storeEngine(t)
+	queries := []string{paperdata.Q1, paperdata.Q2, paperdata.Q3, paperdata.QLiuKeyword}
+	for _, q := range queries {
+		for _, algo := range []Algorithm{ValidRTF, MaxMatch, RawRTF} {
+			opts := Options{Algorithm: algo}
+			a, err := fromTree.Search(q, opts)
+			if err != nil {
+				t.Fatalf("tree search %q: %v", q, err)
+			}
+			b, err := fromStore.Search(q, opts)
+			if err != nil {
+				t.Fatalf("store search %q: %v", q, err)
+			}
+			if len(a.Fragments) != len(b.Fragments) {
+				t.Fatalf("%q/%s: %d vs %d fragments", q, algo, len(a.Fragments), len(b.Fragments))
+			}
+			for i := range a.Fragments {
+				fa, fb := a.Fragments[i], b.Fragments[i]
+				if fa.Root != fb.Root || fa.RootLabel != fb.RootLabel || fa.IsSLCA != fb.IsSLCA {
+					t.Errorf("%q/%s fragment %d: headers differ: %+v vs %+v", q, algo, i, fa, fb)
+				}
+				if fa.Len() != fb.Len() {
+					t.Fatalf("%q/%s fragment %d: %d vs %d nodes\ntree:\n%s\nstore:\n%s",
+						q, algo, i, fa.Len(), fb.Len(), fa.ASCII(), fb.ASCII())
+				}
+				for j := range fa.Nodes {
+					if fa.Nodes[j].Dewey != fb.Nodes[j].Dewey || fa.Nodes[j].Label != fb.Nodes[j].Label {
+						t.Errorf("%q/%s fragment %d node %d differs: %+v vs %+v",
+							q, algo, i, j, fa.Nodes[j], fb.Nodes[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStoreBackedRendering(t *testing.T) {
+	e := storeEngine(t)
+	res, err := e.Search(paperdata.Q3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Fragments[0]
+	ascii := f.ASCII()
+	// Skeleton with labels and content words, no raw text.
+	if !strings.Contains(ascii, "(Publications)") || !strings.Contains(ascii, "vldb") {
+		t.Errorf("store ASCII rendering:\n%s", ascii)
+	}
+	xmlOut := f.XML()
+	if !strings.Contains(xmlOut, "<Publications>") || !strings.Contains(xmlOut, "</Publications>") {
+		t.Errorf("store XML rendering:\n%s", xmlOut)
+	}
+	if !strings.Contains(xmlOut, "<ref>") {
+		t.Errorf("store XML missing kept leaf:\n%s", xmlOut)
+	}
+	if strings.Contains(xmlOut, "Skyline") {
+		t.Errorf("pruned branch leaked:\n%s", xmlOut)
+	}
+}
+
+func TestStoreBackedTreeAccessorNil(t *testing.T) {
+	e := storeEngine(t)
+	if e.Tree() != nil {
+		t.Error("store-backed engine should have nil Tree")
+	}
+	if e.Index() == nil {
+		t.Error("Index should be available")
+	}
+}
+
+func TestOpenStoreRoundTrip(t *testing.T) {
+	s := store.Shred(paperdata.Team(), analysis.New())
+	path := filepath.Join(t.TempDir(), "team.xks")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	e, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Search(paperdata.Q4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 1 || res.Fragments[0].Len() != 7 {
+		t.Errorf("fragments after store round trip: %d / %d nodes",
+			len(res.Fragments), res.Fragments[0].Len())
+	}
+	if _, err := OpenStore(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("OpenStore on missing file should fail")
+	}
+}
+
+func TestStoreBackedCompare(t *testing.T) {
+	e := FromStore(store.Shred(paperdata.Team(), analysis.New()))
+	cmp, err := e.Compare(paperdata.Q4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Ratios.CFR != 0 || cmp.NumRTFs != 1 {
+		t.Errorf("store-backed compare = %+v", cmp)
+	}
+}
