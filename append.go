@@ -40,6 +40,7 @@ func (e *Engine) AppendXML(parentDewey, snippet string) error {
 		}
 	}
 	rec(node)
+	e.gen.Add(1) // invalidates generation-tagged cache entries (internal/service)
 	return nil
 }
 

@@ -1,15 +1,21 @@
-// Command xkserver serves keyword search over an XML document or a
-// shredded store as a small JSON HTTP API (see internal/httpapi).
+// Command xkserver serves keyword search over an XML document, a shredded
+// store, or a whole directory of XML files as a JSON HTTP API backed by
+// the serving layer (internal/service): a sharded LRU query cache with
+// generation-based invalidation, singleflight collapsing of concurrent
+// identical queries, and live server metrics.
 //
 // Usage:
 //
-//	xkserver -file doc.xml -addr :8080
-//	xkserver -store doc.xks -addr :8080
+//	xkserver -file doc.xml [-addr :8080] [-cache 1024]
+//	xkserver -store doc.xks [-addr :8080] [-cache 1024]
+//	xkserver -dir corpus/ [-addr :8080] [-cache 1024] [-workers 8]
 //
 // Endpoints:
 //
-//	GET /search?q=keyword+query[&algo=validrtf|maxmatch|raw][&slca=1]
-//	           [&rank=1][&limit=N][&snippets=1]
+//	GET /search?q=keyword+query[&doc=name][&algo=validrtf|maxmatch|raw]
+//	           [&slca=1][&rank=1][&limit=N][&snippets=1]
+//	GET /documents
+//	GET /stats
 //	GET /healthz
 package main
 
@@ -19,36 +25,68 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 
 	"xks"
 	"xks/internal/httpapi"
+	"xks/internal/service"
 )
 
 func main() {
 	var (
-		file   = flag.String("file", "", "XML document to serve")
-		storeF = flag.String("store", "", "shredded store file to serve")
-		addr   = flag.String("addr", ":8080", "listen address")
+		file      = flag.String("file", "", "XML document to serve")
+		storeF    = flag.String("store", "", "shredded store file to serve")
+		dir       = flag.String("dir", "", "directory of *.xml files to serve as one corpus")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("cache", 1024, "query result cache entries (0 disables caching)")
+		workers   = flag.Int("workers", 0, "corpus search fan-out workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if *file == "" && *storeF == "" {
-		fmt.Fprintln(os.Stderr, "usage: xkserver -file doc.xml | -store doc.xks [-addr :8080]")
+
+	sources := 0
+	for _, s := range []string{*file, *storeF, *dir} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xkserver -file doc.xml | -store doc.xks | -dir corpus/ [-addr :8080] [-cache N] [-workers N]")
 		os.Exit(2)
 	}
-	var (
-		engine *xks.Engine
-		err    error
-	)
-	if *storeF != "" {
-		engine, err = xks.OpenStore(*storeF)
+
+	var searcher service.Searcher
+	switch {
+	case *dir != "":
+		c, err := xks.LoadDir(*dir)
+		if err != nil {
+			log.Fatalf("xkserver: %v", err)
+		}
+		c.Workers = *workers
+		searcher = c
+		log.Printf("loaded corpus: %d documents from %s", c.Len(), *dir)
+	case *storeF != "":
+		engine, err := xks.OpenStore(*storeF)
+		if err != nil {
+			log.Fatalf("xkserver: %v", err)
+		}
+		searcher = service.SingleDoc{Name: filepath.Base(*storeF), Engine: engine}
+		log.Printf("loaded store: %d distinct words indexed", engine.Index().NumWords())
+	default:
+		engine, err := xks.LoadFile(*file)
+		if err != nil {
+			log.Fatalf("xkserver: %v", err)
+		}
+		searcher = service.SingleDoc{Name: filepath.Base(*file), Engine: engine}
+		log.Printf("loaded document: %d distinct words indexed", engine.Index().NumWords())
+	}
+
+	svc := service.New(searcher, service.Config{CacheSize: *cacheSize})
+	if *cacheSize > 0 {
+		log.Printf("query cache: %d entries", *cacheSize)
 	} else {
-		engine, err = xks.LoadFile(*file)
+		log.Printf("query cache: disabled")
 	}
-	if err != nil {
-		log.Fatalf("xkserver: %v", err)
-	}
-	log.Printf("loaded: %d distinct words indexed", engine.Index().NumWords())
 	log.Printf("listening on %s", *addr)
 	logger := log.New(os.Stderr, "xkserver: ", log.LstdFlags)
-	log.Fatal(http.ListenAndServe(*addr, httpapi.NewHandler(engine, logger)))
+	log.Fatal(http.ListenAndServe(*addr, httpapi.NewHandler(svc, logger)))
 }

@@ -1,6 +1,7 @@
 package xks
 
 import (
+	"errors"
 	"time"
 
 	"xks/internal/dewey"
@@ -33,7 +34,7 @@ func (e *Engine) Compare(queryText string, opts Options) (*Comparison, error) {
 	_, _, sets, err := e.resolveSets(queryText)
 	if err != nil {
 		var nm *index.ErrNoMatch
-		if asErr(err, &nm) {
+		if errors.As(err, &nm) {
 			cmp.Ratios.CFR = 1
 			return cmp, nil
 		}

@@ -1,14 +1,21 @@
 package xks
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"xks/internal/concurrent"
 )
+
+// ErrUnknownDocument is wrapped by SearchDocument when the named document
+// is not in the corpus.
+var ErrUnknownDocument = errors.New("unknown document")
 
 // Corpus searches a collection of XML documents — the digital-library
 // setting the paper's introduction motivates — by fanning a query out to
@@ -18,6 +25,8 @@ type Corpus struct {
 	engines map[string]*Engine
 	// Workers bounds the per-search concurrency (0 = GOMAXPROCS).
 	Workers int
+	// structGen counts structural mutations (Add calls); see Generation.
+	structGen atomic.Uint64
 }
 
 // NewCorpus returns an empty corpus.
@@ -26,12 +35,20 @@ func NewCorpus() *Corpus {
 }
 
 // Add registers a document engine under a name. Adding a name twice
-// replaces the previous engine.
+// replaces the previous engine (keeping its insertion-order position).
+// Add must not run concurrently with Search.
 func (c *Corpus) Add(name string, e *Engine) {
-	if _, dup := c.engines[name]; !dup {
+	bump := uint64(1)
+	if old, dup := c.engines[name]; !dup {
 		c.names = append(c.names, name)
+	} else {
+		// The replaced engine's generation leaves the Generation sum;
+		// absorb it into structGen so the total never revisits a value
+		// (a repeat would let caches serve the replaced document).
+		bump += old.Generation()
 	}
 	c.engines[name] = e
+	c.structGen.Add(bump)
 }
 
 // AddFile loads one XML file under its base name.
@@ -78,6 +95,36 @@ func (c *Corpus) Names() []string {
 // Engine returns the engine registered under name, or nil.
 func (c *Corpus) Engine(name string) *Engine { return c.engines[name] }
 
+// DocumentInfo summarizes one corpus document for listings.
+type DocumentInfo struct {
+	Name  string `json:"name"`
+	Words int    `json:"words"` // distinct indexed words
+	Nodes int    `json:"nodes"` // indexed element nodes
+}
+
+// Documents lists the corpus documents, in insertion order, with index
+// size summaries.
+func (c *Corpus) Documents() []DocumentInfo {
+	out := make([]DocumentInfo, 0, len(c.names))
+	for _, n := range c.names {
+		ix := c.engines[n].Index()
+		out = append(out, DocumentInfo{Name: n, Words: ix.NumWords(), Nodes: ix.NumNodes()})
+	}
+	return out
+}
+
+// Generation reports the corpus mutation generation: the sum of every
+// engine's generation plus one increment per Add. It changes whenever a
+// document is added, replaced, or appended to, so caching layers can tag
+// entries with it and detect staleness.
+func (c *Corpus) Generation() uint64 {
+	g := c.structGen.Load()
+	for _, e := range c.engines {
+		g += e.Generation()
+	}
+	return g
+}
+
 // CorpusFragment tags a fragment with its source document.
 type CorpusFragment struct {
 	Document string
@@ -91,19 +138,39 @@ type CorpusResult struct {
 	// PerDocument counts fragments per document (documents with zero
 	// matches included).
 	PerDocument map[string]int
+	// Stats aggregates the per-document searches: Keywords are the
+	// normalized query terms, KeywordNodes and NumLCAs sum over documents,
+	// and Elapsed is the wall-clock time of the whole fan-out.
+	Stats Stats
+}
+
+// AsCorpus wraps a single-document result in the corpus result shape,
+// tagging every fragment with doc.
+func (r *Result) AsCorpus(doc string) *CorpusResult {
+	out := &CorpusResult{
+		Query:       r.Query,
+		Stats:       r.Stats,
+		PerDocument: map[string]int{doc: len(r.Fragments)},
+	}
+	for _, f := range r.Fragments {
+		out.Fragments = append(out.Fragments, CorpusFragment{Document: doc, Fragment: f})
+	}
+	return out
 }
 
 // Search fans the query out to every document and merges the fragments.
 // With opts.Rank set, fragments are ordered by descending score across
-// documents; otherwise they follow document insertion order. opts.Limit
+// documents; otherwise the merged list deterministically follows document
+// insertion order (and document order within each document). opts.Limit
 // applies to the merged list. A keyword missing from one document simply
 // yields no fragments there; the query fails only if it is unsearchable
 // (e.g. all stop words).
 func (c *Corpus) Search(query string, opts Options) (*CorpusResult, error) {
-	perDocLimit := opts.Limit // applied after merging; keep per-doc searches complete
+	mergedLimit := opts.Limit // applied after merging; keep per-doc searches complete
 	docOpts := opts
 	docOpts.Limit = 0
 
+	start := time.Now()
 	type docOut struct {
 		name string
 		res  *Result
@@ -120,7 +187,15 @@ func (c *Corpus) Search(query string, opts Options) (*CorpusResult, error) {
 	}
 
 	merged := &CorpusResult{Query: query, PerDocument: map[string]int{}}
-	for _, o := range outs {
+	// concurrent.Map returns results in job order, so ranging over outs
+	// merges in document insertion order regardless of which worker
+	// finished first — the unranked path is deterministic.
+	for i, o := range outs {
+		if i == 0 {
+			merged.Stats.Keywords = o.res.Stats.Keywords
+		}
+		merged.Stats.KeywordNodes += o.res.Stats.KeywordNodes
+		merged.Stats.NumLCAs += o.res.Stats.NumLCAs
 		merged.PerDocument[o.name] = len(o.res.Fragments)
 		for _, f := range o.res.Fragments {
 			merged.Fragments = append(merged.Fragments, CorpusFragment{Document: o.name, Fragment: f})
@@ -131,8 +206,24 @@ func (c *Corpus) Search(query string, opts Options) (*CorpusResult, error) {
 			return merged.Fragments[i].Score > merged.Fragments[j].Score
 		})
 	}
-	if perDocLimit > 0 && len(merged.Fragments) > perDocLimit {
-		merged.Fragments = merged.Fragments[:perDocLimit]
+	if mergedLimit > 0 && len(merged.Fragments) > mergedLimit {
+		merged.Fragments = merged.Fragments[:mergedLimit]
 	}
+	merged.Stats.Elapsed = time.Since(start)
 	return merged, nil
+}
+
+// SearchDocument searches a single named document of the corpus, returning
+// the result in the corpus shape. The error wraps ErrUnknownDocument when
+// name is not in the corpus.
+func (c *Corpus) SearchDocument(name, query string, opts Options) (*CorpusResult, error) {
+	e := c.engines[name]
+	if e == nil {
+		return nil, fmt.Errorf("xks: %w: %q", ErrUnknownDocument, name)
+	}
+	res, err := e.Search(query, opts)
+	if err != nil {
+		return nil, fmt.Errorf("xks: document %s: %w", name, err)
+	}
+	return res.AsCorpus(name), nil
 }

@@ -1,6 +1,7 @@
 package xks
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -137,6 +138,110 @@ func TestLoadDir(t *testing.T) {
 	write("broken.xml", `<unclosed>`)
 	if _, err := LoadDir(dir); err == nil {
 		t.Error("broken document should fail loading")
+	}
+}
+
+func TestCorpusUnrankedOrderDeterministic(t *testing.T) {
+	c := testCorpus(t)
+	c.Workers = 4
+	baseline, err := c.Search("name", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fragments must follow document insertion order, then document order
+	// within each document — on every run, regardless of worker timing.
+	seenTeam := false
+	for _, f := range baseline.Fragments {
+		if f.Document == "team" {
+			seenTeam = true
+		} else if seenTeam {
+			t.Fatalf("insertion order violated: %v", baseline.Fragments)
+		}
+	}
+	for run := 0; run < 20; run++ {
+		res, err := c.Search("name", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Fragments) != len(baseline.Fragments) {
+			t.Fatalf("run %d: %d fragments, want %d", run, len(res.Fragments), len(baseline.Fragments))
+		}
+		for i := range res.Fragments {
+			if res.Fragments[i].Document != baseline.Fragments[i].Document ||
+				res.Fragments[i].Root != baseline.Fragments[i].Root {
+				t.Fatalf("run %d: order differs at %d", run, i)
+			}
+		}
+	}
+}
+
+func TestCorpusSearchAggregatesStats(t *testing.T) {
+	c := testCorpus(t)
+	res, err := c.Search("name", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Keywords) != 1 || res.Stats.Keywords[0] != "name" {
+		t.Errorf("keywords = %v", res.Stats.Keywords)
+	}
+	if res.Stats.NumLCAs != len(res.Fragments) {
+		t.Errorf("NumLCAs = %d, fragments = %d", res.Stats.NumLCAs, len(res.Fragments))
+	}
+	if res.Stats.KeywordNodes == 0 || res.Stats.Elapsed <= 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestCorpusSearchDocument(t *testing.T) {
+	c := testCorpus(t)
+	res, err := c.SearchDocument("publications", "liu keyword", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 2 || res.Fragments[0].Document != "publications" {
+		t.Fatalf("fragments = %+v", res.Fragments)
+	}
+	if res.PerDocument["publications"] != 2 {
+		t.Errorf("PerDocument = %v", res.PerDocument)
+	}
+	if res.Stats.NumLCAs != 2 {
+		t.Errorf("NumLCAs = %d", res.Stats.NumLCAs)
+	}
+	if _, err := c.SearchDocument("absent", "liu", Options{}); !errors.Is(err, ErrUnknownDocument) {
+		t.Errorf("unknown document error = %v", err)
+	}
+}
+
+func TestCorpusDocumentsAndGeneration(t *testing.T) {
+	c := testCorpus(t)
+	docs := c.Documents()
+	if len(docs) != 2 || docs[0].Name != "publications" || docs[1].Name != "team" {
+		t.Fatalf("documents = %+v", docs)
+	}
+	for _, d := range docs {
+		if d.Words == 0 || d.Nodes == 0 {
+			t.Errorf("document %s missing sizes: %+v", d.Name, d)
+		}
+	}
+	g0 := c.Generation()
+	c.Add("extra", FromTree(paperdata.Team()))
+	if c.Generation() <= g0 {
+		t.Error("Add must advance the generation")
+	}
+	g1 := c.Generation()
+	if err := c.Engine("extra").AppendXML("0", `<member><name>new person</name></member>`); err != nil {
+		t.Fatal(err)
+	}
+	g2 := c.Generation()
+	if g2 <= g1 {
+		t.Error("AppendXML on a member engine must advance the corpus generation")
+	}
+	// Replacing an engine discards its generation from the sum; the total
+	// must still advance, never revisiting a value a cache entry was
+	// tagged with.
+	c.Add("extra", FromTree(paperdata.Team()))
+	if c.Generation() <= g2 {
+		t.Errorf("Generation after replacement = %d, want > %d", c.Generation(), g2)
 	}
 }
 

@@ -19,10 +19,12 @@
 package xks
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"xks/internal/analysis"
@@ -120,6 +122,7 @@ type Engine struct {
 	ix     *index.Index
 	scorer *rank.Scorer
 	snip   *snippet.Generator
+	gen    atomic.Uint64 // bumped by AppendXML; see Generation
 }
 
 // Load parses an XML document and builds the engine.
@@ -194,6 +197,11 @@ func (e *Engine) Tree() *xmltree.Tree { return e.tree }
 // Index exposes the underlying inverted index (read-only).
 func (e *Engine) Index() *index.Index { return e.ix }
 
+// Generation reports the engine's mutation generation: zero at
+// construction, incremented by every successful AppendXML. Caching layers
+// (internal/service) compare generations to detect stale cached results.
+func (e *Engine) Generation() uint64 { return e.gen.Load() }
+
 // Stats summarizes one search execution.
 type Stats struct {
 	// Keywords are the normalized query keywords in mask-bit order.
@@ -226,7 +234,7 @@ func (e *Engine) Search(queryText string, opts Options) (*Result, error) {
 	words, idfWords, sets, err := e.resolveSets(queryText)
 	if err != nil {
 		var nm *index.ErrNoMatch
-		if asErr(err, &nm) {
+		if errors.As(err, &nm) {
 			res.Stats.Keywords = words
 			return res, nil
 		}
@@ -325,25 +333,6 @@ func (e *Engine) resolveSets(queryText string) (display, idfWords []string, sets
 func (e *Engine) labelOf(c dewey.Code) string { return e.src.labelOf(c) }
 
 func (e *Engine) contentOf(c dewey.Code) []string { return e.src.contentOf(c) }
-
-func asErr(err error, target interface{}) bool {
-	nm, ok := target.(**index.ErrNoMatch)
-	if !ok {
-		return false
-	}
-	for err != nil {
-		if e, ok := err.(*index.ErrNoMatch); ok {
-			*nm = e
-			return true
-		}
-		u, ok := err.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		err = u.Unwrap()
-	}
-	return false
-}
 
 func (e *Engine) assemble(r *rtf.RTF, kept *prune.Result, allRoots []dewey.Code, words, idfWords []string) *Fragment {
 	f := &Fragment{

@@ -1,0 +1,3 @@
+module xks
+
+go 1.24

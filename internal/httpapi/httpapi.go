@@ -1,25 +1,31 @@
-// Package httpapi exposes an engine as a small JSON HTTP API, used by
-// cmd/xkserver and testable with net/http/httptest.
+// Package httpapi exposes a service.Service — engine- or corpus-backed,
+// with caching, singleflight, and metrics — as a small JSON HTTP API, used
+// by cmd/xkserver and testable with net/http/httptest.
 //
 // Endpoints:
 //
-//	GET /search?q=keyword+query[&algo=validrtf|maxmatch|raw][&slca=1]
-//	           [&rank=1][&limit=N][&snippets=1]
+//	GET /search?q=keyword+query[&doc=name][&algo=validrtf|maxmatch|raw]
+//	           [&slca=1][&rank=1][&limit=N][&snippets=1]
+//	GET /documents
+//	GET /stats
 //	GET /healthz
 package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"strconv"
 
 	"xks"
+	"xks/internal/service"
 )
 
 // Fragment is the JSON shape of one result fragment.
 type Fragment struct {
+	Document  string  `json:"document,omitempty"`
 	Root      string  `json:"root"`
 	RootLabel string  `json:"rootLabel"`
 	IsSLCA    bool    `json:"isSlca"`
@@ -31,18 +37,44 @@ type Fragment struct {
 
 // Response is the JSON shape of a search response.
 type Response struct {
-	Query     string     `json:"query"`
-	Keywords  []string   `json:"keywords"`
-	NumLCAs   int        `json:"numLcas"`
-	ElapsedMS float64    `json:"elapsedMs"`
-	Fragments []Fragment `json:"fragments"`
+	Query       string         `json:"query"`
+	Keywords    []string       `json:"keywords"`
+	NumLCAs     int            `json:"numLcas"`
+	ElapsedMS   float64        `json:"elapsedMs"`
+	Cached      bool           `json:"cached"`
+	PerDocument map[string]int `json:"perDocument,omitempty"`
+	Fragments   []Fragment     `json:"fragments"`
 }
 
-// NewHandler builds the API router over the engine. logger may be nil.
-func NewHandler(engine *xks.Engine, logger *log.Logger) http.Handler {
+// DocumentsResponse is the JSON shape of /documents.
+type DocumentsResponse struct {
+	Documents []xks.DocumentInfo `json:"documents"`
+}
+
+// StatsResponse is the JSON shape of /stats.
+type StatsResponse struct {
+	Documents    int              `json:"documents"`
+	Generation   uint64           `json:"generation"`
+	CacheEntries int              `json:"cacheEntries"`
+	Server       service.Snapshot `json:"server"`
+}
+
+// NewHandler builds the API router over the service. logger may be nil.
+func NewHandler(svc *service.Service, logger *log.Logger) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/documents", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, logger, DocumentsResponse{Documents: svc.Documents()})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, logger, StatsResponse{
+			Documents:    len(svc.Documents()),
+			Generation:   svc.Generation(),
+			CacheEntries: svc.CacheLen(),
+			Server:       svc.Metrics().Snapshot(),
+		})
 	})
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
@@ -76,20 +108,28 @@ func NewHandler(engine *xks.Engine, logger *log.Logger) http.Handler {
 			opts.Limit = n
 		}
 		withSnippets := r.URL.Query().Get("snippets") == "1"
+		doc := r.URL.Query().Get("doc")
 
-		res, err := engine.Search(q, opts)
+		res, cached, err := svc.Search(q, doc, opts)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			status := http.StatusBadRequest
+			if errors.Is(err, xks.ErrUnknownDocument) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
 			return
 		}
 		resp := Response{
-			Query:     q,
-			Keywords:  res.Stats.Keywords,
-			NumLCAs:   res.Stats.NumLCAs,
-			ElapsedMS: float64(res.Stats.Elapsed.Microseconds()) / 1000.0,
+			Query:       q,
+			Keywords:    res.Stats.Keywords,
+			NumLCAs:     res.Stats.NumLCAs,
+			ElapsedMS:   float64(res.Stats.Elapsed.Microseconds()) / 1000.0,
+			Cached:      cached,
+			PerDocument: res.PerDocument,
 		}
 		for _, f := range res.Fragments {
 			out := Fragment{
+				Document:  f.Document,
 				Root:      f.Root,
 				RootLabel: f.RootLabel,
 				IsSLCA:    f.IsSLCA,
@@ -102,10 +142,14 @@ func NewHandler(engine *xks.Engine, logger *log.Logger) http.Handler {
 			}
 			resp.Fragments = append(resp.Fragments, out)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(resp); err != nil && logger != nil {
-			logger.Printf("httpapi: encode: %v", err)
-		}
+		writeJSON(w, logger, resp)
 	})
 	return mux
+}
+
+func writeJSON(w http.ResponseWriter, logger *log.Logger, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil && logger != nil {
+		logger.Printf("httpapi: encode: %v", err)
+	}
 }

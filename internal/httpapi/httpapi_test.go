@@ -9,13 +9,29 @@ import (
 
 	"xks"
 	"xks/internal/paperdata"
+	"xks/internal/service"
 )
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(NewHandler(xks.FromTree(paperdata.Publications()), nil))
+	svc := service.New(
+		service.SingleDoc{Name: "publications.xml", Engine: xks.FromTree(paperdata.Publications())},
+		service.Config{CacheSize: 64},
+	)
+	srv := httptest.NewServer(NewHandler(svc, nil))
 	t.Cleanup(srv.Close)
 	return srv
+}
+
+func corpusServer(t *testing.T) (*httptest.Server, *xks.Corpus) {
+	t.Helper()
+	c := xks.NewCorpus()
+	c.Add("publications", xks.FromTree(paperdata.Publications()))
+	c.Add("team", xks.FromTree(paperdata.Team()))
+	svc := service.New(c, service.Config{CacheSize: 64})
+	srv := httptest.NewServer(NewHandler(svc, nil))
+	t.Cleanup(srv.Close)
+	return srv, c
 }
 
 func getJSON(t *testing.T, url string) (int, *Response) {
@@ -33,6 +49,22 @@ func getJSON(t *testing.T, url string) (int, *Response) {
 		t.Fatal(err)
 	}
 	return resp.StatusCode, &out
+}
+
+func decodeInto(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
 }
 
 func TestHealthz(t *testing.T) {
@@ -59,11 +91,39 @@ func TestSearchBasic(t *testing.T) {
 	if out.Fragments[0].Root != "0.2.0" || !out.Fragments[1].IsSLCA {
 		t.Errorf("fragments = %+v", out.Fragments)
 	}
+	if out.Fragments[0].Document != "publications.xml" {
+		t.Errorf("document = %q", out.Fragments[0].Document)
+	}
 	if !strings.Contains(out.Fragments[0].XML, "<article>") {
 		t.Errorf("xml missing: %q", out.Fragments[0].XML)
 	}
 	if len(out.Keywords) != 2 || out.ElapsedMS < 0 {
 		t.Errorf("stats = %+v", out)
+	}
+	if out.Cached {
+		t.Error("first request should not be cached")
+	}
+}
+
+func TestSearchRepeatIsCacheHit(t *testing.T) {
+	srv := testServer(t)
+	_, first := getJSON(t, srv.URL+"/search?q=liu+keyword")
+	if first.Cached {
+		t.Fatal("cold request marked cached")
+	}
+	_, second := getJSON(t, srv.URL+"/search?q=liu+keyword")
+	if !second.Cached {
+		t.Fatal("repeated request should be a cache hit")
+	}
+	if len(second.Fragments) != len(first.Fragments) {
+		t.Errorf("cached fragments = %d, want %d", len(second.Fragments), len(first.Fragments))
+	}
+	var stats StatsResponse
+	if code := decodeInto(t, srv.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status = %d", code)
+	}
+	if stats.Server.CacheHits != 1 || stats.Server.CacheMisses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", stats.Server.CacheHits, stats.Server.CacheMisses)
 	}
 }
 
@@ -114,6 +174,117 @@ func TestSearchErrors(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400", path, resp.StatusCode)
 		}
+	}
+}
+
+func TestSearchUnknownDocumentIs404(t *testing.T) {
+	srv, _ := corpusServer(t)
+	resp, err := http.Get(srv.URL + "/search?q=liu&doc=absent.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSearchDocumentFilter(t *testing.T) {
+	srv, _ := corpusServer(t)
+	// Corpus-wide: "name" matches both documents.
+	_, all := getJSON(t, srv.URL+"/search?q=name")
+	if all.PerDocument["publications"] == 0 || all.PerDocument["team"] == 0 {
+		t.Fatalf("perDocument = %v", all.PerDocument)
+	}
+	// Filtered to one document.
+	_, team := getJSON(t, srv.URL+"/search?q=name&doc=team")
+	if len(team.Fragments) == 0 || len(team.Fragments) >= len(all.Fragments) {
+		t.Errorf("filtered fragments = %d of %d", len(team.Fragments), len(all.Fragments))
+	}
+	for _, f := range team.Fragments {
+		if f.Document != "team" {
+			t.Errorf("fragment from %q", f.Document)
+		}
+	}
+}
+
+func TestDocumentsEndpoint(t *testing.T) {
+	srv, _ := corpusServer(t)
+	var out DocumentsResponse
+	if code := decodeInto(t, srv.URL+"/documents", &out); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(out.Documents) != 2 {
+		t.Fatalf("documents = %+v", out.Documents)
+	}
+	if out.Documents[0].Name != "publications" || out.Documents[1].Name != "team" {
+		t.Errorf("names/order = %+v", out.Documents)
+	}
+	for _, d := range out.Documents {
+		if d.Words == 0 || d.Nodes == 0 {
+			t.Errorf("document %s missing index sizes: %+v", d.Name, d)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, c := corpusServer(t)
+	getJSON(t, srv.URL+"/search?q=name")
+	getJSON(t, srv.URL+"/search?q=name") // cache hit
+	resp, err := http.Get(srv.URL + "/search?q=the+of")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() // error request
+
+	var out StatsResponse
+	if code := decodeInto(t, srv.URL+"/stats", &out); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if out.Documents != 2 {
+		t.Errorf("documents = %d", out.Documents)
+	}
+	if out.Generation != c.Generation() {
+		t.Errorf("generation = %d, want %d", out.Generation, c.Generation())
+	}
+	if out.CacheEntries != 1 {
+		t.Errorf("cacheEntries = %d, want 1", out.CacheEntries)
+	}
+	s := out.Server
+	if s.Requests != 3 || s.Errors != 1 || s.CacheHits != 1 || s.CacheMisses != 2 {
+		t.Errorf("server stats = %+v", s)
+	}
+	if s.CacheHitRate <= 0.3 || s.CacheHitRate >= 0.4 {
+		t.Errorf("hit rate = %v, want 1/3", s.CacheHitRate)
+	}
+	if s.P50LatencyMS < 0 || s.P99LatencyMS < s.P50LatencyMS {
+		t.Errorf("latency quantiles = %+v", s)
+	}
+}
+
+func TestAppendInvalidatesOverHTTP(t *testing.T) {
+	engine, err := xks.LoadString(`<bib><paper><title>xml search</title></paper></bib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.SingleDoc{Name: "bib", Engine: engine}, service.Config{CacheSize: 8})
+	srv := httptest.NewServer(NewHandler(svc, nil))
+	t.Cleanup(srv.Close)
+
+	_, cold := getJSON(t, srv.URL+"/search?q=search")
+	_, warm := getJSON(t, srv.URL+"/search?q=search")
+	if cold.Cached || !warm.Cached {
+		t.Fatalf("cold/warm cached = %t/%t", cold.Cached, warm.Cached)
+	}
+	if err := engine.AppendXML("0", `<paper><title>fresh search result</title></paper>`); err != nil {
+		t.Fatal(err)
+	}
+	_, after := getJSON(t, srv.URL+"/search?q=search")
+	if after.Cached {
+		t.Error("append should have invalidated the cached entry")
+	}
+	if len(after.Fragments) <= len(warm.Fragments) {
+		t.Errorf("fragments after append = %d, want > %d", len(after.Fragments), len(warm.Fragments))
 	}
 }
 

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"xks"
+)
+
+// group collapses concurrent executions with the same key into one: the
+// first caller (the leader) runs fn; callers arriving while it is in
+// flight block and share the leader's result. A thundering herd of N
+// identical queries therefore costs one pipeline execution, not N.
+type group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	wg  sync.WaitGroup
+	val *xks.CorpusResult
+	err error
+}
+
+// do runs fn once per key among concurrent callers. shared reports whether
+// this caller joined an in-flight execution instead of leading one.
+func (g *group) do(key string, fn func() (*xks.CorpusResult, error)) (val *xks.CorpusResult, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*call{}
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := new(call)
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+	// Runs before the release defer above (LIFO): a panicking fn must
+	// hand joiners an error, not a nil result with a nil error.
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("xks: query execution panicked: %v", r)
+			panic(r)
+		}
+	}()
+	c.val, c.err = fn()
+	return c.val, false, c.err
+}

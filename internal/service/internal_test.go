@@ -1,0 +1,197 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xks"
+)
+
+func TestGroupCollapsesConcurrentCalls(t *testing.T) {
+	var g group
+	var execs atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const n = 8
+	var wg sync.WaitGroup
+	sharedCount := atomic.Int64{}
+	// Leader blocks inside fn until release closes, guaranteeing the
+	// other callers arrive while the call is in flight.
+	leaderDone := make(chan *xks.CorpusResult, 1)
+	go func() {
+		val, shared, err := g.do("k", func() (*xks.CorpusResult, error) {
+			execs.Add(1)
+			close(started)
+			<-release
+			return &xks.CorpusResult{Query: "q"}, nil
+		})
+		if shared || err != nil {
+			t.Errorf("leader: shared=%t err=%v", shared, err)
+		}
+		leaderDone <- val
+	}()
+	<-started
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, shared, err := g.do("k", func() (*xks.CorpusResult, error) {
+				execs.Add(1)
+				return &xks.CorpusResult{Query: "other"}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			if val == nil || val.Query != "q" {
+				t.Errorf("joiner got %+v", val)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let joiners reach Wait
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	if got := execs.Load(); got != 1 {
+		t.Errorf("executions = %d, want 1", got)
+	}
+	if got := sharedCount.Load(); got != n {
+		t.Errorf("shared callers = %d, want %d", got, n)
+	}
+}
+
+func TestGroupDistinctKeysRunIndependently(t *testing.T) {
+	var g group
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			if _, _, err := g.do(key, func() (*xks.CorpusResult, error) {
+				execs.Add(1)
+				return nil, nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}(key)
+	}
+	wg.Wait()
+	if execs.Load() != 3 {
+		t.Errorf("executions = %d, want 3", execs.Load())
+	}
+}
+
+func TestGroupPropagatesError(t *testing.T) {
+	var g group
+	boom := errors.New("boom")
+	_, _, err := g.do("k", func() (*xks.CorpusResult, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	// The key is released after the call; the next call re-executes.
+	val, shared, err := g.do("k", func() (*xks.CorpusResult, error) {
+		return &xks.CorpusResult{}, nil
+	})
+	if val == nil || shared || err != nil {
+		t.Errorf("retry: val=%v shared=%t err=%v", val, shared, err)
+	}
+}
+
+func TestGroupLeaderPanicReleasesJoinersWithError(t *testing.T) {
+	var g group
+	started := make(chan struct{})
+	joined := make(chan struct{})
+	errs := make(chan error, 1)
+	go func() {
+		defer func() { recover() }() // leader's panic propagates; contain it
+		g.do("k", func() (*xks.CorpusResult, error) {
+			close(started)
+			<-joined
+			panic("boom")
+		})
+	}()
+	<-started
+	go func() {
+		val, shared, err := g.do("k", func() (*xks.CorpusResult, error) {
+			return &xks.CorpusResult{}, nil
+		})
+		if !shared || val != nil {
+			t.Errorf("joiner: shared=%t val=%v", shared, val)
+		}
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the joiner reach Wait
+	close(joined)
+	if err := <-errs; err == nil {
+		t.Fatal("joiner must receive an error when the leader panics")
+	}
+}
+
+func TestCacheKeyNormalization(t *testing.T) {
+	base := cacheKey("xml keyword", "", xks.Options{})
+	if cacheKey("  XML   Keyword ", "", xks.Options{}) != base {
+		t.Error("whitespace/case folding should not change the key")
+	}
+	if cacheKey("keyword xml", "", xks.Options{}) == base {
+		t.Error("term order is part of the key")
+	}
+	if cacheKey("xml keyword", "doc.xml", xks.Options{}) == base {
+		t.Error("document filter is part of the key")
+	}
+	if cacheKey("xml keyword", "", xks.Options{Rank: true}) == base {
+		t.Error("options are part of the key")
+	}
+	if cacheKey("xml keyword", "", xks.Options{Limit: 3}) == base {
+		t.Error("limit is part of the key")
+	}
+}
+
+func TestMetricsHistogramQuantiles(t *testing.T) {
+	var m Metrics
+	// 90 fast requests at ~80µs, 10 slow at ~40ms.
+	for i := 0; i < 90; i++ {
+		m.observe(80 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		m.observe(40 * time.Millisecond)
+	}
+	s := m.Snapshot()
+	if s.P50LatencyMS <= 0 || s.P50LatencyMS > 0.1 {
+		t.Errorf("p50 = %vms, want ~0.08ms", s.P50LatencyMS)
+	}
+	if s.P95LatencyMS < 25 || s.P95LatencyMS > 50 {
+		t.Errorf("p95 = %vms, want within the 25–50ms bucket", s.P95LatencyMS)
+	}
+	if s.P99LatencyMS < s.P95LatencyMS {
+		t.Errorf("p99 (%v) < p95 (%v)", s.P99LatencyMS, s.P95LatencyMS)
+	}
+	wantAvg := (90*0.08 + 10*40) / 100
+	if s.AvgLatencyMS < wantAvg*0.9 || s.AvgLatencyMS > wantAvg*1.1 {
+		t.Errorf("avg = %vms, want ~%vms", s.AvgLatencyMS, wantAvg)
+	}
+}
+
+func TestMetricsEmptySnapshot(t *testing.T) {
+	var m Metrics
+	s := m.Snapshot()
+	if s.Requests != 0 || s.AvgLatencyMS != 0 || s.P99LatencyMS != 0 || s.CacheHitRate != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestMetricsOverflowBucket(t *testing.T) {
+	var m Metrics
+	m.observe(30 * time.Second) // beyond the last bound
+	s := m.Snapshot()
+	if s.P50LatencyMS != 5000 {
+		t.Errorf("overflow p50 = %v, want clamped to 5000ms", s.P50LatencyMS)
+	}
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds in microseconds,
+// roughly exponential from 50µs to 5s; a final implicit bucket catches
+// everything slower.
+var latencyBounds = [...]uint64{
+	50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000,
+}
+
+const numBuckets = len(latencyBounds) + 1
+
+// Metrics holds the live server counters. All fields are atomics, so the
+// hot path never takes a lock; Snapshot reads are lock-free and only
+// approximately consistent across counters, which is fine for monitoring.
+type Metrics struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	collapsed atomic.Uint64
+
+	latCount atomic.Uint64
+	latSum   atomic.Uint64 // microseconds
+	buckets  [numBuckets]atomic.Uint64
+}
+
+// observe records one request latency in the histogram.
+func (m *Metrics) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	m.latCount.Add(1)
+	m.latSum.Add(uint64(us))
+	i := 0
+	for i < len(latencyBounds) && uint64(us) > latencyBounds[i] {
+		i++
+	}
+	m.buckets[i].Add(1)
+}
+
+// Snapshot is a point-in-time JSON-friendly view of the metrics.
+type Snapshot struct {
+	Requests     uint64  `json:"requests"`
+	Errors       uint64  `json:"errors"`
+	CacheHits    uint64  `json:"cacheHits"`
+	CacheMisses  uint64  `json:"cacheMisses"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+	// Collapsed counts requests that joined an in-flight identical query
+	// (singleflight) instead of executing the pipeline themselves.
+	Collapsed    uint64  `json:"collapsedRequests"`
+	AvgLatencyMS float64 `json:"avgLatencyMs"`
+	P50LatencyMS float64 `json:"p50LatencyMs"`
+	P95LatencyMS float64 `json:"p95LatencyMs"`
+	P99LatencyMS float64 `json:"p99LatencyMs"`
+}
+
+// Snapshot derives the aggregate view, estimating the latency percentiles
+// from the histogram by linear interpolation within the matched bucket.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Requests:    m.requests.Load(),
+		Errors:      m.errors.Load(),
+		CacheHits:   m.hits.Load(),
+		CacheMisses: m.misses.Load(),
+		Collapsed:   m.collapsed.Load(),
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	count := m.latCount.Load()
+	if count == 0 {
+		return s
+	}
+	s.AvgLatencyMS = float64(m.latSum.Load()) / float64(count) / 1000.0
+	var counts [numBuckets]uint64
+	total := uint64(0)
+	for i := range counts {
+		counts[i] = m.buckets[i].Load()
+		total += counts[i]
+	}
+	s.P50LatencyMS = quantile(counts[:], total, 0.50)
+	s.P95LatencyMS = quantile(counts[:], total, 0.95)
+	s.P99LatencyMS = quantile(counts[:], total, 0.99)
+	return s
+}
+
+// quantile estimates the q-th latency quantile in milliseconds from the
+// bucket counts.
+func quantile(counts []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(latencyBounds[i-1])
+			}
+			hi := lo
+			if i < len(latencyBounds) {
+				hi = float64(latencyBounds[i])
+			}
+			frac := (rank - cum) / float64(c)
+			return (lo + (hi-lo)*frac) / 1000.0
+		}
+		cum = next
+	}
+	return float64(latencyBounds[len(latencyBounds)-1]) / 1000.0
+}

@@ -1,0 +1,179 @@
+// Package service is the serving layer between the xks algorithms and the
+// HTTP API (internal/httpapi): the pieces a production search server needs
+// around the per-document pipeline.
+//
+// It provides:
+//
+//   - Searcher, one search entrypoint unifying a single xks.Engine (via
+//     the SingleDoc adapter) and a multi-document xks.Corpus;
+//   - a sharded LRU query-result cache (internal/lru) keyed by normalized
+//     query + options, invalidated by data generation: Engine.AppendXML
+//     bumps the generation, so stale entries die on their next lookup;
+//   - singleflight collapsing of concurrent identical queries, so a
+//     thundering herd of the same request costs one pipeline execution;
+//   - live server metrics (request/error/cache counters and a latency
+//     histogram with p50/p95/p99) behind atomic counters.
+//
+// Cached *xks.CorpusResult values are shared between callers and must be
+// treated as immutable.
+package service
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xks"
+	"xks/internal/lru"
+)
+
+// Searcher is the search surface the service builds on. *xks.Corpus
+// implements it directly; wrap a single *xks.Engine with SingleDoc.
+type Searcher interface {
+	// Search runs the query over every document.
+	Search(query string, opts xks.Options) (*xks.CorpusResult, error)
+	// SearchDocument runs the query over one named document; the error
+	// wraps xks.ErrUnknownDocument for names the searcher does not hold.
+	SearchDocument(doc, query string, opts xks.Options) (*xks.CorpusResult, error)
+	// Documents lists the searchable documents.
+	Documents() []xks.DocumentInfo
+	// Generation changes whenever the underlying data changes; the cache
+	// tags entries with it to detect staleness.
+	Generation() uint64
+}
+
+var _ Searcher = (*xks.Corpus)(nil)
+
+// SingleDoc adapts one engine to the Searcher interface under a document
+// name, so a single-file server and a corpus server share one serving path.
+type SingleDoc struct {
+	Name   string
+	Engine *xks.Engine
+}
+
+func (s SingleDoc) Search(query string, opts xks.Options) (*xks.CorpusResult, error) {
+	res, err := s.Engine.Search(query, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.AsCorpus(s.Name), nil
+}
+
+func (s SingleDoc) SearchDocument(doc, query string, opts xks.Options) (*xks.CorpusResult, error) {
+	if doc != s.Name {
+		return nil, fmt.Errorf("xks: %w: %q", xks.ErrUnknownDocument, doc)
+	}
+	return s.Search(query, opts)
+}
+
+func (s SingleDoc) Documents() []xks.DocumentInfo {
+	ix := s.Engine.Index()
+	return []xks.DocumentInfo{{Name: s.Name, Words: ix.NumWords(), Nodes: ix.NumNodes()}}
+}
+
+func (s SingleDoc) Generation() uint64 { return s.Engine.Generation() }
+
+// Config sizes the service.
+type Config struct {
+	// CacheSize is the maximum number of cached query results; 0 disables
+	// caching entirely (singleflight and metrics stay on).
+	CacheSize int
+	// CacheShards is the cache shard count (default 16, rounded to a
+	// power of two).
+	CacheShards int
+}
+
+// Service wraps a Searcher with caching, singleflight, and metrics.
+type Service struct {
+	searcher Searcher
+	cache    *lru.Cache[*xks.CorpusResult]
+	flight   group
+	metrics  Metrics
+}
+
+// New builds the service over a searcher.
+func New(s Searcher, cfg Config) *Service {
+	sv := &Service{searcher: s}
+	if cfg.CacheSize > 0 {
+		sv.cache = lru.New[*xks.CorpusResult](cfg.CacheSize, cfg.CacheShards)
+	}
+	return sv
+}
+
+// Documents lists the searchable documents.
+func (sv *Service) Documents() []xks.DocumentInfo { return sv.searcher.Documents() }
+
+// Generation exposes the searcher's current data generation.
+func (sv *Service) Generation() uint64 { return sv.searcher.Generation() }
+
+// Metrics exposes the live counters (read with Metrics().Snapshot()).
+func (sv *Service) Metrics() *Metrics { return &sv.metrics }
+
+// CacheLen reports the number of live cache entries (0 when caching is
+// disabled).
+func (sv *Service) CacheLen() int {
+	if sv.cache == nil {
+		return 0
+	}
+	return sv.cache.Len()
+}
+
+// cacheKey derives the cache/singleflight key: the whitespace-normalized,
+// case-folded query, the document filter, and every option that changes
+// the result. Deeper normalization (stemming, stop words) happens inside
+// the engine; folding here just catches the cheap equivalences.
+func cacheKey(query, doc string, opts xks.Options) string {
+	q := strings.Join(strings.Fields(strings.ToLower(query)), " ")
+	return fmt.Sprintf("%s\x00%s\x00%d.%d.%t.%t.%d",
+		q, doc, opts.Algorithm, opts.Semantics, opts.ExactContent, opts.Rank, opts.Limit)
+}
+
+// Search serves one query, over the whole corpus when doc is empty or over
+// the named document otherwise. cached reports whether the result came
+// from the cache. The returned result is shared with other callers — do
+// not mutate it.
+func (sv *Service) Search(query, doc string, opts xks.Options) (res *xks.CorpusResult, cached bool, err error) {
+	start := time.Now()
+	sv.metrics.requests.Add(1)
+	defer func() {
+		if err != nil {
+			sv.metrics.errors.Add(1)
+		}
+		sv.metrics.observe(time.Since(start))
+	}()
+
+	key := cacheKey(query, doc, opts)
+	// Capture the generation before searching: if the data mutates while
+	// the pipeline runs, the entry is stored under the old generation and
+	// dies on its next lookup instead of serving stale results forever.
+	gen := sv.searcher.Generation()
+	if sv.cache != nil {
+		if hit, ok := sv.cache.Get(key, gen); ok {
+			sv.metrics.hits.Add(1)
+			return hit, true, nil
+		}
+		sv.metrics.misses.Add(1)
+	}
+
+	res, shared, err := sv.flight.do(key, func() (*xks.CorpusResult, error) {
+		r, err := sv.doSearch(query, doc, opts)
+		if err == nil && sv.cache != nil {
+			sv.cache.Put(key, gen, r)
+		}
+		return r, err
+	})
+	if shared {
+		sv.metrics.collapsed.Add(1)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return res, false, nil
+}
+
+func (sv *Service) doSearch(query, doc string, opts xks.Options) (*xks.CorpusResult, error) {
+	if doc == "" {
+		return sv.searcher.Search(query, opts)
+	}
+	return sv.searcher.SearchDocument(doc, query, opts)
+}

@@ -1,0 +1,296 @@
+package service_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xks"
+	"xks/internal/paperdata"
+	"xks/internal/service"
+)
+
+func testCorpus(t *testing.T) *xks.Corpus {
+	t.Helper()
+	c := xks.NewCorpus()
+	c.Add("publications", xks.FromTree(paperdata.Publications()))
+	c.Add("team", xks.FromTree(paperdata.Team()))
+	return c
+}
+
+func TestSearchCacheHit(t *testing.T) {
+	sv := service.New(testCorpus(t), service.Config{CacheSize: 64})
+	res1, cached, err := sv.Search("liu keyword", "", xks.Options{})
+	if err != nil || cached {
+		t.Fatalf("first search: cached=%t err=%v", cached, err)
+	}
+	res2, cached, err := sv.Search("liu keyword", "", xks.Options{})
+	if err != nil || !cached {
+		t.Fatalf("second search: cached=%t err=%v", cached, err)
+	}
+	if res2 != res1 {
+		t.Error("cache hit should return the same result object")
+	}
+	// Whitespace / case variants hit the same entry.
+	if _, cached, _ := sv.Search("  Liu   KEYWORD ", "", xks.Options{}); !cached {
+		t.Error("normalized variant should be a cache hit")
+	}
+	// Different options are a different entry.
+	if _, cached, _ := sv.Search("liu keyword", "", xks.Options{Rank: true}); cached {
+		t.Error("different options must not share a cache entry")
+	}
+	s := sv.Metrics().Snapshot()
+	if s.CacheHits != 2 || s.CacheMisses != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/2", s.CacheHits, s.CacheMisses)
+	}
+	if s.Requests != 4 || s.Errors != 0 {
+		t.Errorf("requests=%d errors=%d", s.Requests, s.Errors)
+	}
+}
+
+func TestSearchDocumentFilter(t *testing.T) {
+	sv := service.New(testCorpus(t), service.Config{CacheSize: 64})
+	res, _, err := sv.Search("name", "team", xks.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) == 0 {
+		t.Fatal("no fragments from team")
+	}
+	for _, f := range res.Fragments {
+		if f.Document != "team" {
+			t.Errorf("fragment from %s", f.Document)
+		}
+	}
+	// Corpus-wide and filtered results are distinct cache entries.
+	all, _, err := sv.Search("name", "", xks.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Fragments) <= len(res.Fragments) {
+		t.Errorf("corpus-wide %d fragments, filtered %d", len(all.Fragments), len(res.Fragments))
+	}
+
+	_, _, err = sv.Search("name", "absent", xks.Options{})
+	if !errors.Is(err, xks.ErrUnknownDocument) {
+		t.Errorf("unknown document error = %v", err)
+	}
+	if s := sv.Metrics().Snapshot(); s.Errors != 1 {
+		t.Errorf("errors = %d, want 1", s.Errors)
+	}
+}
+
+func TestSingleDocAdapter(t *testing.T) {
+	e := xks.FromTree(paperdata.Publications())
+	sv := service.New(service.SingleDoc{Name: "pubs.xml", Engine: e}, service.Config{CacheSize: 8})
+	res, _, err := sv.Search("liu keyword", "", xks.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 2 || res.Fragments[0].Document != "pubs.xml" {
+		t.Fatalf("fragments = %+v", res.Fragments)
+	}
+	if res.Stats.NumLCAs != 2 {
+		t.Errorf("NumLCAs = %d", res.Stats.NumLCAs)
+	}
+	if res.PerDocument["pubs.xml"] != 2 {
+		t.Errorf("PerDocument = %v", res.PerDocument)
+	}
+	if _, _, err := sv.Search("liu", "other.xml", xks.Options{}); !errors.Is(err, xks.ErrUnknownDocument) {
+		t.Errorf("doc filter mismatch error = %v", err)
+	}
+	docs := sv.Documents()
+	if len(docs) != 1 || docs[0].Name != "pubs.xml" || docs[0].Words == 0 || docs[0].Nodes == 0 {
+		t.Errorf("Documents = %+v", docs)
+	}
+}
+
+func TestAppendXMLInvalidatesCache(t *testing.T) {
+	e, err := xks.LoadString(`<bib><paper><title>xml search</title></paper></bib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := service.New(service.SingleDoc{Name: "bib", Engine: e}, service.Config{CacheSize: 8})
+
+	res, _, err := sv.Search("search", "", xks.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(res.Fragments)
+	if _, cached, _ := sv.Search("search", "", xks.Options{}); !cached {
+		t.Fatal("expected a cache hit before the append")
+	}
+
+	if err := e.AppendXML("0", `<paper><title>another search paper</title></paper>`); err != nil {
+		t.Fatal(err)
+	}
+	res, cached, err := sv.Search("search", "", xks.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("AppendXML must invalidate the cached entry")
+	}
+	if len(res.Fragments) <= before {
+		t.Errorf("fragments = %d, want more than %d after append", len(res.Fragments), before)
+	}
+	// The fresh result is cached under the new generation.
+	if _, cached, _ := sv.Search("search", "", xks.Options{}); !cached {
+		t.Error("post-append result should cache again")
+	}
+}
+
+func TestCorpusAddInvalidatesCache(t *testing.T) {
+	c := testCorpus(t)
+	sv := service.New(c, service.Config{CacheSize: 8})
+	if _, _, err := sv.Search("name", "", xks.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	c.Add("extra", xks.FromTree(paperdata.Publications()))
+	if _, cached, _ := sv.Search("name", "", xks.Options{}); cached {
+		t.Error("Add must invalidate corpus-wide cached results")
+	}
+}
+
+// countingSearcher wraps a Searcher, counting and optionally slowing the
+// underlying executions so singleflight collapsing is observable.
+type countingSearcher struct {
+	service.Searcher
+	execs atomic.Int64
+	delay time.Duration
+}
+
+func (cs *countingSearcher) Search(query string, opts xks.Options) (*xks.CorpusResult, error) {
+	cs.execs.Add(1)
+	if cs.delay > 0 {
+		time.Sleep(cs.delay)
+	}
+	return cs.Searcher.Search(query, opts)
+}
+
+func TestSingleflightCollapsesHerd(t *testing.T) {
+	cs := &countingSearcher{Searcher: testCorpus(t), delay: 50 * time.Millisecond}
+	// Cache disabled: every request would run the pipeline without
+	// singleflight.
+	sv := service.New(cs, service.Config{})
+
+	const herd = 16
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, _, err := sv.Search("liu keyword", "", xks.Options{})
+			if err != nil {
+				t.Error(err)
+			} else if len(res.Fragments) != 2 {
+				t.Errorf("fragments = %d", len(res.Fragments))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// All goroutines start well within the 50ms window of the leader's
+	// execution, so nearly all collapse; allow a little scheduling slack.
+	if got := cs.execs.Load(); got > 3 {
+		t.Errorf("underlying executions = %d, want <= 3 for a herd of %d", got, herd)
+	}
+	s := sv.Metrics().Snapshot()
+	if s.Collapsed < herd-3 {
+		t.Errorf("collapsed = %d, want >= %d", s.Collapsed, herd-3)
+	}
+	if s.Requests != herd {
+		t.Errorf("requests = %d", s.Requests)
+	}
+}
+
+// TestConcurrentHammer drives the cache + singleflight + metrics from many
+// goroutines under -race.
+func TestConcurrentHammer(t *testing.T) {
+	c := testCorpus(t)
+	sv := service.New(c, service.Config{CacheSize: 32, CacheShards: 4})
+	queries := []string{"liu keyword", "name", "xml", "search liu", "title:xml"}
+	docs := []string{"", "publications", "team"}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := queries[(g+i)%len(queries)]
+				d := docs[i%len(docs)]
+				opts := xks.Options{Rank: i%2 == 0, Limit: i % 3}
+				if _, _, err := sv.Search(q, d, opts); err != nil {
+					t.Errorf("search %q: %v", q, err)
+					return
+				}
+				if i%10 == 0 {
+					sv.Metrics().Snapshot()
+					sv.CacheLen()
+				}
+			}
+		}(g)
+	}
+	// Hammer generation reads alongside the searches (AppendXML itself
+	// may not run concurrently with Search, so mutation-under-load is
+	// covered by TestAppendXMLInvalidatesCache instead).
+	for i := 0; i < 100; i++ {
+		_ = sv.Generation()
+	}
+	wg.Wait()
+
+	s := sv.Metrics().Snapshot()
+	if s.Requests != 16*50 {
+		t.Errorf("requests = %d, want %d", s.Requests, 16*50)
+	}
+	if s.Errors != 0 {
+		t.Errorf("errors = %d", s.Errors)
+	}
+	if s.CacheHits == 0 {
+		t.Error("hammer produced no cache hits")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	sv := service.New(testCorpus(t), service.Config{CacheSize: 0})
+	for i := 0; i < 3; i++ {
+		if _, cached, err := sv.Search("liu keyword", "", xks.Options{}); err != nil || cached {
+			t.Fatalf("i=%d cached=%t err=%v", i, cached, err)
+		}
+	}
+	if sv.CacheLen() != 0 {
+		t.Errorf("CacheLen = %d", sv.CacheLen())
+	}
+	s := sv.Metrics().Snapshot()
+	if s.CacheHits != 0 || s.CacheMisses != 0 {
+		t.Errorf("disabled cache counted hits/misses: %+v", s)
+	}
+}
+
+func TestCacheEvictionUnderPressure(t *testing.T) {
+	sv := service.New(testCorpus(t), service.Config{CacheSize: 4, CacheShards: 1})
+	for i := 0; i < 20; i++ {
+		if _, _, err := sv.Search("name", "", xks.Options{Limit: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := sv.CacheLen(); n > 4 {
+		t.Errorf("CacheLen = %d, want <= 4", n)
+	}
+}
+
+func ExampleService_Search() {
+	engine, _ := xks.LoadString(`<bib><paper><title>xml keyword search</title></paper></bib>`)
+	sv := service.New(service.SingleDoc{Name: "bib.xml", Engine: engine}, service.Config{CacheSize: 128})
+	res, cached, _ := sv.Search("keyword search", "", xks.Options{})
+	fmt.Println(len(res.Fragments), cached)
+	_, cached, _ = sv.Search("keyword search", "", xks.Options{})
+	fmt.Println(cached)
+	// Output:
+	// 1 false
+	// true
+}
