@@ -14,6 +14,7 @@ package xks
 // cID feature vs exact content-set comparison.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -300,6 +301,89 @@ func BenchmarkAblationELCA(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			lca.ELCAIndexedDispatch(sets)
 		}
+	})
+}
+
+var (
+	benchCorpusOnce  sync.Once
+	benchCorpus      *Corpus
+	benchCorpusQuery string
+)
+
+// benchCorpusData builds a multi-document corpus (24 generated DBLP
+// documents — the digital-library setting) and picks the workload query
+// with the most candidates across it, so a Limit=10 selection discards
+// real work.
+func benchCorpusData(b *testing.B) (*Corpus, string) {
+	b.Helper()
+	benchCorpusOnce.Do(func() {
+		w := workload.DBLP()
+		specs, err := w.Specs(0, 400.0/20000.0)
+		if err != nil {
+			panic(err)
+		}
+		benchCorpus = NewCorpus()
+		for i := int64(0); i < 24; i++ {
+			tree := datagen.DBLP(datagen.DBLPConfig{Seed: 100 + i, NumRecords: 400, Keywords: specs})
+			benchCorpus.Add(fmt.Sprintf("dblp-%d.xml", i), FromTree(tree))
+		}
+		best := 0
+		for _, abbrev := range w.Queries {
+			q, err := w.Expand(abbrev)
+			if err != nil {
+				panic(err)
+			}
+			res, err := benchCorpus.Search(q, Options{})
+			if err != nil {
+				panic(err)
+			}
+			if res.Stats.NumLCAs > best {
+				best, benchCorpusQuery = res.Stats.NumLCAs, q
+			}
+		}
+	})
+	return benchCorpus, benchCorpusQuery
+}
+
+// BenchmarkCorpusTopK measures the late-materialization contract on a
+// ranked, limited corpus search: the staged pipeline streams candidates
+// into a bounded top-K merge and assembles exactly Limit fragments, while
+// the eager baseline (the pre-refactor path, kept in
+// pipeline_crosscheck_test.go) assembles every fragment in every document
+// before sorting and truncating. The pipeline case also asserts the
+// assembly count.
+func BenchmarkCorpusTopK(b *testing.B) {
+	c, q := benchCorpusData(b)
+	opts := Options{Rank: true, Limit: 10}
+
+	b.Run("pipeline", func(b *testing.B) {
+		b.ReportAllocs()
+		before := corpusAssembled(c)
+		fragments := 0
+		for i := 0; i < b.N; i++ {
+			res, err := c.Search(q, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fragments = len(res.Fragments)
+		}
+		assembled := corpusAssembled(c) - before
+		if max := uint64(b.N * opts.Limit); assembled > max {
+			b.Fatalf("assembled %d fragments over %d iterations; late materialization allows at most %d", assembled, b.N, max)
+		}
+		b.ReportMetric(float64(fragments), "fragments")
+	})
+	b.Run("eagerBaseline", func(b *testing.B) {
+		b.ReportAllocs()
+		fragments := 0
+		for i := 0; i < b.N; i++ {
+			res, err := eagerCorpusSearch(c, q, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fragments = len(res.Fragments)
+		}
+		b.ReportMetric(float64(fragments), "fragments")
 	})
 }
 

@@ -8,9 +8,15 @@
 //	xkbench -figure 5b           # one panel (5a..5d or 6a..6d)
 //	xkbench -size large -csv     # bigger sweep, CSV output
 //	xkbench -repeats 5           # the paper's 6-runs-discard-first protocol
+//	xkbench -json out.json       # also write machine-readable records
+//
+// -json writes every measurement as {"name", "ns_per_op", "fragments"}
+// records ("benchmarks" array), the format the repo's BENCH_*.json perf
+// trajectory accumulates.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +31,7 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "timed runs per query after the discarded warm-up")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel = flag.Int("parallel", 0, "run queries across N workers (timings become indicative; 0 = sequential)")
+		jsonOut  = flag.String("json", "", "write machine-readable benchmark records to this file")
 	)
 	flag.Parse()
 
@@ -44,6 +51,7 @@ func main() {
 	if *csv {
 		fmt.Println("dataset,query,keywords,maxmatch_ms,validrtf_ms,rtfs,cfr,apr_prime,max_apr")
 	}
+	var records []experiments.BenchRecord
 	for _, spec := range selected {
 		var (
 			res *experiments.FigureResult
@@ -56,6 +64,9 @@ func main() {
 		}
 		if err != nil {
 			fatal(err)
+		}
+		if *jsonOut != "" {
+			records = append(records, res.Records()...)
 		}
 		if *csv {
 			// Skip the embedded header; it was printed once above.
@@ -73,6 +84,21 @@ func main() {
 		fmt.Printf("summary: mean ValidRTF/MaxMatch time ratio %.2f; CFR<1 on %d/%d queries; APR'>0 on %d/%d; min MaxAPR %.3f\n\n",
 			s.MeanTimeRatio, s.QueriesWithCFRBelow1, s.Queries, s.QueriesWithAPRPrimePositive, s.Queries, s.MinMaxAPR)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, records); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeJSON(path string, records []experiments.BenchRecord) error {
+	out, err := json.MarshalIndent(struct {
+		Benchmarks []experiments.BenchRecord `json:"benchmarks"`
+	}{Benchmarks: records}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func fatal(err error) {

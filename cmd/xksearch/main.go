@@ -1,13 +1,18 @@
-// Command xksearch runs a keyword query against an XML document and prints
-// the meaningful fragments.
+// Command xksearch runs a keyword query against an XML document, a
+// shredded store, or a whole directory of XML files and prints the
+// meaningful fragments.
 //
 // Usage:
 //
 //	xksearch -file doc.xml [-algo validrtf|maxmatch|raw] [-slca] [-rank]
 //	         [-limit N] [-format ascii|xml|snippet] "keyword query"
 //	xksearch -store doc.xks "keyword query"          # search a shredded store
+//	xksearch -dir corpus/ -rank -limit 10 "query"    # search a directory-corpus
 //
-// Query terms may carry label predicates: "title:xml author: keyword".
+// With -dir the tool searches every *.xml file as one corpus (the same
+// corpus xkserver -dir serves) and labels each fragment with its source
+// document. Query terms may carry label predicates: "title:xml author:
+// keyword".
 package main
 
 import (
@@ -23,6 +28,7 @@ func main() {
 	var (
 		file   = flag.String("file", "", "XML document to search")
 		storeF = flag.String("store", "", "shredded store file to search instead of an XML document")
+		dir    = flag.String("dir", "", "directory of *.xml files to search as one corpus")
 		algo   = flag.String("algo", "validrtf", "pruning algorithm: validrtf, maxmatch or raw")
 		slca   = flag.Bool("slca", false, "restrict fragment roots to smallest LCAs")
 		rankIt = flag.Bool("rank", false, "order fragments by relevance score")
@@ -32,25 +38,19 @@ func main() {
 		stats  = flag.Bool("stats", false, "print search statistics")
 	)
 	flag.Parse()
-	if (*file == "" && *storeF == "") || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: xksearch -file doc.xml | -store doc.xks [flags] \"keyword query\"")
+	sources := 0
+	for _, s := range []string{*file, *storeF, *dir} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xksearch -file doc.xml | -store doc.xks | -dir corpus/ [flags] \"keyword query\"")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 	query := strings.Join(flag.Args(), " ")
 
-	var (
-		engine *xks.Engine
-		err    error
-	)
-	if *storeF != "" {
-		engine, err = xks.OpenStore(*storeF)
-	} else {
-		engine, err = xks.LoadFile(*file)
-	}
-	if err != nil {
-		fatal(err)
-	}
 	opts := xks.Options{Rank: *rankIt, Limit: *limit, ExactContent: *exact}
 	switch strings.ToLower(*algo) {
 	case "validrtf":
@@ -66,10 +66,43 @@ func main() {
 		opts.Semantics = xks.SLCAOnly
 	}
 
-	res, err := engine.Search(query, opts)
-	if err != nil {
-		fatal(err)
+	var (
+		res     *xks.CorpusResult
+		showDoc bool
+	)
+	if *dir != "" {
+		corpus, err := xks.LoadDir(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = corpus.Search(query, opts)
+		if err != nil {
+			fatal(err)
+		}
+		showDoc = true
+	} else {
+		var (
+			engine *xks.Engine
+			err    error
+			name   string
+		)
+		if *storeF != "" {
+			engine, err = xks.OpenStore(*storeF)
+			name = *storeF
+		} else {
+			engine, err = xks.LoadFile(*file)
+			name = *file
+		}
+		if err != nil {
+			fatal(err)
+		}
+		single, err := engine.Search(query, opts)
+		if err != nil {
+			fatal(err)
+		}
+		res = single.AsCorpus(name)
 	}
+
 	if *stats {
 		fmt.Printf("keywords: %v\nkeyword nodes: %d\nfragments: %d\nelapsed: %v\n\n",
 			res.Stats.Keywords, res.Stats.KeywordNodes, res.Stats.NumLCAs, res.Stats.Elapsed)
@@ -86,6 +119,9 @@ func main() {
 		fmt.Printf("--- fragment %d: root %s (%s) [%s]", i+1, f.Root, f.RootLabel, kind)
 		if opts.Rank {
 			fmt.Printf(" score=%.3f", f.Score)
+		}
+		if showDoc {
+			fmt.Printf(" doc=%s", f.Document)
 		}
 		fmt.Println()
 		switch *format {

@@ -2,7 +2,10 @@
 // store, or a whole directory of XML files as a JSON HTTP API backed by
 // the serving layer (internal/service): a sharded LRU query cache with
 // generation-based invalidation, singleflight collapsing of concurrent
-// identical queries, and live server metrics.
+// identical queries, and live server metrics. Directory corpora execute
+// queries through the staged pipeline (internal/exec) — per-document
+// workers produce lightweight candidates that merge through a streaming
+// top-K heap, and only the fragments a request returns are assembled.
 //
 // Usage:
 //

@@ -4,12 +4,10 @@ import (
 	"errors"
 	"time"
 
-	"xks/internal/dewey"
+	"xks/internal/exec"
 	"xks/internal/index"
-	"xks/internal/lca"
 	"xks/internal/metrics"
 	"xks/internal/prune"
-	"xks/internal/rtf"
 )
 
 // Comparison is the outcome of running ValidRTF and the revised MaxMatch on
@@ -28,10 +26,13 @@ type Comparison struct {
 
 // Compare runs both pruning mechanisms over the same fragments and derives
 // the paper's effectiveness ratios. Semantics follows opts.Semantics;
-// opts.Algorithm is ignored.
+// opts.Algorithm is ignored. It drives the staged pipeline with every
+// candidate selected and materialized twice — once per pruning mode — so
+// both sides pay the same shared candidate-stage costs, as the paper's
+// implementations do.
 func (e *Engine) Compare(queryText string, opts Options) (*Comparison, error) {
 	cmp := &Comparison{Query: queryText}
-	_, _, sets, err := e.resolveSets(queryText)
+	p, err := e.plan(queryText)
 	if err != nil {
 		var nm *index.ErrNoMatch
 		if errors.As(err, &nm) {
@@ -40,48 +41,38 @@ func (e *Engine) Compare(queryText string, opts Options) (*Comparison, error) {
 		}
 		return nil, err
 	}
-	pruneOpts := prune.Options{ExactContent: opts.ExactContent}
+	params := e.params(opts)
 
 	// Timed ValidRTF pipeline.
 	startValid := time.Now()
-	roots := e.rootsFor(sets, opts)
-	rtfs := rtf.Build(roots, sets)
-	validResults := make([]*prune.Result, len(rtfs))
-	frags := make([]*prune.Fragment, len(rtfs))
-	for i, r := range rtfs {
-		frags[i] = prune.BuildFragment(r, e.labelOf, e.contentOf, pruneOpts)
-		validResults[i] = frags[i].Prune(prune.ValidContributor, pruneOpts)
+	cands := exec.Candidates(p, params, 0)
+	validResults := make([]*prune.Result, len(cands))
+	params.Mode = prune.ValidContributor
+	for i, c := range cands {
+		validResults[i] = exec.Materialize(c, params)
 	}
 	cmp.ValidElapsed = time.Since(startValid)
 
-	// Timed MaxMatch pipeline (recomputing LCA+RTF+construction so both
-	// sides pay the same shared costs, as the paper's implementations do).
+	// Timed MaxMatch pipeline (recomputing the candidate stage so both
+	// sides are measured end to end).
 	startMax := time.Now()
-	rootsM := e.rootsFor(sets, opts)
-	rtfsM := rtf.Build(rootsM, sets)
-	maxResults := make([]*prune.Result, len(rtfsM))
-	for i, r := range rtfsM {
-		f := prune.BuildFragment(r, e.labelOf, e.contentOf, pruneOpts)
-		maxResults[i] = f.Prune(prune.Contributor, pruneOpts)
+	candsM := exec.Candidates(p, params, 0)
+	maxResults := make([]*prune.Result, len(candsM))
+	params.Mode = prune.Contributor
+	for i, c := range candsM {
+		maxResults[i] = exec.Materialize(c, params)
 	}
 	cmp.MaxElapsed = time.Since(startMax)
 
-	cmp.NumRTFs = len(rtfs)
-	pairs := make([]metrics.FragmentPair, len(rtfs))
-	for i := range rtfs {
+	cmp.NumRTFs = len(cands)
+	pairs := make([]metrics.FragmentPair, len(cands))
+	for i := range cands {
 		pairs[i] = metrics.FragmentPair{
-			Root:  rtfs[i].Root,
+			Root:  cands[i].RTF.Root,
 			Valid: validResults[i].KeepSet(),
 			Max:   maxResults[i].KeepSet(),
 		}
 	}
 	cmp.Ratios = metrics.Compute(pairs)
 	return cmp, nil
-}
-
-func (e *Engine) rootsFor(sets [][]dewey.Code, opts Options) []dewey.Code {
-	if opts.Semantics == SLCAOnly {
-		return lca.SLCA(sets)
-	}
-	return lca.ELCAStackMerge(sets)
 }

@@ -5,12 +5,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"xks/internal/concurrent"
+	"xks/internal/exec"
 )
 
 // ErrUnknownDocument is wrapped by SearchDocument when the named document
@@ -158,29 +158,64 @@ func (r *Result) AsCorpus(doc string) *CorpusResult {
 	return out
 }
 
-// Search fans the query out to every document and merges the fragments.
+// Search fans the query out to every document and merges the results.
 // With opts.Rank set, fragments are ordered by descending score across
 // documents; otherwise the merged list deterministically follows document
 // insertion order (and document order within each document). opts.Limit
 // applies to the merged list. A keyword missing from one document simply
 // yields no fragments there; the query fails only if it is unsearchable
 // (e.g. all stop words).
+//
+// Execution is staged (internal/exec): per-document workers run only the
+// cheap plan and candidate stages; candidates stream into a shared merge —
+// a bounded top-K heap when ranking with a limit — and fragments are
+// materialized only for the merged selection. A ranked search over N
+// documents with Limit=10 assembles exactly 10 fragments. Ordering is
+// deterministic regardless of worker interleaving: the ranked order is a
+// strict total order (score, then document insertion order, then document
+// order), matching a stable score sort of the eagerly merged lists.
 func (c *Corpus) Search(query string, opts Options) (*CorpusResult, error) {
-	mergedLimit := opts.Limit // applied after merging; keep per-doc searches complete
+	mergedLimit := opts.Limit // applied to the merged selection; per-doc stages stay complete
 	docOpts := opts
 	docOpts.Limit = 0
 
 	start := time.Now()
 	type docOut struct {
-		name string
-		res  *Result
+		name   string
+		eng    *Engine
+		plan   exec.Plan
+		params exec.Params
+		// cands is nil in the streamed top-K path: candidates live only in
+		// the bounded heap, so memory stays O(K), not O(total candidates).
+		cands []*exec.Candidate
+		// n is the candidate count (PerDocument / NumLCAs aggregation).
+		n int
 	}
-	outs, err := concurrent.Map(c.names, c.Workers, func(name string) (docOut, error) {
-		res, err := c.engines[name].Search(query, docOpts)
+	// Streaming merge: with Rank and a limit, workers offer candidates into
+	// the shared bounded heap as each document's candidate stage finishes;
+	// everything that falls off the heap is never materialized.
+	var topk *exec.TopK
+	if opts.Rank && mergedLimit > 0 {
+		topk = exec.NewTopK(mergedLimit)
+	}
+	docIdx := make([]int, len(c.names))
+	for i := range docIdx {
+		docIdx[i] = i
+	}
+	outs, err := concurrent.Map(docIdx, c.Workers, func(i int) (docOut, error) {
+		name := c.names[i]
+		eng := c.engines[name]
+		p, cands, err := eng.searchCandidates(query, docOpts, i)
 		if err != nil {
 			return docOut{}, fmt.Errorf("xks: document %s: %w", name, err)
 		}
-		return docOut{name: name, res: res}, nil
+		out := docOut{name: name, eng: eng, plan: p, params: eng.params(docOpts), n: len(cands)}
+		if topk != nil {
+			topk.Offer(cands...)
+		} else {
+			out.cands = cands
+		}
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
@@ -188,26 +223,45 @@ func (c *Corpus) Search(query string, opts Options) (*CorpusResult, error) {
 
 	merged := &CorpusResult{Query: query, PerDocument: map[string]int{}}
 	// concurrent.Map returns results in job order, so ranging over outs
-	// merges in document insertion order regardless of which worker
-	// finished first — the unranked path is deterministic.
+	// aggregates in document insertion order regardless of which worker
+	// finished first.
 	for i, o := range outs {
 		if i == 0 {
-			merged.Stats.Keywords = o.res.Stats.Keywords
+			merged.Stats.Keywords = o.plan.Keywords
 		}
-		merged.Stats.KeywordNodes += o.res.Stats.KeywordNodes
-		merged.Stats.NumLCAs += o.res.Stats.NumLCAs
-		merged.PerDocument[o.name] = len(o.res.Fragments)
-		for _, f := range o.res.Fragments {
-			merged.Fragments = append(merged.Fragments, CorpusFragment{Document: o.name, Fragment: f})
+		merged.Stats.KeywordNodes += o.plan.KeywordNodes()
+		merged.Stats.NumLCAs += o.n
+		merged.PerDocument[o.name] = o.n
+	}
+
+	// Select across documents. Candidates are cheap handles; nothing has
+	// been pruned or assembled yet. The streamed heap already holds the
+	// ranked+limited selection; the remaining shapes run the same Select
+	// the single-document path uses, over the document-order concatenation.
+	var selected []*exec.Candidate
+	if topk != nil {
+		selected = topk.Ranked()
+	} else {
+		var all []*exec.Candidate
+		for _, o := range outs {
+			all = append(all, o.cands...)
 		}
+		selected = exec.Select(all, exec.Params{Rank: opts.Rank, Limit: mergedLimit})
 	}
-	if opts.Rank {
-		sort.SliceStable(merged.Fragments, func(i, j int) bool {
-			return merged.Fragments[i].Score > merged.Fragments[j].Score
-		})
+
+	// Materialize only the selection, fanned out across the same worker
+	// budget (engines are immutable and concurrency-safe; job order keeps
+	// the merged order deterministic).
+	frags, err := concurrent.Map(selected, c.Workers, func(cand *exec.Candidate) (CorpusFragment, error) {
+		o := outs[cand.Doc]
+		f := o.eng.materialize(cand, o.plan, o.params)
+		return CorpusFragment{Document: o.name, Fragment: f}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if mergedLimit > 0 && len(merged.Fragments) > mergedLimit {
-		merged.Fragments = merged.Fragments[:mergedLimit]
+	if len(frags) > 0 {
+		merged.Fragments = frags
 	}
 	merged.Stats.Elapsed = time.Since(start)
 	return merged, nil

@@ -1,0 +1,127 @@
+package xks
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xks/internal/analysis"
+	"xks/internal/paperdata"
+	"xks/internal/store"
+	"xks/internal/workload"
+)
+
+// TestCorpusWithStoreBackedEngines exercises a mixed corpus: one
+// tree-backed document and one store-backed document (the paper's shredded
+// relational layout) behind the same staged search path.
+func TestCorpusWithStoreBackedEngines(t *testing.T) {
+	c := NewCorpus()
+	c.Add("tree.xml", FromTree(paperdata.Publications()))
+	c.Add("store.xks", FromStore(store.Shred(paperdata.Publications(), analysis.New())))
+
+	res, err := c.Search(paperdata.Q1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerDocument["tree.xml"] == 0 || res.PerDocument["store.xks"] == 0 {
+		t.Fatalf("expected fragments from both documents, got %v", res.PerDocument)
+	}
+	if res.PerDocument["tree.xml"] != res.PerDocument["store.xks"] {
+		t.Fatalf("tree and store shred the same document; fragment counts differ: %v", res.PerDocument)
+	}
+	byDoc := map[string][]CorpusFragment{}
+	for _, f := range res.Fragments {
+		byDoc[f.Document] = append(byDoc[f.Document], f)
+	}
+	for i, tf := range byDoc["tree.xml"] {
+		sf := byDoc["store.xks"][i]
+		if tf.Root != sf.Root || tf.Len() != sf.Len() {
+			t.Fatalf("fragment %d: tree %s/%d nodes vs store %s/%d nodes",
+				i, tf.Root, tf.Len(), sf.Root, sf.Len())
+		}
+		if sf.XML() == "" || sf.ASCII() == "" {
+			t.Fatalf("store-backed fragment %d rendered empty", i)
+		}
+	}
+
+	// Ranked + limited across the mixed corpus still materializes only the
+	// selection, and store-backed fragments survive it.
+	ranked, err := c.Search(paperdata.Q1, Options{Rank: true, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked.Fragments) != 2 {
+		t.Fatalf("got %d fragments, want 2", len(ranked.Fragments))
+	}
+	for _, f := range ranked.Fragments {
+		if f.XML() == "" {
+			t.Fatalf("fragment %s from %s rendered empty", f.Root, f.Document)
+		}
+	}
+
+	// SearchDocument still reaches the store-backed engine.
+	one, err := c.SearchDocument("store.xks", paperdata.Q1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Fragments) == 0 {
+		t.Fatal("no fragments from store-backed document")
+	}
+}
+
+// TestCorpusRankedLimitedDeterministic runs the same ranked+limited search
+// concurrently and repeatedly over a multi-worker corpus and asserts the
+// streamed top-K merge always yields the same ordered result (run under
+// -race in CI).
+func TestCorpusRankedLimitedDeterministic(t *testing.T) {
+	c := NewCorpus()
+	for i := int64(0); i < 5; i++ {
+		c.Add(fmt.Sprintf("doc%d.xml", i), crosscheckDBLPEngine(t, 10+i))
+	}
+	c.Workers = 4
+
+	w := workload.DBLP()
+	q, err := w.Expand(w.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Rank: true, Limit: 4}
+
+	signature := func(res *CorpusResult) string {
+		s := ""
+		for _, f := range res.Fragments {
+			s += fmt.Sprintf("%s/%s/%.9f;", f.Document, f.Root, f.Score)
+		}
+		return s
+	}
+	base, err := c.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := signature(base)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				res, err := c.Search(q, opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := signature(res); got != want {
+					errs <- fmt.Errorf("nondeterministic result:\n got %s\nwant %s", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -29,12 +29,11 @@ import (
 
 	"xks/internal/analysis"
 	"xks/internal/dewey"
+	"xks/internal/exec"
 	"xks/internal/index"
-	"xks/internal/lca"
 	"xks/internal/prune"
 	"xks/internal/query"
 	"xks/internal/rank"
-	"xks/internal/rtf"
 	"xks/internal/snippet"
 	"xks/internal/store"
 	"xks/internal/xmltree"
@@ -123,6 +122,11 @@ type Engine struct {
 	scorer *rank.Scorer
 	snip   *snippet.Generator
 	gen    atomic.Uint64 // bumped by AppendXML; see Generation
+	// assembled counts materialized fragments over the engine's lifetime —
+	// the observable half of the late-materialization contract (selection
+	// is cheap; only selected candidates are assembled). Tests and
+	// benchmarks assert on it.
+	assembled atomic.Uint64
 }
 
 // Load parses an XML document and builds the engine.
@@ -223,67 +227,77 @@ type Result struct {
 	Stats     Stats
 }
 
-// Search runs the four-stage pipeline (getKeywordNodes → getLCA → getRTF →
-// pruneRTF) and returns the meaningful fragments. Query terms may carry
-// XSearch-style label predicates ("title:xml", "author:"); see
-// internal/query. A term that matches nothing yields an empty result (no
-// fragment can cover the query), not an error; queries with no searchable
-// term at all are errors.
+// Search runs the staged pipeline (plan → candidates → select →
+// materialize; see internal/exec) and returns the meaningful fragments.
+// Query terms may carry XSearch-style label predicates ("title:xml",
+// "author:"); see internal/query. A term that matches nothing yields an
+// empty result (no fragment can cover the query), not an error; queries
+// with no searchable term at all are errors.
+//
+// With Rank and Limit set, selection runs before materialization: only the
+// top Limit candidates are pruned and assembled into fragments.
 func (e *Engine) Search(queryText string, opts Options) (*Result, error) {
 	res := &Result{Query: queryText, Options: opts}
-	words, idfWords, sets, err := e.resolveSets(queryText)
+	p, err := e.plan(queryText)
+	res.Stats.Keywords = p.Keywords
 	if err != nil {
 		var nm *index.ErrNoMatch
 		if errors.As(err, &nm) {
-			res.Stats.Keywords = words
 			return res, nil
 		}
 		return nil, err
 	}
-	res.Stats.Keywords = words
-	for _, s := range sets {
-		res.Stats.KeywordNodes += len(s)
-	}
+	res.Stats.KeywordNodes = p.KeywordNodes()
 
 	start := time.Now()
-	var roots []dewey.Code
-	if opts.Semantics == SLCAOnly {
-		roots = lca.SLCA(sets)
-	} else {
-		roots = lca.ELCAStackMerge(sets)
-	}
-	rtfs := rtf.Build(roots, sets)
-	res.Stats.NumLCAs = len(rtfs)
-
-	pruneOpts := prune.Options{ExactContent: opts.ExactContent}
-	allRoots := make([]dewey.Code, len(rtfs))
-	for i, r := range rtfs {
-		allRoots[i] = r.Root
-	}
-	for _, r := range rtfs {
-		f := prune.BuildFragment(r, e.labelOf, e.contentOf, pruneOpts)
-		kept := f.Prune(opts.Algorithm.mode(), pruneOpts)
-		res.Fragments = append(res.Fragments, e.assemble(r, kept, allRoots, words, idfWords))
+	params := e.params(opts)
+	cands := exec.Candidates(p, params, 0)
+	res.Stats.NumLCAs = len(cands)
+	for _, c := range exec.Select(cands, params) {
+		res.Fragments = append(res.Fragments, e.materialize(c, p, params))
 	}
 	res.Stats.Elapsed = time.Since(start)
-
-	if opts.Rank {
-		scores := make([]float64, len(res.Fragments))
-		for i, f := range res.Fragments {
-			scores[i] = e.scorer.Score(f.rootCode, f.events, idfWords)
-			res.Fragments[i].Score = scores[i]
-		}
-		ordered := rank.Order(scores)
-		ranked := make([]*Fragment, len(ordered))
-		for i, r := range ordered {
-			ranked[i] = res.Fragments[r.Index]
-		}
-		res.Fragments = ranked
-	}
-	if opts.Limit > 0 && len(res.Fragments) > opts.Limit {
-		res.Fragments = res.Fragments[:opts.Limit]
-	}
 	return res, nil
+}
+
+// plan runs the planning stage: the query parsed and resolved to posting
+// sets. On *index.ErrNoMatch the returned plan still carries the display
+// keywords.
+func (e *Engine) plan(queryText string) (exec.Plan, error) {
+	words, idfWords, sets, err := e.resolveSets(queryText)
+	return exec.Plan{Keywords: words, IDFWords: idfWords, Sets: sets}, err
+}
+
+// params maps the public options onto pipeline parameters, closing over the
+// engine's document source and scorer.
+func (e *Engine) params(opts Options) exec.Params {
+	return exec.Params{
+		SLCAOnly:  opts.Semantics == SLCAOnly,
+		Mode:      opts.Algorithm.mode(),
+		Prune:     prune.Options{ExactContent: opts.ExactContent},
+		Rank:      opts.Rank,
+		Limit:     opts.Limit,
+		Score:     e.scorer.Score,
+		LabelOf:   e.labelOf,
+		ContentOf: e.contentOf,
+	}
+}
+
+// searchCandidates runs the plan and candidate stages only, leaving
+// selection and materialization to the caller (Corpus.Search merges
+// candidates across documents before materializing). An unmatchable
+// keyword yields an empty candidate list, not an error, mirroring Search;
+// doc tags the candidates for corpus merges.
+func (e *Engine) searchCandidates(queryText string, opts Options, doc int) (exec.Plan, []*exec.Candidate, error) {
+	p, err := e.plan(queryText)
+	if err != nil {
+		var nm *index.ErrNoMatch
+		if errors.As(err, &nm) {
+			return p, nil, nil
+		}
+		return p, nil, err
+	}
+	return p, exec.Candidates(p, e.params(opts), doc), nil
 }
 
 // resolveSets turns the query text into per-term posting lists. Plain
@@ -334,32 +348,39 @@ func (e *Engine) labelOf(c dewey.Code) string { return e.src.labelOf(c) }
 
 func (e *Engine) contentOf(c dewey.Code) []string { return e.src.contentOf(c) }
 
-func (e *Engine) assemble(r *rtf.RTF, kept *prune.Result, allRoots []dewey.Code, words, idfWords []string) *Fragment {
+// materialize runs the materialization stage for one selected candidate:
+// pruneRTF (via exec.Materialize) followed by node and string assembly. It
+// is the only place fragments are built, so e.assembled counts exactly the
+// selected candidates.
+func (e *Engine) materialize(c *exec.Candidate, p exec.Plan, params exec.Params) *Fragment {
+	e.assembled.Add(1)
+	kept := exec.Materialize(c, params)
 	f := &Fragment{
-		Root:      r.Root.String(),
-		RootLabel: e.src.labelOf(r.Root),
-		IsSLCA:    r.IsSLCA(allRoots),
-		rootCode:  r.Root,
-		events:    r.KeywordNodes,
+		Root:      c.RTF.Root.String(),
+		RootLabel: e.src.labelOf(c.RTF.Root),
+		IsSLCA:    c.IsSLCA,
+		Score:     c.Score,
+		rootCode:  c.RTF.Root,
+		kept:      kept.Kept,
 		keep:      kept.KeepSet(),
 		src:       e.src,
-		words:     idfWords,
+		words:     p.IDFWords,
 		snip:      e.snip,
 	}
 	matched := map[string]uint64{}
-	for _, ev := range r.KeywordNodes {
+	for _, ev := range c.RTF.KeywordNodes {
 		matched[ev.Code.Key()] = ev.Mask
 	}
-	for _, c := range kept.Kept {
+	for _, code := range kept.Kept {
 		fn := FragmentNode{
-			Dewey: c.String(),
-			Label: e.src.labelOf(c),
-			Text:  e.src.nodeText(c),
-			Level: c.Level(),
+			Dewey: code.String(),
+			Label: e.src.labelOf(code),
+			Text:  e.src.nodeText(code),
+			Level: code.Level(),
 		}
-		if mask, ok := matched[c.Key()]; ok {
+		if mask, ok := matched[code.Key()]; ok {
 			fn.IsKeywordNode = true
-			for i, w := range words {
+			for i, w := range p.Keywords {
 				if mask&(1<<uint(i)) != 0 {
 					fn.Matched = append(fn.Matched, w)
 				}
@@ -369,3 +390,8 @@ func (e *Engine) assemble(r *rtf.RTF, kept *prune.Result, allRoots []dewey.Code,
 	}
 	return f
 }
+
+// assembledFragments reports how many fragments the engine has materialized
+// since construction (test/benchmark hook for the late-materialization
+// contract).
+func (e *Engine) assembledFragments() uint64 { return e.assembled.Load() }

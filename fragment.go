@@ -2,9 +2,9 @@ package xks
 
 import (
 	"strings"
+	"sync"
 
 	"xks/internal/dewey"
-	"xks/internal/lca"
 	"xks/internal/snippet"
 )
 
@@ -39,11 +39,22 @@ type Fragment struct {
 	Score float64
 
 	rootCode dewey.Code
-	events   []lca.Event
-	keep     map[string]bool
-	src      docSource
-	words    []string
-	snip     *snippet.Generator
+	// kept is the ordered (pre-order) keep-set from pruning, carried
+	// through assembly so renderers never re-parse string keys; keep is
+	// the same set keyed by dewey key for membership tests.
+	kept  []dewey.Code
+	keep  map[string]bool
+	src   docSource
+	words []string
+	snip  *snippet.Generator
+
+	// Rendered forms are computed once and shared: fragments are cached by
+	// the serving layer (internal/service) and may be rendered concurrently
+	// by many requests.
+	xmlOnce   sync.Once
+	xmlText   string
+	asciiOnce sync.Once
+	asciiText string
 }
 
 // Len returns the number of kept nodes.
@@ -97,13 +108,21 @@ func (f *Fragment) Snippet() string {
 
 // ASCII renders the fragment as an indented tree in the style of the
 // paper's figures. Store-backed fragments show content words instead of
-// raw text.
+// raw text. The rendering is computed once and reused (fragments are
+// shared by the serving layer's cache).
 func (f *Fragment) ASCII() string {
-	return f.src.renderASCII(f.rootCode, f.keep)
+	f.asciiOnce.Do(func() {
+		f.asciiText = f.src.renderASCII(f.rootCode, f.kept, f.keep)
+	})
+	return f.asciiText
 }
 
 // XML serializes the fragment as an XML snippet. Store-backed fragments
-// render the element skeleton with content words.
+// render the element skeleton with content words. The rendering is
+// computed once and reused.
 func (f *Fragment) XML() string {
-	return f.src.renderXML(f.rootCode, f.keep)
+	f.xmlOnce.Do(func() {
+		f.xmlText = f.src.renderXML(f.rootCode, f.kept, f.keep)
+	})
+	return f.xmlText
 }

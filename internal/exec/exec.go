@@ -1,0 +1,253 @@
+// Package exec is the staged query-execution pipeline behind Engine.Search
+// and Corpus.Search — the plan/execute split of the database world applied
+// to the paper's four-stage algorithm:
+//
+//	plan        — the parsed query resolved to posting sets D1..Dk
+//	              (Engine.resolveSets; carried here as a Plan value)
+//	candidates  — getLCA → getRTF, producing one lightweight scored
+//	              Candidate per fragment root: Dewey code, keyword events,
+//	              score — no node materialization, no strings
+//	select      — top-K under (score desc, doc asc, seq asc) when ranking
+//	              with a limit (a bounded heap, streamable across
+//	              concurrent per-document producers), full ordering when
+//	              ranking without one, document order otherwise
+//	materialize — the expensive per-fragment work (pruneRTF: BuildFragment
+//	              + Prune, then node/string assembly in the xks package),
+//	              run only for the selected candidates
+//
+// The late-materialization contract: a Candidate is cheap — selection
+// consults only the fragment root and its keyword events (scoring needs
+// nothing else), so pruning and assembly costs scale with the number of
+// *returned* fragments, not the number of matching fragments. Ranked
+// corpus search over N documents with Limit=10 prunes and assembles
+// exactly 10 fragments. Unranked and unlimited searches select every
+// candidate in document order, so their materialized output is identical
+// to the pre-pipeline eager path (crosschecked in the xks tests).
+package exec
+
+import (
+	"sort"
+	"sync"
+
+	"xks/internal/dewey"
+	"xks/internal/lca"
+	"xks/internal/prune"
+	"xks/internal/rtf"
+)
+
+// Plan is the resolved form of one query: the display keywords, the words
+// used for IDF scoring, and the posting sets D1..Dk, all in mask-bit order.
+// An empty Sets means the query cannot match (some keyword had no postings).
+type Plan struct {
+	Keywords []string
+	IDFWords []string
+	Sets     [][]dewey.Code
+}
+
+// KeywordNodes returns the total number of postings the plan consulted.
+func (p Plan) KeywordNodes() int {
+	n := 0
+	for _, s := range p.Sets {
+		n += len(s)
+	}
+	return n
+}
+
+// Params configures candidate generation, selection and materialization for
+// one search. LabelOf/ContentOf/Score close over the owning engine's
+// document source and scorer.
+type Params struct {
+	// SLCAOnly restricts fragment roots to smallest LCAs.
+	SLCAOnly bool
+	// Mode is the pruning mechanism applied at materialization.
+	Mode prune.Mode
+	// Prune tunes pruning (exact content comparison).
+	Prune prune.Options
+	// Rank enables scoring and score-ordered selection.
+	Rank bool
+	// Limit bounds the selected candidates when positive.
+	Limit int
+	// Score rates one fragment root from its keyword events (required when
+	// Rank is set).
+	Score func(root dewey.Code, events []lca.Event, words []string) float64
+	// LabelOf and ContentOf resolve node labels and content word sets for
+	// the pruning step.
+	LabelOf   prune.LabelFunc
+	ContentOf prune.ContentFunc
+}
+
+// Candidate is one fragment root surviving the candidate stage: everything
+// selection needs, nothing materialization produces. Doc and Seq make the
+// ranking order a strict total order, so selection is deterministic no
+// matter how concurrent producers interleave.
+type Candidate struct {
+	// Doc is the document's insertion index within a corpus search (0 for
+	// single-document searches).
+	Doc int
+	// Seq is the candidate's document-order position within its document.
+	Seq int
+	// RTF holds the fragment root and its keyword events.
+	RTF *rtf.RTF
+	// IsSLCA reports whether the root is a smallest LCA.
+	IsSLCA bool
+	// Score is the ranking score (zero unless Params.Rank).
+	Score float64
+}
+
+// better reports whether c precedes o in ranked order: score descending,
+// ties broken by document insertion order then document order — exactly the
+// order of the pre-pipeline stable sort over eagerly merged fragments.
+func (c *Candidate) better(o *Candidate) bool {
+	if c.Score != o.Score {
+		return c.Score > o.Score
+	}
+	if c.Doc != o.Doc {
+		return c.Doc < o.Doc
+	}
+	return c.Seq < o.Seq
+}
+
+// Candidates runs the candidate stage: getLCA over the plan's posting sets
+// (SLCA or the ELCA stack merge), getRTF dispatch, and — when ranking —
+// scoring of each root from its keyword events. doc tags the candidates for
+// corpus merges.
+func Candidates(p Plan, params Params, doc int) []*Candidate {
+	if len(p.Sets) == 0 {
+		return nil
+	}
+	var roots []dewey.Code
+	if params.SLCAOnly {
+		roots = lca.SLCA(p.Sets)
+	} else {
+		roots = lca.ELCAStackMerge(p.Sets)
+	}
+	rtfs := rtf.Build(roots, p.Sets)
+	allRoots := make([]dewey.Code, len(rtfs))
+	for i, r := range rtfs {
+		allRoots[i] = r.Root
+	}
+	out := make([]*Candidate, len(rtfs))
+	for i, r := range rtfs {
+		c := &Candidate{Doc: doc, Seq: i, RTF: r, IsSLCA: r.IsSLCA(allRoots)}
+		if params.Rank && params.Score != nil {
+			c.Score = params.Score(r.Root, r.KeywordNodes, p.IDFWords)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// Select applies the selection stage to one document's candidates: ranked
+// searches order by descending score (via a bounded heap when a limit
+// applies), unranked searches keep document order; a positive limit
+// truncates either way.
+func Select(cands []*Candidate, params Params) []*Candidate {
+	if !params.Rank {
+		if params.Limit > 0 && len(cands) > params.Limit {
+			return cands[:params.Limit]
+		}
+		return cands
+	}
+	if params.Limit > 0 && params.Limit < len(cands) {
+		t := NewTopK(params.Limit)
+		t.Offer(cands...)
+		return t.Ranked()
+	}
+	out := make([]*Candidate, len(cands))
+	copy(out, cands)
+	SortRanked(out)
+	return out
+}
+
+// SortRanked orders candidates best-first under the ranked total order.
+func SortRanked(cands []*Candidate) {
+	sort.Slice(cands, func(i, j int) bool { return cands[i].better(cands[j]) })
+}
+
+// Materialize runs the expensive half of the pipeline for one selected
+// candidate — the pruneRTF stage: constructing the annotated fragment tree
+// and filtering it under params.Mode. The caller (the xks package) turns
+// the ordered keep-set into a rendered Fragment.
+func Materialize(c *Candidate, params Params) *prune.Result {
+	f := prune.BuildFragment(c.RTF, params.LabelOf, params.ContentOf, params.Prune)
+	return f.Prune(params.Mode, params.Prune)
+}
+
+// TopK is a bounded, concurrency-safe accumulator of the K best candidates
+// under the ranked total order. Per-document workers Offer their candidates
+// as they produce them; because the order is strict (Doc, Seq break every
+// tie), the surviving set is independent of arrival order, so concurrent
+// corpus searches stay deterministic.
+type TopK struct {
+	mu sync.Mutex
+	k  int
+	h  []*Candidate // min-heap: worst surviving candidate at the root
+}
+
+// NewTopK returns an accumulator keeping the k best candidates (k must be
+// positive).
+func NewTopK(k int) *TopK {
+	return &TopK{k: k, h: make([]*Candidate, 0, k)}
+}
+
+// Offer considers candidates for the top K.
+func (t *TopK) Offer(cands ...*Candidate) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range cands {
+		if len(t.h) < t.k {
+			t.h = append(t.h, c)
+			t.up(len(t.h) - 1)
+			continue
+		}
+		if !c.better(t.h[0]) {
+			continue
+		}
+		t.h[0] = c
+		t.down(0)
+	}
+}
+
+// Ranked returns the surviving candidates best-first. The accumulator is
+// drained; further Offer calls start from empty.
+func (t *TopK) Ranked() []*Candidate {
+	t.mu.Lock()
+	out := t.h
+	t.h = make([]*Candidate, 0, t.k)
+	t.mu.Unlock()
+	SortRanked(out)
+	return out
+}
+
+// worse is the heap order: the root holds the candidate every other
+// survivor beats.
+func (t *TopK) worse(i, j int) bool { return t.h[j].better(t.h[i]) }
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.worse(i, p) {
+			break
+		}
+		t.h[i], t.h[p] = t.h[p], t.h[i]
+		i = p
+	}
+}
+
+func (t *TopK) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(t.h) && t.worse(l, m) {
+			m = l
+		}
+		if r < len(t.h) && t.worse(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		t.h[i], t.h[m] = t.h[m], t.h[i]
+		i = m
+	}
+}

@@ -246,6 +246,36 @@ func (r *FigureResult) CSV() string {
 	return b.String()
 }
 
+// BenchRecord is one machine-readable benchmark measurement, the unit of
+// the repo's BENCH_*.json perf trajectory: a slash-separated name
+// (dataset/query/algorithm), the averaged per-operation time, and the
+// fragment count the operation produced.
+type BenchRecord struct {
+	Name      string `json:"name"`
+	NsPerOp   int64  `json:"ns_per_op"`
+	Fragments int    `json:"fragments"`
+}
+
+// Records flattens a panel into benchmark records, two per query (one per
+// algorithm).
+func (r *FigureResult) Records() []BenchRecord {
+	out := make([]BenchRecord, 0, 2*len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out,
+			BenchRecord{
+				Name:      fmt.Sprintf("%s/%s/MaxMatch", r.Spec.Name, row.Abbrev),
+				NsPerOp:   row.MaxMatch.Nanoseconds(),
+				Fragments: row.NumRTFs,
+			},
+			BenchRecord{
+				Name:      fmt.Sprintf("%s/%s/ValidRTF", r.Spec.Name, row.Abbrev),
+				NsPerOp:   row.ValidRTF.Nanoseconds(),
+				Fragments: row.NumRTFs,
+			})
+	}
+	return out
+}
+
 // Summary reports panel-level aggregates used to check the paper's claims:
 // the time ratio between the two algorithms and the CFR/APR' aggregates.
 type Summary struct {

@@ -1,6 +1,9 @@
 // Package httpapi exposes a service.Service — engine- or corpus-backed,
 // with caching, singleflight, and metrics — as a small JSON HTTP API, used
-// by cmd/xkserver and testable with net/http/httptest.
+// by cmd/xkserver and testable with net/http/httptest. Search execution is
+// the staged pipeline of internal/exec: rank=1&limit=N requests prune and
+// assemble only the N returned fragments, and the per-fragment XML below
+// is rendered once per cached result, not once per request.
 //
 // Endpoints:
 //

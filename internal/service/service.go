@@ -9,6 +9,10 @@
 //   - a sharded LRU query-result cache (internal/lru) keyed by normalized
 //     query + options, invalidated by data generation: Engine.AppendXML
 //     bumps the generation, so stale entries die on their next lookup;
+//     the searches behind it run the staged pipeline (internal/exec), so
+//     cached entries hold only the *selected* candidates in materialized
+//     form — a ranked Limit=10 corpus query caches 10 assembled fragments,
+//     each rendering (XML/ASCII) computed once and shared across hits;
 //   - singleflight collapsing of concurrent identical queries, so a
 //     thundering herd of the same request costs one pipeline execution;
 //   - live server metrics (request/error/cache counters and a latency

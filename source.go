@@ -12,12 +12,15 @@ import (
 
 // docSource abstracts where node labels, content and rendering come from:
 // the parsed tree (FromTree / Load*) or the shredded store (FromStore).
+// Renderers receive the kept node set twice: kept is the ordered
+// (pre-order) slice pruning produced, keep the same set keyed by dewey key
+// — the tree renderer wants the map, the store renderer the slice.
 type docSource interface {
 	labelOf(c dewey.Code) string
 	contentOf(c dewey.Code) []string
 	nodeText(c dewey.Code) string
-	renderASCII(root dewey.Code, keep map[string]bool) string
-	renderXML(root dewey.Code, keep map[string]bool) string
+	renderASCII(root dewey.Code, kept []dewey.Code, keep map[string]bool) string
+	renderXML(root dewey.Code, kept []dewey.Code, keep map[string]bool) string
 }
 
 // treeSource serves everything from the in-memory document tree.
@@ -47,7 +50,7 @@ func (s *treeSource) nodeText(c dewey.Code) string {
 	return ""
 }
 
-func (s *treeSource) renderASCII(root dewey.Code, keep map[string]bool) string {
+func (s *treeSource) renderASCII(root dewey.Code, _ []dewey.Code, keep map[string]bool) string {
 	n := s.tree.NodeAt(root)
 	if n == nil {
 		return ""
@@ -55,7 +58,7 @@ func (s *treeSource) renderASCII(root dewey.Code, keep map[string]bool) string {
 	return xmltree.ASCIITree(n, keep)
 }
 
-func (s *treeSource) renderXML(root dewey.Code, keep map[string]bool) string {
+func (s *treeSource) renderXML(root dewey.Code, _ []dewey.Code, keep map[string]bool) string {
 	n := s.tree.NodeAt(root)
 	if n == nil {
 		return ""
@@ -80,23 +83,9 @@ func (s *storeSource) contentOf(c dewey.Code) []string { return s.st.ContentOf(c
 
 func (s *storeSource) nodeText(c dewey.Code) string { return "" }
 
-// keepCodes orders the kept codes under root in pre-order.
-func keepCodes(root dewey.Code, keep map[string]bool) []dewey.Code {
-	out := make([]dewey.Code, 0, len(keep))
-	for k := range keep {
-		c, err := dewey.FromKey(k)
-		if err != nil || !root.IsAncestorOrSelf(c) {
-			continue
-		}
-		out = append(out, c)
-	}
-	dewey.Sort(out)
-	return out
-}
-
-func (s *storeSource) renderASCII(root dewey.Code, keep map[string]bool) string {
+func (s *storeSource) renderASCII(root dewey.Code, kept []dewey.Code, _ map[string]bool) string {
 	var b strings.Builder
-	for _, c := range keepCodes(root, keep) {
+	for _, c := range kept {
 		b.WriteString(strings.Repeat("  ", len(c)-len(root)))
 		fmt.Fprintf(&b, "%s (%s)", c, s.st.LabelOf(c))
 		if words := s.st.ContentOf(c); len(words) > 0 {
@@ -107,8 +96,7 @@ func (s *storeSource) renderASCII(root dewey.Code, keep map[string]bool) string 
 	return b.String()
 }
 
-func (s *storeSource) renderXML(root dewey.Code, keep map[string]bool) string {
-	codes := keepCodes(root, keep)
+func (s *storeSource) renderXML(_ dewey.Code, kept []dewey.Code, _ map[string]bool) string {
 	var b strings.Builder
 	var stack []dewey.Code
 	closeTo := func(depth int) {
@@ -118,7 +106,7 @@ func (s *storeSource) renderXML(root dewey.Code, keep map[string]bool) string {
 			fmt.Fprintf(&b, "%s</%s>\n", strings.Repeat("  ", len(stack)), s.st.LabelOf(top))
 		}
 	}
-	for _, c := range codes {
+	for _, c := range kept {
 		for len(stack) > 0 && !stack[len(stack)-1].IsAncestorOf(c) {
 			closeTo(len(stack) - 1)
 		}
