@@ -1,0 +1,128 @@
+//go:build !race
+
+// Allocation-regression tests pinning the node-ID hot path: the candidate
+// stage (plan → getLCA → getRTF → score) runs on dense IDs end to end and
+// must stay within a small allocation budget per query, so the PR 3 win
+// (order-of-magnitude allocs/op reduction on the Figure 5 benchmarks)
+// cannot silently erode. Ceilings are ~2x the measured values to absorb
+// runtime/compiler noise while still catching a reintroduced per-posting or
+// per-event allocation, which would blow past them by orders of magnitude.
+//
+// The file is excluded from -race builds: the race detector changes
+// allocation behaviour, so CI runs these in the race-free benchmark job.
+
+package xks
+
+import (
+	"testing"
+
+	"xks/internal/datagen"
+	"xks/internal/exec"
+	"xks/internal/workload"
+)
+
+// allocEngine builds the DBLP preset used by the Figure 5 benchmarks.
+func allocEngine(t *testing.T) (*Engine, []string) {
+	t.Helper()
+	w := workload.DBLP()
+	specs, err := w.Specs(0, 400.0/20000.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := w.ExpandAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := datagen.DBLP(datagen.DBLPConfig{Seed: 1, NumRecords: 400, Keywords: specs})
+	return FromTree(tree), queries
+}
+
+// TestPlanStageAllocs pins the planning stage: query parse + ID posting
+// lookup. The posting lists themselves are shared slices, so the cost is a
+// handful of small header allocations regardless of posting sizes.
+func TestPlanStageAllocs(t *testing.T) {
+	e, queries := allocEngine(t)
+	const perQueryCeiling = 24.0
+	for _, q := range queries {
+		q := q
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := e.plan(q); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > perQueryCeiling {
+			t.Errorf("plan(%q) allocates %.0f objects per run, ceiling %d", q, allocs, int(perQueryCeiling))
+		}
+	}
+}
+
+// TestCandidateStageAllocs pins the candidate stage over every workload
+// query: getLCA (streamed merge + ID stack), getRTF (two-pass exact-size
+// dispatch) and scoring must allocate only their results — no per-posting,
+// per-event or per-path-node garbage.
+func TestCandidateStageAllocs(t *testing.T) {
+	e, queries := allocEngine(t)
+	params := e.params(Options{Rank: true})
+	for _, q := range queries {
+		p, err := e.plan(q)
+		if err != nil {
+			t.Fatalf("plan(%q): %v", q, err)
+		}
+		cands := exec.Candidates(p, params, 0)
+		// Budget: a fixed overhead (merger, stacks, root/count/arena
+		// slices) plus a small per-candidate share (IDRTF headers and the
+		// scored Candidate structs).
+		ceiling := 48 + 4*float64(len(cands))
+		allocs := testing.AllocsPerRun(20, func() {
+			exec.Candidates(p, params, 0)
+		})
+		if allocs > ceiling {
+			t.Errorf("Candidates(%q) allocates %.0f objects per run for %d candidates, ceiling %.0f",
+				q, allocs, len(cands), ceiling)
+		}
+	}
+}
+
+// TestSearchAllocsPerFragment pins the full pipeline loosely: a complete
+// unranked search (which materializes every fragment) must stay under a
+// per-fragment allocation budget — materialization legitimately allocates
+// the public FragmentNode data, but nothing proportional to postings that
+// were never selected.
+func TestSearchAllocsPerFragment(t *testing.T) {
+	e, queries := allocEngine(t)
+	for _, q := range queries {
+		res, err := e.Search(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := 0
+		for _, f := range res.Fragments {
+			nodes += f.Len()
+		}
+		if nodes == 0 {
+			continue
+		}
+		// Budget: fixed search overhead, a per-kept-node share (the
+		// FragmentNode slice entries, Dewey/Matched strings), a
+		// per-fragment share (fragment build arenas, grouping arrays,
+		// Result slices) and a per-posting share well below one — the
+		// candidate stage must stay sublinear in allocations even though
+		// an unranked search materializes every fragment (unpruned
+		// fragments are proportional to the posting counts, hence the
+		// KeywordNodes term). Measured values sit at roughly half these
+		// coefficients.
+		ceiling := 128 +
+			12*float64(nodes) +
+			24*float64(res.Stats.NumLCAs) +
+			4*float64(res.Stats.KeywordNodes)
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := e.Search(q, Options{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > ceiling {
+			t.Errorf("Search(%q) allocates %.0f objects per run for %d kept nodes / %d LCAs / %d postings, ceiling %.0f",
+				q, allocs, nodes, res.Stats.NumLCAs, res.Stats.KeywordNodes, ceiling)
+		}
+	}
+}

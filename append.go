@@ -31,7 +31,8 @@ func (e *Engine) AppendXML(parentDewey, snippet string) error {
 	if err != nil {
 		return err
 	}
-	// Index exactly the new nodes.
+	// Index exactly the new nodes; each insert splices the node into the
+	// node table at its pre-order position (renumbering later IDs).
 	var rec func(n *xmltree.Node)
 	rec = func(n *xmltree.Node) {
 		e.ix.Insert(n.Code, e.an.ContentSet(n.ContentPieces()...))
@@ -40,6 +41,11 @@ func (e *Engine) AppendXML(parentDewey, snippet string) error {
 		}
 	}
 	rec(node)
+	// The ID-aligned caches (pre-order node list, content sets) are stale
+	// after renumbering; rebuild them to match the new table.
+	if ts, ok := e.src.(*treeSource); ok {
+		ts.refresh()
+	}
 	e.gen.Add(1) // invalidates generation-tagged cache entries (internal/service)
 	return nil
 }

@@ -239,19 +239,24 @@ func BenchmarkSingleQuery(b *testing.B) {
 // BenchmarkStages isolates the four stages of Algorithm 1 on the
 // xmark-standard dataset with a mid-frequency query, exposing where the
 // time goes (the paper's §4.3(4) argues pruneRTF is dominated by the
-// covered-key-number checks).
+// covered-key-number checks). The stages run in their production node-ID
+// form (internal/nid); BenchmarkAblationELCA keeps the code-based variants
+// for comparison.
 func BenchmarkStages(b *testing.B) {
 	ds := benchData(b)[1]
 	const q = "preventions description order"
-	_, _, sets, err := ds.engine.resolveSets(q)
+	e := ds.engine
+	tab := e.ix.Table()
+	p, err := e.plan(q)
 	if err != nil {
 		b.Fatal(err)
 	}
+	params := e.params(Options{})
 
 	b.Run("getKeywordNodes", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, _, err := ds.engine.resolveSets(q); err != nil {
+			if _, err := e.plan(q); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -259,37 +264,49 @@ func BenchmarkStages(b *testing.B) {
 	b.Run("getLCA", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			lca.ELCAStackMerge(sets)
+			lca.ELCAStackMergeIDs(tab, p.Sets)
 		}
 	})
-	roots := lca.ELCAStackMerge(sets)
+	roots := lca.ELCAStackMergeIDs(tab, p.Sets)
 	b.Run("getRTF", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			rtf.Build(roots, sets)
+			rtf.BuildIDs(tab, roots, p.Sets)
 		}
 	})
-	rtfs := rtf.Build(roots, sets)
+	rtfs := rtf.BuildIDs(tab, roots, p.Sets)
 	b.Run("pruneRTF", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, r := range rtfs {
-				f := prune.BuildFragment(r, ds.engine.labelOf, ds.engine.contentOf, prune.Options{})
+				f := prune.BuildFragmentIDs(tab, r, params.LabelOf, params.ContentOf, prune.Options{})
 				f.Prune(prune.ValidContributor, prune.Options{})
 			}
 		}
 	})
 }
 
-// BenchmarkAblationELCA compares the two production interesting-LCA
-// algorithms on real workload posting lists.
+// BenchmarkAblationELCA compares the interesting-LCA algorithms on real
+// workload posting lists: the production ID stack merge against the
+// code-based stack merge and the indexed-dispatch alternative.
 func BenchmarkAblationELCA(b *testing.B) {
 	ds := benchData(b)[3]
 	const q = "preventions description order"
+	tab := ds.engine.ix.Table()
+	_, _, idSets, err := ds.engine.resolveIDSets(q)
+	if err != nil {
+		b.Fatal(err)
+	}
 	_, _, sets, err := ds.engine.resolveSets(q)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Run("StackMergeIDs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lca.ELCAStackMergeIDs(tab, idSets)
+		}
+	})
 	b.Run("StackMerge", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

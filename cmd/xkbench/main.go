@@ -9,10 +9,14 @@
 //	xkbench -size large -csv     # bigger sweep, CSV output
 //	xkbench -repeats 5           # the paper's 6-runs-discard-first protocol
 //	xkbench -json out.json       # also write machine-readable records
+//	xkbench -cpuprofile cpu.out  # pprof CPU profile of the sweep
+//	xkbench -memprofile mem.out  # pprof heap profile at exit
 //
-// -json writes every measurement as {"name", "ns_per_op", "fragments"}
-// records ("benchmarks" array), the format the repo's BENCH_*.json perf
-// trajectory accumulates.
+// -json writes every measurement as {"name", "ns_per_op", "fragments",
+// "allocs_per_op", "bytes_per_op"} records ("benchmarks" array), the
+// format the repo's BENCH_*.json perf trajectory accumulates. The
+// allocation fields cover the full Compare operation (both pipelines) and
+// are omitted for -parallel runs.
 package main
 
 import (
@@ -20,20 +24,49 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"xks/internal/experiments"
 )
 
 func main() {
 	var (
-		figure   = flag.String("figure", "", "single figure panel to run (5a..5d, 6a..6d); empty = all")
-		size     = flag.String("size", "medium", "dataset scale: small, medium or large")
-		repeats  = flag.Int("repeats", 3, "timed runs per query after the discarded warm-up")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		parallel = flag.Int("parallel", 0, "run queries across N workers (timings become indicative; 0 = sequential)")
-		jsonOut  = flag.String("json", "", "write machine-readable benchmark records to this file")
+		figure     = flag.String("figure", "", "single figure panel to run (5a..5d, 6a..6d); empty = all")
+		size       = flag.String("size", "medium", "dataset scale: small, medium or large")
+		repeats    = flag.Int("repeats", 3, "timed runs per query after the discarded warm-up")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel   = flag.Int("parallel", 0, "run queries across N workers (timings become indicative; 0 = sequential)")
+		jsonOut    = flag.String("json", "", "write machine-readable benchmark records to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush accumulated garbage so the profile shows live + allocated
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	specs, err := experiments.Presets(*size)
 	if err != nil {

@@ -68,9 +68,9 @@ func (e *Engine) Compare(queryText string, opts Options) (*Comparison, error) {
 	pairs := make([]metrics.FragmentPair, len(cands))
 	for i := range cands {
 		pairs[i] = metrics.FragmentPair{
-			Root:  cands[i].RTF.Root,
-			Valid: validResults[i].KeepSet(),
-			Max:   maxResults[i].KeepSet(),
+			Root:  params.Tab.Code(cands[i].RTF.Root),
+			Valid: validResults[i].Kept,
+			Max:   maxResults[i].Kept,
 		}
 	}
 	cmp.Ratios = metrics.Compute(pairs)

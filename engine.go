@@ -31,6 +31,8 @@ import (
 	"xks/internal/dewey"
 	"xks/internal/exec"
 	"xks/internal/index"
+	"xks/internal/lca"
+	"xks/internal/nid"
 	"xks/internal/prune"
 	"xks/internal/query"
 	"xks/internal/rank"
@@ -160,7 +162,7 @@ func FromTree(t *xmltree.Tree) *Engine {
 	ix := index.Build(t, an)
 	return &Engine{
 		tree:   t,
-		src:    &treeSource{tree: t, an: an},
+		src:    newTreeSource(t, an),
 		an:     an,
 		ix:     ix,
 		scorer: rank.NewScorer(ix),
@@ -260,26 +262,30 @@ func (e *Engine) Search(queryText string, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// plan runs the planning stage: the query parsed and resolved to posting
-// sets. On *index.ErrNoMatch the returned plan still carries the display
-// keywords.
+// plan runs the planning stage: the query parsed and resolved to ID
+// posting sets over the engine's node table. On *index.ErrNoMatch the
+// returned plan still carries the display keywords.
 func (e *Engine) plan(queryText string) (exec.Plan, error) {
-	words, idfWords, sets, err := e.resolveSets(queryText)
+	words, idfWords, sets, err := e.resolveIDSets(queryText)
 	return exec.Plan{Keywords: words, IDFWords: idfWords, Sets: sets}, err
 }
 
 // params maps the public options onto pipeline parameters, closing over the
-// engine's document source and scorer.
+// engine's node table, document source and scorer.
 func (e *Engine) params(opts Options) exec.Params {
+	tab := e.ix.Table()
 	return exec.Params{
-		SLCAOnly:  opts.Semantics == SLCAOnly,
-		Mode:      opts.Algorithm.mode(),
-		Prune:     prune.Options{ExactContent: opts.ExactContent},
-		Rank:      opts.Rank,
-		Limit:     opts.Limit,
-		Score:     e.scorer.Score,
-		LabelOf:   e.labelOf,
-		ContentOf: e.contentOf,
+		Tab:      tab,
+		SLCAOnly: opts.Semantics == SLCAOnly,
+		Mode:     opts.Algorithm.mode(),
+		Prune:    prune.Options{ExactContent: opts.ExactContent},
+		Rank:     opts.Rank,
+		Limit:    opts.Limit,
+		Score: func(root nid.ID, events []lca.IDEvent, words []string) float64 {
+			return e.scorer.ScoreIDs(tab, root, events, words)
+		},
+		LabelOf:   e.src.labelOfID,
+		ContentOf: e.src.contentOfID,
 	}
 }
 
@@ -300,11 +306,12 @@ func (e *Engine) searchCandidates(queryText string, opts Options, doc int) (exec
 	return p, exec.Candidates(p, e.params(opts), doc), nil
 }
 
-// resolveSets turns the query text into per-term posting lists. Plain
-// keywords read straight off the inverted index; label predicates filter
+// resolveIDSets turns the query text into per-term ID posting lists over
+// the engine's node table. Plain keywords read straight off the inverted
+// index (shared slices, no materialization); label predicates filter
 // postings through the document source's labels. It returns the display
 // strings, the words used for IDF scoring, and the sets D1..Dk.
-func (e *Engine) resolveSets(queryText string) (display, idfWords []string, sets [][]dewey.Code, err error) {
+func (e *Engine) resolveIDSets(queryText string) (display, idfWords []string, sets [][]nid.ID, err error) {
 	terms, err := query.Parse(queryText, e.an)
 	if err != nil {
 		return nil, nil, nil, err
@@ -314,7 +321,7 @@ func (e *Engine) resolveSets(queryText string) (display, idfWords []string, sets
 		display[i] = t.String()
 	}
 	idfWords = make([]string, len(terms))
-	sets = make([][]dewey.Code, len(terms))
+	sets = make([][]nid.ID, len(terms))
 	for i, t := range terms {
 		word := t.Keyword
 		if word == "" {
@@ -326,12 +333,12 @@ func (e *Engine) resolveSets(queryText string) (display, idfWords []string, sets
 			}
 		}
 		idfWords[i] = word
-		postings := e.ix.Lookup(word)
+		postings := e.ix.LookupIDs(word)
 		if t.Label != "" {
-			var filtered []dewey.Code
-			for _, c := range postings {
-				if t.MatchesLabel(e.src.labelOf(c)) {
-					filtered = append(filtered, c)
+			var filtered []nid.ID
+			for _, id := range postings {
+				if t.MatchesLabel(e.src.labelOfID(id)) {
+					filtered = append(filtered, id)
 				}
 			}
 			postings = filtered
@@ -344,6 +351,26 @@ func (e *Engine) resolveSets(queryText string) (display, idfWords []string, sets
 	return display, idfWords, sets, nil
 }
 
+// resolveSets is the Dewey-code view of resolveIDSets, serving the
+// reference/eager paths and stage benchmarks. Codes are zero-copy views
+// into the node table.
+func (e *Engine) resolveSets(queryText string) (display, idfWords []string, sets [][]dewey.Code, err error) {
+	display, idfWords, idSets, err := e.resolveIDSets(queryText)
+	if err != nil {
+		return display, idfWords, nil, err
+	}
+	tab := e.ix.Table()
+	sets = make([][]dewey.Code, len(idSets))
+	for i, s := range idSets {
+		cs := make([]dewey.Code, len(s))
+		for j, id := range s {
+			cs[j] = tab.Code(id)
+		}
+		sets[i] = cs
+	}
+	return display, idfWords, sets, nil
+}
+
 func (e *Engine) labelOf(c dewey.Code) string { return e.src.labelOf(c) }
 
 func (e *Engine) contentOf(c dewey.Code) []string { return e.src.contentOf(c) }
@@ -351,35 +378,45 @@ func (e *Engine) contentOf(c dewey.Code) []string { return e.src.contentOf(c) }
 // materialize runs the materialization stage for one selected candidate:
 // pruneRTF (via exec.Materialize) followed by node and string assembly. It
 // is the only place fragments are built, so e.assembled counts exactly the
-// selected candidates.
+// selected candidates. Everything runs on node IDs: keyword-node masks come
+// from a two-pointer merge of the (sorted) kept IDs and keyword events, and
+// Dewey codes surface only as zero-copy views rendered into the public
+// FragmentNode strings.
 func (e *Engine) materialize(c *exec.Candidate, p exec.Plan, params exec.Params) *Fragment {
 	e.assembled.Add(1)
 	kept := exec.Materialize(c, params)
+	tab := params.Tab
+	rootCode := tab.Code(c.RTF.Root)
 	f := &Fragment{
-		Root:      c.RTF.Root.String(),
-		RootLabel: e.src.labelOf(c.RTF.Root),
+		Root:      rootCode.String(),
+		RootLabel: e.src.labelOfID(c.RTF.Root),
 		IsSLCA:    c.IsSLCA,
 		Score:     c.Score,
-		rootCode:  c.RTF.Root,
+		rootCode:  rootCode,
 		kept:      kept.Kept,
-		keep:      kept.KeepSet(),
 		src:       e.src,
 		words:     p.IDFWords,
 		snip:      e.snip,
 	}
-	matched := map[string]uint64{}
-	for _, ev := range c.RTF.KeywordNodes {
-		matched[ev.Code.Key()] = ev.Mask
-	}
-	for _, code := range kept.Kept {
+	events := c.RTF.KeywordNodes
+	j := 0
+	f.Nodes = make([]FragmentNode, 0, len(kept.KeptIDs))
+	var buf []byte // scratch for Dewey strings
+	for i, id := range kept.KeptIDs {
+		code := kept.Kept[i]
+		buf = code.AppendString(buf[:0])
 		fn := FragmentNode{
-			Dewey: code.String(),
-			Label: e.src.labelOf(code),
-			Text:  e.src.nodeText(code),
+			Dewey: string(buf),
+			Label: e.src.labelOfID(id),
+			Text:  e.src.nodeTextID(id),
 			Level: code.Level(),
 		}
-		if mask, ok := matched[code.Key()]; ok {
+		for j < len(events) && events[j].ID < id {
+			j++
+		}
+		if j < len(events) && events[j].ID == id {
 			fn.IsKeywordNode = true
+			mask := events[j].Mask
 			for i, w := range p.Keywords {
 				if mask&(1<<uint(i)) != 0 {
 					fn.Matched = append(fn.Matched, w)

@@ -41,12 +41,15 @@ type Fragment struct {
 	rootCode dewey.Code
 	// kept is the ordered (pre-order) keep-set from pruning, carried
 	// through assembly so renderers never re-parse string keys; keep is
-	// the same set keyed by dewey key for membership tests.
-	kept  []dewey.Code
-	keep  map[string]bool
-	src   docSource
-	words []string
-	snip  *snippet.Generator
+	// the same set keyed by dewey key for membership tests, built lazily
+	// (via keepSet) because only renderers and Contains consult it — the
+	// search hot path never pays for the map.
+	kept     []dewey.Code
+	keep     map[string]bool
+	keepOnce sync.Once
+	src      docSource
+	words    []string
+	snip     *snippet.Generator
 
 	// Rendered forms are computed once and shared: fragments are cached by
 	// the serving layer (internal/service) and may be rendered concurrently
@@ -60,6 +63,27 @@ type Fragment struct {
 // Len returns the number of kept nodes.
 func (f *Fragment) Len() int { return len(f.Nodes) }
 
+// keepSet returns the kept codes keyed by dewey key, building the map on
+// first use (fragments are shared by the serving layer's cache, hence the
+// sync.Once). Fragments assembled by the eager reference path arrive with
+// the map pre-filled; the production path defers it until a renderer or
+// Contains asks.
+func (f *Fragment) keepSet() map[string]bool {
+	f.keepOnce.Do(func() {
+		if f.keep != nil {
+			return
+		}
+		m := make(map[string]bool, len(f.kept))
+		var buf []byte
+		for _, c := range f.kept {
+			buf = c.AppendKey(buf[:0])
+			m[string(buf)] = true
+		}
+		f.keep = m
+	})
+	return f.keep
+}
+
 // Contains reports whether the fragment kept the node with the given Dewey
 // code (dotted form).
 func (f *Fragment) Contains(deweyCode string) bool {
@@ -67,7 +91,7 @@ func (f *Fragment) Contains(deweyCode string) bool {
 	if err != nil {
 		return false
 	}
-	return f.keep[c.Key()]
+	return f.keepSet()[c.Key()]
 }
 
 // KeywordNodes returns the kept nodes that matched query keywords.
@@ -112,7 +136,7 @@ func (f *Fragment) Snippet() string {
 // shared by the serving layer's cache).
 func (f *Fragment) ASCII() string {
 	f.asciiOnce.Do(func() {
-		f.asciiText = f.src.renderASCII(f.rootCode, f.kept, f.keep)
+		f.asciiText = f.src.renderASCII(f.rootCode, f.kept, f.keepSet())
 	})
 	return f.asciiText
 }
@@ -122,7 +146,7 @@ func (f *Fragment) ASCII() string {
 // computed once and reused.
 func (f *Fragment) XML() string {
 	f.xmlOnce.Do(func() {
-		f.xmlText = f.src.renderXML(f.rootCode, f.kept, f.keep)
+		f.xmlText = f.src.renderXML(f.rootCode, f.kept, f.keepSet())
 	})
 	return f.xmlText
 }

@@ -50,30 +50,44 @@ func MustParse(s string) Code {
 }
 
 // String renders the code in the dotted form used in the paper, e.g.
-// "0.2.0.1". The nil code renders as "ε".
+// "0.2.0.1". The nil code renders as "ε". Rendered into one presized byte
+// buffer (components are almost always short), since the fragment assembly
+// hot path stringifies every kept node.
 func (c Code) String() string {
 	if len(c) == 0 {
 		return "ε"
 	}
-	var b strings.Builder
+	return string(c.AppendString(make([]byte, 0, len(c)*3)))
+}
+
+// AppendString appends the dotted form of c to b and returns the extended
+// buffer, letting callers that stringify many codes (fragment assembly)
+// reuse one scratch buffer — a single retained allocation per string.
+func (c Code) AppendString(b []byte) []byte {
 	for i, v := range c {
 		if i > 0 {
-			b.WriteByte('.')
+			b = append(b, '.')
 		}
-		b.WriteString(strconv.FormatUint(uint64(v), 10))
+		b = strconv.AppendUint(b, uint64(v), 10)
 	}
-	return b.String()
+	return b
 }
 
 // Key returns a compact string usable as a map key. Unlike String it is not
 // human-oriented; two codes have equal keys exactly when Equal reports true.
 // Keys also sort in pre-order (each component is big-endian fixed width).
 func (c Code) Key() string {
-	b := make([]byte, 0, len(c)*4)
+	return string(c.AppendKey(make([]byte, 0, len(c)*4)))
+}
+
+// AppendKey appends the Key form of c to b and returns the extended buffer,
+// letting callers that key many codes reuse one scratch buffer instead of
+// allocating per Key call.
+func (c Code) AppendKey(b []byte) []byte {
 	for _, v := range c {
 		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 	}
-	return string(b)
+	return b
 }
 
 // FromKey reverses Key.
@@ -162,12 +176,13 @@ func (c Code) IsAncestorOrSelf(b Code) bool {
 }
 
 // Parent returns the code of the parent node, or nil for the root (or a nil
-// code).
+// code). The result aliases c (a prefix sub-slice); callers needing an
+// independent copy must Clone it.
 func (c Code) Parent() Code {
 	if len(c) <= 1 {
 		return nil
 	}
-	return c[:len(c)-1].Clone()
+	return c[:len(c)-1]
 }
 
 // Child returns the code of the i-th child of c.
@@ -179,7 +194,9 @@ func (c Code) Child(i uint32) Code {
 }
 
 // LCA returns the lowest common ancestor of a and b: their longest common
-// prefix. If either code is nil the result is nil.
+// prefix. If either code is nil the result is nil. The result aliases a (a
+// prefix sub-slice); codes are treated as immutable throughout the engine,
+// so no defensive copy is made.
 func LCA(a, b Code) Code {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
@@ -195,16 +212,17 @@ func LCA(a, b Code) Code {
 	if i == 0 {
 		return nil // distinct roots: no common ancestor (cannot happen in one tree)
 	}
-	return a[:i].Clone()
+	return a[:i]
 }
 
 // LCAAll returns the lowest common ancestor of all given codes. With no
-// arguments it returns nil; with one it returns a clone of that code.
+// arguments it returns nil; with one it returns that code itself. The
+// result aliases the first code (a prefix sub-slice).
 func LCAAll(codes ...Code) Code {
 	if len(codes) == 0 {
 		return nil
 	}
-	acc := codes[0].Clone()
+	acc := codes[0]
 	for _, c := range codes[1:] {
 		acc = LCA(acc, c)
 		if acc == nil {

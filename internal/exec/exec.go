@@ -4,9 +4,10 @@
 //
 //	plan        — the parsed query resolved to posting sets D1..Dk
 //	              (Engine.resolveSets; carried here as a Plan value)
-//	candidates  — getLCA → getRTF, producing one lightweight scored
-//	              Candidate per fragment root: Dewey code, keyword events,
-//	              score — no node materialization, no strings
+//	candidates  — getLCA → getRTF on node IDs (internal/nid), producing
+//	              one lightweight scored Candidate per fragment root:
+//	              root ID, keyword events, score — no node
+//	              materialization, no strings
 //	select      — top-K under (score desc, doc asc, seq asc) when ranking
 //	              with a limit (a bounded heap, streamable across
 //	              concurrent per-document producers), full ordering when
@@ -29,19 +30,20 @@ import (
 	"sort"
 	"sync"
 
-	"xks/internal/dewey"
 	"xks/internal/lca"
+	"xks/internal/nid"
 	"xks/internal/prune"
 	"xks/internal/rtf"
 )
 
 // Plan is the resolved form of one query: the display keywords, the words
-// used for IDF scoring, and the posting sets D1..Dk, all in mask-bit order.
-// An empty Sets means the query cannot match (some keyword had no postings).
+// used for IDF scoring, and the posting sets D1..Dk as node-ID lists over
+// the owning document's node table, all in mask-bit order. An empty Sets
+// means the query cannot match (some keyword had no postings).
 type Plan struct {
 	Keywords []string
 	IDFWords []string
-	Sets     [][]dewey.Code
+	Sets     [][]nid.ID
 }
 
 // KeywordNodes returns the total number of postings the plan consulted.
@@ -54,9 +56,12 @@ func (p Plan) KeywordNodes() int {
 }
 
 // Params configures candidate generation, selection and materialization for
-// one search. LabelOf/ContentOf/Score close over the owning engine's
-// document source and scorer.
+// one search. Tab/LabelOf/ContentOf/Score close over the owning engine's
+// node table, document source and scorer.
 type Params struct {
+	// Tab is the document's node table; every ID in the plan's posting
+	// sets, the candidates and the pruning results refers into it.
+	Tab *nid.Table
 	// SLCAOnly restricts fragment roots to smallest LCAs.
 	SLCAOnly bool
 	// Mode is the pruning mechanism applied at materialization.
@@ -69,11 +74,11 @@ type Params struct {
 	Limit int
 	// Score rates one fragment root from its keyword events (required when
 	// Rank is set).
-	Score func(root dewey.Code, events []lca.Event, words []string) float64
+	Score func(root nid.ID, events []lca.IDEvent, words []string) float64
 	// LabelOf and ContentOf resolve node labels and content word sets for
 	// the pruning step.
-	LabelOf   prune.LabelFunc
-	ContentOf prune.ContentFunc
+	LabelOf   prune.IDLabelFunc
+	ContentOf prune.IDContentFunc
 }
 
 // Candidate is one fragment root surviving the candidate stage: everything
@@ -86,8 +91,8 @@ type Candidate struct {
 	Doc int
 	// Seq is the candidate's document-order position within its document.
 	Seq int
-	// RTF holds the fragment root and its keyword events.
-	RTF *rtf.RTF
+	// RTF holds the fragment root and its keyword events, in ID form.
+	RTF *rtf.IDRTF
 	// IsSLCA reports whether the root is a smallest LCA.
 	IsSLCA bool
 	// Score is the ranking score (zero unless Params.Rank).
@@ -115,20 +120,20 @@ func Candidates(p Plan, params Params, doc int) []*Candidate {
 	if len(p.Sets) == 0 {
 		return nil
 	}
-	var roots []dewey.Code
+	t := params.Tab
+	var roots []nid.ID
 	if params.SLCAOnly {
-		roots = lca.SLCA(p.Sets)
+		roots = lca.SLCAIDs(t, p.Sets)
 	} else {
-		roots = lca.ELCAStackMerge(p.Sets)
+		roots = lca.ELCAStackMergeIDs(t, p.Sets)
 	}
-	rtfs := rtf.Build(roots, p.Sets)
-	allRoots := make([]dewey.Code, len(rtfs))
-	for i, r := range rtfs {
-		allRoots[i] = r.Root
-	}
+	rtfs := rtf.BuildIDs(t, roots, p.Sets)
 	out := make([]*Candidate, len(rtfs))
 	for i, r := range rtfs {
-		c := &Candidate{Doc: doc, Seq: i, RTF: r, IsSLCA: r.IsSLCA(allRoots)}
+		// The kept roots are sorted and distinct, so r is an SLCA exactly
+		// when the next root is not its descendant.
+		isSLCA := !(i+1 < len(rtfs) && t.IsAncestorOf(r.Root, rtfs[i+1].Root))
+		c := &Candidate{Doc: doc, Seq: i, RTF: r, IsSLCA: isSLCA}
 		if params.Rank && params.Score != nil {
 			c.Score = params.Score(r.Root, r.KeywordNodes, p.IDFWords)
 		}
@@ -169,7 +174,7 @@ func SortRanked(cands []*Candidate) {
 // and filtering it under params.Mode. The caller (the xks package) turns
 // the ordered keep-set into a rendered Fragment.
 func Materialize(c *Candidate, params Params) *prune.Result {
-	f := prune.BuildFragment(c.RTF, params.LabelOf, params.ContentOf, params.Prune)
+	f := prune.BuildFragmentIDs(params.Tab, c.RTF, params.LabelOf, params.ContentOf, params.Prune)
 	return f.Prune(params.Mode, params.Prune)
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"xks/internal/dewey"
 	"xks/internal/lca"
+	"xks/internal/nid"
 	"xks/internal/prune"
 )
 
@@ -132,25 +133,45 @@ func TestSelectRanked(t *testing.T) {
 // roots 0.0 and 0.1.
 func TestCandidatesAndMaterialize(t *testing.T) {
 	code := dewey.MustParse
+	codeSets := [][]dewey.Code{
+		{code("0.0.0"), code("0.1.0")},
+		{code("0.0.1"), code("0.1.1")},
+	}
+	var all []dewey.Code
+	for _, s := range codeSets {
+		all = append(all, s...)
+	}
+	tab := nid.FromCodes(all)
+	mustID := func(c dewey.Code) nid.ID {
+		id, ok := tab.Find(c)
+		if !ok {
+			t.Fatalf("code %s missing from table", c)
+		}
+		return id
+	}
+	sets := make([][]nid.ID, len(codeSets))
+	for i, s := range codeSets {
+		for _, c := range s {
+			sets[i] = append(sets[i], mustID(c))
+		}
+	}
 	p := Plan{
 		Keywords: []string{"a", "b"},
 		IDFWords: []string{"a", "b"},
-		Sets: [][]dewey.Code{
-			{code("0.0.0"), code("0.1.0")},
-			{code("0.0.1"), code("0.1.1")},
-		},
+		Sets:     sets,
 	}
 	labels := map[string]string{
 		"0": "root", "0.0": "item", "0.1": "item",
 		"0.0.0": "x", "0.0.1": "y", "0.1.0": "x", "0.1.1": "y",
 	}
 	params := Params{
+		Tab:  tab,
 		Rank: true,
-		Score: func(root dewey.Code, events []lca.Event, words []string) float64 {
-			return float64(len(events)) + 1/float64(len(root))
+		Score: func(root nid.ID, events []lca.IDEvent, words []string) float64 {
+			return float64(len(events)) + 1/float64(len(tab.Code(root)))
 		},
-		LabelOf:   func(c dewey.Code) string { return labels[c.Key()] },
-		ContentOf: func(c dewey.Code) []string { return []string{labels[c.Key()]} },
+		LabelOf:   func(id nid.ID) string { return labels[tab.Code(id).String()] },
+		ContentOf: func(id nid.ID) []string { return []string{labels[tab.Code(id).String()]} },
 		Mode:      prune.ValidContributor,
 	}
 	cands := Candidates(p, params, 3)
@@ -162,7 +183,7 @@ func TestCandidatesAndMaterialize(t *testing.T) {
 			t.Fatalf("candidate %d tagged (doc=%d, seq=%d)", i, c.Doc, c.Seq)
 		}
 		if !c.IsSLCA {
-			t.Fatalf("candidate %d (%s) should be an SLCA", i, c.RTF.Root)
+			t.Fatalf("candidate %d (%s) should be an SLCA", i, tab.Code(c.RTF.Root))
 		}
 		if c.Score == 0 {
 			t.Fatalf("candidate %d unscored despite Rank", i)
@@ -171,12 +192,15 @@ func TestCandidatesAndMaterialize(t *testing.T) {
 		if res.Len() != 3 { // root + two keyword children
 			t.Fatalf("candidate %d kept %d nodes, want 3", i, res.Len())
 		}
-		if !res.Contains(c.RTF.Root) {
+		if !res.Contains(tab.Code(c.RTF.Root)) {
 			t.Fatalf("candidate %d pruned its own root", i)
 		}
+		if len(res.KeptIDs) != res.Len() {
+			t.Fatalf("candidate %d KeptIDs len %d != Kept len %d", i, len(res.KeptIDs), res.Len())
+		}
 	}
-	if cands[0].RTF.Root.Key() != code("0.0").Key() || cands[1].RTF.Root.Key() != code("0.1").Key() {
-		t.Fatalf("roots %s, %s", cands[0].RTF.Root, cands[1].RTF.Root)
+	if cands[0].RTF.Root != mustID(code("0.0")) || cands[1].RTF.Root != mustID(code("0.1")) {
+		t.Fatalf("roots %s, %s", tab.Code(cands[0].RTF.Root), tab.Code(cands[1].RTF.Root))
 	}
 }
 
@@ -187,8 +211,7 @@ func TestCandidatesEmptyPlan(t *testing.T) {
 }
 
 func TestPlanKeywordNodes(t *testing.T) {
-	code := dewey.MustParse
-	p := Plan{Sets: [][]dewey.Code{{code("0.1")}, {code("0.2"), code("0.3")}}}
+	p := Plan{Sets: [][]nid.ID{{1}, {2, 3}}}
 	if got := p.KeywordNodes(); got != 3 {
 		t.Fatalf("KeywordNodes = %d, want 3", got)
 	}

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -120,6 +121,12 @@ type QueryRow struct {
 	CFR      float64
 	APRPrime float64
 	MaxAPR   float64
+	// AllocsPerOp and BytesPerOp are the heap allocations of one Compare
+	// operation (both pipelines end to end), averaged over the timed runs
+	// — the allocation dimension of the perf trajectory. Zero when the
+	// run was parallel (per-query attribution is impossible there).
+	AllocsPerOp int64
+	BytesPerOp  int64
 }
 
 // FigureResult holds all rows for one dataset panel.
@@ -159,6 +166,8 @@ func Run(spec DatasetSpec, repeats int) (*FigureResult, error) {
 		row.APRPrime = first.Ratios.APRPrime
 		row.MaxAPR = first.Ratios.MaxAPR
 		var sumValid, sumMax time.Duration
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		for i := 0; i < repeats; i++ {
 			cmp, err := engine.Compare(query, xks.Options{})
 			if err != nil {
@@ -167,6 +176,9 @@ func Run(spec DatasetSpec, repeats int) (*FigureResult, error) {
 			sumValid += cmp.ValidElapsed
 			sumMax += cmp.MaxElapsed
 		}
+		runtime.ReadMemStats(&msAfter)
+		row.AllocsPerOp = int64(msAfter.Mallocs-msBefore.Mallocs) / int64(repeats)
+		row.BytesPerOp = int64(msAfter.TotalAlloc-msBefore.TotalAlloc) / int64(repeats)
 		row.ValidRTF = sumValid / time.Duration(repeats)
 		row.MaxMatch = sumMax / time.Duration(repeats)
 		res.Rows = append(res.Rows, row)
@@ -248,12 +260,18 @@ func (r *FigureResult) CSV() string {
 
 // BenchRecord is one machine-readable benchmark measurement, the unit of
 // the repo's BENCH_*.json perf trajectory: a slash-separated name
-// (dataset/query/algorithm), the averaged per-operation time, and the
-// fragment count the operation produced.
+// (dataset/query/algorithm), the averaged per-operation time, the fragment
+// count the operation produced, and — when measured — the allocation
+// profile (objects and bytes per operation).
 type BenchRecord struct {
 	Name      string `json:"name"`
 	NsPerOp   int64  `json:"ns_per_op"`
 	Fragments int    `json:"fragments"`
+	// AllocsPerOp and BytesPerOp cover the full Compare operation (both
+	// pipelines); they are attributed to both of a query's records and
+	// omitted (zero) for parallel runs.
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
 }
 
 // Records flattens a panel into benchmark records, two per query (one per
@@ -263,14 +281,18 @@ func (r *FigureResult) Records() []BenchRecord {
 	for _, row := range r.Rows {
 		out = append(out,
 			BenchRecord{
-				Name:      fmt.Sprintf("%s/%s/MaxMatch", r.Spec.Name, row.Abbrev),
-				NsPerOp:   row.MaxMatch.Nanoseconds(),
-				Fragments: row.NumRTFs,
+				Name:        fmt.Sprintf("%s/%s/MaxMatch", r.Spec.Name, row.Abbrev),
+				NsPerOp:     row.MaxMatch.Nanoseconds(),
+				Fragments:   row.NumRTFs,
+				AllocsPerOp: row.AllocsPerOp,
+				BytesPerOp:  row.BytesPerOp,
 			},
 			BenchRecord{
-				Name:      fmt.Sprintf("%s/%s/ValidRTF", r.Spec.Name, row.Abbrev),
-				NsPerOp:   row.ValidRTF.Nanoseconds(),
-				Fragments: row.NumRTFs,
+				Name:        fmt.Sprintf("%s/%s/ValidRTF", r.Spec.Name, row.Abbrev),
+				NsPerOp:     row.ValidRTF.Nanoseconds(),
+				Fragments:   row.NumRTFs,
+				AllocsPerOp: row.AllocsPerOp,
+				BytesPerOp:  row.BytesPerOp,
 			})
 	}
 	return out

@@ -1,75 +1,141 @@
 // Package index builds the inverted keyword index used by getKeywordNodes:
-// for each content word w, the pre-order-sorted list of Dewey codes of the
-// keyword nodes whose content set Cv contains w (the paper's Di sets).
+// for each content word w, the pre-order-sorted list of keyword nodes whose
+// content set Cv contains w (the paper's Di sets).
 //
-// The index is immutable after Build and safe for concurrent readers.
+// Postings are stored as dense node IDs over a per-document node table
+// (internal/nid) — 4 bytes per entry, integer pre-order comparison — and
+// converted back to Dewey codes only at the compatibility accessors
+// (Lookup, KeywordSets, Postings), which serve the reference/eager paths
+// and tests. The index is immutable after Build and safe for concurrent
+// readers.
 package index
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"xks/internal/analysis"
 	"xks/internal/dewey"
+	"xks/internal/nid"
 	"xks/internal/xmltree"
 )
 
-// Index maps content words to keyword-node posting lists.
+// Index maps content words to keyword-node posting lists over a node table.
 type Index struct {
 	analyzer *analysis.Analyzer
-	postings map[string][]dewey.Code
+	tab      *nid.Table
+	postings map[string][]nid.ID
 	numNodes int
 }
 
 // Build indexes every node of the tree. A node is a keyword node for w when
-// w appears among the words of its label, attributes or text.
+// w appears among the words of its label, attributes or text. The node
+// table covers every tree node, with IDs equal to pre-order positions.
 func Build(t *xmltree.Tree, a *analysis.Analyzer) *Index {
 	if a == nil {
 		a = analysis.New()
 	}
-	ix := &Index{analyzer: a, postings: make(map[string][]dewey.Code)}
+	ix := &Index{analyzer: a, postings: make(map[string][]nid.ID)}
+	b := nid.NewBuilder(t.Size())
 	t.Walk(func(n *xmltree.Node) bool {
 		ix.numNodes++
+		id := b.Add(n.Code)
 		for _, w := range a.ContentSet(n.ContentPieces()...) {
-			ix.postings[w] = append(ix.postings[w], n.Code)
+			ix.postings[w] = append(ix.postings[w], id)
 		}
 		return true
 	})
-	// Pre-order walk yields pre-order postings already; keep the sort as a
+	ix.tab = b.Table()
+	// Pre-order walk yields sorted postings already; keep the sort as a
 	// defensive invariant for postings assembled by other builders.
 	for _, list := range ix.postings {
-		if !sortedPreOrder(list) {
-			dewey.Sort(list)
+		if !sortedIDs(list) {
+			sortIDList(list)
 		}
 	}
 	return ix
 }
 
-// FromPostings constructs an index directly from word → posting-list data,
-// as when loading from the shredded store. Lists are sorted defensively.
+// FromPostings constructs an index directly from word → posting-list data.
+// The caller's lists are copied, never sorted in place or retained, so a
+// loaded index can not alias mutable caller data. The node table is the
+// ancestor closure of the posting codes — exactly the nodes the pipeline
+// can reach (every LCA and path node is a prefix of some keyword node).
 func FromPostings(postings map[string][]dewey.Code, numNodes int, a *analysis.Analyzer) *Index {
 	if a == nil {
 		a = analysis.New()
 	}
+	total := 0
 	for _, list := range postings {
-		if !sortedPreOrder(list) {
-			dewey.Sort(list)
-		}
+		total += len(list)
 	}
-	return &Index{analyzer: a, postings: postings, numNodes: numNodes}
+	all := make([]dewey.Code, 0, total)
+	for _, list := range postings {
+		all = append(all, list...)
+	}
+	tab := nid.FromCodes(all)
+	idPostings := make(map[string][]nid.ID, len(postings))
+	for w, list := range postings {
+		ids := make([]nid.ID, 0, len(list))
+		for _, c := range list {
+			if id, ok := tab.Find(c); ok {
+				ids = append(ids, id)
+			}
+		}
+		sortIDList(ids)
+		idPostings[w] = dedupIDList(ids)
+	}
+	return &Index{analyzer: a, tab: tab, postings: idPostings, numNodes: numNodes}
 }
 
-func sortedPreOrder(list []dewey.Code) bool {
+// FromIDPostings constructs an index from already-resolved ID posting lists
+// over an existing node table (the store's load path). Lists are sorted and
+// deduplicated defensively; they are retained, not copied.
+func FromIDPostings(tab *nid.Table, postings map[string][]nid.ID, numNodes int, a *analysis.Analyzer) *Index {
+	if a == nil {
+		a = analysis.New()
+	}
+	for w, list := range postings {
+		if !sortedIDs(list) {
+			sortIDList(list)
+		}
+		postings[w] = dedupIDList(list)
+	}
+	return &Index{analyzer: a, tab: tab, postings: postings, numNodes: numNodes}
+}
+
+func sortedIDs(list []nid.ID) bool {
 	for i := 1; i < len(list); i++ {
-		if dewey.Compare(list[i-1], list[i]) > 0 {
+		if list[i-1] > list[i] {
 			return false
 		}
 	}
 	return true
 }
 
+func sortIDList(list []nid.ID) {
+	slices.Sort(list)
+}
+
+func dedupIDList(list []nid.ID) []nid.ID {
+	if len(list) == 0 {
+		return list
+	}
+	out := list[:1]
+	for _, id := range list[1:] {
+		if out[len(out)-1] != id {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // Analyzer returns the analyzer the index was built with.
 func (ix *Index) Analyzer() *analysis.Analyzer { return ix.analyzer }
+
+// Table returns the node table the posting IDs refer into.
+func (ix *Index) Table() *nid.Table { return ix.tab }
 
 // NumNodes returns the number of indexed nodes.
 func (ix *Index) NumNodes() int { return ix.numNodes }
@@ -77,11 +143,29 @@ func (ix *Index) NumNodes() int { return ix.numNodes }
 // NumWords returns the vocabulary size.
 func (ix *Index) NumWords() int { return len(ix.postings) }
 
-// Lookup returns the posting list Di for the (already normalized) word, or
-// nil if the word does not occur. The returned slice is shared; callers must
-// not modify it.
-func (ix *Index) Lookup(word string) []dewey.Code {
+// LookupIDs returns the posting list Di for the (already normalized) word
+// as node IDs, or nil if the word does not occur. The returned slice is
+// shared; callers must not modify it.
+func (ix *Index) LookupIDs(word string) []nid.ID {
 	return ix.postings[word]
+}
+
+// Lookup returns the posting list Di for the (already normalized) word as
+// Dewey codes, or nil if the word does not occur. The code values are
+// zero-copy views into the node table; callers must not modify them.
+func (ix *Index) Lookup(word string) []dewey.Code {
+	return ix.codesOf(ix.postings[word])
+}
+
+func (ix *Index) codesOf(ids []nid.ID) []dewey.Code {
+	if ids == nil {
+		return nil
+	}
+	out := make([]dewey.Code, len(ids))
+	for i, id := range ids {
+		out[i] = ix.tab.Code(id)
+	}
+	return out
 }
 
 // Frequency returns the number of keyword nodes containing the word.
@@ -107,11 +191,26 @@ func (e *ErrNoMatch) Error() string {
 }
 
 // KeywordSets normalizes the raw query keywords and returns their posting
-// lists D1..Dk in query order along with the normalized keywords. It fails
-// with *ErrNoMatch if any keyword matches nothing (then no fragment can
-// cover the query), and with a plain error if the query normalizes to
-// nothing or to more than 64 keywords (the kList bitmask width).
+// lists D1..Dk (as Dewey code views) in query order along with the
+// normalized keywords. It fails with *ErrNoMatch if any keyword matches
+// nothing (then no fragment can cover the query), and with a plain error if
+// the query normalizes to nothing or to more than 64 keywords (the kList
+// bitmask width).
 func (ix *Index) KeywordSets(query string) (words []string, sets [][]dewey.Code, err error) {
+	words, idSets, err := ix.KeywordSetIDs(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	sets = make([][]dewey.Code, len(idSets))
+	for i, s := range idSets {
+		sets[i] = ix.codesOf(s)
+	}
+	return words, sets, nil
+}
+
+// KeywordSetIDs is KeywordSets in ID form: the posting lists are the shared
+// ID slices, with no per-call materialization.
+func (ix *Index) KeywordSetIDs(query string) (words []string, sets [][]nid.ID, err error) {
 	words = ix.analyzer.NormalizeQuery(query)
 	if len(words) == 0 {
 		return nil, nil, fmt.Errorf("index: query %q contains no searchable keywords", query)
@@ -119,7 +218,7 @@ func (ix *Index) KeywordSets(query string) (words []string, sets [][]dewey.Code,
 	if len(words) > 64 {
 		return nil, nil, fmt.Errorf("index: query has %d keywords; at most 64 supported", len(words))
 	}
-	sets = make([][]dewey.Code, len(words))
+	sets = make([][]nid.ID, len(words))
 	for i, w := range words {
 		list := ix.postings[w]
 		if len(list) == 0 {
@@ -131,31 +230,45 @@ func (ix *Index) KeywordSets(query string) (words []string, sets [][]dewey.Code,
 }
 
 // Insert adds one node's postings incrementally (used by the engine's
-// append path). The posting list of each word stays pre-order sorted via
-// insertion at the binary-search position; inserting an already-present
-// (word, code) pair is a no-op. Not safe for use concurrently with
-// readers.
+// append path). The node (and any missing ancestors) is spliced into the
+// node table at its pre-order position, renumbering later IDs across every
+// posting list; each word's posting list then receives the new ID at its
+// sorted position. Inserting an already-present (word, code) pair is a
+// no-op. Not safe for use concurrently with readers.
 func (ix *Index) Insert(c dewey.Code, words []string) {
 	ix.numNodes++
+	id, created := ix.tab.Insert(c)
+	// Replay the table's renumbering on the stored IDs: for each splice
+	// position, every ID at or after it shifted up by one.
+	for _, pos := range created {
+		for _, list := range ix.postings {
+			for i, v := range list {
+				if v >= pos {
+					list[i] = v + 1
+				}
+			}
+		}
+	}
 	for _, w := range words {
 		list := ix.postings[w]
-		i := dewey.SearchGE(list, c)
-		if i < len(list) && dewey.Equal(list[i], c) {
+		i := sort.Search(len(list), func(j int) bool { return list[j] >= id })
+		if i < len(list) && list[i] == id {
 			continue
 		}
-		list = append(list, nil)
+		list = append(list, 0)
 		copy(list[i+1:], list[i:])
-		list[i] = c
+		list[i] = id
 		ix.postings[w] = list
 	}
 }
 
-// Postings exposes a copy of the word → posting map, used when shredding an
-// index into the store. Lists are shared, not copied.
+// Postings exposes a copy of the word → posting map in Dewey code form,
+// used when shredding an index into the store. The code values are
+// zero-copy views into the node table.
 func (ix *Index) Postings() map[string][]dewey.Code {
 	out := make(map[string][]dewey.Code, len(ix.postings))
 	for w, l := range ix.postings {
-		out[w] = l
+		out[w] = ix.codesOf(l)
 	}
 	return out
 }

@@ -1,0 +1,275 @@
+// ID-based variants of the getLCA stage: the production hot path runs on
+// dense node IDs (internal/nid) instead of dewey.Code values. Posting lists
+// are []nid.ID, the merged keyword-node stream is produced by a streaming
+// k-way loser-tree merge (no materialized event slice), and LCA/ancestor
+// tests are parent-chain walks on the node table, so the whole stage
+// allocates only its result. The code-based implementations in lca.go are
+// kept as the cross-checked reference (and for the eager baseline path).
+
+package lca
+
+import (
+	"slices"
+	"sort"
+
+	"xks/internal/nid"
+)
+
+// IDEvent is one node of the merged keyword-node stream in ID form: the
+// node plus the bitmask of query keywords it matches.
+type IDEvent struct {
+	ID   nid.ID
+	Mask uint64
+}
+
+// mergeSentinel orders after every valid ID (IDs are int32).
+const mergeSentinel = int64(1) << 40
+
+// Merger streams the pre-order merge of k ID posting lists, OR-ing the
+// masks of equal IDs — the DIL-style merged stream of XRank, without
+// materializing it. It is a classic loser tree over the (sentinel-padded)
+// sources: each Next pops the winner and replays one leaf-to-root path,
+// O(log k) comparisons per event.
+type Merger struct {
+	lists [][]nid.ID
+	pos   []int
+	loser []int32 // internal nodes 1..n-1: loser of the match played there
+	win   int32   // current overall winner (source index)
+	n     int     // number of leaves (power of two >= len(lists))
+}
+
+// NewMerger builds a streaming merger over the pre-order-sorted posting
+// lists.
+func NewMerger(lists [][]nid.ID) *Merger {
+	k := len(lists)
+	n := 1
+	for n < k {
+		n *= 2
+	}
+	m := &Merger{
+		lists: lists,
+		pos:   make([]int, k),
+		loser: make([]int32, n),
+		n:     n,
+	}
+	// Play the initial tournament bottom-up; win[i] is the winner of the
+	// subtree rooted at internal node i, loser[i] the loser of its match.
+	win := make([]int32, 2*n)
+	for s := 0; s < n; s++ {
+		win[n+s] = int32(s)
+	}
+	for i := n - 1; i >= 1; i-- {
+		a, b := win[2*i], win[2*i+1]
+		if m.less(a, b) {
+			win[i], m.loser[i] = a, b
+		} else {
+			win[i], m.loser[i] = b, a
+		}
+	}
+	m.win = win[1]
+	return m
+}
+
+// key returns the source's current head as an int64, or the sentinel when
+// the source (or padding leaf) is exhausted.
+func (m *Merger) key(s int32) int64 {
+	if int(s) >= len(m.lists) || m.pos[s] >= len(m.lists[s]) {
+		return mergeSentinel
+	}
+	return int64(m.lists[s][m.pos[s]])
+}
+
+// less orders sources by current key, ties by source index (which keeps the
+// merge deterministic; equal keys are coalesced by Next either way).
+func (m *Merger) less(a, b int32) bool {
+	ka, kb := m.key(a), m.key(b)
+	return ka < kb || (ka == kb && a < b)
+}
+
+// advance pops the current winner's head and replays its path to the root.
+func (m *Merger) advance() {
+	s := m.win
+	m.pos[s]++
+	cur := s
+	for i := (m.n + int(s)) / 2; i >= 1; i /= 2 {
+		if m.less(m.loser[i], cur) {
+			m.loser[i], cur = cur, m.loser[i]
+		}
+	}
+	m.win = cur
+}
+
+// Next returns the next event of the merged stream: the smallest unseen ID
+// with the OR of the masks of every list it heads. ok is false when the
+// stream is exhausted.
+func (m *Merger) Next() (ev IDEvent, ok bool) {
+	k := m.key(m.win)
+	if k == mergeSentinel {
+		return IDEvent{}, false
+	}
+	ev.ID = nid.ID(k)
+	for m.key(m.win) == k {
+		ev.Mask |= 1 << uint(m.win)
+		m.advance()
+	}
+	return ev, true
+}
+
+// ELCAStackMergeIDs is the ID form of ELCAStackMerge: one pass over the
+// streamed merge of the posting lists, maintaining the stack of path nodes
+// (as IDs) from the root to the current event with residual and subtree
+// masks. Identical output to ELCAStackMerge modulo representation; verified
+// by cross-check tests.
+func ELCAStackMergeIDs(t *nid.Table, sets [][]nid.ID) []nid.ID {
+	k := len(sets)
+	if k == 0 {
+		return nil
+	}
+	for _, s := range sets {
+		if len(s) == 0 {
+			return nil
+		}
+	}
+	full := FullMask(k)
+	m := NewMerger(sets)
+
+	var (
+		ids      []nid.ID // ids[d] = path node at depth d
+		residual []uint64
+		subtree  []uint64
+		result   []nid.ID
+	)
+	pop := func(toLen int) {
+		for len(ids) > toLen {
+			top := len(ids) - 1
+			if residual[top] == full {
+				result = append(result, ids[top])
+			}
+			if top >= 1 {
+				subtree[top-1] |= subtree[top]
+				if subtree[top] != full {
+					residual[top-1] |= residual[top]
+				}
+			}
+			ids = ids[:top]
+			residual = residual[:top]
+			subtree = subtree[:top]
+		}
+	}
+	for {
+		ev, ok := m.Next()
+		if !ok {
+			break
+		}
+		l := 0
+		if len(ids) > 0 {
+			l = int(t.LCADepth(ids[len(ids)-1], ev.ID)) + 1
+		}
+		pop(l)
+		d := int(t.Depth(ev.ID))
+		for len(ids) <= d {
+			ids = append(ids, 0)
+			residual = append(residual, 0)
+			subtree = append(subtree, 0)
+		}
+		for i, cur := d, ev.ID; i >= l; i-- {
+			ids[i] = cur
+			cur = t.Parent(cur)
+		}
+		residual[d] |= ev.Mask
+		subtree[d] |= ev.Mask
+	}
+	pop(0)
+	sortIDs(result)
+	return result
+}
+
+// SLCAIDs is the ID form of SLCA (Indexed Lookup Eager): for every node of
+// the smallest list, chain-LCA it with the closest node of every other
+// list, then remove non-minimal candidates. Identical output to SLCA modulo
+// representation.
+func SLCAIDs(t *nid.Table, sets [][]nid.ID) []nid.ID {
+	if len(sets) == 0 {
+		return nil
+	}
+	for _, s := range sets {
+		if len(s) == 0 {
+			return nil
+		}
+	}
+	smallest := 0
+	for i, s := range sets {
+		if len(s) < len(sets[smallest]) {
+			smallest = i
+		}
+	}
+	candidates := make([]nid.ID, 0, len(sets[smallest]))
+	for _, v := range sets[smallest] {
+		x := v
+		ok := true
+		for i, s := range sets {
+			if i == smallest {
+				continue
+			}
+			u := closestID(t, s, x)
+			x = t.LCA(x, u)
+			if x == nid.None {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			candidates = append(candidates, x)
+		}
+	}
+	sortIDs(candidates)
+	candidates = dedupIDs(candidates)
+	return removeAncestorIDs(t, candidates)
+}
+
+// closestID returns the node of the sorted list whose LCA with x is
+// deepest: one of x's two pre-order neighbours (IDs order in pre-order).
+func closestID(t *nid.Table, list []nid.ID, x nid.ID) nid.ID {
+	i := sort.Search(len(list), func(j int) bool { return list[j] >= x })
+	switch {
+	case i == len(list):
+		return list[i-1]
+	case i == 0:
+		return list[i]
+	}
+	lm, rm := list[i-1], list[i]
+	if t.LCADepth(lm, x) >= t.LCADepth(rm, x) {
+		return lm
+	}
+	return rm
+}
+
+// removeAncestorIDs keeps only the nodes with no proper descendant in the
+// sorted, deduplicated list.
+func removeAncestorIDs(t *nid.Table, sorted []nid.ID) []nid.ID {
+	out := sorted[:0]
+	for i, c := range sorted {
+		if i+1 < len(sorted) && t.IsAncestorOf(c, sorted[i+1]) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func sortIDs(ids []nid.ID) {
+	slices.Sort(ids)
+}
+
+func dedupIDs(ids []nid.ID) []nid.ID {
+	if len(ids) == 0 {
+		return ids
+	}
+	out := ids[:1]
+	for _, c := range ids[1:] {
+		if out[len(out)-1] != c {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -102,7 +102,7 @@ func SLCA(sets [][]dewey.Code) []dewey.Code {
 	}
 	candidates := make([]dewey.Code, 0, len(sets[smallest]))
 	for _, v := range sets[smallest] {
-		x := v.Clone()
+		x := v
 		ok := true
 		for i, s := range sets {
 			if i == smallest {
@@ -271,12 +271,12 @@ func ELCAIndexedDispatch(sets [][]dewey.Code) []dewey.Code {
 // LowestAllContaining returns the deepest prefix of x that is an
 // ancestor-or-self of some SLCA in the pre-order-sorted slcas list, or nil
 // if none exists (only possible when slcas is empty, since the root covers
-// everything).
+// everything). The result aliases x (a prefix sub-slice).
 func LowestAllContaining(slcas []dewey.Code, x dewey.Code) dewey.Code {
 	for l := len(x); l >= 1; l-- {
 		p := x[:l]
 		if coversSomeSLCA(slcas, p) {
-			return p.Clone()
+			return p
 		}
 	}
 	return nil

@@ -16,11 +16,12 @@ package metrics
 import "xks/internal/dewey"
 
 // FragmentPair holds, for one interesting LCA node, the node sets kept by
-// the two mechanisms, keyed by dewey key.
+// the two mechanisms as pre-order-sorted code slices (the form pruning
+// produces), so the set comparisons below are merge walks with no maps.
 type FragmentPair struct {
 	Root  dewey.Code
-	Valid map[string]bool // va: kept by ValidRTF
-	Max   map[string]bool // xa: kept by MaxMatch
+	Valid []dewey.Code // va: kept by ValidRTF, pre-order sorted
+	Max   []dewey.Code // xa: kept by MaxMatch, pre-order sorted
 }
 
 // equalSets reports whether the two fragments kept exactly the same nodes.
@@ -28,8 +29,8 @@ func (p *FragmentPair) equalSets() bool {
 	if len(p.Valid) != len(p.Max) {
 		return false
 	}
-	for k := range p.Valid {
-		if !p.Max[k] {
+	for i := range p.Valid {
+		if !dewey.Equal(p.Valid[i], p.Max[i]) {
 			return false
 		}
 	}
@@ -42,9 +43,12 @@ func (p *FragmentPair) PruneRatio() float64 {
 	if len(p.Max) == 0 {
 		return 0
 	}
-	extra := 0
-	for k := range p.Max {
-		if !p.Valid[k] {
+	extra, i := 0, 0
+	for _, x := range p.Max {
+		for i < len(p.Valid) && dewey.Compare(p.Valid[i], x) < 0 {
+			i++
+		}
+		if i >= len(p.Valid) || !dewey.Equal(p.Valid[i], x) {
 			extra++
 		}
 	}

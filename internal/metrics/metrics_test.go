@@ -7,15 +7,16 @@ import (
 	"xks/internal/dewey"
 )
 
-func set(codes ...string) map[string]bool {
-	out := map[string]bool{}
+func set(codes ...string) []dewey.Code {
+	out := make([]dewey.Code, 0, len(codes))
 	for _, c := range codes {
-		out[dewey.MustParse(c).Key()] = true
+		out = append(out, dewey.MustParse(c))
 	}
+	dewey.Sort(out)
 	return out
 }
 
-func pair(root string, valid, max map[string]bool) FragmentPair {
+func pair(root string, valid, max []dewey.Code) FragmentPair {
 	return FragmentPair{Root: dewey.MustParse(root), Valid: valid, Max: max}
 }
 
@@ -93,7 +94,7 @@ func TestValidKeepsMoreThanMax(t *testing.T) {
 }
 
 func TestPruneRatioEmptyMax(t *testing.T) {
-	p := pair("0", set("0"), map[string]bool{})
+	p := pair("0", set("0"), nil)
 	if p.PruneRatio() != 0 {
 		t.Error("PruneRatio on empty Max should be 0")
 	}

@@ -1,0 +1,252 @@
+// Package nid compiles a document's Dewey-coded node set into a flat node
+// table with dense document-order (pre-order) int32 IDs — the node-ID layer
+// under the query pipeline.
+//
+// A Table stores, per node, its parent ID, its depth and the offset of its
+// Dewey code inside a single shared []uint32 arena. Posting lists over IDs
+// cost 4 bytes per entry (instead of a 24-byte slice header plus backing
+// array per dewey.Code), pre-order comparison is integer comparison, and
+// LCA/ancestor tests are short parent-chain walks that allocate nothing.
+// Code(id) returns the node's Dewey code as a zero-copy sub-slice of the
+// arena, so converting back to dewey.Code at the public API boundary is
+// free. The design follows the node-numbering used by the Indexed Stack /
+// DIL-style XML keyword systems (Xu & Papakonstantinou EDBT 2008, XRank).
+//
+// A Table is immutable during searches; Insert (used by the engine's append
+// path) renumbers IDs and must be externally synchronized with readers,
+// like the index it backs.
+package nid
+
+import (
+	"xks/internal/dewey"
+)
+
+// ID is a dense pre-order node identifier within one document's Table.
+type ID int32
+
+// None is the null ID (no parent, no node).
+const None ID = -1
+
+// Table is the flat node table: parallel parent/depth/offset columns over a
+// shared Dewey arena. Node IDs are dense and assigned in pre-order, so
+// id(a) < id(b) exactly when a precedes b in document order.
+type Table struct {
+	parent []ID
+	depth  []int32 // root is depth 0; code length is depth+1
+	off    []uint32
+	arena  []uint32
+}
+
+// Len returns the number of nodes in the table.
+func (t *Table) Len() int { return len(t.parent) }
+
+// Code returns the node's Dewey code as a zero-copy sub-slice of the arena.
+// Callers must not modify it.
+func (t *Table) Code(i ID) dewey.Code {
+	o := t.off[i]
+	return dewey.Code(t.arena[o : o+uint32(t.depth[i])+1])
+}
+
+// Parent returns the node's parent ID, or None for a root.
+func (t *Table) Parent(i ID) ID { return t.parent[i] }
+
+// Depth returns the node's depth (root = 0).
+func (t *Table) Depth(i ID) int32 { return t.depth[i] }
+
+// AncestorAt returns the ancestor-or-self of i at depth d, or None when d
+// exceeds the node's depth or the parent chain ends early.
+func (t *Table) AncestorAt(i ID, d int32) ID {
+	if d < 0 {
+		return None
+	}
+	for i != None && t.depth[i] > d {
+		i = t.parent[i]
+	}
+	if i == None || t.depth[i] != d {
+		return None
+	}
+	return i
+}
+
+// IsAncestorOrSelf reports whether a is an ancestor of b or b itself.
+func (t *Table) IsAncestorOrSelf(a, b ID) bool {
+	return t.AncestorAt(b, t.depth[a]) == a
+}
+
+// IsAncestorOf reports whether a is a proper ancestor of b.
+func (t *Table) IsAncestorOf(a, b ID) bool {
+	return a != b && t.IsAncestorOrSelf(a, b)
+}
+
+// LCA returns the lowest common ancestor of a and b (a or b itself when one
+// contains the other), or None when the nodes sit under distinct roots.
+func (t *Table) LCA(a, b ID) ID {
+	for t.depth[a] > t.depth[b] {
+		a = t.parent[a]
+	}
+	for t.depth[b] > t.depth[a] {
+		b = t.parent[b]
+	}
+	for a != b {
+		a, b = t.parent[a], t.parent[b]
+		if a == None || b == None {
+			return None
+		}
+	}
+	return a
+}
+
+// LCADepth returns the depth of LCA(a, b), or -1 when there is none.
+func (t *Table) LCADepth(a, b ID) int32 {
+	l := t.LCA(a, b)
+	if l == None {
+		return -1
+	}
+	return t.depth[l]
+}
+
+// Find locates the node with the given Dewey code by binary search over the
+// pre-order table.
+func (t *Table) Find(c dewey.Code) (ID, bool) {
+	i := t.searchGE(c)
+	if i < len(t.parent) && dewey.Equal(t.Code(ID(i)), c) {
+		return ID(i), true
+	}
+	return None, false
+}
+
+// searchGE returns the index of the first node whose code is >= c.
+func (t *Table) searchGE(c dewey.Code) int {
+	lo, hi := 0, len(t.parent)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if dewey.Compare(t.Code(ID(mid)), c) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds the node with code c (and any missing ancestors) to the
+// table, renumbering the IDs of every node at or after each insertion
+// point. It returns the node's ID and the insertion positions of the newly
+// created nodes in creation order (shallowest first); each position is the
+// ID the node received at the moment it was inserted, so a caller keeping
+// external ID references (e.g. posting lists) replays the same shifts by
+// incrementing every stored ID >= pos once per created position, in order.
+// When the code is already present, created is empty.
+//
+// Insert must not run concurrently with readers.
+func (t *Table) Insert(c dewey.Code) (id ID, created []ID) {
+	parent := None
+	for l := 1; l <= len(c); l++ {
+		prefix := c[:l]
+		pos := t.searchGE(prefix)
+		if pos < len(t.parent) && dewey.Equal(t.Code(ID(pos)), prefix) {
+			parent = ID(pos)
+			continue
+		}
+		t.insertAt(pos, prefix, parent)
+		created = append(created, ID(pos))
+		parent = ID(pos)
+	}
+	return parent, created
+}
+
+// insertAt splices one node into position pos. The parent, being a proper
+// prefix, always precedes pos and is unaffected by the shift.
+func (t *Table) insertAt(pos int, c dewey.Code, parent ID) {
+	off := uint32(len(t.arena))
+	t.arena = append(t.arena, c...)
+	t.parent = append(t.parent, 0)
+	copy(t.parent[pos+1:], t.parent[pos:])
+	t.parent[pos] = parent
+	t.depth = append(t.depth, 0)
+	copy(t.depth[pos+1:], t.depth[pos:])
+	t.depth[pos] = int32(len(c) - 1)
+	t.off = append(t.off, 0)
+	copy(t.off[pos+1:], t.off[pos:])
+	t.off[pos] = off
+	for i := range t.parent {
+		if i != pos && t.parent[i] >= ID(pos) {
+			t.parent[i]++
+		}
+	}
+}
+
+// Builder assembles a Table from codes fed in pre-order. Missing ancestors
+// are synthesized, so any pre-order code stream yields an ancestor-closed
+// table. Adding a code equal to the previous one returns the existing ID.
+type Builder struct {
+	t    Table
+	prev dewey.Code
+	path []ID // path[d] = ID of the current rightmost node at depth d
+}
+
+// NewBuilder returns a Builder with capacity hints for n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	return &Builder{t: Table{
+		parent: make([]ID, 0, n),
+		depth:  make([]int32, 0, n),
+		off:    make([]uint32, 0, n),
+	}}
+}
+
+// Add appends the node with code c, synthesizing any ancestors not yet
+// present, and returns its ID. Codes must arrive in pre-order (equal to or
+// after the previously added code); Add panics otherwise, since a
+// mis-ordered stream would silently break the dense-ID invariant.
+func (b *Builder) Add(c dewey.Code) ID {
+	if len(c) == 0 {
+		return None
+	}
+	cmp := dewey.Compare(b.prev, c)
+	if cmp > 0 {
+		panic("nid: Builder.Add called with out-of-order code " + c.String())
+	}
+	if cmp == 0 {
+		return ID(len(b.t.parent) - 1)
+	}
+	cp := dewey.CommonPrefixLen(b.prev, c)
+	for l := cp + 1; l <= len(c); l++ {
+		id := ID(len(b.t.parent))
+		parent := None
+		if l >= 2 {
+			parent = b.path[l-2]
+		}
+		b.t.parent = append(b.t.parent, parent)
+		b.t.depth = append(b.t.depth, int32(l-1))
+		b.t.off = append(b.t.off, uint32(len(b.t.arena)))
+		b.t.arena = append(b.t.arena, c[:l]...)
+		if len(b.path) < l {
+			b.path = append(b.path, id)
+		} else {
+			b.path[l-1] = id
+		}
+	}
+	b.prev = b.t.Code(ID(len(b.t.parent) - 1))
+	return ID(len(b.t.parent) - 1)
+}
+
+// Table finalizes and returns the built table. The Builder must not be used
+// afterwards.
+func (b *Builder) Table() *Table { return &b.t }
+
+// FromCodes builds a Table from an arbitrary set of codes: the input is
+// copied, sorted, deduplicated and ancestor-closed. The returned table
+// never aliases the caller's slices.
+func FromCodes(codes []dewey.Code) *Table {
+	sorted := make([]dewey.Code, len(codes))
+	copy(sorted, codes)
+	dewey.Sort(sorted)
+	b := NewBuilder(len(sorted))
+	for _, c := range sorted {
+		b.Add(c)
+	}
+	return b.Table()
+}

@@ -1,0 +1,158 @@
+package nid
+
+import (
+	"math/rand"
+	"testing"
+
+	"xks/internal/dewey"
+)
+
+func codes(ss ...string) []dewey.Code {
+	out := make([]dewey.Code, len(ss))
+	for i, s := range ss {
+		out[i] = dewey.MustParse(s)
+	}
+	return out
+}
+
+// TestFromCodesClosure: the table is the sorted ancestor closure of the
+// input, with pre-order IDs, correct parents and depths, and zero-copy
+// codes.
+func TestFromCodesClosure(t *testing.T) {
+	tab := FromCodes(codes("0.2.0.1", "0.0", "0.2.0.1", "0.1.3"))
+	want := []string{"0", "0.0", "0.1", "0.1.3", "0.2", "0.2.0", "0.2.0.1"}
+	if tab.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(want))
+	}
+	for i, w := range want {
+		c := tab.Code(ID(i))
+		if c.String() != w {
+			t.Errorf("Code(%d) = %s, want %s", i, c, w)
+		}
+		if got := int(tab.Depth(ID(i))); got != len(c)-1 {
+			t.Errorf("Depth(%d) = %d, want %d", i, got, len(c)-1)
+		}
+		if len(c) == 1 {
+			if tab.Parent(ID(i)) != None {
+				t.Errorf("root %s should have no parent", c)
+			}
+		} else if pc := tab.Code(tab.Parent(ID(i))); !pc.IsAncestorOf(c) || len(pc) != len(c)-1 {
+			t.Errorf("Parent(%s) = %s", c, pc)
+		}
+	}
+	for i, w := range want {
+		id, ok := tab.Find(dewey.MustParse(w))
+		if !ok || id != ID(i) {
+			t.Errorf("Find(%s) = (%d, %v), want (%d, true)", w, id, ok, i)
+		}
+	}
+	if _, ok := tab.Find(dewey.MustParse("0.9")); ok {
+		t.Error("Find of absent code succeeded")
+	}
+}
+
+// TestTableAgainstDeweyReference fuzzes LCA/ancestor operations against the
+// dewey package's code-based implementations.
+func TestTableAgainstDeweyReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var all []dewey.Code
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			depth := 1 + rng.Intn(5)
+			c := make(dewey.Code, depth)
+			c[0] = 0
+			for j := 1; j < depth; j++ {
+				c[j] = uint32(rng.Intn(3))
+			}
+			all = append(all, c)
+		}
+		tab := FromCodes(all)
+		for i := 0; i < tab.Len(); i++ {
+			for j := 0; j < tab.Len(); j++ {
+				a, b := ID(i), ID(j)
+				ca, cb := tab.Code(a), tab.Code(b)
+				if got, want := tab.IsAncestorOrSelf(a, b), ca.IsAncestorOrSelf(cb); got != want {
+					t.Fatalf("IsAncestorOrSelf(%s, %s) = %v, want %v", ca, cb, got, want)
+				}
+				if got, want := tab.IsAncestorOf(a, b), ca.IsAncestorOf(cb); got != want {
+					t.Fatalf("IsAncestorOf(%s, %s) = %v, want %v", ca, cb, got, want)
+				}
+				wantLCA := dewey.LCA(ca, cb)
+				gotID := tab.LCA(a, b)
+				if gotID == None {
+					if wantLCA != nil {
+						t.Fatalf("LCA(%s, %s) = None, want %s", ca, cb, wantLCA)
+					}
+					continue
+				}
+				if !dewey.Equal(tab.Code(gotID), wantLCA) {
+					t.Fatalf("LCA(%s, %s) = %s, want %s", ca, cb, tab.Code(gotID), wantLCA)
+				}
+				if tab.LCADepth(a, b) != int32(len(wantLCA)-1) {
+					t.Fatalf("LCADepth(%s, %s) = %d, want %d", ca, cb, tab.LCADepth(a, b), len(wantLCA)-1)
+				}
+			}
+		}
+	}
+}
+
+// TestInsertRenumbers: splicing nodes mid-table shifts IDs exactly the way
+// Insert reports, and keeps the table sorted and ancestor-closed.
+func TestInsertRenumbers(t *testing.T) {
+	tab := FromCodes(codes("0.0", "0.2"))
+	before := tab.Len() // 0, 0.0, 0.2
+	if before != 3 {
+		t.Fatalf("Len = %d, want 3", before)
+	}
+	// Insert 0.1.0: creates 0.1 and 0.1.0 between 0.0 and 0.2.
+	id, created := tab.Insert(dewey.MustParse("0.1.0"))
+	if len(created) != 2 {
+		t.Fatalf("created = %v, want two nodes", created)
+	}
+	if got := tab.Code(id).String(); got != "0.1.0" {
+		t.Fatalf("inserted id resolves to %s", got)
+	}
+	want := []string{"0", "0.0", "0.1", "0.1.0", "0.2"}
+	for i, w := range want {
+		if got := tab.Code(ID(i)).String(); got != w {
+			t.Fatalf("after insert, Code(%d) = %s, want %s", i, got, w)
+		}
+	}
+	// Parents stay coherent after the shift.
+	if p := tab.Parent(id); tab.Code(p).String() != "0.1" {
+		t.Fatalf("parent of 0.1.0 = %s", tab.Code(p))
+	}
+	last, ok := tab.Find(dewey.MustParse("0.2"))
+	if !ok || tab.Parent(last) != 0 {
+		t.Fatalf("0.2 parent broken after shift: %v %v", last, tab.Parent(last))
+	}
+	// Re-inserting an existing code is a no-op.
+	id2, created2 := tab.Insert(dewey.MustParse("0.1.0"))
+	if id2 != id || len(created2) != 0 {
+		t.Fatalf("re-insert: id %d created %v", id2, created2)
+	}
+}
+
+// TestBuilderOutOfOrderPanics pins the dense-ID invariant guard.
+func TestBuilderOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Add did not panic")
+		}
+	}()
+	b := NewBuilder(2)
+	b.Add(dewey.MustParse("0.1"))
+	b.Add(dewey.MustParse("0.0"))
+}
+
+// TestCodeZeroCopy: Code returns stable views into one shared arena, not
+// per-call copies.
+func TestCodeZeroCopy(t *testing.T) {
+	tab := FromCodes(codes("0.0.1", "0.0.2"))
+	a, _ := tab.Find(dewey.MustParse("0.0.1"))
+	c1, c2 := tab.Code(a), tab.Code(a)
+	if &c1[0] != &c2[0] {
+		t.Error("Code should return the same arena view on every call")
+	}
+}

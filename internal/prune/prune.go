@@ -20,14 +20,22 @@
 // Prune(Contributor) keeps MaxMatch's contributors: a child is discarded
 // exactly when some sibling's keyword set strictly covers its own,
 // regardless of labels and content.
+//
+// Fragments are built two ways: BuildFragment from a code-based rtf.RTF
+// (the reference and eager-baseline path) and BuildFragmentIDs from an
+// ID-based rtf.IDRTF over a node table (the production hot path — a single
+// path-stack pass with no string keys, no maps and zero-copy Dewey codes).
+// Both yield identical pruning results; cross-checked by tests.
 package prune
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
 	"xks/internal/dewey"
+	"xks/internal/nid"
 	"xks/internal/rtf"
 )
 
@@ -86,6 +94,9 @@ func (c CID) Less(o CID) bool {
 type Node struct {
 	Code  dewey.Code
 	Label string
+	// ID is the node's table ID when the fragment was built over a node
+	// table (BuildFragmentIDs), nid.None otherwise.
+	ID nid.ID
 	// KList is the tree keyword set TKv as a bitmask over the query
 	// keywords; its integer value is the paper's key number.
 	KList uint64
@@ -99,7 +110,10 @@ type Node struct {
 
 	Parent   *Node
 	Children []*Node // document order
-	Items    []*LabelItem
+	// Items groups the children per distinct label, in first-occurrence
+	// order. Stored by value (one backing array per node) to keep the
+	// grouping allocation-light; iterate by index when a pointer is needed.
+	Items []LabelItem
 
 	content map[string]struct{} // full tree content set (ExactContent mode)
 }
@@ -146,21 +160,31 @@ type LabelFunc func(dewey.Code) string
 // ContentFunc resolves the content word set Cv of a keyword node.
 type ContentFunc func(dewey.Code) []string
 
+// IDLabelFunc resolves a node's label from its table ID.
+type IDLabelFunc func(nid.ID) string
+
+// IDContentFunc resolves the content word set Cv of a keyword node from its
+// table ID.
+type IDContentFunc func(nid.ID) []string
+
 // Fragment is one RTF materialized as an annotated node tree, ready for
 // pruning. Build it once and prune it under several modes.
 type Fragment struct {
-	Root   *Node
-	byKey  map[string]*Node
-	source *rtf.RTF
-	exact  bool
+	Root     *Node
+	nodes    []*Node          // every fragment node, in creation order
+	byKey    map[string]*Node // code-built fragments only
+	tab      *nid.Table       // ID-built fragments only
+	source   *rtf.RTF         // code-built fragments only
+	sourceID *rtf.IDRTF       // ID-built fragments only
+	exact    bool
 }
 
-// BuildFragment runs the constructing step of pruneRTF: it materializes
-// every node on the paths between the RTF root and its keyword nodes,
-// filling the §4.1 data structure. Keyword masks and content features are
-// transferred to every ancestor up to the RTF root (the paper's lines
-// 11–12). labelOf must resolve every path node's label; contentOf must
-// resolve each keyword node's content set.
+// BuildFragment runs the constructing step of pruneRTF from a code-based
+// RTF: it materializes every node on the paths between the RTF root and its
+// keyword nodes, filling the §4.1 data structure. Keyword masks and content
+// features are transferred to every ancestor up to the RTF root (the
+// paper's lines 11–12). labelOf must resolve every path node's label;
+// contentOf must resolve each keyword node's content set.
 func BuildFragment(r *rtf.RTF, labelOf LabelFunc, contentOf ContentFunc, opts Options) *Fragment {
 	f := &Fragment{
 		byKey:  make(map[string]*Node),
@@ -194,12 +218,78 @@ func BuildFragment(r *rtf.RTF, labelOf LabelFunc, contentOf ContentFunc, opts Op
 	return f
 }
 
+// BuildFragmentIDs is the ID form of BuildFragment: a single pass over the
+// RTF's keyword nodes (which arrive in pre-order) maintaining the path
+// stack from the RTF root to the current node, so every path node is
+// created exactly once, children land in document order, and node codes are
+// zero-copy sub-slices of the table arena.
+func BuildFragmentIDs(t *nid.Table, r *rtf.IDRTF, labelOf IDLabelFunc, contentOf IDContentFunc, opts Options) *Fragment {
+	f := &Fragment{
+		tab:      t,
+		sourceID: r,
+		exact:    opts.ExactContent,
+	}
+	// Nodes come from a chunked arena: one allocation covers many nodes,
+	// and a full chunk starts a fresh one (never reallocating, so issued
+	// pointers stay valid).
+	arena := make([]Node, 0, len(r.KeywordNodes)*2+4)
+	newNode := func() *Node {
+		if len(arena) == cap(arena) {
+			arena = make([]Node, 0, 2*cap(arena))
+		}
+		arena = append(arena, Node{})
+		return &arena[len(arena)-1]
+	}
+	f.nodes = make([]*Node, 0, cap(arena))
+
+	root := newNode()
+	root.ID, root.Code, root.Label = r.Root, t.Code(r.Root), labelOf(r.Root)
+	f.Root = root
+	f.nodes = append(f.nodes, root)
+	rootDepth := int(t.Depth(r.Root))
+
+	stackBuf := [12]*Node{root}
+	stack := stackBuf[:1] // path from the RTF root to the current node
+	var ancBuf [12]nid.ID
+	anc := ancBuf[:0] // scratch: ancestors of the current event below the shared path
+	for _, ev := range r.KeywordNodes {
+		top := stack[len(stack)-1]
+		l := int(t.LCADepth(top.ID, ev.ID)) // depth of the deepest shared path node
+		stack = stack[:l-rootDepth+1]
+		anc = anc[:0]
+		for cur := ev.ID; int(t.Depth(cur)) > l; cur = t.Parent(cur) {
+			anc = append(anc, cur)
+		}
+		for j := len(anc) - 1; j >= 0; j-- {
+			id := anc[j]
+			parent := stack[len(stack)-1]
+			n := newNode()
+			n.ID, n.Code, n.Label, n.Parent = id, t.Code(id), labelOf(id), parent
+			parent.Children = append(parent.Children, n)
+			f.nodes = append(f.nodes, n)
+			stack = append(stack, n)
+		}
+		kn := stack[len(stack)-1]
+		kn.IsKeywordNode = true
+		kn.Mask |= ev.Mask
+		words := contentOf(ev.ID)
+		for n := kn; n != nil; n = n.Parent {
+			n.KList |= ev.Mask
+			mergeContent(n, words, f.exact)
+		}
+	}
+	f.fillChildrenInfo()
+	return f
+}
+
 func (f *Fragment) ensure(c dewey.Code, labelOf LabelFunc) *Node {
-	if n, ok := f.byKey[c.Key()]; ok {
+	k := c.Key()
+	if n, ok := f.byKey[k]; ok {
 		return n
 	}
-	n := &Node{Code: c, Label: labelOf(c)}
-	f.byKey[c.Key()] = n
+	n := &Node{Code: c, Label: labelOf(c), ID: nid.None}
+	f.byKey[k] = n
+	f.nodes = append(f.nodes, n)
 	return n
 }
 
@@ -223,70 +313,215 @@ func mergeContent(n *Node, words []string, exact bool) {
 }
 
 func (f *Fragment) fillChildrenInfo() {
-	for _, n := range f.byKey {
+	for _, n := range f.nodes {
 		if len(n.Children) == 0 {
 			continue
 		}
-		// Children were appended in keyword-node order, which follows the
-		// pre-order of the RTF's keyword nodes; sort defensively.
-		sort.Slice(n.Children, func(i, j int) bool {
-			return dewey.Compare(n.Children[i].Code, n.Children[j].Code) < 0
-		})
-		items := map[string]*LabelItem{}
-		var order []*LabelItem
+		// Children are appended while walking keyword nodes in pre-order,
+		// so they already sit in document order; verify cheaply and only
+		// sort when an unsorted source (defensive) is detected.
+		if !sortedNodes(n.Children) {
+			sortNodesDoc(n.Children)
+		}
+		// Per-label grouping. The distinct labels under one node are few,
+		// so linear scans beat map allocations, and all items share four
+		// exact-size backing arrays (items, grouped children, key numbers,
+		// cIDs) instead of growing per-item slices.
+		nc := len(n.Children)
+		items := make([]LabelItem, 0, min(nc, 8))
+		repeated := false
 		for _, ch := range n.Children {
-			li, ok := items[ch.Label]
-			if !ok {
-				li = &LabelItem{Label: ch.Label}
-				items[ch.Label] = li
-				order = append(order, li)
-			}
-			li.Counter++
-			li.Children = append(li.Children, ch)
-		}
-		for _, li := range order {
-			seenK := map[uint64]bool{}
-			seenC := map[CID]bool{}
-			for _, ch := range li.Children {
-				if !seenK[ch.KList] {
-					seenK[ch.KList] = true
-					li.ChKList = append(li.ChKList, ch.KList)
-				}
-				if !seenC[ch.CID] {
-					seenC[ch.CID] = true
-					li.ChCIDs = append(li.ChCIDs, ch.CID)
+			found := false
+			for i := range items {
+				if items[i].Label == ch.Label {
+					items[i].Counter++
+					found = true
+					repeated = true
+					break
 				}
 			}
-			sort.Slice(li.ChKList, func(i, j int) bool { return li.ChKList[i] < li.ChKList[j] })
-			sort.Slice(li.ChCIDs, func(i, j int) bool { return li.ChCIDs[i].Less(li.ChCIDs[j]) })
+			if !found {
+				items = append(items, LabelItem{Label: ch.Label, Counter: 1})
+			}
 		}
-		n.Items = order
+		grouped := make([]*Node, nc)
+		// The key-number and cID lists are only ever consulted for items
+		// with several children (rules 2a/2b); when every label is unique
+		// (the common shape), skip their backing arrays entirely.
+		var knums []uint64
+		var cids []CID
+		if repeated {
+			knums = make([]uint64, nc)
+			cids = make([]CID, nc)
+		}
+		off := 0
+		for i := range items {
+			li := &items[i]
+			c := li.Counter
+			li.Children = grouped[off : off : off+c] // grows within its segment only
+			if repeated {
+				li.ChKList = knums[off : off : off+c]
+				li.ChCIDs = cids[off : off : off+c]
+			}
+			off += c
+		}
+		for _, ch := range n.Children {
+			for i := range items {
+				li := &items[i]
+				if li.Label != ch.Label {
+					continue
+				}
+				li.Children = append(li.Children, ch)
+				if repeated {
+					if !containsU64(li.ChKList, ch.KList) {
+						li.ChKList = append(li.ChKList, ch.KList)
+					}
+					if !containsCID(li.ChCIDs, ch.CID) {
+						li.ChCIDs = append(li.ChCIDs, ch.CID)
+					}
+				}
+				break
+			}
+		}
+		for i := range items {
+			li := &items[i]
+			sortU64(li.ChKList)
+			sortCIDs(li.ChCIDs)
+		}
+		n.Items = items
 	}
 }
 
+// sortU64 and sortCIDs are allocation-free insertion sorts: child groups
+// are tiny, and sort.Slice would allocate a closure and swapper per call.
+func sortU64(xs []uint64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortCIDs(xs []CID) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j].Less(xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func containsU64(xs []uint64, v uint64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsCID(xs []CID, v CID) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedNodes(ns []*Node) bool {
+	for i := 1; i < len(ns); i++ {
+		if nodeLess(ns[i], ns[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortNodesDoc orders nodes in document order without the closure and
+// swapper allocations of sort.Slice: insertion sort for the tiny slices
+// the hot path produces, slices.SortFunc (allocation-free generics)
+// otherwise.
+func sortNodesDoc(ns []*Node) {
+	if len(ns) < 16 {
+		for i := 1; i < len(ns); i++ {
+			for j := i; j > 0 && nodeLess(ns[j], ns[j-1]); j-- {
+				ns[j], ns[j-1] = ns[j-1], ns[j]
+			}
+		}
+		return
+	}
+	slices.SortFunc(ns, func(a, b *Node) int {
+		if nodeLess(a, b) {
+			return -1
+		}
+		if nodeLess(b, a) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// nodeLess orders fragment nodes in document order: by table ID when both
+// carry one (an integer compare), by Dewey code otherwise.
+func nodeLess(a, b *Node) bool {
+	if a.ID != nid.None && b.ID != nid.None {
+		return a.ID < b.ID
+	}
+	return dewey.Compare(a.Code, b.Code) < 0
+}
+
 // NodeAt returns the fragment node with the given code, or nil.
-func (f *Fragment) NodeAt(c dewey.Code) *Node { return f.byKey[c.Key()] }
+func (f *Fragment) NodeAt(c dewey.Code) *Node {
+	if f.byKey != nil {
+		return f.byKey[c.Key()]
+	}
+	for _, n := range f.nodes {
+		if dewey.Equal(n.Code, c) {
+			return n
+		}
+	}
+	return nil
+}
 
 // Size returns the number of nodes in the unpruned fragment.
-func (f *Fragment) Size() int { return len(f.byKey) }
+func (f *Fragment) Size() int { return len(f.nodes) }
 
-// Source returns the RTF the fragment was built from.
+// Source returns the code-based RTF the fragment was built from, or nil
+// for ID-built fragments (see SourceID).
 func (f *Fragment) Source() *rtf.RTF { return f.source }
+
+// SourceID returns the ID-based RTF the fragment was built from, or nil
+// for code-built fragments.
+func (f *Fragment) SourceID() *rtf.IDRTF { return f.sourceID }
 
 // Result is the outcome of pruning a fragment under one mode: the kept node
 // codes in pre-order.
 type Result struct {
 	Root dewey.Code
 	Kept []dewey.Code
-	keep map[string]bool
+	// KeptIDs parallels Kept with table IDs when the fragment was built
+	// over a node table (BuildFragmentIDs); nil otherwise.
+	KeptIDs []nid.ID
+	keep    map[string]bool // lazy; see KeepSet
 }
 
-// KeepSet returns the kept codes keyed by dewey key (shared map; do not
-// modify).
-func (r *Result) KeepSet() map[string]bool { return r.keep }
+// KeepSet returns the kept codes keyed by dewey key, built lazily on first
+// use (shared map; do not modify, do not call concurrently with itself).
+func (r *Result) KeepSet() map[string]bool {
+	if r.keep == nil {
+		m := make(map[string]bool, len(r.Kept))
+		var buf []byte
+		for _, c := range r.Kept {
+			buf = c.AppendKey(buf[:0])
+			m[string(buf)] = true
+		}
+		r.keep = m
+	}
+	return r.keep
+}
 
 // Contains reports whether the pruned fragment kept the node.
-func (r *Result) Contains(c dewey.Code) bool { return r.keep[c.Key()] }
+func (r *Result) Contains(c dewey.Code) bool { return r.KeepSet()[c.Key()] }
 
 // Len returns the number of kept nodes.
 func (r *Result) Len() int { return len(r.Kept) }
@@ -308,50 +543,60 @@ func (r *Result) Equal(o *Result) bool {
 // pruneRTF) and returns the kept node set. The fragment itself is not
 // mutated, so several modes can be applied to the same fragment.
 func (f *Fragment) Prune(mode Mode, opts Options) *Result {
-	res := &Result{Root: f.Root.Code, keep: map[string]bool{}}
 	// Breadth-first traversal; children of discarded nodes are never
-	// visited, discarding whole subtrees.
-	queue := []*Node{f.Root}
-	res.keep[f.Root.Code.Key()] = true
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		var keptKids []*Node
+	// visited, discarding whole subtrees. The kept slice doubles as the
+	// BFS queue, since every visited node is kept.
+	kept := make([]*Node, 1, len(f.nodes))
+	kept[0] = f.Root
+	for qi := 0; qi < len(kept); qi++ {
+		n := kept[qi]
 		switch mode {
 		case NoPruning:
-			keptKids = n.Children
+			kept = append(kept, n.Children...)
 		case Contributor:
-			keptKids = contributorChildren(n)
+			kept = appendContributors(kept, n)
 		default:
-			keptKids = validContributorChildren(n, f.exact && opts.ExactContent)
-		}
-		for _, ch := range keptKids {
-			res.keep[ch.Code.Key()] = true
-			queue = append(queue, ch)
+			kept = appendValidContributors(kept, n, f.exact && opts.ExactContent)
 		}
 	}
-	for _, c := range collectCodes(res.keep) {
-		res.Kept = append(res.Kept, c)
+	sortNodesDoc(kept)
+	res := &Result{Root: f.Root.Code, Kept: make([]dewey.Code, len(kept))}
+	if f.tab != nil {
+		res.KeptIDs = make([]nid.ID, len(kept))
+	}
+	for i, n := range kept {
+		res.Kept[i] = n.Code
+		if f.tab != nil {
+			res.KeptIDs[i] = n.ID
+		}
 	}
 	return res
 }
 
-// validContributorChildren implements lines 16–26 of Algorithm 1.
-func validContributorChildren(n *Node, exact bool) []*Node {
-	var out []*Node
-	for _, li := range n.Items {
+// appendValidContributors implements lines 16–26 of Algorithm 1, appending
+// the surviving children of n (in document order) to out.
+func appendValidContributors(out []*Node, n *Node, exact bool) []*Node {
+	start := len(out)
+	for ii := range n.Items {
+		li := &n.Items[ii]
 		if li.Counter == 1 {
 			// Rule 1: unique label among siblings — always a valid
 			// contributor.
 			out = append(out, li.Children[0])
 			continue
 		}
-		usedKNums := map[uint64]bool{}
-		usedCIDs := map[CID]bool{}
-		var keptExact []*Node
+		// Small stack buffers: sibling groups are tiny, so the seen-sets
+		// stay on the stack instead of allocating per group.
+		var (
+			knumBuf   [16]uint64
+			cidBuf    [16]CID
+			usedKNums = knumBuf[:0]
+			usedCIDs  = cidBuf[:0]
+			keptExact []*Node
+		)
 		for _, ch := range li.Children {
 			knum := ch.KList
-			if usedKNums[knum] {
+			if containsU64(usedKNums, knum) {
 				// Rule 2(b): equal keyword set — keep only if the content
 				// differs from every kept equal-keyword sibling.
 				if exact {
@@ -361,9 +606,9 @@ func validContributorChildren(n *Node, exact bool) []*Node {
 					}
 					continue
 				}
-				if !usedCIDs[ch.CID] {
+				if !containsCID(usedCIDs, ch.CID) {
 					out = append(out, ch)
-					usedCIDs[ch.CID] = true
+					usedCIDs = append(usedCIDs, ch.CID)
 				}
 				continue
 			}
@@ -373,14 +618,18 @@ func validContributorChildren(n *Node, exact bool) []*Node {
 				continue
 			}
 			out = append(out, ch)
-			usedKNums[knum] = true
-			usedCIDs[ch.CID] = true
+			usedKNums = append(usedKNums, knum)
+			if !containsCID(usedCIDs, ch.CID) {
+				usedCIDs = append(usedCIDs, ch.CID)
+			}
 			if exact {
 				keptExact = append(keptExact, ch)
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return dewey.Compare(out[i].Code, out[j].Code) < 0 })
+	if !sortedNodes(out[start:]) {
+		sortNodesDoc(out[start:])
+	}
 	return out
 }
 
@@ -403,11 +652,10 @@ func duplicateContent(ch *Node, kept []*Node) bool {
 	return false
 }
 
-// contributorChildren implements MaxMatch's pruneMatches condition: child c
+// appendContributors implements MaxMatch's pruneMatches condition: child c
 // survives iff no sibling's keyword set strictly covers dMatch(c). Labels
 // and content are ignored.
-func contributorChildren(n *Node) []*Node {
-	var out []*Node
+func appendContributors(out []*Node, n *Node) []*Node {
 	for _, ch := range n.Children {
 		covered := false
 		for _, sib := range n.Children {
@@ -426,26 +674,14 @@ func contributorChildren(n *Node) []*Node {
 	return out
 }
 
-func collectCodes(keep map[string]bool) []dewey.Code {
-	out := make([]dewey.Code, 0, len(keep))
-	for k := range keep {
-		c, err := dewey.FromKey(k)
-		if err != nil {
-			continue
-		}
-		out = append(out, c)
-	}
-	dewey.Sort(out)
-	return out
-}
-
 // Sketch renders the fragment's annotated nodes for debugging, in the style
 // of Figure 4(b): code, label, key number and cID per node.
 func (f *Fragment) Sketch() string {
-	codes := collectCodes(keysOf(f.byKey))
+	ordered := make([]*Node, len(f.nodes))
+	copy(ordered, f.nodes)
+	sortNodesDoc(ordered)
 	var b strings.Builder
-	for _, c := range codes {
-		n := f.byKey[c.Key()]
+	for _, n := range ordered {
 		fmt.Fprintf(&b, "%s%s (%s) k=%d cID=%s", strings.Repeat("  ", len(n.Code)-len(f.Root.Code)), n.Code, n.Label, n.KList, n.CID)
 		if n.IsKeywordNode {
 			b.WriteString(" *")
@@ -453,12 +689,4 @@ func (f *Fragment) Sketch() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
-}
-
-func keysOf(m map[string]*Node) map[string]bool {
-	out := make(map[string]bool, len(m))
-	for k := range m {
-		out[k] = true
-	}
-	return out
 }

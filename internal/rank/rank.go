@@ -17,6 +17,7 @@ import (
 	"xks/internal/dewey"
 	"xks/internal/index"
 	"xks/internal/lca"
+	"xks/internal/nid"
 )
 
 // Scorer assigns scores to fragments.
@@ -60,6 +61,53 @@ func (s *Scorer) Score(root dewey.Code, events []lca.Event, words []string) floa
 	extra := make([]float64, len(words))
 	for _, ev := range events {
 		dist := len(ev.Code) - len(root)
+		if dist < 0 {
+			dist = 0
+		}
+		w := math.Pow(decay, float64(dist))
+		for i := range words {
+			if ev.Mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			contrib := w * s.idf(words[i])
+			if contrib > best[i] {
+				extra[i] += best[i]
+				best[i] = contrib
+			} else {
+				extra[i] += contrib
+			}
+		}
+	}
+	score := 0.0
+	for i := range words {
+		score += best[i] + 0.1*extra[i]
+	}
+	return score
+}
+
+// ScoreIDs is the ID form of Score, used by the production pipeline: node
+// depths come from the table instead of code lengths. It performs exactly
+// the same floating-point operations in the same order as Score, so the two
+// forms produce bit-identical scores (the crosscheck tests rely on this).
+func (s *Scorer) ScoreIDs(t *nid.Table, root nid.ID, events []lca.IDEvent, words []string) float64 {
+	decay := s.Decay
+	if decay <= 0 || decay > 1 {
+		decay = 0.8
+	}
+	// Typical queries have a handful of keywords; keep the per-keyword
+	// accumulators on the stack then (scoring runs once per candidate).
+	var buf [16]float64 // zeroed per call
+	var best, extra []float64
+	if len(words) <= 8 {
+		best = buf[:len(words):8]
+		extra = buf[8 : 8+len(words)]
+	} else {
+		best = make([]float64, len(words))
+		extra = make([]float64, len(words))
+	}
+	rootDepth := t.Depth(root)
+	for _, ev := range events {
+		dist := int(t.Depth(ev.ID) - rootDepth)
 		if dist < 0 {
 			dist = 0
 		}

@@ -1,0 +1,108 @@
+// ID-based variant of the getRTF stage: dispatch runs on dense node IDs
+// over the streamed posting-list merge, so building the per-LCA partitions
+// allocates only the partitions themselves — no merged event slice, no
+// string-keyed root map, no Dewey clones. The code-based Build in rtf.go is
+// kept as the cross-checked reference (and for the eager baseline path).
+
+package rtf
+
+import (
+	"xks/internal/lca"
+	"xks/internal/nid"
+)
+
+// IDRTF is one relaxed tightest fragment in ID form: its root (an
+// interesting LCA node) and the keyword nodes dispatched to it, in
+// pre-order, each carrying the bitmask of query keywords it matches.
+type IDRTF struct {
+	Root         nid.ID
+	KeywordNodes []lca.IDEvent
+}
+
+// Mask returns the union of the keyword masks of the fragment's keyword
+// nodes.
+func (r *IDRTF) Mask() uint64 {
+	var m uint64
+	for _, ev := range r.KeywordNodes {
+		m |= ev.Mask
+	}
+	return m
+}
+
+// BuildIDs is the ID form of Build: given the sorted interesting LCA nodes
+// and the ID posting lists D1..Dk, it dispatches every keyword node to the
+// deepest LCA node that is its ancestor-or-self and returns one IDRTF per
+// LCA node whose dispatched nodes cover the whole query, in pre-order of
+// their roots. Identical output to Build modulo representation.
+func BuildIDs(t *nid.Table, lcas []nid.ID, sets [][]nid.ID) []*IDRTF {
+	if len(lcas) == 0 {
+		return nil
+	}
+	full := lca.FullMask(len(sets))
+
+	rtfs := make([]IDRTF, len(lcas))
+	out := make([]*IDRTF, len(lcas))
+	for i, a := range lcas {
+		rtfs[i].Root = a
+		out[i] = &rtfs[i]
+	}
+
+	// Two merge passes over the streamed events: the first counts each
+	// root's partition, the second fills exact-size segments of one shared
+	// event arena — integer merges are cheap enough that counting twice
+	// beats growing len(lcas) slices append by append.
+	counts := make([]int32, len(lcas))
+	total := dispatch(t, lcas, sets, func(i int, ev lca.IDEvent) {
+		counts[i]++
+	})
+	arena := make([]lca.IDEvent, 0, total)
+	for i := range out {
+		n := int(counts[i])
+		out[i].KeywordNodes = arena[len(arena) : len(arena) : len(arena)+n]
+		arena = arena[:len(arena)+n]
+	}
+	dispatch(t, lcas, sets, func(i int, ev lca.IDEvent) {
+		out[i].KeywordNodes = append(out[i].KeywordNodes, ev)
+	})
+
+	kept := out[:0]
+	for _, r := range out {
+		if r.Mask() == full {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}
+
+// dispatch walks the streamed merge of the posting lists in pre-order,
+// keeping the stack of LCA nodes whose subtree contains the current event;
+// the stack top is the deepest, i.e. the dispatch target. It reports the
+// number of dispatched events.
+func dispatch(t *nid.Table, lcas []nid.ID, sets [][]nid.ID, emit func(int, lca.IDEvent)) int {
+	m := lca.NewMerger(sets)
+	var stackBuf [12]int32
+	stack := stackBuf[:0] // indices into lcas
+	j, total := 0, 0
+	for {
+		ev, ok := m.Next()
+		if !ok {
+			break
+		}
+		for j < len(lcas) && lcas[j] <= ev.ID {
+			for len(stack) > 0 && !t.IsAncestorOrSelf(lcas[stack[len(stack)-1]], lcas[j]) {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, int32(j))
+			j++
+		}
+		for len(stack) > 0 && !t.IsAncestorOrSelf(lcas[stack[len(stack)-1]], ev.ID) {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			continue // keyword node outside every interesting LCA subtree
+		}
+		emit(int(stack[len(stack)-1]), ev)
+		total++
+	}
+	return total
+}

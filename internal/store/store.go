@@ -29,6 +29,7 @@ import (
 	"xks/internal/analysis"
 	"xks/internal/dewey"
 	"xks/internal/index"
+	"xks/internal/nid"
 	"xks/internal/xmltree"
 )
 
@@ -62,13 +63,12 @@ type Store struct {
 	values   []ValueRow        // sorted by (Keyword, Dewey)
 	numNodes int
 
+	// nodeWords/wordOff materialize the inverse view of the value table
+	// lazily: words grouped per element row, so ContentAt(row) is a
+	// zero-copy sub-slice. wordOff[i]..wordOff[i+1] bounds row i's words.
 	nodeWordsOnce sync.Once
-	nodeWords     []nodeWord // sorted by (dewey key, word); built lazily
-}
-
-type nodeWord struct {
-	key  string
-	word string
+	nodeWords     []string
+	wordOff       []int32
 }
 
 // Shred builds the three tables from a document, analyzing content with the
@@ -183,6 +183,35 @@ func (s *Store) LabelOf(c dewey.Code) string {
 	return s.Label(row.LabelID)
 }
 
+// LabelAt resolves the label of the i-th element row (element rows are in
+// pre-order, so the row index doubles as the node ID of the index built by
+// BuildIndex). It returns "" when out of range.
+func (s *Store) LabelAt(i int) string {
+	if i < 0 || i >= len(s.elements) {
+		return ""
+	}
+	return s.Label(s.elements[i].LabelID)
+}
+
+// ElementAt returns the i-th element row.
+func (s *Store) ElementAt(i int) (ElementRow, bool) {
+	if i < 0 || i >= len(s.elements) {
+		return ElementRow{}, false
+	}
+	return s.elements[i], true
+}
+
+// elementIndex locates the element row for a Dewey code.
+func (s *Store) elementIndex(c dewey.Code) (int, bool) {
+	i := sort.Search(len(s.elements), func(i int) bool {
+		return dewey.Compare(s.elements[i].Dewey, c) >= 0
+	})
+	if i < len(s.elements) && dewey.Equal(s.elements[i].Dewey, c) {
+		return i, true
+	}
+	return -1, false
+}
+
 // Keywords returns the distinct keywords in lexical order.
 func (s *Store) Keywords() []string {
 	var out []string
@@ -198,40 +227,95 @@ func (s *Store) Keywords() []string {
 }
 
 // BuildIndex assembles an inverted index from the value table, so searches
-// can run off a loaded store without the original document.
+// can run off a loaded store without the original document. The index's
+// node table is built from the element table (one node per row, pre-order),
+// so its IDs equal element row indices and LabelAt/ContentAt serve label
+// and content lookups by ID in constant time.
 func (s *Store) BuildIndex(an *analysis.Analyzer) *index.Index {
-	postings := map[string][]dewey.Code{}
-	for _, v := range s.values {
-		postings[v.Keyword] = append(postings[v.Keyword], v.Dewey)
+	sorted := sort.SliceIsSorted(s.elements, func(i, j int) bool {
+		return dewey.Compare(s.elements[i].Dewey, s.elements[j].Dewey) < 0
+	})
+	var tab *nid.Table
+	if sorted {
+		b := nid.NewBuilder(len(s.elements))
+		for _, e := range s.elements {
+			b.Add(e.Dewey)
+		}
+		tab = b.Table()
+	} else {
+		// Defensive: a hand-crafted store file may carry an unsorted
+		// element table; fall back to the sorting constructor. (Row-index
+		// ID lookups stay coherent only for well-formed stores.)
+		codes := make([]dewey.Code, len(s.elements))
+		for i, e := range s.elements {
+			codes[i] = e.Dewey
+		}
+		tab = nid.FromCodes(codes)
 	}
-	return index.FromPostings(postings, s.numNodes, an)
+	postings := make(map[string][]nid.ID)
+	for _, v := range s.values {
+		if id, ok := tab.Find(v.Dewey); ok {
+			postings[v.Keyword] = append(postings[v.Keyword], id)
+		}
+	}
+	return index.FromIDPostings(tab, postings, s.numNodes, an)
 }
 
 // ContentOf returns the content word set of the node — the inverse view of
 // the value table, materialized lazily on first use. Words come back in
 // lexical order.
 func (s *Store) ContentOf(c dewey.Code) []string {
-	s.nodeWordsOnce.Do(s.buildNodeWords)
-	key := c.Key()
-	lo := sort.Search(len(s.nodeWords), func(i int) bool { return s.nodeWords[i].key >= key })
-	var out []string
-	for i := lo; i < len(s.nodeWords) && s.nodeWords[i].key == key; i++ {
-		out = append(out, s.nodeWords[i].word)
+	i, ok := s.elementIndex(c)
+	if !ok {
+		return nil
 	}
-	return out
+	return s.ContentAt(i)
+}
+
+// ContentAt returns the content word set of the i-th element row as a
+// zero-copy sub-slice of the lazily built per-row word table. Words come
+// back in lexical order. Callers must not modify the result.
+func (s *Store) ContentAt(i int) []string {
+	s.nodeWordsOnce.Do(s.buildNodeWords)
+	if i < 0 || i+1 >= len(s.wordOff) {
+		return nil
+	}
+	return s.nodeWords[s.wordOff[i]:s.wordOff[i+1]]
 }
 
 func (s *Store) buildNodeWords() {
-	s.nodeWords = make([]nodeWord, len(s.values))
+	// Count words per element row, then bucket them: the value table is
+	// sorted by (keyword, dewey), so each row's bucket needs a final sort
+	// to come out lexical.
+	counts := make([]int32, len(s.elements)+1)
+	rows := make([]int32, len(s.values))
 	for i, v := range s.values {
-		s.nodeWords[i] = nodeWord{key: v.Dewey.Key(), word: v.Keyword}
-	}
-	sort.Slice(s.nodeWords, func(i, j int) bool {
-		if s.nodeWords[i].key != s.nodeWords[j].key {
-			return s.nodeWords[i].key < s.nodeWords[j].key
+		r, ok := s.elementIndex(v.Dewey)
+		if !ok {
+			rows[i] = -1
+			continue
 		}
-		return s.nodeWords[i].word < s.nodeWords[j].word
-	})
+		rows[i] = int32(r)
+		counts[r+1]++
+	}
+	s.wordOff = counts
+	for i := 1; i < len(s.wordOff); i++ {
+		s.wordOff[i] += s.wordOff[i-1]
+	}
+	s.nodeWords = make([]string, len(s.values))
+	fill := make([]int32, len(s.elements))
+	for i, v := range s.values {
+		r := rows[i]
+		if r < 0 {
+			continue
+		}
+		s.nodeWords[s.wordOff[r]+fill[r]] = v.Keyword
+		fill[r]++
+	}
+	for r := 0; r < len(s.elements); r++ {
+		bucket := s.nodeWords[s.wordOff[r]:s.wordOff[r+1]]
+		sort.Strings(bucket)
+	}
 }
 
 // Children returns the element rows of the node's children in document

@@ -6,12 +6,16 @@ import (
 
 	"xks/internal/analysis"
 	"xks/internal/dewey"
+	"xks/internal/nid"
 	"xks/internal/store"
 	"xks/internal/xmltree"
 )
 
 // docSource abstracts where node labels, content and rendering come from:
 // the parsed tree (FromTree / Load*) or the shredded store (FromStore).
+// The hot path addresses nodes by table ID (labelOfID/contentOfID/
+// nodeTextID — constant-time, allocation-free lookups); the code-based
+// forms remain for the reference/eager paths and label-predicate display.
 // Renderers receive the kept node set twice: kept is the ordered
 // (pre-order) slice pruning produced, keep the same set keyed by dewey key
 // — the tree renderer wants the map, the store renderer the slice.
@@ -19,14 +23,39 @@ type docSource interface {
 	labelOf(c dewey.Code) string
 	contentOf(c dewey.Code) []string
 	nodeText(c dewey.Code) string
+	labelOfID(id nid.ID) string
+	contentOfID(id nid.ID) []string
+	nodeTextID(id nid.ID) string
 	renderASCII(root dewey.Code, kept []dewey.Code, keep map[string]bool) string
 	renderXML(root dewey.Code, kept []dewey.Code, keep map[string]bool) string
 }
 
-// treeSource serves everything from the in-memory document tree.
+// treeSource serves everything from the in-memory document tree. nodes
+// lists the tree in pre-order, so a node table ID doubles as an index into
+// it (the engine's table is built over the same pre-order walk); words
+// caches each node's analyzed content set so the pruning hot path never
+// re-runs the analyzer.
 type treeSource struct {
-	tree *xmltree.Tree
-	an   *analysis.Analyzer
+	tree  *xmltree.Tree
+	an    *analysis.Analyzer
+	nodes []*xmltree.Node
+	words [][]string
+}
+
+func newTreeSource(t *xmltree.Tree, an *analysis.Analyzer) *treeSource {
+	s := &treeSource{tree: t, an: an}
+	s.refresh()
+	return s
+}
+
+// refresh rebuilds the ID-aligned caches after the tree changed (the
+// engine's append path renumbers IDs).
+func (s *treeSource) refresh() {
+	s.nodes = s.tree.Nodes()
+	s.words = make([][]string, len(s.nodes))
+	for i, n := range s.nodes {
+		s.words[i] = s.an.ContentSet(n.ContentPieces()...)
+	}
 }
 
 func (s *treeSource) labelOf(c dewey.Code) string {
@@ -46,6 +75,27 @@ func (s *treeSource) contentOf(c dewey.Code) []string {
 func (s *treeSource) nodeText(c dewey.Code) string {
 	if n := s.tree.NodeAt(c); n != nil {
 		return n.Text
+	}
+	return ""
+}
+
+func (s *treeSource) labelOfID(id nid.ID) string {
+	if int(id) < len(s.nodes) {
+		return s.nodes[id].Label
+	}
+	return ""
+}
+
+func (s *treeSource) contentOfID(id nid.ID) []string {
+	if int(id) < len(s.words) {
+		return s.words[id]
+	}
+	return nil
+}
+
+func (s *treeSource) nodeTextID(id nid.ID) string {
+	if int(id) < len(s.nodes) {
+		return s.nodes[id].Text
 	}
 	return ""
 }
@@ -70,7 +120,9 @@ func (s *treeSource) renderXML(root dewey.Code, _ []dewey.Code, keep map[string]
 	return b.String()
 }
 
-// storeSource serves labels and content from the shredded tables. Original
+// storeSource serves labels and content from the shredded tables. Node IDs
+// equal element row indices (store.BuildIndex builds the table over the
+// element rows in order), so ID lookups are direct row accesses. Original
 // text values are not stored (only their content words are), so rendering
 // shows the element skeleton with each node's content words.
 type storeSource struct {
@@ -82,6 +134,12 @@ func (s *storeSource) labelOf(c dewey.Code) string { return s.st.LabelOf(c) }
 func (s *storeSource) contentOf(c dewey.Code) []string { return s.st.ContentOf(c) }
 
 func (s *storeSource) nodeText(c dewey.Code) string { return "" }
+
+func (s *storeSource) labelOfID(id nid.ID) string { return s.st.LabelAt(int(id)) }
+
+func (s *storeSource) contentOfID(id nid.ID) []string { return s.st.ContentAt(int(id)) }
+
+func (s *storeSource) nodeTextID(id nid.ID) string { return "" }
 
 func (s *storeSource) renderASCII(root dewey.Code, kept []dewey.Code, _ map[string]bool) string {
 	var b strings.Builder
