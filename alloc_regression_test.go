@@ -14,6 +14,7 @@
 package xks
 
 import (
+	"context"
 	"testing"
 
 	"xks/internal/datagen"
@@ -62,19 +63,19 @@ func TestPlanStageAllocs(t *testing.T) {
 // per-event or per-path-node garbage.
 func TestCandidateStageAllocs(t *testing.T) {
 	e, queries := allocEngine(t)
-	params := e.params(Options{Rank: true})
+	params := e.params(Request{Rank: true})
 	for _, q := range queries {
 		p, err := e.plan(q)
 		if err != nil {
 			t.Fatalf("plan(%q): %v", q, err)
 		}
-		cands := exec.Candidates(p, params, 0)
+		cands, _ := exec.Candidates(context.Background(), p, params, 0)
 		// Budget: a fixed overhead (merger, stacks, root/count/arena
 		// slices) plus a small per-candidate share (IDRTF headers and the
 		// scored Candidate structs).
 		ceiling := 48 + 4*float64(len(cands))
 		allocs := testing.AllocsPerRun(20, func() {
-			exec.Candidates(p, params, 0)
+			exec.Candidates(context.Background(), p, params, 0) //nolint:errcheck
 		})
 		if allocs > ceiling {
 			t.Errorf("Candidates(%q) allocates %.0f objects per run for %d candidates, ceiling %.0f",
@@ -91,7 +92,7 @@ func TestCandidateStageAllocs(t *testing.T) {
 func TestSearchAllocsPerFragment(t *testing.T) {
 	e, queries := allocEngine(t)
 	for _, q := range queries {
-		res, err := e.Search(q, Options{})
+		res, err := e.Search(context.Background(), Request{Query: q})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func TestSearchAllocsPerFragment(t *testing.T) {
 			24*float64(res.Stats.NumLCAs) +
 			4*float64(res.Stats.KeywordNodes)
 		allocs := testing.AllocsPerRun(10, func() {
-			if _, err := e.Search(q, Options{}); err != nil {
+			if _, err := e.Search(context.Background(), Request{Query: q}); err != nil {
 				t.Fatal(err)
 			}
 		})

@@ -14,6 +14,7 @@ package xks
 // cID feature vs exact content-set comparison.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -79,7 +80,7 @@ func benchData(b *testing.B) []benchDataset {
 func runQueryMix(b *testing.B, ds benchDataset, opts Options) int {
 	total := 0
 	for _, q := range ds.queries {
-		res, err := ds.engine.Search(q, opts)
+		res, err := ds.engine.Search(context.Background(), NewRequest(q, opts))
 		if err != nil {
 			b.Fatalf("%s: query %q: %v", ds.name, q, err)
 		}
@@ -125,7 +126,7 @@ func benchFigure6(b *testing.B, idx int) {
 	for i := 0; i < b.N; i++ {
 		cfr, aprPrime, maxAPR = 0, 0, 0
 		for _, q := range ds.queries {
-			cmp, err := ds.engine.Compare(q, Options{})
+			cmp, err := ds.engine.Compare(context.Background(), Request{Query: q})
 			if err != nil {
 				b.Fatalf("%s: %v", q, err)
 			}
@@ -230,7 +231,7 @@ func BenchmarkSingleQuery(b *testing.B) {
 	const q = "preventions description order"
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := ds.engine.Search(q, Options{}); err != nil {
+		if _, err := ds.engine.Search(context.Background(), Request{Query: q}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -251,7 +252,7 @@ func BenchmarkStages(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	params := e.params(Options{})
+	params := e.params(Request{})
 
 	b.Run("getKeywordNodes", func(b *testing.B) {
 		b.ReportAllocs()
@@ -350,7 +351,7 @@ func benchCorpusData(b *testing.B) (*Corpus, string) {
 			if err != nil {
 				panic(err)
 			}
-			res, err := benchCorpus.Search(q, Options{})
+			res, err := benchCorpus.Search(context.Background(), Request{Query: q})
 			if err != nil {
 				panic(err)
 			}
@@ -378,7 +379,7 @@ func BenchmarkCorpusTopK(b *testing.B) {
 		before := corpusAssembled(c)
 		fragments := 0
 		for i := 0; i < b.N; i++ {
-			res, err := c.Search(q, opts)
+			res, err := c.Search(context.Background(), NewRequest(q, opts))
 			if err != nil {
 				b.Fatal(err)
 			}

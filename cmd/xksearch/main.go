@@ -5,20 +5,26 @@
 // Usage:
 //
 //	xksearch -file doc.xml [-algo validrtf|maxmatch|raw] [-slca] [-rank]
-//	         [-limit N] [-format ascii|xml|snippet] "keyword query"
+//	         [-limit N] [-offset N] [-timeout 5s]
+//	         [-format ascii|xml|snippet] "keyword query"
 //	xksearch -store doc.xks "keyword query"          # search a shredded store
 //	xksearch -dir corpus/ -rank -limit 10 "query"    # search a directory-corpus
 //
 // With -dir the tool searches every *.xml file as one corpus (the same
 // corpus xkserver -dir serves) and labels each fragment with its source
 // document. Query terms may carry label predicates: "title:xml author:
-// keyword".
+// keyword". -limit and -offset page through large result sets (the tool
+// prints the -offset of the next page); -timeout bounds the search, which
+// aborts mid-pipeline with an error once exceeded; interrupting the tool
+// (Ctrl-C) cancels the search the same way.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"xks"
@@ -26,16 +32,18 @@ import (
 
 func main() {
 	var (
-		file   = flag.String("file", "", "XML document to search")
-		storeF = flag.String("store", "", "shredded store file to search instead of an XML document")
-		dir    = flag.String("dir", "", "directory of *.xml files to search as one corpus")
-		algo   = flag.String("algo", "validrtf", "pruning algorithm: validrtf, maxmatch or raw")
-		slca   = flag.Bool("slca", false, "restrict fragment roots to smallest LCAs")
-		rankIt = flag.Bool("rank", false, "order fragments by relevance score")
-		limit  = flag.Int("limit", 0, "maximum number of fragments (0 = all)")
-		format = flag.String("format", "ascii", "output format: ascii, xml or snippet")
-		exact  = flag.Bool("exact-content", false, "compare exact content sets instead of (min,max) features")
-		stats  = flag.Bool("stats", false, "print search statistics")
+		file    = flag.String("file", "", "XML document to search")
+		storeF  = flag.String("store", "", "shredded store file to search instead of an XML document")
+		dir     = flag.String("dir", "", "directory of *.xml files to search as one corpus")
+		algo    = flag.String("algo", "validrtf", "pruning algorithm: validrtf, maxmatch or raw")
+		slca    = flag.Bool("slca", false, "restrict fragment roots to smallest LCAs")
+		rankIt  = flag.Bool("rank", false, "order fragments by relevance score")
+		limit   = flag.Int("limit", 0, "maximum number of fragments (0 = all)")
+		offset  = flag.Int("offset", 0, "fragments to skip before -limit applies (pagination)")
+		timeout = flag.Duration("timeout", 0, "abort the search after this long (0 = no deadline)")
+		format  = flag.String("format", "ascii", "output format: ascii, xml or snippet")
+		exact   = flag.Bool("exact-content", false, "compare exact content sets instead of (min,max) features")
+		stats   = flag.Bool("stats", false, "print search statistics")
 	)
 	flag.Parse()
 	sources := 0
@@ -49,22 +57,31 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	query := strings.Join(flag.Args(), " ")
 
-	opts := xks.Options{Rank: *rankIt, Limit: *limit, ExactContent: *exact}
+	req := xks.Request{
+		Query:        strings.Join(flag.Args(), " "),
+		Rank:         *rankIt,
+		Limit:        *limit,
+		Offset:       *offset,
+		Timeout:      *timeout,
+		ExactContent: *exact,
+	}
 	switch strings.ToLower(*algo) {
 	case "validrtf":
-		opts.Algorithm = xks.ValidRTF
+		req.Algorithm = xks.ValidRTF
 	case "maxmatch":
-		opts.Algorithm = xks.MaxMatch
+		req.Algorithm = xks.MaxMatch
 	case "raw":
-		opts.Algorithm = xks.RawRTF
+		req.Algorithm = xks.RawRTF
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
 	if *slca {
-		opts.Semantics = xks.SLCAOnly
+		req.Semantics = xks.SLCAOnly
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var (
 		res     *xks.CorpusResult
@@ -75,7 +92,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err = corpus.Search(query, opts)
+		res, err = corpus.Search(ctx, req)
 		if err != nil {
 			fatal(err)
 		}
@@ -96,7 +113,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		single, err := engine.Search(query, opts)
+		single, err := engine.Search(ctx, req)
 		if err != nil {
 			fatal(err)
 		}
@@ -116,8 +133,8 @@ func main() {
 		if f.IsSLCA {
 			kind = "SLCA"
 		}
-		fmt.Printf("--- fragment %d: root %s (%s) [%s]", i+1, f.Root, f.RootLabel, kind)
-		if opts.Rank {
+		fmt.Printf("--- fragment %d: root %s (%s) [%s]", req.Offset+i+1, f.Root, f.RootLabel, kind)
+		if req.Rank {
 			fmt.Printf(" score=%.3f", f.Score)
 		}
 		if showDoc {
@@ -133,6 +150,9 @@ func main() {
 			fmt.Print(f.ASCII())
 		}
 		fmt.Println()
+	}
+	if res.NextOffset >= 0 {
+		fmt.Printf("more results: rerun with -offset %d\n", res.NextOffset)
 	}
 }
 

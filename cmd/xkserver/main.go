@@ -13,10 +13,16 @@
 //	xkserver -store doc.xks [-addr :8080] [-cache 1024]
 //	xkserver -dir corpus/ [-addr :8080] [-cache 1024] [-workers 8]
 //
+// Every request runs under its own context: a disconnecting client or an
+// exceeded timeout= deadline (default and cap: 30s) cancels the pipeline
+// mid-stream, and limit=/offset= page through large result sets via the
+// "next" cursor in responses.
+//
 // Endpoints:
 //
 //	GET /search?q=keyword+query[&doc=name][&algo=validrtf|maxmatch|raw]
-//	           [&slca=1][&rank=1][&limit=N][&snippets=1]
+//	           [&slca=1][&rank=1][&limit=N][&offset=N][&timeout=dur]
+//	           [&snippets=1]
 //	GET /documents
 //	GET /stats
 //	GET /healthz

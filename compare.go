@@ -1,6 +1,7 @@
 package xks
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -25,14 +26,21 @@ type Comparison struct {
 }
 
 // Compare runs both pruning mechanisms over the same fragments and derives
-// the paper's effectiveness ratios. Semantics follows opts.Semantics;
-// opts.Algorithm is ignored. It drives the staged pipeline with every
-// candidate selected and materialized twice — once per pruning mode — so
-// both sides pay the same shared candidate-stage costs, as the paper's
-// implementations do.
-func (e *Engine) Compare(queryText string, opts Options) (*Comparison, error) {
-	cmp := &Comparison{Query: queryText}
-	p, err := e.plan(queryText)
+// the paper's effectiveness ratios. Semantics follows req.Semantics;
+// req.Algorithm (and the pagination window) are ignored. It drives the
+// staged pipeline with every candidate selected and materialized twice —
+// once per pruning mode — so both sides pay the same shared candidate-stage
+// costs, as the paper's implementations do. ctx cancellation (and
+// req.Timeout) aborts either pipeline between candidates with ctx.Err().
+func (e *Engine) Compare(ctx context.Context, req Request) (*Comparison, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := req.applyTimeout(ctx)
+	defer cancel()
+
+	cmp := &Comparison{Query: req.Query}
+	p, err := e.plan(req.Query)
 	if err != nil {
 		var nm *index.ErrNoMatch
 		if errors.As(err, &nm) {
@@ -41,14 +49,21 @@ func (e *Engine) Compare(queryText string, opts Options) (*Comparison, error) {
 		}
 		return nil, err
 	}
-	params := e.params(opts)
+	params := e.params(req)
+	params.Limit, params.Offset = 0, 0 // the ratios need every fragment
 
 	// Timed ValidRTF pipeline.
 	startValid := time.Now()
-	cands := exec.Candidates(p, params, 0)
+	cands, err := exec.Candidates(ctx, p, params, 0)
+	if err != nil {
+		return nil, err
+	}
 	validResults := make([]*prune.Result, len(cands))
 	params.Mode = prune.ValidContributor
 	for i, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		validResults[i] = exec.Materialize(c, params)
 	}
 	cmp.ValidElapsed = time.Since(startValid)
@@ -56,10 +71,16 @@ func (e *Engine) Compare(queryText string, opts Options) (*Comparison, error) {
 	// Timed MaxMatch pipeline (recomputing the candidate stage so both
 	// sides are measured end to end).
 	startMax := time.Now()
-	candsM := exec.Candidates(p, params, 0)
+	candsM, err := exec.Candidates(ctx, p, params, 0)
+	if err != nil {
+		return nil, err
+	}
 	maxResults := make([]*prune.Result, len(candsM))
 	params.Mode = prune.Contributor
 	for i, c := range candsM {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		maxResults[i] = exec.Materialize(c, params)
 	}
 	cmp.MaxElapsed = time.Since(startMax)

@@ -1,6 +1,7 @@
 package xks
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -13,8 +14,8 @@ import (
 	"xks/internal/exec"
 )
 
-// ErrUnknownDocument is wrapped by SearchDocument when the named document
-// is not in the corpus.
+// ErrUnknownDocument is wrapped by document-filtered searches when the
+// named document is not in the corpus; match it with errors.Is.
 var ErrUnknownDocument = errors.New("unknown document")
 
 // Corpus searches a collection of XML documents — the digital-library
@@ -142,6 +143,9 @@ type CorpusResult struct {
 	// normalized query terms, KeywordNodes and NumLCAs sum over documents,
 	// and Elapsed is the wall-clock time of the whole fan-out.
 	Stats Stats
+	// NextOffset is the Request.Offset of the next page when the merged
+	// result set extends past this one, and -1 when it is exhausted.
+	NextOffset int
 }
 
 // AsCorpus wraps a single-document result in the corpus result shape,
@@ -151,6 +155,7 @@ func (r *Result) AsCorpus(doc string) *CorpusResult {
 		Query:       r.Query,
 		Stats:       r.Stats,
 		PerDocument: map[string]int{doc: len(r.Fragments)},
+		NextOffset:  r.NextOffset,
 	}
 	for _, f := range r.Fragments {
 		out.Fragments = append(out.Fragments, CorpusFragment{Document: doc, Fragment: f})
@@ -159,12 +164,14 @@ func (r *Result) AsCorpus(doc string) *CorpusResult {
 }
 
 // Search fans the query out to every document and merges the results.
-// With opts.Rank set, fragments are ordered by descending score across
+// With req.Rank set, fragments are ordered by descending score across
 // documents; otherwise the merged list deterministically follows document
-// insertion order (and document order within each document). opts.Limit
-// applies to the merged list. A keyword missing from one document simply
-// yields no fragments there; the query fails only if it is unsearchable
-// (e.g. all stop words).
+// insertion order (and document order within each document). req.Limit and
+// req.Offset page the merged list; NextOffset reports where the following
+// page starts. When req.Document is set, the search covers that document
+// alone (equivalent to SearchDocument). A keyword missing from one document
+// simply yields no fragments there; the query fails only if it is
+// unsearchable (e.g. all stop words).
 //
 // Execution is staged (internal/exec): per-document workers run only the
 // cheap plan and candidate stages; candidates stream into a shared merge —
@@ -174,10 +181,26 @@ func (r *Result) AsCorpus(doc string) *CorpusResult {
 // deterministic regardless of worker interleaving: the ranked order is a
 // strict total order (score, then document insertion order, then document
 // order), matching a stable score sort of the eagerly merged lists.
-func (c *Corpus) Search(query string, opts Options) (*CorpusResult, error) {
-	mergedLimit := opts.Limit // applied to the merged selection; per-doc stages stay complete
-	docOpts := opts
-	docOpts.Limit = 0
+//
+// ctx cancellation (and req.Timeout) stops the fan-out: no further
+// documents are dispatched, in-flight candidate stages abandon their merge
+// loops mid-stream, every worker goroutine is joined, and Search returns
+// ctx.Err().
+func (c *Corpus) Search(ctx context.Context, req Request) (*CorpusResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req = req.clampPaging()
+	if req.Document != "" {
+		return c.SearchDocument(ctx, req.Document, req)
+	}
+	ctx, cancel := req.applyTimeout(ctx)
+	defer cancel()
+
+	mergedLimit := req.Limit // applied to the merged selection; per-doc stages stay complete
+	docReq := req
+	docReq.Limit, docReq.Offset = 0, 0
+	docReq.Timeout = 0 // already applied to ctx
 
 	start := time.Now()
 	type docOut struct {
@@ -193,23 +216,31 @@ func (c *Corpus) Search(query string, opts Options) (*CorpusResult, error) {
 	}
 	// Streaming merge: with Rank and a limit, workers offer candidates into
 	// the shared bounded heap as each document's candidate stage finishes;
-	// everything that falls off the heap is never materialized.
+	// everything that falls off the heap is never materialized. The heap
+	// holds the whole pagination window so the page can start at Offset; a
+	// window so large it overflows int can never be reached, so that shape
+	// falls through to the full-sort path (which pages safely).
 	var topk *exec.TopK
-	if opts.Rank && mergedLimit > 0 {
-		topk = exec.NewTopK(mergedLimit)
+	if req.Rank && mergedLimit > 0 {
+		if window := req.Offset + mergedLimit; window > 0 {
+			topk = exec.NewTopK(window)
+		}
 	}
 	docIdx := make([]int, len(c.names))
 	for i := range docIdx {
 		docIdx[i] = i
 	}
-	outs, err := concurrent.Map(docIdx, c.Workers, func(i int) (docOut, error) {
+	outs, err := concurrent.MapCtx(ctx, docIdx, c.Workers, func(i int) (docOut, error) {
 		name := c.names[i]
 		eng := c.engines[name]
-		p, cands, err := eng.searchCandidates(query, docOpts, i)
+		p, cands, err := eng.searchCandidates(ctx, docReq, i)
 		if err != nil {
+			if ctx.Err() != nil {
+				return docOut{}, err // the shared context failed; no document to blame
+			}
 			return docOut{}, fmt.Errorf("xks: document %s: %w", name, err)
 		}
-		out := docOut{name: name, eng: eng, plan: p, params: eng.params(docOpts), n: len(cands)}
+		out := docOut{name: name, eng: eng, plan: p, params: eng.params(docReq), n: len(cands)}
 		if topk != nil {
 			topk.Offer(cands...)
 		} else {
@@ -221,8 +252,8 @@ func (c *Corpus) Search(query string, opts Options) (*CorpusResult, error) {
 		return nil, err
 	}
 
-	merged := &CorpusResult{Query: query, PerDocument: map[string]int{}}
-	// concurrent.Map returns results in job order, so ranging over outs
+	merged := &CorpusResult{Query: req.Query, PerDocument: map[string]int{}, NextOffset: -1}
+	// concurrent.MapCtx returns results in job order, so ranging over outs
 	// aggregates in document insertion order regardless of which worker
 	// finished first.
 	for i, o := range outs {
@@ -236,23 +267,23 @@ func (c *Corpus) Search(query string, opts Options) (*CorpusResult, error) {
 
 	// Select across documents. Candidates are cheap handles; nothing has
 	// been pruned or assembled yet. The streamed heap already holds the
-	// ranked+limited selection; the remaining shapes run the same Select
+	// ranked pagination window; the remaining shapes run the same Select
 	// the single-document path uses, over the document-order concatenation.
 	var selected []*exec.Candidate
 	if topk != nil {
-		selected = topk.Ranked()
+		selected = exec.Page(topk.Ranked(), req.Offset, mergedLimit)
 	} else {
 		var all []*exec.Candidate
 		for _, o := range outs {
 			all = append(all, o.cands...)
 		}
-		selected = exec.Select(all, exec.Params{Rank: opts.Rank, Limit: mergedLimit})
+		selected = exec.Select(all, exec.Params{Rank: req.Rank, Limit: mergedLimit, Offset: req.Offset})
 	}
 
 	// Materialize only the selection, fanned out across the same worker
 	// budget (engines are immutable and concurrency-safe; job order keeps
 	// the merged order deterministic).
-	frags, err := concurrent.Map(selected, c.Workers, func(cand *exec.Candidate) (CorpusFragment, error) {
+	frags, err := concurrent.MapCtx(ctx, selected, c.Workers, func(cand *exec.Candidate) (CorpusFragment, error) {
 		o := outs[cand.Doc]
 		f := o.eng.materialize(cand, o.plan, o.params)
 		return CorpusFragment{Document: o.name, Fragment: f}, nil
@@ -263,20 +294,26 @@ func (c *Corpus) Search(query string, opts Options) (*CorpusResult, error) {
 	if len(frags) > 0 {
 		merged.Fragments = frags
 	}
+	if n := req.Offset + len(frags); len(frags) > 0 && n < merged.Stats.NumLCAs {
+		merged.NextOffset = n
+	}
 	merged.Stats.Elapsed = time.Since(start)
 	return merged, nil
 }
 
 // SearchDocument searches a single named document of the corpus, returning
-// the result in the corpus shape. The error wraps ErrUnknownDocument when
-// name is not in the corpus.
-func (c *Corpus) SearchDocument(name, query string, opts Options) (*CorpusResult, error) {
+// the result in the corpus shape; req.Document is ignored in favor of name.
+// The error wraps ErrUnknownDocument when name is not in the corpus.
+func (c *Corpus) SearchDocument(ctx context.Context, name string, req Request) (*CorpusResult, error) {
 	e := c.engines[name]
 	if e == nil {
 		return nil, fmt.Errorf("xks: %w: %q", ErrUnknownDocument, name)
 	}
-	res, err := e.Search(query, opts)
+	res, err := e.Search(ctx, req)
 	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, err // the caller's context failed; no document to blame
+		}
 		return nil, fmt.Errorf("xks: document %s: %w", name, err)
 	}
 	return res.AsCorpus(name), nil

@@ -1,6 +1,7 @@
 package xks
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -19,7 +20,7 @@ func TestCorpusWithStoreBackedEngines(t *testing.T) {
 	c.Add("tree.xml", FromTree(paperdata.Publications()))
 	c.Add("store.xks", FromStore(store.Shred(paperdata.Publications(), analysis.New())))
 
-	res, err := c.Search(paperdata.Q1, Options{})
+	res, err := c.Search(context.Background(), NewRequest(paperdata.Q1, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestCorpusWithStoreBackedEngines(t *testing.T) {
 
 	// Ranked + limited across the mixed corpus still materializes only the
 	// selection, and store-backed fragments survive it.
-	ranked, err := c.Search(paperdata.Q1, Options{Rank: true, Limit: 2})
+	ranked, err := c.Search(context.Background(), NewRequest(paperdata.Q1, Options{Rank: true, Limit: 2}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestCorpusWithStoreBackedEngines(t *testing.T) {
 	}
 
 	// SearchDocument still reaches the store-backed engine.
-	one, err := c.SearchDocument("store.xks", paperdata.Q1, Options{})
+	one, err := c.SearchDocument(context.Background(), "store.xks", NewRequest(paperdata.Q1, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestCorpusRankedLimitedDeterministic(t *testing.T) {
 		}
 		return s
 	}
-	base, err := c.Search(q, opts)
+	base, err := c.Search(context.Background(), NewRequest(q, opts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestCorpusRankedLimitedDeterministic(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 5; i++ {
-				res, err := c.Search(q, opts)
+				res, err := c.Search(context.Background(), NewRequest(q, opts))
 				if err != nil {
 					errs <- err
 					return

@@ -1,6 +1,7 @@
 package xks
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -20,7 +21,7 @@ func testCorpus(t *testing.T) *Corpus {
 func TestCorpusSearchMergesDocuments(t *testing.T) {
 	c := testCorpus(t)
 	// "keyword" matches only the publications document.
-	res, err := c.Search("liu keyword", Options{})
+	res, err := c.Search(context.Background(), NewRequest("liu keyword", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestCorpusSearchMergesDocuments(t *testing.T) {
 func TestCorpusSearchBothDocuments(t *testing.T) {
 	c := testCorpus(t)
 	// "name" matches via labels in both documents.
-	res, err := c.Search("name", Options{})
+	res, err := c.Search(context.Background(), NewRequest("name", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestCorpusSearchBothDocuments(t *testing.T) {
 
 func TestCorpusRankAcrossDocuments(t *testing.T) {
 	c := testCorpus(t)
-	res, err := c.Search("name", Options{Rank: true})
+	res, err := c.Search(context.Background(), NewRequest("name", Options{Rank: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestCorpusRankAcrossDocuments(t *testing.T) {
 
 func TestCorpusLimitAfterMerge(t *testing.T) {
 	c := testCorpus(t)
-	res, err := c.Search("name", Options{Limit: 1})
+	res, err := c.Search(context.Background(), NewRequest("name", Options{Limit: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestCorpusLimitAfterMerge(t *testing.T) {
 
 func TestCorpusUnsearchableQueryFails(t *testing.T) {
 	c := testCorpus(t)
-	if _, err := c.Search("the of", Options{}); err == nil {
+	if _, err := c.Search(context.Background(), NewRequest("the of", Options{})); err == nil {
 		t.Error("stop-word query should fail")
 	}
 }
@@ -120,7 +121,7 @@ func TestLoadDir(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d", c.Len())
 	}
-	res, err := c.Search("keyword", Options{})
+	res, err := c.Search(context.Background(), NewRequest("keyword", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestLoadDir(t *testing.T) {
 func TestCorpusUnrankedOrderDeterministic(t *testing.T) {
 	c := testCorpus(t)
 	c.Workers = 4
-	baseline, err := c.Search("name", Options{})
+	baseline, err := c.Search(context.Background(), NewRequest("name", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestCorpusUnrankedOrderDeterministic(t *testing.T) {
 		}
 	}
 	for run := 0; run < 20; run++ {
-		res, err := c.Search("name", Options{})
+		res, err := c.Search(context.Background(), NewRequest("name", Options{}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +178,7 @@ func TestCorpusUnrankedOrderDeterministic(t *testing.T) {
 
 func TestCorpusSearchAggregatesStats(t *testing.T) {
 	c := testCorpus(t)
-	res, err := c.Search("name", Options{})
+	res, err := c.Search(context.Background(), NewRequest("name", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestCorpusSearchAggregatesStats(t *testing.T) {
 
 func TestCorpusSearchDocument(t *testing.T) {
 	c := testCorpus(t)
-	res, err := c.SearchDocument("publications", "liu keyword", Options{})
+	res, err := c.SearchDocument(context.Background(), "publications", NewRequest("liu keyword", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestCorpusSearchDocument(t *testing.T) {
 	if res.Stats.NumLCAs != 2 {
 		t.Errorf("NumLCAs = %d", res.Stats.NumLCAs)
 	}
-	if _, err := c.SearchDocument("absent", "liu", Options{}); !errors.Is(err, ErrUnknownDocument) {
+	if _, err := c.SearchDocument(context.Background(), "absent", NewRequest("liu", Options{})); !errors.Is(err, ErrUnknownDocument) {
 		t.Errorf("unknown document error = %v", err)
 	}
 }
@@ -251,7 +252,7 @@ func TestCorpusConcurrentSafety(t *testing.T) {
 	done := make(chan error, 16)
 	for i := 0; i < 16; i++ {
 		go func() {
-			_, err := c.Search("name", Options{Rank: true})
+			_, err := c.Search(context.Background(), NewRequest("name", Options{Rank: true}))
 			done <- err
 		}()
 	}

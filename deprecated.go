@@ -1,0 +1,44 @@
+package xks
+
+// The pre-Request entrypoints, kept as thin wrappers over the
+// context-aware API. They exist so callers written against the old
+// (query string, opts Options) signatures keep compiling and — more
+// importantly — so the crosscheck tests can pin that the Request path is
+// byte-identical to the behavior those signatures always had. New code
+// (including everything in this repo outside the crosscheck tests; CI greps
+// for it) should build a Request and call the context-aware methods.
+
+import "context"
+
+// SearchOpts runs Search with context.Background() and the Request
+// equivalent of opts.
+//
+// Deprecated: use Search with a context.Context and a Request.
+func (e *Engine) SearchOpts(queryText string, opts Options) (*Result, error) {
+	return e.Search(context.Background(), NewRequest(queryText, opts))
+}
+
+// CompareOpts runs Compare with context.Background() and the Request
+// equivalent of opts.
+//
+// Deprecated: use Compare with a context.Context and a Request.
+func (e *Engine) CompareOpts(queryText string, opts Options) (*Comparison, error) {
+	return e.Compare(context.Background(), NewRequest(queryText, opts))
+}
+
+// SearchOpts runs Search with context.Background() and the Request
+// equivalent of opts.
+//
+// Deprecated: use Corpus.Search with a context.Context and a Request.
+func (c *Corpus) SearchOpts(queryText string, opts Options) (*CorpusResult, error) {
+	return c.Search(context.Background(), NewRequest(queryText, opts))
+}
+
+// SearchDocumentOpts runs SearchDocument with context.Background() and the
+// Request equivalent of opts.
+//
+// Deprecated: use Corpus.SearchDocument with a context.Context and a
+// Request.
+func (c *Corpus) SearchDocumentOpts(name, queryText string, opts Options) (*CorpusResult, error) {
+	return c.SearchDocument(context.Background(), name, NewRequest(queryText, opts))
+}

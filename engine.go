@@ -12,16 +12,22 @@
 // Basic use:
 //
 //	engine, err := xks.Load(file)
-//	res, err := engine.Search("xml keyword search", xks.Options{})
+//	res, err := engine.Search(ctx, xks.Request{Query: "xml keyword search"})
 //	for _, f := range res.Fragments {
 //	    fmt.Println(f.ASCII())
 //	}
+//
+// Every search takes a context.Context and a Request: cancelling the
+// context (or setting Request.Timeout) aborts the pipeline mid-stream, and
+// Request.Limit/Offset page through large result sets.
 package xks
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"iter"
 	"os"
 	"strings"
 	"sync/atomic"
@@ -97,7 +103,12 @@ func (s Semantics) String() string {
 	return "AllLCA"
 }
 
-// Options configures one search.
+// Options configures one search in the pre-Request API.
+//
+// Deprecated: build a Request instead (NewRequest converts). Options
+// remains the parameter of the deprecated *Opts entrypoints, which exist so
+// pre-Request callers and the crosscheck tests keep pinning byte-identical
+// behavior.
 type Options struct {
 	// Algorithm is the pruning mechanism (default ValidRTF).
 	Algorithm Algorithm
@@ -224,9 +235,12 @@ type Stats struct {
 // Result is the outcome of one search.
 type Result struct {
 	Query     string
-	Options   Options
+	Request   Request
 	Fragments []*Fragment
 	Stats     Stats
+	// NextOffset is the Request.Offset of the next page when the result
+	// set extends past this one, and -1 when it is exhausted.
+	NextOffset int
 }
 
 // Search runs the staged pipeline (plan → candidates → select →
@@ -234,13 +248,26 @@ type Result struct {
 // Query terms may carry XSearch-style label predicates ("title:xml",
 // "author:"); see internal/query. A term that matches nothing yields an
 // empty result (no fragment can cover the query), not an error; queries
-// with no searchable term at all are errors.
+// with no searchable term at all fail with ErrEmptyQuery.
 //
-// With Rank and Limit set, selection runs before materialization: only the
-// top Limit candidates are pruned and assembled into fragments.
-func (e *Engine) Search(queryText string, opts Options) (*Result, error) {
-	res := &Result{Query: queryText, Options: opts}
-	p, err := e.plan(queryText)
+// ctx cancellation (and req.Timeout) aborts the pipeline mid-stream with
+// ctx.Err(): the candidate stage checks the context every few thousand
+// merge events, materialization checks it between fragments. With Rank and
+// Limit set, selection runs before materialization: only the candidates of
+// the requested page are pruned and assembled into fragments; NextOffset
+// reports where the following page starts. req.Document is ignored — a
+// single engine holds one document (see Corpus for the filterable
+// collection).
+func (e *Engine) Search(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req = req.clampPaging()
+	ctx, cancel := req.applyTimeout(ctx)
+	defer cancel()
+
+	res := &Result{Query: req.Query, Request: req, NextOffset: -1}
+	p, err := e.plan(req.Query)
 	res.Stats.Keywords = p.Keywords
 	if err != nil {
 		var nm *index.ErrNoMatch
@@ -252,14 +279,76 @@ func (e *Engine) Search(queryText string, opts Options) (*Result, error) {
 	res.Stats.KeywordNodes = p.KeywordNodes()
 
 	start := time.Now()
-	params := e.params(opts)
-	cands := exec.Candidates(p, params, 0)
-	res.Stats.NumLCAs = len(cands)
-	for _, c := range exec.Select(cands, params) {
+	params, total, selected, err := e.selection(ctx, p, req)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.NumLCAs = total
+	for _, c := range selected {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Fragments = append(res.Fragments, e.materialize(c, p, params))
+	}
+	if n := req.Offset + len(res.Fragments); len(res.Fragments) > 0 && n < total {
+		res.NextOffset = n
 	}
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// selection runs the candidate and select stages for one planned request:
+// the shared middle of Search and Fragments. total is the candidate count
+// before paging (|A|, the NumLCAs statistic).
+func (e *Engine) selection(ctx context.Context, p exec.Plan, req Request) (params exec.Params, total int, selected []*exec.Candidate, err error) {
+	params = e.params(req)
+	cands, err := exec.Candidates(ctx, p, params, 0)
+	if err != nil {
+		return params, 0, nil, err
+	}
+	return params, len(cands), exec.Select(cands, params), nil
+}
+
+// Fragments is the streaming variant of Search: it runs plan, candidates
+// and selection eagerly, then materializes fragments one by one as the
+// iterator is consumed — in the same order Search returns them. Breaking
+// out of the loop early leaves the remaining candidates unassembled, so a
+// caller that stops after the first few fragments pays pruning and assembly
+// for exactly those. A non-nil error is yielded once (with a nil fragment)
+// and ends the sequence; ctx is checked before every fragment.
+func (e *Engine) Fragments(ctx context.Context, req Request) iter.Seq2[*Fragment, error] {
+	return func(yield func(*Fragment, error) bool) {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		req = req.clampPaging()
+		ctx, cancel := req.applyTimeout(ctx)
+		defer cancel()
+
+		p, err := e.plan(req.Query)
+		if err != nil {
+			var nm *index.ErrNoMatch
+			if errors.As(err, &nm) {
+				return
+			}
+			yield(nil, err)
+			return
+		}
+		params, _, selected, err := e.selection(ctx, p, req)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for _, c := range selected {
+			if err := ctx.Err(); err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(e.materialize(c, p, params), nil) {
+				return
+			}
+		}
+	}
 }
 
 // plan runs the planning stage: the query parsed and resolved to ID
@@ -270,17 +359,18 @@ func (e *Engine) plan(queryText string) (exec.Plan, error) {
 	return exec.Plan{Keywords: words, IDFWords: idfWords, Sets: sets}, err
 }
 
-// params maps the public options onto pipeline parameters, closing over the
+// params maps the public request onto pipeline parameters, closing over the
 // engine's node table, document source and scorer.
-func (e *Engine) params(opts Options) exec.Params {
+func (e *Engine) params(req Request) exec.Params {
 	tab := e.ix.Table()
 	return exec.Params{
 		Tab:      tab,
-		SLCAOnly: opts.Semantics == SLCAOnly,
-		Mode:     opts.Algorithm.mode(),
-		Prune:    prune.Options{ExactContent: opts.ExactContent},
-		Rank:     opts.Rank,
-		Limit:    opts.Limit,
+		SLCAOnly: req.Semantics == SLCAOnly,
+		Mode:     req.Algorithm.mode(),
+		Prune:    prune.Options{ExactContent: req.ExactContent},
+		Rank:     req.Rank,
+		Limit:    req.Limit,
+		Offset:   req.Offset,
 		Score: func(root nid.ID, events []lca.IDEvent, words []string) float64 {
 			return e.scorer.ScoreIDs(tab, root, events, words)
 		},
@@ -294,8 +384,8 @@ func (e *Engine) params(opts Options) exec.Params {
 // candidates across documents before materializing). An unmatchable
 // keyword yields an empty candidate list, not an error, mirroring Search;
 // doc tags the candidates for corpus merges.
-func (e *Engine) searchCandidates(queryText string, opts Options, doc int) (exec.Plan, []*exec.Candidate, error) {
-	p, err := e.plan(queryText)
+func (e *Engine) searchCandidates(ctx context.Context, req Request, doc int) (exec.Plan, []*exec.Candidate, error) {
+	p, err := e.plan(req.Query)
 	if err != nil {
 		var nm *index.ErrNoMatch
 		if errors.As(err, &nm) {
@@ -303,7 +393,11 @@ func (e *Engine) searchCandidates(queryText string, opts Options, doc int) (exec
 		}
 		return p, nil, err
 	}
-	return p, exec.Candidates(p, e.params(opts), doc), nil
+	cands, err := exec.Candidates(ctx, p, e.params(req), doc)
+	if err != nil {
+		return p, nil, err
+	}
+	return p, cands, nil
 }
 
 // resolveIDSets turns the query text into per-term ID posting lists over

@@ -1,6 +1,9 @@
 package xks
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,7 +33,7 @@ func fragmentRoots(res *Result) []string {
 
 func TestSearchQ3DefaultValidRTF(t *testing.T) {
 	e := pubEngine(t)
-	res, err := e.Search(paperdata.Q3, Options{})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q3, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +68,7 @@ func TestSearchQ3DefaultValidRTF(t *testing.T) {
 
 func TestSearchQ3MaxMatch(t *testing.T) {
 	e := pubEngine(t)
-	res, err := e.Search(paperdata.Q3, Options{Algorithm: MaxMatch})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q3, Options{Algorithm: MaxMatch}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +83,7 @@ func TestSearchQ3MaxMatch(t *testing.T) {
 
 func TestSearchQ3Raw(t *testing.T) {
 	e := pubEngine(t)
-	res, err := e.Search(paperdata.Q3, Options{Algorithm: RawRTF})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q3, Options{Algorithm: RawRTF}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +94,7 @@ func TestSearchQ3Raw(t *testing.T) {
 
 func TestSearchQ2TwoFragments(t *testing.T) {
 	e := pubEngine(t)
-	res, err := e.Search(paperdata.Q2, Options{})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q2, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +109,7 @@ func TestSearchQ2TwoFragments(t *testing.T) {
 
 func TestSearchQ2SLCAOnly(t *testing.T) {
 	e := pubEngine(t)
-	res, err := e.Search(paperdata.Q2, Options{Semantics: SLCAOnly})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q2, Options{Semantics: SLCAOnly}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +121,7 @@ func TestSearchQ2SLCAOnly(t *testing.T) {
 
 func TestSearchNoMatchKeywordYieldsEmpty(t *testing.T) {
 	e := pubEngine(t)
-	res, err := e.Search("liu zebra", Options{})
+	res, err := e.Search(context.Background(), NewRequest("liu zebra", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,17 +132,25 @@ func TestSearchNoMatchKeywordYieldsEmpty(t *testing.T) {
 
 func TestSearchUnusableQueryErrors(t *testing.T) {
 	e := pubEngine(t)
-	if _, err := e.Search("the of and", Options{}); err == nil {
-		t.Error("stop-word-only query should error")
+	if _, err := e.Search(context.Background(), NewRequest("the of and", Options{})); !errors.Is(err, ErrEmptyQuery) {
+		t.Errorf("stop-word-only query: err = %v, want ErrEmptyQuery", err)
 	}
-	if _, err := e.Search("", Options{}); err == nil {
-		t.Error("empty query should error")
+	if _, err := e.Search(context.Background(), NewRequest("", Options{})); !errors.Is(err, ErrEmptyQuery) {
+		t.Errorf("empty query: err = %v, want ErrEmptyQuery", err)
+	}
+	var b strings.Builder
+	for i := 0; i < 65; i++ {
+		fmt.Fprintf(&b, "kw%d ", i)
+	}
+	long := b.String()
+	if _, err := e.Search(context.Background(), Request{Query: long}); !errors.Is(err, ErrTooManyTerms) {
+		t.Errorf("65-term query: err = %v, want ErrTooManyTerms", err)
 	}
 }
 
 func TestSearchRankOrdersBySpecificity(t *testing.T) {
 	e := pubEngine(t)
-	res, err := e.Search(paperdata.Q2, Options{Rank: true})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q2, Options{Rank: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +170,7 @@ func TestSearchRankOrdersBySpecificity(t *testing.T) {
 
 func TestSearchLimit(t *testing.T) {
 	e := pubEngine(t)
-	res, err := e.Search(paperdata.Q2, Options{Limit: 1})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q2, Options{Limit: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +181,7 @@ func TestSearchLimit(t *testing.T) {
 
 func TestFragmentRendering(t *testing.T) {
 	e := teamEngine(t)
-	res, err := e.Search(paperdata.Q4, Options{})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q4, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +201,7 @@ func TestFragmentRendering(t *testing.T) {
 
 func TestFragmentNodeMetadata(t *testing.T) {
 	e := teamEngine(t)
-	res, err := e.Search(paperdata.Q4, Options{})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q4, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +225,7 @@ func TestFragmentNodeMetadata(t *testing.T) {
 
 func TestCompareQ4(t *testing.T) {
 	e := teamEngine(t)
-	cmp, err := e.Compare(paperdata.Q4, Options{})
+	cmp, err := e.Compare(context.Background(), NewRequest(paperdata.Q4, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +247,7 @@ func TestCompareQ4(t *testing.T) {
 
 func TestCompareQ5Identical(t *testing.T) {
 	e := teamEngine(t)
-	cmp, err := e.Compare(paperdata.Q5, Options{})
+	cmp, err := e.Compare(context.Background(), NewRequest(paperdata.Q5, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +258,7 @@ func TestCompareQ5Identical(t *testing.T) {
 
 func TestCompareNoMatch(t *testing.T) {
 	e := teamEngine(t)
-	cmp, err := e.Compare("zebra position", Options{})
+	cmp, err := e.Compare(context.Background(), NewRequest("zebra position", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +273,7 @@ func TestLoadVariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e1.Search("hello world", Options{})
+	res, err := e1.Search(context.Background(), NewRequest("hello world", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +330,7 @@ func TestConcurrentSearches(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		for _, q := range queries {
 			go func(q string) {
-				_, err := e.Search(q, Options{Rank: true})
+				_, err := e.Search(context.Background(), NewRequest(q, Options{Rank: true}))
 				done <- err
 			}(q)
 		}
@@ -338,11 +349,11 @@ func TestExactContentOption(t *testing.T) {
 		{Label: "item", Text: "alpha keyword middle zebra"},
 	}})
 	e := FromTree(tree)
-	approx, err := e.Search("special keyword", Options{})
+	approx, err := e.Search(context.Background(), NewRequest("special keyword", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := e.Search("special keyword", Options{ExactContent: true})
+	exact, err := e.Search(context.Background(), NewRequest("special keyword", Options{ExactContent: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +365,7 @@ func TestExactContentOption(t *testing.T) {
 
 func TestFragmentSnippet(t *testing.T) {
 	e := pubEngine(t)
-	res, err := e.Search(paperdata.Q2, Options{})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q2, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +383,7 @@ func TestFragmentSnippet(t *testing.T) {
 
 func TestFragmentSnippetStoreBacked(t *testing.T) {
 	e := storeEngine(t)
-	res, err := e.Search(paperdata.Q2, Options{})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q2, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}

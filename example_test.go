@@ -1,6 +1,7 @@
 package xks_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func ExampleEngine_Search() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := engine.Search("relevant match data", xks.Options{})
+	res, err := engine.Search(context.Background(), xks.NewRequest("relevant match data", xks.Options{}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,8 +47,8 @@ func ExampleOptions_algorithm() {
 	// "match" occurs only in the title, "keyword" in both title and
 	// abstract: MaxMatch discards the abstract (strict keyword-set subset
 	// of its sibling) while ValidRTF keeps it (unique label, rule 1).
-	valid, _ := engine.Search("vldb match keyword", xks.Options{})
-	maxm, _ := engine.Search("vldb match keyword", xks.Options{Algorithm: xks.MaxMatch})
+	valid, _ := engine.Search(context.Background(), xks.NewRequest("vldb match keyword", xks.Options{}))
+	maxm, _ := engine.Search(context.Background(), xks.NewRequest("vldb match keyword", xks.Options{Algorithm: xks.MaxMatch}))
 	fmt.Printf("ValidRTF keeps %d nodes, MaxMatch keeps %d\n",
 		valid.Fragments[0].Len(), maxm.Fragments[0].Len())
 	// Output:
@@ -60,7 +61,7 @@ func ExampleEngine_Search_predicates() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := engine.Search("title:skyline query", xks.Options{})
+	res, err := engine.Search(context.Background(), xks.NewRequest("title:skyline query", xks.Options{}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func ExampleEngine_Compare() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cmp, err := engine.Compare("xml keyword search", xks.Options{})
+	cmp, err := engine.Compare(context.Background(), xks.NewRequest("xml keyword search", xks.Options{}))
 	if err != nil {
 		log.Fatal(err)
 	}

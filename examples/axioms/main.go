@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,11 +18,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	tree := paperdata.Team()
 	engine := xks.FromTree(tree)
 
 	// Baseline: Q4 = "Grizzlies position".
-	res, err := engine.Search(paperdata.Q4, xks.Options{})
+	res, err := engine.Search(ctx, xks.Request{Query: paperdata.Q4})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +39,7 @@ func main() {
 	if _, err := extended.AddChild(dewey.MustParse("0.1"), newPlayer); err != nil {
 		log.Fatal(err)
 	}
-	after, err := xks.FromTree(extended).Search(paperdata.Q4, xks.Options{})
+	after, err := xks.FromTree(extended).Search(ctx, xks.Request{Query: paperdata.Q4})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func main() {
 		len(after.Fragments), len(res.Fragments))
 
 	// Query monotonicity: extend the query.
-	narrower, err := engine.Search(paperdata.Q4+" gassol", xks.Options{})
+	narrower, err := engine.Search(ctx, xks.Request{Query: paperdata.Q4 + " gassol"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,13 +1,18 @@
 // Bibliography search: generate a DBLP-like dataset, search it with ranked
-// results, and demonstrate the SLCA-vs-all-LCA distinction on real-looking
-// bibliographic data (the workload motivating the paper's introduction).
+// results, page through a large result set with Request.Offset/NextOffset,
+// stream fragments with early exit, bound a search with a deadline, and
+// demonstrate the SLCA-vs-all-LCA distinction on real-looking bibliographic
+// data (the workload motivating the paper's introduction).
 //
 //	go run ./examples/dblp
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"xks"
 	"xks/internal/datagen"
@@ -15,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Generate a 2000-record bibliography with the paper's 20 DBLP
 	// keywords at frequencies scaled from the published counts.
 	w := workload.DBLP()
@@ -28,7 +34,7 @@ func main() {
 
 	// A typical bibliographic lookup: ranked, top three fragments.
 	query := "xml keyword retrieval"
-	res, err := engine.Search(query, xks.Options{Rank: true, Limit: 3})
+	res, err := engine.Search(ctx, xks.Request{Query: query, Rank: true, Limit: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,14 +43,55 @@ func main() {
 		fmt.Printf("#%d score=%.3f root=%s (%s)\n%s\n", i+1, f.Score, f.Root, f.RootLabel, f.ASCII())
 	}
 
+	// Pagination: walk a large result set page by page. Each page prunes
+	// and assembles only its own fragments; NextOffset is the cursor of the
+	// following page (-1 when exhausted).
+	pageReq := xks.Request{Query: "data recognition", Rank: true, Limit: 100}
+	pages, total := 0, 0
+	for {
+		page, err := engine.Search(ctx, pageReq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pages++
+		total += len(page.Fragments)
+		if page.NextOffset < 0 {
+			break
+		}
+		pageReq.Offset = page.NextOffset
+	}
+	fmt.Printf("paged the full result set: %d fragments over %d pages of %d\n", total, pages, pageReq.Limit)
+
+	// Streaming: fragments materialize one by one; breaking early leaves
+	// the rest unassembled.
+	streamed := 0
+	for _, err := range engine.Fragments(ctx, xks.Request{Query: "data recognition", Rank: true}) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if streamed++; streamed == 2 {
+			break
+		}
+	}
+	fmt.Printf("streamed %d fragments, stopped early\n", streamed)
+
+	// Deadlines: a request that cannot finish in time aborts mid-pipeline
+	// with context.DeadlineExceeded instead of running to completion.
+	hopeless, cancel := context.WithTimeout(ctx, time.Nanosecond)
+	defer cancel()
+	<-hopeless.Done()
+	if _, err := engine.Search(hopeless, xks.Request{Query: query}); errors.Is(err, context.DeadlineExceeded) {
+		fmt.Println("deadlined search aborted with context.DeadlineExceeded")
+	}
+
 	// All-LCA vs SLCA-only semantics: ancestors of smallest LCAs can carry
 	// their own complete matches and are part of the answer under the
 	// paper's RTF semantics.
-	all, err := engine.Search("data recognition", xks.Options{})
+	all, err := engine.Search(ctx, xks.Request{Query: "data recognition"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	slca, err := engine.Search("data recognition", xks.Options{Semantics: xks.SLCAOnly})
+	slca, err := engine.Search(ctx, xks.Request{Query: "data recognition", Semantics: xks.SLCAOnly})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +99,7 @@ func main() {
 		len(all.Fragments), len(slca.Fragments))
 
 	// Per-query effectiveness of ValidRTF vs MaxMatch on this dataset.
-	cmp, err := engine.Compare("data recognition", xks.Options{})
+	cmp, err := engine.Compare(ctx, xks.Request{Query: "data recognition"})
 	if err != nil {
 		log.Fatal(err)
 	}

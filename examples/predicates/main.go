@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A small bibliography with known keyword placement.
 	w := workload.DBLP()
 	specs, err := w.Specs(0, 0.05)
@@ -32,7 +34,7 @@ func main() {
 	// Plain vs predicate query: restricting "xml" to titles cuts the noise
 	// from xml occurrences in citations and links.
 	for _, q := range []string{"xml retrieval", "title:xml retrieval"} {
-		res, err := engine.Search(q, xks.Options{Rank: true, Limit: 3})
+		res, err := engine.Search(ctx, xks.Request{Query: q, Rank: true, Limit: 3})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := storeEngine.Search("title:xml retrieval", xks.Options{Limit: 1})
+	res, err := storeEngine.Search(ctx, xks.Request{Query: "title:xml retrieval", Limit: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +81,7 @@ func main() {
 	  </article>`); err != nil {
 		log.Fatal(err)
 	}
-	after, err := engine.Search("title:xml retrieval fresh", xks.Options{})
+	after, err := engine.Search(ctx, xks.Request{Query: "title:xml retrieval fresh"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,6 +37,7 @@ const doc = `
 </Publications>`
 
 func main() {
+	ctx := context.Background()
 	engine, err := xks.LoadString(doc)
 	if err != nil {
 		log.Fatal(err)
@@ -44,7 +46,7 @@ func main() {
 	// The paper's running example Q3: every keyword must appear in each
 	// returned fragment; uninteresting sibling branches are pruned away.
 	query := "VLDB title XML keyword search"
-	res, err := engine.Search(query, xks.Options{})
+	res, err := engine.Search(ctx, xks.Request{Query: query})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func main() {
 	// Compare with the MaxMatch baseline: its contributor rule discards
 	// the uniquely-labelled abstract and references branches here — the
 	// false positive problem ValidRTF fixes.
-	mm, err := engine.Search(query, xks.Options{Algorithm: xks.MaxMatch})
+	mm, err := engine.Search(ctx, xks.Request{Query: query, Algorithm: xks.MaxMatch})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	w := workload.XMark()
 	specs, err := w.Specs(int(workload.XMarkStandard), 0.02)
 	if err != nil {
@@ -31,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cmp, err := engine.Compare(query, xks.Options{})
+	cmp, err := engine.Compare(ctx, xks.Request{Query: query})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,11 +44,11 @@ func main() {
 		cmp.Ratios.CFR, cmp.Ratios.APRPrime, cmp.Ratios.MaxAPR)
 
 	// Show one fragment where the two mechanisms disagree.
-	valid, err := engine.Search(query, xks.Options{})
+	valid, err := engine.Search(ctx, xks.Request{Query: query})
 	if err != nil {
 		log.Fatal(err)
 	}
-	max, err := engine.Search(query, xks.Options{Algorithm: xks.MaxMatch})
+	max, err := engine.Search(ctx, xks.Request{Query: query, Algorithm: xks.MaxMatch})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func main() {
 	}
 	agree, prunedFurther := 0, 0
 	for _, q := range queries {
-		c, err := engine.Compare(q, xks.Options{})
+		c, err := engine.Compare(ctx, xks.Request{Query: q})
 		if err != nil {
 			log.Fatal(err)
 		}

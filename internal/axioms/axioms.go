@@ -16,6 +16,7 @@
 package axioms
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -104,7 +105,7 @@ func CheckDataConsistency(base *xmltree.Tree, parent dewey.Code, sub xmltree.E, 
 // inserted under parent, returning both results and the inserted node's
 // code in the extended tree.
 func searchAround(base *xmltree.Tree, parent dewey.Code, sub xmltree.E, query string, opts xks.Options) (*xks.Result, *xks.Result, dewey.Code, error) {
-	before, err := xks.FromTree(base).Search(query, opts)
+	before, err := xks.FromTree(base).Search(context.Background(), xks.NewRequest(query, opts))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -113,7 +114,7 @@ func searchAround(base *xmltree.Tree, parent dewey.Code, sub xmltree.E, query st
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	after, err := xks.FromTree(extended).Search(query, opts)
+	after, err := xks.FromTree(extended).Search(context.Background(), xks.NewRequest(query, opts))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -125,11 +126,11 @@ func searchAround(base *xmltree.Tree, parent dewey.Code, sub xmltree.E, query st
 func CheckQueryMonotonicity(tree *xmltree.Tree, query, extraKeyword string, opts xks.Options) (Verdict, error) {
 	const prop = "query monotonicity"
 	engine := xks.FromTree(tree)
-	before, err := engine.Search(query, opts)
+	before, err := engine.Search(context.Background(), xks.NewRequest(query, opts))
 	if err != nil {
 		return Verdict{}, err
 	}
-	after, err := engine.Search(query+" "+extraKeyword, opts)
+	after, err := engine.Search(context.Background(), xks.NewRequest(query+" "+extraKeyword, opts))
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -144,11 +145,11 @@ func CheckQueryMonotonicity(tree *xmltree.Tree, query, extraKeyword string, opts
 func CheckQueryConsistency(tree *xmltree.Tree, query, extraKeyword string, opts xks.Options) (Verdict, error) {
 	const prop = "query consistency"
 	engine := xks.FromTree(tree)
-	before, err := engine.Search(query, opts)
+	before, err := engine.Search(context.Background(), xks.NewRequest(query, opts))
 	if err != nil {
 		return Verdict{}, err
 	}
-	after, err := engine.Search(query+" "+extraKeyword, opts)
+	after, err := engine.Search(context.Background(), xks.NewRequest(query+" "+extraKeyword, opts))
 	if err != nil {
 		return Verdict{}, err
 	}

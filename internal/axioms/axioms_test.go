@@ -1,6 +1,7 @@
 package axioms
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -133,7 +134,7 @@ func TestAxiomsRandomized(t *testing.T) {
 		extra := extras[rng.Intn(len(extras))]
 		// Skip trees where the query matches nothing (vacuous).
 		engine := xks.FromTree(tree)
-		res, err := engine.Search(query, xks.Options{})
+		res, err := engine.Search(context.Background(), xks.NewRequest(query, xks.Options{}))
 		if err != nil || len(res.Fragments) == 0 {
 			continue
 		}
@@ -163,7 +164,7 @@ func TestAxiomsRandomizedMaxMatch(t *testing.T) {
 	for i := 0; i < 150; i++ {
 		tree := randomTree(rng)
 		engine := xks.FromTree(tree)
-		res, err := engine.Search("alpha beta", opts)
+		res, err := engine.Search(context.Background(), xks.NewRequest("alpha beta", opts))
 		if err != nil || len(res.Fragments) == 0 {
 			continue
 		}

@@ -6,6 +6,7 @@
 package concurrent
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -21,16 +22,34 @@ type Result[T any] struct {
 // GOMAXPROCS) and returns the results in job order. The first error is
 // returned alongside the partial results; remaining jobs still run.
 func Map[J, T any](jobs []J, workers int, fn func(J) (T, error)) ([]T, error) {
+	return MapCtx(nil, jobs, workers, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, workers
+// stop picking up new jobs and MapCtx returns ctx.Err() (in-flight fn calls
+// still finish — fn is expected to observe ctx itself for mid-job
+// cancellation). Every worker goroutine is joined before MapCtx returns, so
+// a cancelled fan-out leaks nothing. A nil ctx never cancels.
+func MapCtx[J, T any](ctx context.Context, jobs []J, workers int, fn func(J) (T, error)) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	ctxErr := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
 	out := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	if workers <= 1 {
 		for i, j := range jobs {
+			if err := ctxErr(); err != nil {
+				return out, err
+			}
 			out[i], errs[i] = fn(j)
 		}
 		return out, firstError(errs)
@@ -45,6 +64,9 @@ func Map[J, T any](jobs []J, workers int, fn func(J) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctxErr() != nil {
+					return
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -57,6 +79,9 @@ func Map[J, T any](jobs []J, workers int, fn func(J) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctxErr(); err != nil {
+		return out, err
+	}
 	return out, firstError(errs)
 }
 

@@ -27,6 +27,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -35,6 +36,11 @@ import (
 	"xks/internal/prune"
 	"xks/internal/rtf"
 )
+
+// scoreCheckInterval is the number of candidates scored between context
+// checks in the candidate stage (the per-event checks inside the merge
+// loops live in internal/lca and internal/rtf).
+const scoreCheckInterval = 256
 
 // Plan is the resolved form of one query: the display keywords, the words
 // used for IDF scoring, and the posting sets D1..Dk as node-ID lists over
@@ -72,6 +78,9 @@ type Params struct {
 	Rank bool
 	// Limit bounds the selected candidates when positive.
 	Limit int
+	// Offset skips that many candidates of the selection order before the
+	// limit applies — the pagination window is [Offset, Offset+Limit).
+	Offset int
 	// Score rates one fragment root from its keyword events (required when
 	// Rank is set).
 	Score func(root nid.ID, events []lca.IDEvent, words []string) float64
@@ -116,20 +125,43 @@ func (c *Candidate) better(o *Candidate) bool {
 // (SLCA or the ELCA stack merge), getRTF dispatch, and — when ranking —
 // scoring of each root from its keyword events. doc tags the candidates for
 // corpus merges.
-func Candidates(p Plan, params Params, doc int) []*Candidate {
+//
+// ctx is checked upfront, periodically inside the k-way merge loops of the
+// LCA and RTF stages (every few thousand events), and periodically between
+// scored candidates, so a cancelled or deadlined context abandons the stage
+// mid-stream with ctx.Err() instead of draining the posting lists. ctx must
+// not be nil; use context.Background() to run uncancellable.
+func Candidates(ctx context.Context, p Plan, params Params, doc int) ([]*Candidate, error) {
 	if len(p.Sets) == 0 {
-		return nil
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	t := params.Tab
-	var roots []nid.ID
+	var (
+		roots []nid.ID
+		err   error
+	)
 	if params.SLCAOnly {
-		roots = lca.SLCAIDs(t, p.Sets)
+		roots, err = lca.SLCAIDsCtx(ctx, t, p.Sets)
 	} else {
-		roots = lca.ELCAStackMergeIDs(t, p.Sets)
+		roots, err = lca.ELCAStackMergeIDsCtx(ctx, t, p.Sets)
 	}
-	rtfs := rtf.BuildIDs(t, roots, p.Sets)
+	if err != nil {
+		return nil, err
+	}
+	rtfs, err := rtf.BuildIDsCtx(ctx, t, roots, p.Sets)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]*Candidate, len(rtfs))
 	for i, r := range rtfs {
+		if i%scoreCheckInterval == scoreCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// The kept roots are sorted and distinct, so r is an SLCA exactly
 		// when the next root is not its descendant.
 		isSLCA := !(i+1 < len(rtfs) && t.IsAncestorOf(r.Root, rtfs[i+1].Root))
@@ -139,29 +171,46 @@ func Candidates(p Plan, params Params, doc int) []*Candidate {
 		}
 		out[i] = c
 	}
-	return out
+	return out, nil
 }
 
 // Select applies the selection stage to one document's candidates: ranked
 // searches order by descending score (via a bounded heap when a limit
 // applies), unranked searches keep document order; a positive limit
-// truncates either way.
+// truncates either way, and a positive offset skips the first Offset
+// candidates of the selection order before the limit applies — the
+// pagination window [Offset, Offset+Limit) of the full ordering.
 func Select(cands []*Candidate, params Params) []*Candidate {
 	if !params.Rank {
-		if params.Limit > 0 && len(cands) > params.Limit {
-			return cands[:params.Limit]
-		}
-		return cands
+		return Page(cands, params.Offset, params.Limit)
 	}
-	if params.Limit > 0 && params.Limit < len(cands) {
-		t := NewTopK(params.Limit)
+	// window > 0 guards Offset+Limit overflowing int: an unreachable
+	// window pages to empty through the full-sort path below.
+	if window := params.Offset + params.Limit; params.Limit > 0 && window > 0 && window < len(cands) {
+		t := NewTopK(window)
 		t.Offer(cands...)
-		return t.Ranked()
+		return Page(t.Ranked(), params.Offset, params.Limit)
 	}
 	out := make([]*Candidate, len(cands))
 	copy(out, cands)
 	SortRanked(out)
-	return out
+	return Page(out, params.Offset, params.Limit)
+}
+
+// Page slices the pagination window [offset, offset+limit) out of an
+// ordered candidate list; limit <= 0 means unbounded, an offset past the
+// end yields an empty page.
+func Page(ordered []*Candidate, offset, limit int) []*Candidate {
+	if offset > 0 {
+		if offset >= len(ordered) {
+			return nil
+		}
+		ordered = ordered[offset:]
+	}
+	if limit > 0 && len(ordered) > limit {
+		ordered = ordered[:limit]
+	}
+	return ordered
 }
 
 // SortRanked orders candidates best-first under the ranked total order.
@@ -190,9 +239,11 @@ type TopK struct {
 }
 
 // NewTopK returns an accumulator keeping the k best candidates (k must be
-// positive).
+// positive). The backing array grows with the candidates actually offered,
+// so a huge k — e.g. a request paging far past any real result set — costs
+// nothing up front.
 func NewTopK(k int) *TopK {
-	return &TopK{k: k, h: make([]*Candidate, 0, k)}
+	return &TopK{k: k, h: make([]*Candidate, 0, min(k, 1024))}
 }
 
 // Offer considers candidates for the top K.
@@ -218,7 +269,7 @@ func (t *TopK) Offer(cands ...*Candidate) {
 func (t *TopK) Ranked() []*Candidate {
 	t.mu.Lock()
 	out := t.h
-	t.h = make([]*Candidate, 0, t.k)
+	t.h = make([]*Candidate, 0, min(t.k, 1024))
 	t.mu.Unlock()
 	SortRanked(out)
 	return out

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -128,6 +129,28 @@ func TestSelectRanked(t *testing.T) {
 	}
 }
 
+func TestSelectOffsetPaging(t *testing.T) {
+	cands := []*Candidate{mkCand(0, 0, 1), mkCand(0, 1, 3), mkCand(0, 2, 2), mkCand(0, 3, 3)}
+	// Ranked order is seq 1, 3, 2, 0; the [1,3) window is seq 3, 2.
+	got := Select(cands, Params{Rank: true, Limit: 2, Offset: 1})
+	if len(got) != 2 || got[0].Seq != 3 || got[1].Seq != 2 {
+		t.Fatalf("ranked page: got %v", keys(got))
+	}
+	// Unranked paging slices document order.
+	got = Select(cands, Params{Limit: 2, Offset: 2})
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Fatalf("unranked page: got %v", keys(got))
+	}
+	// Offset past the end is an empty page; offset with no limit drops the
+	// prefix.
+	if got = Select(cands, Params{Rank: true, Offset: 10}); len(got) != 0 {
+		t.Fatalf("past-the-end page: got %v", keys(got))
+	}
+	if got = Select(cands, Params{Rank: true, Offset: 3}); len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("tail page: got %v", keys(got))
+	}
+}
+
 // TestCandidatesAndMaterialize runs the stages end to end over a tiny
 // hand-built instance: keywords a={0.0.0, 0.1.0}, b={0.0.1, 0.1.1} under
 // roots 0.0 and 0.1.
@@ -174,7 +197,10 @@ func TestCandidatesAndMaterialize(t *testing.T) {
 		ContentOf: func(id nid.ID) []string { return []string{labels[tab.Code(id).String()]} },
 		Mode:      prune.ValidContributor,
 	}
-	cands := Candidates(p, params, 3)
+	cands, err := Candidates(context.Background(), p, params, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cands) != 2 {
 		t.Fatalf("got %d candidates, want 2", len(cands))
 	}
@@ -205,7 +231,7 @@ func TestCandidatesAndMaterialize(t *testing.T) {
 }
 
 func TestCandidatesEmptyPlan(t *testing.T) {
-	if got := Candidates(Plan{}, Params{}, 0); got != nil {
+	if got, err := Candidates(context.Background(), Plan{}, Params{}, 0); got != nil || err != nil {
 		t.Fatalf("empty plan produced %d candidates", len(got))
 	}
 }

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -157,7 +158,7 @@ func Run(spec DatasetSpec, repeats int) (*FigureResult, error) {
 		}
 		row := QueryRow{Abbrev: abbrev, Query: query}
 		// Warm-up run, discarded per §5.1.
-		first, err := engine.Compare(query, xks.Options{})
+		first, err := engine.Compare(context.Background(), xks.Request{Query: query})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s query %q: %w", spec.Name, abbrev, err)
 		}
@@ -169,7 +170,7 @@ func Run(spec DatasetSpec, repeats int) (*FigureResult, error) {
 		var msBefore, msAfter runtime.MemStats
 		runtime.ReadMemStats(&msBefore)
 		for i := 0; i < repeats; i++ {
-			cmp, err := engine.Compare(query, xks.Options{})
+			cmp, err := engine.Compare(context.Background(), xks.Request{Query: query})
 			if err != nil {
 				return nil, err
 			}
@@ -203,7 +204,7 @@ func RunParallel(spec DatasetSpec, workers int) (*FigureResult, error) {
 		if err != nil {
 			return QueryRow{}, err
 		}
-		cmp, err := engine.Compare(queryText, xks.Options{})
+		cmp, err := engine.Compare(context.Background(), xks.Request{Query: queryText})
 		if err != nil {
 			return QueryRow{}, fmt.Errorf("experiments: %s query %q: %w", spec.Name, abbrev, err)
 		}

@@ -1,30 +1,51 @@
 // Package httpapi exposes a service.Service — engine- or corpus-backed,
 // with caching, singleflight, and metrics — as a small JSON HTTP API, used
-// by cmd/xkserver and testable with net/http/httptest. Search execution is
-// the staged pipeline of internal/exec: rank=1&limit=N requests prune and
-// assemble only the N returned fragments, and the per-fragment XML below
-// is rendered once per cached result, not once per request.
+// by cmd/xkserver and testable with net/http/httptest. Each request is
+// parsed into an xks.Request and executed under the request's own context
+// (r.Context(), optionally tightened by a timeout= deadline): a client that
+// disconnects or times out cancels the pipeline mid-stream. Search
+// execution is the staged pipeline of internal/exec: rank=1&limit=N
+// requests prune and assemble only the N returned fragments, and the
+// per-fragment XML below is rendered once per cached result, not once per
+// request.
 //
 // Endpoints:
 //
 //	GET /search?q=keyword+query[&doc=name][&algo=validrtf|maxmatch|raw]
-//	           [&slca=1][&rank=1][&limit=N][&snippets=1]
+//	           [&slca=1][&rank=1][&limit=N][&offset=N][&timeout=dur]
+//	           [&snippets=1]
 //	GET /documents
 //	GET /stats
 //	GET /healthz
+//
+// Error mapping: malformed parameters and unsearchable queries
+// (xks.ErrEmptyQuery, xks.ErrTooManyTerms) are 400, an unknown doc=
+// (xks.ErrUnknownDocument) is 404, and a search that exceeds its deadline
+// is 504. Paged responses carry a "next" cursor — the offset= of the
+// following page — whenever the result set extends past the returned page.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"xks"
 	"xks/internal/service"
 )
+
+// MaxTimeout caps the timeout= parameter so a client cannot pin a worker
+// arbitrarily long; it is also the implicit deadline when none is given.
+const MaxTimeout = 30 * time.Second
+
+// MaxPageParam caps limit= and offset= so a crafted request cannot ask the
+// pipeline for an absurd pagination window.
+const MaxPageParam = 1 << 20
 
 // Fragment is the JSON shape of one result fragment.
 type Fragment struct {
@@ -45,6 +66,8 @@ type Response struct {
 	NumLCAs     int            `json:"numLcas"`
 	ElapsedMS   float64        `json:"elapsedMs"`
 	Cached      bool           `json:"cached"`
+	Offset      int            `json:"offset,omitempty"`
+	Next        string         `json:"next,omitempty"` // offset= of the next page
 	PerDocument map[string]int `json:"perDocument,omitempty"`
 	Fragments   []Fragment     `json:"fragments"`
 }
@@ -60,6 +83,67 @@ type StatsResponse struct {
 	Generation   uint64           `json:"generation"`
 	CacheEntries int              `json:"cacheEntries"`
 	Server       service.Snapshot `json:"server"`
+}
+
+// parseRequest builds the xks.Request from the query parameters; the error
+// message is returned to the client with a 400.
+func parseRequest(r *http.Request) (xks.Request, bool, error) {
+	q := r.URL.Query()
+	req := xks.Request{Query: q.Get("q"), Document: q.Get("doc")}
+	if req.Query == "" {
+		return req, false, fmt.Errorf(`missing "q" parameter: %w`, xks.ErrEmptyQuery)
+	}
+	switch q.Get("algo") {
+	case "", "validrtf":
+	case "maxmatch":
+		req.Algorithm = xks.MaxMatch
+	case "raw":
+		req.Algorithm = xks.RawRTF
+	default:
+		return req, false, errors.New("unknown algo")
+	}
+	if q.Get("slca") == "1" {
+		req.Semantics = xks.SLCAOnly
+	}
+	if q.Get("rank") == "1" {
+		req.Rank = true
+	}
+	if l := q.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 || n > MaxPageParam {
+			return req, false, errors.New("bad limit")
+		}
+		req.Limit = n
+	}
+	if o := q.Get("offset"); o != "" {
+		n, err := strconv.Atoi(o)
+		if err != nil || n < 0 || n > MaxPageParam {
+			return req, false, errors.New("bad offset")
+		}
+		req.Offset = n
+	}
+	if d := q.Get("timeout"); d != "" {
+		t, err := time.ParseDuration(d)
+		if err != nil || t <= 0 {
+			return req, false, errors.New("bad timeout")
+		}
+		req.Timeout = min(t, MaxTimeout)
+	}
+	return req, q.Get("snippets") == "1", nil
+}
+
+// status maps a search error to its HTTP status: 404 for unknown documents,
+// 504 for deadline-exceeded pipelines, 400 for everything else (bad query
+// shapes — xks.ErrEmptyQuery, xks.ErrTooManyTerms, malformed predicates).
+func status(err error) int {
+	switch {
+	case errors.Is(err, xks.ErrUnknownDocument):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 // NewHandler builds the API router over the service. logger may be nil.
@@ -80,55 +164,42 @@ func NewHandler(svc *service.Service, logger *log.Logger) http.Handler {
 		})
 	})
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query().Get("q")
-		if q == "" {
-			http.Error(w, `missing "q" parameter`, http.StatusBadRequest)
+		req, withSnippets, err := parseRequest(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		opts := xks.Options{}
-		switch r.URL.Query().Get("algo") {
-		case "", "validrtf":
-		case "maxmatch":
-			opts.Algorithm = xks.MaxMatch
-		case "raw":
-			opts.Algorithm = xks.RawRTF
-		default:
-			http.Error(w, "unknown algo", http.StatusBadRequest)
-			return
+		// Apply the deadline here, at the serving boundary, so it holds for
+		// any Searcher behind the service; engines then see Timeout == 0
+		// and simply inherit this context.
+		timeout := req.Timeout
+		if timeout == 0 {
+			timeout = MaxTimeout
 		}
-		if r.URL.Query().Get("slca") == "1" {
-			opts.Semantics = xks.SLCAOnly
-		}
-		if r.URL.Query().Get("rank") == "1" {
-			opts.Rank = true
-		}
-		if l := r.URL.Query().Get("limit"); l != "" {
-			n, err := strconv.Atoi(l)
-			if err != nil || n < 0 {
-				http.Error(w, "bad limit", http.StatusBadRequest)
+		req.Timeout = 0
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		res, cached, err := svc.Search(ctx, req)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				// The client went away; there is no one to answer.
 				return
 			}
-			opts.Limit = n
-		}
-		withSnippets := r.URL.Query().Get("snippets") == "1"
-		doc := r.URL.Query().Get("doc")
-
-		res, cached, err := svc.Search(q, doc, opts)
-		if err != nil {
-			status := http.StatusBadRequest
-			if errors.Is(err, xks.ErrUnknownDocument) {
-				status = http.StatusNotFound
-			}
-			http.Error(w, err.Error(), status)
+			http.Error(w, err.Error(), status(err))
 			return
 		}
 		resp := Response{
-			Query:       q,
+			Query:       req.Query,
 			Keywords:    res.Stats.Keywords,
 			NumLCAs:     res.Stats.NumLCAs,
 			ElapsedMS:   float64(res.Stats.Elapsed.Microseconds()) / 1000.0,
 			Cached:      cached,
+			Offset:      req.Offset,
 			PerDocument: res.PerDocument,
+		}
+		if res.NextOffset >= 0 {
+			resp.Next = strconv.Itoa(res.NextOffset)
 		}
 		for _, f := range res.Fragments {
 			out := Fragment{

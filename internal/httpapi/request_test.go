@@ -1,0 +1,172 @@
+package httpapi
+
+// Tests for the Request-era API surface: typed error mapping (errors.Is on
+// the sentinels behind the handler), pagination cursors, and deadline
+// behavior (504).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"xks"
+	"xks/internal/service"
+)
+
+// TestStatusMapping pins the error → status translation the handler relies
+// on, via errors.Is against the exported sentinels.
+func TestStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("wrapped: %w", xks.ErrUnknownDocument), http.StatusNotFound},
+		{fmt.Errorf("wrapped: %w", xks.ErrEmptyQuery), http.StatusBadRequest},
+		{fmt.Errorf("wrapped: %w", xks.ErrTooManyTerms), http.StatusBadRequest},
+		{fmt.Errorf("deep: %w", fmt.Errorf("wrap: %w", context.DeadlineExceeded)), http.StatusGatewayTimeout},
+		{errors.New("anything else"), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if got := status(c.err); got != c.want {
+			t.Errorf("status(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestSentinelErrorsOverHTTP drives the sentinel errors end to end: the
+// engine's typed failures come back as the mapped status codes, not as
+// opaque 400s by accident of string formatting.
+func TestSentinelErrorsOverHTTP(t *testing.T) {
+	srv, _ := corpusServer(t)
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// ErrEmptyQuery: all stop words.
+	if code := get("/search?q=the+of+and"); code != http.StatusBadRequest {
+		t.Errorf("stop-word query: status = %d, want 400", code)
+	}
+	// ErrTooManyTerms: 65 distinct keywords.
+	long := "/search?q="
+	for i := 0; i < 65; i++ {
+		if i > 0 {
+			long += "+"
+		}
+		long += "kw" + strconv.Itoa(i)
+	}
+	if code := get(long); code != http.StatusBadRequest {
+		t.Errorf("65-term query: status = %d, want 400", code)
+	}
+	// ErrUnknownDocument → 404 (also covered by TestSearchUnknownDocumentIs404).
+	if code := get("/search?q=liu&doc=nope"); code != http.StatusNotFound {
+		t.Errorf("unknown doc: status = %d, want 404", code)
+	}
+	// Bad pagination/timeout parameters are 400s — including windows past
+	// the MaxPageParam sanity cap.
+	for _, path := range []string{"/search?q=liu&offset=-1", "/search?q=liu&offset=x", "/search?q=liu&offset=2000000000", "/search?q=liu&limit=2000000000", "/search?q=liu&timeout=bogus", "/search?q=liu&timeout=-1s"} {
+		if code := get(path); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, code)
+		}
+	}
+}
+
+// TestPaginationCursor walks a multi-fragment result via the "next" cursor
+// and asserts the pages tile the unpaged result.
+func TestPaginationCursor(t *testing.T) {
+	srv, _ := corpusServer(t)
+
+	_, full := getJSON(t, srv.URL+"/search?q=name")
+	if len(full.Fragments) < 2 {
+		t.Fatalf("need several fragments to page, got %d", len(full.Fragments))
+	}
+	if full.Next != "" {
+		t.Fatalf("unpaged response carries next=%q", full.Next)
+	}
+
+	var pages []Fragment
+	cursor := "0"
+	for {
+		code, page := getJSON(t, srv.URL+"/search?q=name&limit=1&offset="+cursor)
+		if code != http.StatusOK {
+			t.Fatalf("page at offset %s: status %d", cursor, code)
+		}
+		if page.Offset != atoi(t, cursor) {
+			t.Fatalf("page echoes offset %d, requested %s", page.Offset, cursor)
+		}
+		pages = append(pages, page.Fragments...)
+		if page.Next == "" {
+			break
+		}
+		cursor = page.Next
+	}
+	if len(pages) != len(full.Fragments) {
+		t.Fatalf("cursor walk yielded %d fragments, full response %d", len(pages), len(full.Fragments))
+	}
+	for i := range pages {
+		if pages[i].Root != full.Fragments[i].Root || pages[i].Document != full.Fragments[i].Document {
+			t.Fatalf("fragment %d: paged %s/%s vs full %s/%s", i,
+				pages[i].Document, pages[i].Root, full.Fragments[i].Document, full.Fragments[i].Root)
+		}
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// stuckSearcher parks until its context ends — a stand-in for a pipeline
+// slower than the request's deadline.
+type stuckSearcher struct{}
+
+func (stuckSearcher) Search(ctx context.Context, req xks.Request) (*xks.CorpusResult, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+func (stuckSearcher) Documents() []xks.DocumentInfo { return nil }
+func (stuckSearcher) Generation() uint64            { return 0 }
+
+// TestDeadlineExceededIs504: a search that outlives its timeout= deadline
+// comes back as 504 Gateway Timeout.
+func TestDeadlineExceededIs504(t *testing.T) {
+	svc := service.New(stuckSearcher{}, service.Config{})
+	srv := httptest.NewServer(NewHandler(svc, nil))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/search?q=liu&timeout=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestTimeoutParamCapped: timeout= beyond MaxTimeout is clamped, not
+// honored (the parse keeps the request well-formed).
+func TestTimeoutParamCapped(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/search?q=x&timeout=10h", nil)
+	req, _, err := parseRequest(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Timeout != MaxTimeout {
+		t.Fatalf("Timeout = %v, want clamped to %v", req.Timeout, MaxTimeout)
+	}
+}

@@ -9,11 +9,18 @@
 package lca
 
 import (
+	"context"
 	"slices"
 	"sort"
 
 	"xks/internal/nid"
 )
+
+// ctxCheckInterval is the number of merge events (or outer iterations)
+// between context checks in the ctx-aware stage variants: frequent enough
+// that cancellation lands within microseconds on real posting lists, sparse
+// enough that the check never shows up in profiles.
+const ctxCheckInterval = 4096
 
 // IDEvent is one node of the merged keyword-node stream in ID form: the
 // node plus the bitmask of query keywords it matches.
@@ -121,13 +128,27 @@ func (m *Merger) Next() (ev IDEvent, ok bool) {
 // masks. Identical output to ELCAStackMerge modulo representation; verified
 // by cross-check tests.
 func ELCAStackMergeIDs(t *nid.Table, sets [][]nid.ID) []nid.ID {
+	out, _ := elcaStackMergeIDs(nil, t, sets)
+	return out
+}
+
+// ELCAStackMergeIDsCtx is ELCAStackMergeIDs with periodic cancellation
+// checks inside the k-way merge loop: every ctxCheckInterval events it
+// consults ctx and abandons the merge mid-stream with ctx.Err() when the
+// context is done, so a cancelled search stops paying for postings it will
+// never return.
+func ELCAStackMergeIDsCtx(ctx context.Context, t *nid.Table, sets [][]nid.ID) ([]nid.ID, error) {
+	return elcaStackMergeIDs(ctx, t, sets)
+}
+
+func elcaStackMergeIDs(ctx context.Context, t *nid.Table, sets [][]nid.ID) ([]nid.ID, error) {
 	k := len(sets)
 	if k == 0 {
-		return nil
+		return nil, nil
 	}
 	for _, s := range sets {
 		if len(s) == 0 {
-			return nil
+			return nil, nil
 		}
 	}
 	full := FullMask(k)
@@ -156,7 +177,12 @@ func ELCAStackMergeIDs(t *nid.Table, sets [][]nid.ID) []nid.ID {
 			subtree = subtree[:top]
 		}
 	}
-	for {
+	for n := 0; ; n++ {
+		if ctx != nil && n%ctxCheckInterval == ctxCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ev, ok := m.Next()
 		if !ok {
 			break
@@ -181,7 +207,7 @@ func ELCAStackMergeIDs(t *nid.Table, sets [][]nid.ID) []nid.ID {
 	}
 	pop(0)
 	sortIDs(result)
-	return result
+	return result, nil
 }
 
 // SLCAIDs is the ID form of SLCA (Indexed Lookup Eager): for every node of
@@ -189,12 +215,23 @@ func ELCAStackMergeIDs(t *nid.Table, sets [][]nid.ID) []nid.ID {
 // list, then remove non-minimal candidates. Identical output to SLCA modulo
 // representation.
 func SLCAIDs(t *nid.Table, sets [][]nid.ID) []nid.ID {
+	out, _ := slcaIDs(nil, t, sets)
+	return out
+}
+
+// SLCAIDsCtx is SLCAIDs with periodic cancellation checks over the
+// smallest-list scan, mirroring ELCAStackMergeIDsCtx.
+func SLCAIDsCtx(ctx context.Context, t *nid.Table, sets [][]nid.ID) ([]nid.ID, error) {
+	return slcaIDs(ctx, t, sets)
+}
+
+func slcaIDs(ctx context.Context, t *nid.Table, sets [][]nid.ID) ([]nid.ID, error) {
 	if len(sets) == 0 {
-		return nil
+		return nil, nil
 	}
 	for _, s := range sets {
 		if len(s) == 0 {
-			return nil
+			return nil, nil
 		}
 	}
 	smallest := 0
@@ -204,7 +241,12 @@ func SLCAIDs(t *nid.Table, sets [][]nid.ID) []nid.ID {
 		}
 	}
 	candidates := make([]nid.ID, 0, len(sets[smallest]))
-	for _, v := range sets[smallest] {
+	for n, v := range sets[smallest] {
+		if ctx != nil && n%ctxCheckInterval == ctxCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		x := v
 		ok := true
 		for i, s := range sets {
@@ -224,7 +266,7 @@ func SLCAIDs(t *nid.Table, sets [][]nid.ID) []nid.ID {
 	}
 	sortIDs(candidates)
 	candidates = dedupIDs(candidates)
-	return removeAncestorIDs(t, candidates)
+	return removeAncestorIDs(t, candidates), nil
 }
 
 // closestID returns the node of the sorted list whose LCA with x is

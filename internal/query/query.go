@@ -11,10 +11,25 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"xks/internal/analysis"
+)
+
+// MaxTerms bounds the number of terms per query: keyword membership is
+// tracked in a 64-bit mask throughout the pipeline.
+const MaxTerms = 64
+
+// Sentinel errors, matched with errors.Is. The xks package re-exports them
+// so HTTP handlers can map them to status codes without string matching.
+var (
+	// ErrEmptyQuery reports a query with no searchable terms (empty, all
+	// stop words, or unsearchable predicates).
+	ErrEmptyQuery = errors.New("query contains no searchable terms")
+	// ErrTooManyTerms reports a query exceeding MaxTerms terms.
+	ErrTooManyTerms = errors.New("too many query terms")
 )
 
 // Term is one parsed query term.
@@ -72,7 +87,7 @@ func Parse(q string, an *analysis.Analyzer) ([]Term, error) {
 				if term.Keyword == "" {
 					// Keyword part was a stop word or unsearchable: the
 					// term cannot match anything meaningful.
-					return nil, fmt.Errorf("query: term %q has an unsearchable keyword", tok)
+					return nil, fmt.Errorf("query: term %q has an unsearchable keyword: %w", tok, ErrEmptyQuery)
 				}
 			} else if label == "" {
 				return nil, fmt.Errorf("query: malformed term %q", tok)
@@ -91,10 +106,10 @@ func Parse(q string, an *analysis.Analyzer) ([]Term, error) {
 		out = append(out, term)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("query: %q contains no searchable terms", q)
+		return nil, fmt.Errorf("query: %q: %w", q, ErrEmptyQuery)
 	}
-	if len(out) > 64 {
-		return nil, fmt.Errorf("query: %d terms; at most 64 supported", len(out))
+	if len(out) > MaxTerms {
+		return nil, fmt.Errorf("query: %d terms, at most %d supported: %w", len(out), MaxTerms, ErrTooManyTerms)
 	}
 	return out, nil
 }

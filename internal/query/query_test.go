@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"testing"
 
 	"xks/internal/analysis"
@@ -60,6 +61,20 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseSentinelErrors(t *testing.T) {
+	an := analysis.New()
+	// Unsearchable queries wrap ErrEmptyQuery, matchable with errors.Is.
+	for _, empty := range []string{"", "the of", "title:the"} {
+		if _, err := Parse(empty, an); !errors.Is(err, ErrEmptyQuery) {
+			t.Errorf("Parse(%q): err = %v, want ErrEmptyQuery", empty, err)
+		}
+	}
+	// Malformed terms are plain errors, not empty-query errors.
+	if _, err := Parse("a:b:c", an); err == nil || errors.Is(err, ErrEmptyQuery) {
+		t.Errorf("Parse(malformed): err = %v, want a non-sentinel error", err)
+	}
+}
+
 func TestParseDedup(t *testing.T) {
 	terms, err := Parse("xml XML title:xml title:XML", analysis.New())
 	if err != nil {
@@ -75,8 +90,8 @@ func TestParseTooManyTerms(t *testing.T) {
 	for i := 0; i < 70; i++ {
 		q += " word" + string(rune('a'+i%26)) + string(rune('a'+(i/26)))
 	}
-	if _, err := Parse(q, analysis.New()); err == nil {
-		t.Error("65+ terms should fail")
+	if _, err := Parse(q, analysis.New()); !errors.Is(err, ErrTooManyTerms) {
+		t.Errorf("65+ terms: err = %v, want ErrTooManyTerms", err)
 	}
 }
 

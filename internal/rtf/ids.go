@@ -7,9 +7,15 @@
 package rtf
 
 import (
+	"context"
+
 	"xks/internal/lca"
 	"xks/internal/nid"
 )
+
+// ctxCheckInterval is the number of dispatched merge events between context
+// checks in BuildIDsCtx, mirroring the interval of the lca stage.
+const ctxCheckInterval = 4096
 
 // IDRTF is one relaxed tightest fragment in ID form: its root (an
 // interesting LCA node) and the keyword nodes dispatched to it, in
@@ -35,8 +41,20 @@ func (r *IDRTF) Mask() uint64 {
 // LCA node whose dispatched nodes cover the whole query, in pre-order of
 // their roots. Identical output to Build modulo representation.
 func BuildIDs(t *nid.Table, lcas []nid.ID, sets [][]nid.ID) []*IDRTF {
+	out, _ := buildIDs(nil, t, lcas, sets)
+	return out
+}
+
+// BuildIDsCtx is BuildIDs with periodic cancellation checks inside both
+// dispatch passes: every ctxCheckInterval merged events it consults ctx and
+// abandons the build mid-stream with ctx.Err() when the context is done.
+func BuildIDsCtx(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID) ([]*IDRTF, error) {
+	return buildIDs(ctx, t, lcas, sets)
+}
+
+func buildIDs(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID) ([]*IDRTF, error) {
 	if len(lcas) == 0 {
-		return nil
+		return nil, nil
 	}
 	full := lca.FullMask(len(sets))
 
@@ -52,18 +70,23 @@ func BuildIDs(t *nid.Table, lcas []nid.ID, sets [][]nid.ID) []*IDRTF {
 	// event arena — integer merges are cheap enough that counting twice
 	// beats growing len(lcas) slices append by append.
 	counts := make([]int32, len(lcas))
-	total := dispatch(t, lcas, sets, func(i int, ev lca.IDEvent) {
+	total, err := dispatch(ctx, t, lcas, sets, func(i int, ev lca.IDEvent) {
 		counts[i]++
 	})
+	if err != nil {
+		return nil, err
+	}
 	arena := make([]lca.IDEvent, 0, total)
 	for i := range out {
 		n := int(counts[i])
 		out[i].KeywordNodes = arena[len(arena) : len(arena) : len(arena)+n]
 		arena = arena[:len(arena)+n]
 	}
-	dispatch(t, lcas, sets, func(i int, ev lca.IDEvent) {
+	if _, err := dispatch(ctx, t, lcas, sets, func(i int, ev lca.IDEvent) {
 		out[i].KeywordNodes = append(out[i].KeywordNodes, ev)
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	kept := out[:0]
 	for _, r := range out {
@@ -71,19 +94,24 @@ func BuildIDs(t *nid.Table, lcas []nid.ID, sets [][]nid.ID) []*IDRTF {
 			kept = append(kept, r)
 		}
 	}
-	return kept
+	return kept, nil
 }
 
 // dispatch walks the streamed merge of the posting lists in pre-order,
 // keeping the stack of LCA nodes whose subtree contains the current event;
 // the stack top is the deepest, i.e. the dispatch target. It reports the
-// number of dispatched events.
-func dispatch(t *nid.Table, lcas []nid.ID, sets [][]nid.ID, emit func(int, lca.IDEvent)) int {
+// number of dispatched events. A nil ctx disables cancellation checks.
+func dispatch(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID, emit func(int, lca.IDEvent)) (int, error) {
 	m := lca.NewMerger(sets)
 	var stackBuf [12]int32
 	stack := stackBuf[:0] // indices into lcas
 	j, total := 0, 0
-	for {
+	for n := 0; ; n++ {
+		if ctx != nil && n%ctxCheckInterval == ctxCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return total, err
+			}
+		}
 		ev, ok := m.Next()
 		if !ok {
 			break
@@ -104,5 +132,5 @@ func dispatch(t *nid.Table, lcas []nid.ID, sets [][]nid.ID, emit func(int, lca.I
 		emit(int(stack[len(stack)-1]), ev)
 		total++
 	}
-	return total
+	return total, nil
 }

@@ -1,6 +1,7 @@
 package service_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -42,7 +43,7 @@ func runRepeatedQueries(b *testing.B, sv *service.Service) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q := benchQueries[i%len(benchQueries)]
-		if _, _, err := sv.Search(q, "", xks.Options{}); err != nil {
+		if _, _, err := sv.Search(context.Background(), xks.Request{Query: q}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -73,7 +74,7 @@ func BenchmarkRepeatedQueryCachedParallel(b *testing.B) {
 		for pb.Next() {
 			q := benchQueries[i%len(benchQueries)]
 			i++
-			if _, _, err := sv.Search(q, "", xks.Options{}); err != nil {
+			if _, _, err := sv.Search(context.Background(), xks.Request{Query: q}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -11,48 +13,77 @@ import (
 // first caller (the leader) runs fn; callers arriving while it is in
 // flight block and share the leader's result. A thundering herd of N
 // identical queries therefore costs one pipeline execution, not N.
+//
+// The collapse is context-aware: a waiter whose own context ends while the
+// leader is still computing detaches immediately with its ctx.Err() — the
+// leader (and the other waiters) are unaffected. Conversely, when a leader
+// dies of its *own* cancellation, surviving waiters do not inherit that
+// error: they re-enter the group and one of them leads a fresh execution.
 type group struct {
 	mu    sync.Mutex
 	calls map[string]*call
 }
 
 type call struct {
-	wg  sync.WaitGroup
-	val *xks.CorpusResult
-	err error
+	done chan struct{} // closed when val/err are settled
+	val  *xks.CorpusResult
+	err  error
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation or
+// deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // do runs fn once per key among concurrent callers. shared reports whether
-// this caller joined an in-flight execution instead of leading one.
-func (g *group) do(key string, fn func() (*xks.CorpusResult, error)) (val *xks.CorpusResult, shared bool, err error) {
-	g.mu.Lock()
-	if g.calls == nil {
-		g.calls = map[string]*call{}
-	}
-	if c, ok := g.calls[key]; ok {
-		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, true, c.err
-	}
-	c := new(call)
-	c.wg.Add(1)
-	g.calls[key] = c
-	g.mu.Unlock()
-
-	defer func() {
+// this caller received another execution's result (a join, or a retry
+// after a cancelled leader); a waiter that detached on its own dead
+// context received nothing and reports shared=false, so the serving
+// layer's collapsed-request metric counts only real collapses.
+func (g *group) do(ctx context.Context, key string, fn func() (*xks.CorpusResult, error)) (val *xks.CorpusResult, shared bool, err error) {
+	for {
 		g.mu.Lock()
-		delete(g.calls, key)
-		g.mu.Unlock()
-		c.wg.Done()
-	}()
-	// Runs before the release defer above (LIFO): a panicking fn must
-	// hand joiners an error, not a nil result with a nil error.
-	defer func() {
-		if r := recover(); r != nil {
-			c.err = fmt.Errorf("xks: query execution panicked: %v", r)
-			panic(r)
+		if g.calls == nil {
+			g.calls = map[string]*call{}
 		}
-	}()
-	c.val, c.err = fn()
-	return c.val, false, c.err
+		if c, ok := g.calls[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				// Detach: our caller is gone; the leader keeps computing
+				// for whoever remains.
+				return nil, false, ctx.Err()
+			case <-c.done:
+			}
+			if isCtxErr(c.err) && ctx.Err() == nil {
+				// The leader was cancelled but we were not — its
+				// cancellation is not our answer. Re-enter the group; the
+				// first waiter back leads a fresh execution.
+				shared = true
+				continue
+			}
+			return c.val, true, c.err
+		}
+		c := &call{done: make(chan struct{})}
+		g.calls[key] = c
+		g.mu.Unlock()
+
+		defer func() {
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		// Runs before the release defer above (LIFO): a panicking fn must
+		// hand joiners an error, not a nil result with a nil error.
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("xks: query execution panicked: %v", r)
+				panic(r)
+			}
+		}()
+		c.val, c.err = fn()
+		return c.val, shared, c.err
+	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -23,7 +24,7 @@ func TestGroupCollapsesConcurrentCalls(t *testing.T) {
 	// other callers arrive while the call is in flight.
 	leaderDone := make(chan *xks.CorpusResult, 1)
 	go func() {
-		val, shared, err := g.do("k", func() (*xks.CorpusResult, error) {
+		val, shared, err := g.do(context.Background(), "k", func() (*xks.CorpusResult, error) {
 			execs.Add(1)
 			close(started)
 			<-release
@@ -39,7 +40,7 @@ func TestGroupCollapsesConcurrentCalls(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			val, shared, err := g.do("k", func() (*xks.CorpusResult, error) {
+			val, shared, err := g.do(context.Background(), "k", func() (*xks.CorpusResult, error) {
 				execs.Add(1)
 				return &xks.CorpusResult{Query: "other"}, nil
 			})
@@ -75,7 +76,7 @@ func TestGroupDistinctKeysRunIndependently(t *testing.T) {
 		wg.Add(1)
 		go func(key string) {
 			defer wg.Done()
-			if _, _, err := g.do(key, func() (*xks.CorpusResult, error) {
+			if _, _, err := g.do(context.Background(), key, func() (*xks.CorpusResult, error) {
 				execs.Add(1)
 				return nil, nil
 			}); err != nil {
@@ -92,12 +93,12 @@ func TestGroupDistinctKeysRunIndependently(t *testing.T) {
 func TestGroupPropagatesError(t *testing.T) {
 	var g group
 	boom := errors.New("boom")
-	_, _, err := g.do("k", func() (*xks.CorpusResult, error) { return nil, boom })
+	_, _, err := g.do(context.Background(), "k", func() (*xks.CorpusResult, error) { return nil, boom })
 	if !errors.Is(err, boom) {
 		t.Errorf("err = %v", err)
 	}
 	// The key is released after the call; the next call re-executes.
-	val, shared, err := g.do("k", func() (*xks.CorpusResult, error) {
+	val, shared, err := g.do(context.Background(), "k", func() (*xks.CorpusResult, error) {
 		return &xks.CorpusResult{}, nil
 	})
 	if val == nil || shared || err != nil {
@@ -112,7 +113,7 @@ func TestGroupLeaderPanicReleasesJoinersWithError(t *testing.T) {
 	errs := make(chan error, 1)
 	go func() {
 		defer func() { recover() }() // leader's panic propagates; contain it
-		g.do("k", func() (*xks.CorpusResult, error) {
+		g.do(context.Background(), "k", func() (*xks.CorpusResult, error) {
 			close(started)
 			<-joined
 			panic("boom")
@@ -120,7 +121,7 @@ func TestGroupLeaderPanicReleasesJoinersWithError(t *testing.T) {
 	}()
 	<-started
 	go func() {
-		val, shared, err := g.do("k", func() (*xks.CorpusResult, error) {
+		val, shared, err := g.do(context.Background(), "k", func() (*xks.CorpusResult, error) {
 			return &xks.CorpusResult{}, nil
 		})
 		if !shared || val != nil {
@@ -136,20 +137,20 @@ func TestGroupLeaderPanicReleasesJoinersWithError(t *testing.T) {
 }
 
 func TestCacheKeyNormalization(t *testing.T) {
-	base := cacheKey("xml keyword", "", xks.Options{})
-	if cacheKey("  XML   Keyword ", "", xks.Options{}) != base {
+	base := cacheKey(xks.Request{Query: "xml keyword"})
+	if cacheKey(xks.Request{Query: "  XML   Keyword "}) != base {
 		t.Error("whitespace/case folding should not change the key")
 	}
-	if cacheKey("keyword xml", "", xks.Options{}) == base {
+	if cacheKey(xks.Request{Query: "keyword xml"}) == base {
 		t.Error("term order is part of the key")
 	}
-	if cacheKey("xml keyword", "doc.xml", xks.Options{}) == base {
+	if cacheKey(xks.Request{Query: "xml keyword", Document: "doc.xml"}) == base {
 		t.Error("document filter is part of the key")
 	}
-	if cacheKey("xml keyword", "", xks.Options{Rank: true}) == base {
+	if cacheKey(xks.Request{Query: "xml keyword", Rank: true}) == base {
 		t.Error("options are part of the key")
 	}
-	if cacheKey("xml keyword", "", xks.Options{Limit: 3}) == base {
+	if cacheKey(xks.Request{Query: "xml keyword", Limit: 3}) == base {
 		t.Error("limit is part of the key")
 	}
 }

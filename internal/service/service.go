@@ -5,16 +5,21 @@
 // It provides:
 //
 //   - Searcher, one search entrypoint unifying a single xks.Engine (via
-//     the SingleDoc adapter) and a multi-document xks.Corpus;
-//   - a sharded LRU query-result cache (internal/lru) keyed by normalized
-//     query + options, invalidated by data generation: Engine.AppendXML
-//     bumps the generation, so stale entries die on their next lookup;
-//     the searches behind it run the staged pipeline (internal/exec), so
-//     cached entries hold only the *selected* candidates in materialized
-//     form — a ranked Limit=10 corpus query caches 10 assembled fragments,
-//     each rendering (XML/ASCII) computed once and shared across hits;
+//     the SingleDoc adapter) and a multi-document xks.Corpus — one method
+//     taking a context.Context and an xks.Request (the request's Document
+//     field carries the document filter);
+//   - a sharded LRU query-result cache (internal/lru) keyed by the
+//     canonicalized Request, invalidated by data generation:
+//     Engine.AppendXML bumps the generation, so stale entries die on their
+//     next lookup; the searches behind it run the staged pipeline
+//     (internal/exec), so cached entries hold only the *selected*
+//     candidates in materialized form — a ranked Limit=10 corpus query
+//     caches 10 assembled fragments, each rendering (XML/ASCII) computed
+//     once and shared across hits;
 //   - singleflight collapsing of concurrent identical queries, so a
-//     thundering herd of the same request costs one pipeline execution;
+//     thundering herd of the same request costs one pipeline execution —
+//     context-aware: a waiter whose own context ends detaches immediately
+//     with its ctx.Err() while the leader keeps computing for the others;
 //   - live server metrics (request/error/cache counters and a latency
 //     histogram with p50/p95/p99) behind atomic counters.
 //
@@ -23,8 +28,9 @@
 package service
 
 import (
+	"context"
 	"fmt"
-	"strings"
+	"strconv"
 	"time"
 
 	"xks"
@@ -34,11 +40,11 @@ import (
 // Searcher is the search surface the service builds on. *xks.Corpus
 // implements it directly; wrap a single *xks.Engine with SingleDoc.
 type Searcher interface {
-	// Search runs the query over every document.
-	Search(query string, opts xks.Options) (*xks.CorpusResult, error)
-	// SearchDocument runs the query over one named document; the error
-	// wraps xks.ErrUnknownDocument for names the searcher does not hold.
-	SearchDocument(doc, query string, opts xks.Options) (*xks.CorpusResult, error)
+	// Search runs the request — over every document, or over the one named
+	// by req.Document when non-empty; the error wraps
+	// xks.ErrUnknownDocument for names the searcher does not hold.
+	// Cancelling ctx (or req.Timeout) aborts the pipeline with ctx.Err().
+	Search(ctx context.Context, req xks.Request) (*xks.CorpusResult, error)
 	// Documents lists the searchable documents.
 	Documents() []xks.DocumentInfo
 	// Generation changes whenever the underlying data changes; the cache
@@ -55,19 +61,15 @@ type SingleDoc struct {
 	Engine *xks.Engine
 }
 
-func (s SingleDoc) Search(query string, opts xks.Options) (*xks.CorpusResult, error) {
-	res, err := s.Engine.Search(query, opts)
+func (s SingleDoc) Search(ctx context.Context, req xks.Request) (*xks.CorpusResult, error) {
+	if req.Document != "" && req.Document != s.Name {
+		return nil, fmt.Errorf("xks: %w: %q", xks.ErrUnknownDocument, req.Document)
+	}
+	res, err := s.Engine.Search(ctx, req)
 	if err != nil {
 		return nil, err
 	}
 	return res.AsCorpus(s.Name), nil
-}
-
-func (s SingleDoc) SearchDocument(doc, query string, opts xks.Options) (*xks.CorpusResult, error) {
-	if doc != s.Name {
-		return nil, fmt.Errorf("xks: %w: %q", xks.ErrUnknownDocument, doc)
-	}
-	return s.Search(query, opts)
 }
 
 func (s SingleDoc) Documents() []xks.DocumentInfo {
@@ -122,21 +124,40 @@ func (sv *Service) CacheLen() int {
 	return sv.cache.Len()
 }
 
-// cacheKey derives the cache/singleflight key: the whitespace-normalized,
-// case-folded query, the document filter, and every option that changes
-// the result. Deeper normalization (stemming, stop words) happens inside
-// the engine; folding here just catches the cheap equivalences.
-func cacheKey(query, doc string, opts xks.Options) string {
-	q := strings.Join(strings.Fields(strings.ToLower(query)), " ")
-	return fmt.Sprintf("%s\x00%s\x00%d.%d.%t.%t.%d",
-		q, doc, opts.Algorithm, opts.Semantics, opts.ExactContent, opts.Rank, opts.Limit)
+// cacheKey derives the cache/singleflight key from the canonicalized
+// request (xks.Request.Canonical: whitespace-normalized, case-folded query;
+// clamped pagination; no timeout — deeper normalization such as stemming
+// happens inside the engine). The variable-length fields are
+// length-prefixed so no two distinct requests can concatenate to the same
+// key — with plain separators, a separator embedded in the query could
+// alias another request's document filter.
+func cacheKey(req xks.Request) string {
+	req = req.Canonical()
+	var b []byte
+	b = strconv.AppendInt(b, int64(len(req.Query)), 10)
+	b = append(b, ':')
+	b = append(b, req.Query...)
+	b = strconv.AppendInt(b, int64(len(req.Document)), 10)
+	b = append(b, ':')
+	b = append(b, req.Document...)
+	b = fmt.Appendf(b, "%d.%d.%t.%t.%d.%d",
+		req.Algorithm, req.Semantics, req.ExactContent, req.Rank, req.Limit, req.Offset)
+	return string(b)
 }
 
-// Search serves one query, over the whole corpus when doc is empty or over
-// the named document otherwise. cached reports whether the result came
-// from the cache. The returned result is shared with other callers — do
-// not mutate it.
-func (sv *Service) Search(query, doc string, opts xks.Options) (res *xks.CorpusResult, cached bool, err error) {
+// Search serves one request — over the whole corpus, or over the document
+// named by req.Document when non-empty. cached reports whether the result
+// came from the cache. The returned result is shared with other callers —
+// do not mutate it.
+//
+// ctx cancellation (and req.Timeout) aborts the request with ctx.Err():
+// a cancelled cache hit is still served, a cancelled pipeline execution is
+// abandoned mid-stream, and a cancelled singleflight waiter detaches from
+// its leader immediately.
+func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.CorpusResult, cached bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	sv.metrics.requests.Add(1)
 	defer func() {
@@ -146,7 +167,7 @@ func (sv *Service) Search(query, doc string, opts xks.Options) (res *xks.CorpusR
 		sv.metrics.observe(time.Since(start))
 	}()
 
-	key := cacheKey(query, doc, opts)
+	key := cacheKey(req)
 	// Capture the generation before searching: if the data mutates while
 	// the pipeline runs, the entry is stored under the old generation and
 	// dies on its next lookup instead of serving stale results forever.
@@ -159,8 +180,8 @@ func (sv *Service) Search(query, doc string, opts xks.Options) (res *xks.CorpusR
 		sv.metrics.misses.Add(1)
 	}
 
-	res, shared, err := sv.flight.do(key, func() (*xks.CorpusResult, error) {
-		r, err := sv.doSearch(query, doc, opts)
+	res, shared, err := sv.flight.do(ctx, key, func() (*xks.CorpusResult, error) {
+		r, err := sv.searcher.Search(ctx, req)
 		if err == nil && sv.cache != nil {
 			sv.cache.Put(key, gen, r)
 		}
@@ -173,11 +194,4 @@ func (sv *Service) Search(query, doc string, opts xks.Options) (res *xks.CorpusR
 		return nil, false, err
 	}
 	return res, false, nil
-}
-
-func (sv *Service) doSearch(query, doc string, opts xks.Options) (*xks.CorpusResult, error) {
-	if doc == "" {
-		return sv.searcher.Search(query, opts)
-	}
-	return sv.searcher.SearchDocument(doc, query, opts)
 }

@@ -1,6 +1,7 @@
 package service_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -23,11 +24,11 @@ func testCorpus(t *testing.T) *xks.Corpus {
 
 func TestSearchCacheHit(t *testing.T) {
 	sv := service.New(testCorpus(t), service.Config{CacheSize: 64})
-	res1, cached, err := sv.Search("liu keyword", "", xks.Options{})
+	res1, cached, err := sv.Search(context.Background(), xks.Request{Query: "liu keyword"})
 	if err != nil || cached {
 		t.Fatalf("first search: cached=%t err=%v", cached, err)
 	}
-	res2, cached, err := sv.Search("liu keyword", "", xks.Options{})
+	res2, cached, err := sv.Search(context.Background(), xks.Request{Query: "liu keyword"})
 	if err != nil || !cached {
 		t.Fatalf("second search: cached=%t err=%v", cached, err)
 	}
@@ -35,11 +36,11 @@ func TestSearchCacheHit(t *testing.T) {
 		t.Error("cache hit should return the same result object")
 	}
 	// Whitespace / case variants hit the same entry.
-	if _, cached, _ := sv.Search("  Liu   KEYWORD ", "", xks.Options{}); !cached {
+	if _, cached, _ := sv.Search(context.Background(), xks.Request{Query: "  Liu   KEYWORD "}); !cached {
 		t.Error("normalized variant should be a cache hit")
 	}
 	// Different options are a different entry.
-	if _, cached, _ := sv.Search("liu keyword", "", xks.Options{Rank: true}); cached {
+	if _, cached, _ := sv.Search(context.Background(), xks.Request{Query: "liu keyword", Rank: true}); cached {
 		t.Error("different options must not share a cache entry")
 	}
 	s := sv.Metrics().Snapshot()
@@ -53,7 +54,7 @@ func TestSearchCacheHit(t *testing.T) {
 
 func TestSearchDocumentFilter(t *testing.T) {
 	sv := service.New(testCorpus(t), service.Config{CacheSize: 64})
-	res, _, err := sv.Search("name", "team", xks.Options{})
+	res, _, err := sv.Search(context.Background(), xks.Request{Query: "name", Document: "team"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestSearchDocumentFilter(t *testing.T) {
 		}
 	}
 	// Corpus-wide and filtered results are distinct cache entries.
-	all, _, err := sv.Search("name", "", xks.Options{})
+	all, _, err := sv.Search(context.Background(), xks.Request{Query: "name"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestSearchDocumentFilter(t *testing.T) {
 		t.Errorf("corpus-wide %d fragments, filtered %d", len(all.Fragments), len(res.Fragments))
 	}
 
-	_, _, err = sv.Search("name", "absent", xks.Options{})
+	_, _, err = sv.Search(context.Background(), xks.Request{Query: "name", Document: "absent"})
 	if !errors.Is(err, xks.ErrUnknownDocument) {
 		t.Errorf("unknown document error = %v", err)
 	}
@@ -86,7 +87,7 @@ func TestSearchDocumentFilter(t *testing.T) {
 func TestSingleDocAdapter(t *testing.T) {
 	e := xks.FromTree(paperdata.Publications())
 	sv := service.New(service.SingleDoc{Name: "pubs.xml", Engine: e}, service.Config{CacheSize: 8})
-	res, _, err := sv.Search("liu keyword", "", xks.Options{})
+	res, _, err := sv.Search(context.Background(), xks.Request{Query: "liu keyword"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestSingleDocAdapter(t *testing.T) {
 	if res.PerDocument["pubs.xml"] != 2 {
 		t.Errorf("PerDocument = %v", res.PerDocument)
 	}
-	if _, _, err := sv.Search("liu", "other.xml", xks.Options{}); !errors.Is(err, xks.ErrUnknownDocument) {
+	if _, _, err := sv.Search(context.Background(), xks.Request{Query: "liu", Document: "other.xml"}); !errors.Is(err, xks.ErrUnknownDocument) {
 		t.Errorf("doc filter mismatch error = %v", err)
 	}
 	docs := sv.Documents()
@@ -115,19 +116,19 @@ func TestAppendXMLInvalidatesCache(t *testing.T) {
 	}
 	sv := service.New(service.SingleDoc{Name: "bib", Engine: e}, service.Config{CacheSize: 8})
 
-	res, _, err := sv.Search("search", "", xks.Options{})
+	res, _, err := sv.Search(context.Background(), xks.Request{Query: "search"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := len(res.Fragments)
-	if _, cached, _ := sv.Search("search", "", xks.Options{}); !cached {
+	if _, cached, _ := sv.Search(context.Background(), xks.Request{Query: "search"}); !cached {
 		t.Fatal("expected a cache hit before the append")
 	}
 
 	if err := e.AppendXML("0", `<paper><title>another search paper</title></paper>`); err != nil {
 		t.Fatal(err)
 	}
-	res, cached, err := sv.Search("search", "", xks.Options{})
+	res, cached, err := sv.Search(context.Background(), xks.Request{Query: "search"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestAppendXMLInvalidatesCache(t *testing.T) {
 		t.Errorf("fragments = %d, want more than %d after append", len(res.Fragments), before)
 	}
 	// The fresh result is cached under the new generation.
-	if _, cached, _ := sv.Search("search", "", xks.Options{}); !cached {
+	if _, cached, _ := sv.Search(context.Background(), xks.Request{Query: "search"}); !cached {
 		t.Error("post-append result should cache again")
 	}
 }
@@ -146,11 +147,11 @@ func TestAppendXMLInvalidatesCache(t *testing.T) {
 func TestCorpusAddInvalidatesCache(t *testing.T) {
 	c := testCorpus(t)
 	sv := service.New(c, service.Config{CacheSize: 8})
-	if _, _, err := sv.Search("name", "", xks.Options{}); err != nil {
+	if _, _, err := sv.Search(context.Background(), xks.Request{Query: "name"}); err != nil {
 		t.Fatal(err)
 	}
 	c.Add("extra", xks.FromTree(paperdata.Publications()))
-	if _, cached, _ := sv.Search("name", "", xks.Options{}); cached {
+	if _, cached, _ := sv.Search(context.Background(), xks.Request{Query: "name"}); cached {
 		t.Error("Add must invalidate corpus-wide cached results")
 	}
 }
@@ -163,12 +164,12 @@ type countingSearcher struct {
 	delay time.Duration
 }
 
-func (cs *countingSearcher) Search(query string, opts xks.Options) (*xks.CorpusResult, error) {
+func (cs *countingSearcher) Search(ctx context.Context, req xks.Request) (*xks.CorpusResult, error) {
 	cs.execs.Add(1)
 	if cs.delay > 0 {
 		time.Sleep(cs.delay)
 	}
-	return cs.Searcher.Search(query, opts)
+	return cs.Searcher.Search(ctx, req)
 }
 
 func TestSingleflightCollapsesHerd(t *testing.T) {
@@ -183,7 +184,7 @@ func TestSingleflightCollapsesHerd(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, _, err := sv.Search("liu keyword", "", xks.Options{})
+			res, _, err := sv.Search(context.Background(), xks.Request{Query: "liu keyword"})
 			if err != nil {
 				t.Error(err)
 			} else if len(res.Fragments) != 2 {
@@ -223,8 +224,8 @@ func TestConcurrentHammer(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				q := queries[(g+i)%len(queries)]
 				d := docs[i%len(docs)]
-				opts := xks.Options{Rank: i%2 == 0, Limit: i % 3}
-				if _, _, err := sv.Search(q, d, opts); err != nil {
+				req := xks.Request{Query: q, Document: d, Rank: i%2 == 0, Limit: i % 3}
+				if _, _, err := sv.Search(context.Background(), req); err != nil {
 					t.Errorf("search %q: %v", q, err)
 					return
 				}
@@ -258,7 +259,7 @@ func TestConcurrentHammer(t *testing.T) {
 func TestCacheDisabled(t *testing.T) {
 	sv := service.New(testCorpus(t), service.Config{CacheSize: 0})
 	for i := 0; i < 3; i++ {
-		if _, cached, err := sv.Search("liu keyword", "", xks.Options{}); err != nil || cached {
+		if _, cached, err := sv.Search(context.Background(), xks.Request{Query: "liu keyword"}); err != nil || cached {
 			t.Fatalf("i=%d cached=%t err=%v", i, cached, err)
 		}
 	}
@@ -274,7 +275,7 @@ func TestCacheDisabled(t *testing.T) {
 func TestCacheEvictionUnderPressure(t *testing.T) {
 	sv := service.New(testCorpus(t), service.Config{CacheSize: 4, CacheShards: 1})
 	for i := 0; i < 20; i++ {
-		if _, _, err := sv.Search("name", "", xks.Options{Limit: i + 1}); err != nil {
+		if _, _, err := sv.Search(context.Background(), xks.Request{Query: "name", Limit: i + 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -286,9 +287,9 @@ func TestCacheEvictionUnderPressure(t *testing.T) {
 func ExampleService_Search() {
 	engine, _ := xks.LoadString(`<bib><paper><title>xml keyword search</title></paper></bib>`)
 	sv := service.New(service.SingleDoc{Name: "bib.xml", Engine: engine}, service.Config{CacheSize: 128})
-	res, cached, _ := sv.Search("keyword search", "", xks.Options{})
+	res, cached, _ := sv.Search(context.Background(), xks.Request{Query: "keyword search"})
 	fmt.Println(len(res.Fragments), cached)
-	_, cached, _ = sv.Search("keyword search", "", xks.Options{})
+	_, cached, _ = sv.Search(context.Background(), xks.Request{Query: "keyword search"})
 	fmt.Println(cached)
 	// Output:
 	// 1 false

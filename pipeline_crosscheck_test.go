@@ -10,6 +10,7 @@ package xks
 // BenchmarkCorpusTopK.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -31,7 +32,7 @@ import (
 // eagerSearch is the pre-refactor Engine.Search: assemble every fragment,
 // then rank, then truncate.
 func eagerSearch(e *Engine, queryText string, opts Options) (*Result, error) {
-	res := &Result{Query: queryText, Options: opts}
+	res := &Result{Query: queryText, NextOffset: -1}
 	words, idfWords, sets, err := e.resolveSets(queryText)
 	if err != nil {
 		var nm *index.ErrNoMatch
@@ -239,7 +240,7 @@ func TestPipelineMatchesEagerEngine(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: eager: %v", label, err)
 				}
-				got, err := e.Search(q, opts)
+				got, err := e.SearchOpts(q, opts)
 				if err != nil {
 					t.Fatalf("%s: pipeline: %v", label, err)
 				}
@@ -301,7 +302,7 @@ func TestPipelineMatchesEagerCorpus(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s: eager: %v", label, err)
 					}
-					got, err := c.Search(q, opts)
+					got, err := c.SearchOpts(q, opts)
 					if err != nil {
 						t.Fatalf("%s: pipeline: %v", label, err)
 					}
@@ -355,7 +356,7 @@ func TestLateMaterializationAssemblesOnlySelected(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := c.Search(q, Options{})
+		res, err := c.SearchOpts(q, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -368,7 +369,7 @@ func TestLateMaterializationAssemblesOnlySelected(t *testing.T) {
 	}
 
 	before := corpusAssembled(c)
-	res, err := c.Search(query, Options{Rank: true, Limit: limit})
+	res, err := c.SearchOpts(query, Options{Rank: true, Limit: limit})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,4 +389,56 @@ func corpusAssembled(c *Corpus) uint64 {
 		n += e.assembledFragments()
 	}
 	return n
+}
+
+// TestDeprecatedWrappersMatchRequestAPI pins the deprecated pre-Request
+// signatures to the context-aware API: each wrapper must produce exactly
+// what Search/Compare produce for the equivalent Request (and hence, via
+// the crosschecks above, exactly what the old signatures always produced).
+func TestDeprecatedWrappersMatchRequestAPI(t *testing.T) {
+	e := FromTree(paperdata.Publications())
+	opts := Options{Rank: true, Limit: 2}
+
+	wrapped, err := e.SearchOpts(paperdata.Q1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := e.Search(context.Background(), NewRequest(paperdata.Q1, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameFragments(t, "SearchOpts", direct.Fragments, wrapped.Fragments)
+
+	cmpWrapped, err := e.CompareOpts(paperdata.Q1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpDirect, err := e.Compare(context.Background(), Request{Query: paperdata.Q1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmpWrapped.NumRTFs != cmpDirect.NumRTFs || cmpWrapped.Ratios != cmpDirect.Ratios {
+		t.Fatalf("CompareOpts: %+v vs %+v", cmpWrapped.Ratios, cmpDirect.Ratios)
+	}
+
+	c := NewCorpus()
+	c.Add("pubs", FromTree(paperdata.Publications()))
+	cw, err := c.SearchOpts(paperdata.Q1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := c.Search(context.Background(), NewRequest(paperdata.Q1, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cw.Fragments) != len(cd.Fragments) {
+		t.Fatalf("Corpus.SearchOpts: %d vs %d fragments", len(cw.Fragments), len(cd.Fragments))
+	}
+	dw, err := c.SearchDocumentOpts("pubs", paperdata.Q1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dw.Fragments) != len(cd.Fragments) {
+		t.Fatalf("SearchDocumentOpts: %d vs %d fragments", len(dw.Fragments), len(cd.Fragments))
+	}
 }

@@ -1,6 +1,7 @@
 package xks
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,11 +13,11 @@ import (
 func TestLabelPredicateRestrictsMatches(t *testing.T) {
 	e := FromTree(paperdata.Publications())
 
-	plain, err := e.Search("wong skyline", Options{})
+	plain, err := e.Search(context.Background(), NewRequest("wong skyline", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred, err := e.Search("wong title:skyline", Options{})
+	pred, err := e.Search(context.Background(), NewRequest("wong title:skyline", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestLabelPredicateRestrictsMatches(t *testing.T) {
 // that element.
 func TestLabelOnlyTerm(t *testing.T) {
 	e := FromTree(paperdata.Publications())
-	res, err := e.Search("author: skyline", Options{})
+	res, err := e.Search(context.Background(), NewRequest("author: skyline", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,14 +73,14 @@ func TestLabelOnlyTerm(t *testing.T) {
 // keywords that match nothing.
 func TestPredicateNoMatch(t *testing.T) {
 	e := FromTree(paperdata.Publications())
-	res, err := e.Search("abstract:wong", Options{}) // "wong" only in a name node
+	res, err := e.Search(context.Background(), NewRequest("abstract:wong", Options{})) // "wong" only in a name node
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Fragments) != 0 {
 		t.Errorf("fragments = %d, want 0", len(res.Fragments))
 	}
-	res, err = e.Search("zebra: keyword", Options{}) // no <zebra> elements
+	res, err = e.Search(context.Background(), NewRequest("zebra: keyword", Options{})) // no <zebra> elements
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestPredicateNoMatch(t *testing.T) {
 func TestPredicateErrors(t *testing.T) {
 	e := FromTree(paperdata.Publications())
 	for _, bad := range []string{":", "a:b:c", "title:the"} {
-		if _, err := e.Search(bad, Options{}); err == nil {
+		if _, err := e.Search(context.Background(), NewRequest(bad, Options{})); err == nil {
 			t.Errorf("Search(%q) should fail", bad)
 		}
 	}
@@ -101,7 +102,7 @@ func TestPredicateErrors(t *testing.T) {
 // Predicate labels are case-insensitive.
 func TestPredicateLabelCaseInsensitive(t *testing.T) {
 	e := FromTree(paperdata.Publications())
-	res, err := e.Search("TITLE:skyline wong", Options{})
+	res, err := e.Search(context.Background(), NewRequest("TITLE:skyline wong", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,14 +115,14 @@ func TestPredicateLabelCaseInsensitive(t *testing.T) {
 // the store-backed engine.
 func TestPredicateIntegration(t *testing.T) {
 	eTree := FromTree(paperdata.Publications())
-	res, err := eTree.Search("title:skyline wong", Options{Rank: true})
+	res, err := eTree.Search(context.Background(), NewRequest("title:skyline wong", Options{Rank: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Fragments) != 1 || res.Fragments[0].Score <= 0 {
 		t.Errorf("ranked predicate search = %+v", res.Fragments)
 	}
-	cmp, err := eTree.Compare("title:keyword liu", Options{})
+	cmp, err := eTree.Compare(context.Background(), NewRequest("title:keyword liu", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,8 +135,8 @@ func TestPredicateAgainstStoreEngine(t *testing.T) {
 	eTree := FromTree(paperdata.Publications())
 	eStore := storeEngine(t)
 	for _, q := range []string{"title:skyline wong", "author: skyline", "ref:liu keyword"} {
-		a, errA := eTree.Search(q, Options{})
-		b, errB := eStore.Search(q, Options{})
+		a, errA := eTree.Search(context.Background(), NewRequest(q, Options{}))
+		b, errB := eStore.Search(context.Background(), NewRequest(q, Options{}))
 		if (errA == nil) != (errB == nil) {
 			t.Fatalf("%q: error mismatch: %v vs %v", q, errA, errB)
 		}
@@ -159,12 +160,12 @@ func TestPredicateAgainstStoreEngine(t *testing.T) {
 // mirror the plain semantics.
 func TestPredicateEquivalentToPlainWhenUnrestrictive(t *testing.T) {
 	e := FromTree(paperdata.Publications())
-	plain, err := e.Search(paperdata.Q2, Options{})
+	plain, err := e.Search(context.Background(), NewRequest(paperdata.Q2, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// ":liu :keyword" is plain syntax through the colon parser.
-	pred, err := e.Search(":liu :keyword", Options{})
+	pred, err := e.Search(context.Background(), NewRequest(":liu :keyword", Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,114 @@
+package xks
+
+import (
+	"context"
+	"strings"
+	"time"
+
+	"xks/internal/query"
+)
+
+// Sentinel errors, matched with errors.Is. ErrEmptyQuery and
+// ErrTooManyTerms are re-exported from internal/query so serving layers can
+// map them to status codes (400) without string matching; ErrUnknownDocument
+// is wrapped by document-filtered searches when the named document is not in
+// the corpus (404).
+var (
+	// ErrEmptyQuery reports a query with no searchable terms (empty, all
+	// stop words, or unsearchable predicates).
+	ErrEmptyQuery = query.ErrEmptyQuery
+	// ErrTooManyTerms reports a query exceeding the 64-term mask limit.
+	ErrTooManyTerms = query.ErrTooManyTerms
+)
+
+// Request describes one search: the query text, an optional document
+// filter, the algorithm knobs, and the pagination window. It is the unit of
+// serving — every search entrypoint (Engine.Search, Engine.Fragments,
+// Corpus.Search, the service and HTTP layers) takes a context.Context and a
+// Request, so one value carries everything a request needs and cancellation
+// or deadlines propagate end to end.
+//
+// The zero value of every field is the default: ValidRTF pruning, AllLCA
+// semantics, document order, no limit, first page, no per-request timeout.
+type Request struct {
+	// Query is the keyword query; terms may carry XSearch-style label
+	// predicates ("title:xml", "author:"). See internal/query.
+	Query string
+	// Document restricts a corpus search to one named document when
+	// non-empty. Single-engine searches ignore it.
+	Document string
+	// Algorithm is the pruning mechanism (default ValidRTF).
+	Algorithm Algorithm
+	// Semantics picks the fragment roots (default AllLCA).
+	Semantics Semantics
+	// ExactContent replaces the (min,max) cID approximation of rule 2(b)
+	// with exact tree-content-set comparison (ablation switch).
+	ExactContent bool
+	// Rank orders fragments by descending relevance score instead of
+	// document order.
+	Rank bool
+	// Limit bounds the returned fragments when positive — the page size.
+	Limit int
+	// Offset skips that many fragments of the result order before Limit
+	// applies; results carry the offset of the next page so callers can
+	// cursor through large result sets without assembling them at once.
+	Offset int
+	// Timeout, when positive, derives a deadline from the caller's context
+	// for this request alone. It does not affect cache keys: a result is
+	// the same however long it was allowed to take.
+	Timeout time.Duration
+}
+
+// NewRequest builds a Request from the legacy query+Options pair, easing
+// migration from the deprecated (query string, opts Options) signatures.
+func NewRequest(queryText string, opts Options) Request {
+	return Request{
+		Query:        queryText,
+		Algorithm:    opts.Algorithm,
+		Semantics:    opts.Semantics,
+		ExactContent: opts.ExactContent,
+		Rank:         opts.Rank,
+		Limit:        opts.Limit,
+	}
+}
+
+// Canonical returns the request in canonical form: the query
+// whitespace-normalized and case-folded (deeper normalization — stemming,
+// stop words — happens inside the engine) and negative Limit/Offset clamped
+// to zero. Two requests with equal canonical forms produce the same result,
+// which is what caching layers key on; Timeout is deliberately not part of
+// that equality and is cleared.
+func (r Request) Canonical() Request {
+	r.Query = strings.Join(strings.Fields(strings.ToLower(r.Query)), " ")
+	if r.Limit < 0 {
+		r.Limit = 0
+	}
+	if r.Offset < 0 {
+		r.Offset = 0
+	}
+	r.Timeout = 0
+	return r
+}
+
+// applyTimeout derives the request deadline from ctx when Timeout is set.
+// The returned cancel func is always non-nil.
+func (r Request) applyTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if r.Timeout > 0 {
+		return context.WithTimeout(ctx, r.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// clampPaging zeroes negative Limit/Offset at the execution entrypoints,
+// so windows and NextOffset cursors match the canonical form caching
+// layers key on — a raw negative offset must not execute differently from
+// its canonicalized cache key.
+func (r Request) clampPaging() Request {
+	if r.Limit < 0 {
+		r.Limit = 0
+	}
+	if r.Offset < 0 {
+		r.Offset = 0
+	}
+	return r
+}

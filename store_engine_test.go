@@ -1,6 +1,7 @@
 package xks
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -25,11 +26,11 @@ func TestStoreBackedSearchMatchesTree(t *testing.T) {
 	for _, q := range queries {
 		for _, algo := range []Algorithm{ValidRTF, MaxMatch, RawRTF} {
 			opts := Options{Algorithm: algo}
-			a, err := fromTree.Search(q, opts)
+			a, err := fromTree.Search(context.Background(), NewRequest(q, opts))
 			if err != nil {
 				t.Fatalf("tree search %q: %v", q, err)
 			}
-			b, err := fromStore.Search(q, opts)
+			b, err := fromStore.Search(context.Background(), NewRequest(q, opts))
 			if err != nil {
 				t.Fatalf("store search %q: %v", q, err)
 			}
@@ -58,7 +59,7 @@ func TestStoreBackedSearchMatchesTree(t *testing.T) {
 
 func TestStoreBackedRendering(t *testing.T) {
 	e := storeEngine(t)
-	res, err := e.Search(paperdata.Q3, Options{})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q3, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestOpenStoreRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Search(paperdata.Q4, Options{})
+	res, err := e.Search(context.Background(), NewRequest(paperdata.Q4, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestOpenStoreRoundTrip(t *testing.T) {
 
 func TestStoreBackedCompare(t *testing.T) {
 	e := FromStore(store.Shred(paperdata.Team(), analysis.New()))
-	cmp, err := e.Compare(paperdata.Q4, Options{})
+	cmp, err := e.Compare(context.Background(), NewRequest(paperdata.Q4, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
