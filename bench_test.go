@@ -405,6 +405,58 @@ func BenchmarkCorpusTopK(b *testing.B) {
 	})
 }
 
+// BenchmarkCorpusStreamFirstPage measures the streaming results API's
+// early-exit contract against the buffered fan-out: a client that wants the
+// first K ranked fragments of an unlimited scroll either streams
+// Corpus.Fragments and breaks after K — materializing exactly K — or runs
+// the buffered Corpus.Search (no limit, the pre-streaming shape) and takes
+// the first K of a fully materialized result set. The stream case asserts
+// the assembly count; records go into BENCH_PR5.json.
+func BenchmarkCorpusStreamFirstPage(b *testing.B) {
+	c, q := benchCorpusData(b)
+	const K = 10
+	req := Request{Query: q, Rank: true}
+
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		before := corpusAssembled(c)
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, err := range c.Fragments(context.Background(), req) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n++; n == K {
+					break
+				}
+			}
+			if n != K {
+				b.Fatalf("streamed %d fragments, want %d", n, K)
+			}
+		}
+		if assembled := corpusAssembled(c) - before; assembled != uint64(b.N*K) {
+			b.Fatalf("assembled %d fragments over %d iterations; the early break must materialize exactly %d",
+				assembled, b.N, b.N*K)
+		}
+		b.ReportMetric(K, "fragments")
+	})
+	b.Run("buffered", func(b *testing.B) {
+		b.ReportAllocs()
+		fragments := 0
+		for i := 0; i < b.N; i++ {
+			res, err := c.Search(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Fragments) < K {
+				b.Fatalf("only %d fragments", len(res.Fragments))
+			}
+			fragments = len(res.Fragments[:K])
+		}
+		b.ReportMetric(float64(fragments), "fragments")
+	})
+}
+
 // BenchmarkAblationSLCA compares the two SLCA strategies on the same
 // posting lists.
 func BenchmarkAblationSLCA(b *testing.B) {

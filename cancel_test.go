@@ -92,18 +92,24 @@ func TestDeadlineAbortsFigure5ScaleSearch(t *testing.T) {
 	}
 }
 
-// tripCtx is a context whose Err starts reporting context.Canceled after a
-// fixed number of Err calls, making "cancelled mid-candidate-stage"
-// deterministic: the first call (the upfront check in exec.Candidates)
-// passes, the next check — inside the merge loop — trips.
+// tripCtx is a context whose Err starts reporting an error after a fixed
+// number of Err calls, making "cancelled mid-candidate-stage" (or
+// mid-materialization) deterministic: the first call (the upfront check in
+// exec.Candidates) passes, the next check — inside the merge loop — trips.
+// err selects what the trip reports (default context.Canceled; the
+// best-effort tests use context.DeadlineExceeded).
 type tripCtx struct {
 	context.Context
 	calls atomic.Int64
 	after int64
+	err   error
 }
 
 func (c *tripCtx) Err() error {
 	if c.calls.Add(1) > c.after {
+		if c.err != nil {
+			return c.err
+		}
 		return context.Canceled
 	}
 	return nil
@@ -231,6 +237,142 @@ func TestCorpusSearchCancelLeaksNoGoroutines(t *testing.T) {
 	}
 	if after := runtime.NumGoroutine(); after > before {
 		t.Fatalf("goroutines: %d before, %d after cancelled searches — fan-out leaked", before, after)
+	}
+}
+
+// TestBestEffortBudgetTruncatesMidMaterialization pins the BestEffort
+// acceptance contract: a deadline that expires mid-materialization comes
+// back as a partial page with Truncated set and a resumable cursor, where
+// the identical Strict request fails with context.DeadlineExceeded. The
+// tripCtx makes the expiry land inside the materialization loop
+// deterministically (same allowance as TestSearchCancelBetweenFragments).
+func TestBestEffortBudgetTruncatesMidMaterialization(t *testing.T) {
+	e, queries := figure5Engine(t)
+	q := richestQuery(t, e, queries)
+	full, err := e.Search(context.Background(), Request{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Fragments) < 3 {
+		t.Skipf("query %q yields %d fragments; need a few to truncate between", q, len(full.Fragments))
+	}
+	allowance := int64(2 + len(full.Fragments)/2)
+
+	// Strict (the default): the same mid-materialization deadline is an
+	// error.
+	ctx := &tripCtx{Context: context.Background(), after: allowance, err: context.DeadlineExceeded}
+	if _, err := e.Search(ctx, Request{Query: q}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("strict budget: err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// BestEffort: the fragments finished in time come back, marked.
+	ctx = &tripCtx{Context: context.Background(), after: allowance, err: context.DeadlineExceeded}
+	res, err := e.Search(ctx, Request{Query: q, Budget: BestEffort})
+	if err != nil {
+		t.Fatalf("best-effort budget: err = %v, want nil", err)
+	}
+	if !res.Truncated {
+		t.Fatal("best-effort deadline did not set Truncated")
+	}
+	if len(res.Fragments) == 0 || len(res.Fragments) >= len(full.Fragments) {
+		t.Fatalf("truncated page has %d fragments, want a non-empty strict subset of %d",
+			len(res.Fragments), len(full.Fragments))
+	}
+	// The page is the exact prefix of the full result, and the cursor
+	// resumes right after it.
+	for i, f := range res.Fragments {
+		if f.Root != full.Fragments[i].Root {
+			t.Fatalf("fragment %d: %s, want prefix %s", i, f.Root, full.Fragments[i].Root)
+		}
+	}
+	if res.Cursor == "" || res.NextOffset != len(res.Fragments) {
+		t.Fatalf("truncated page: Cursor=%q NextOffset=%d, want resumable at %d",
+			res.Cursor, res.NextOffset, len(res.Fragments))
+	}
+	rest, err := e.Search(context.Background(), Request{Query: q, Cursor: res.Cursor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Fragments) + len(rest.Fragments); got != len(full.Fragments) {
+		t.Fatalf("truncated page + resume = %d fragments, want %d", got, len(full.Fragments))
+	}
+
+	// A deadline already expired before the pipeline starts: BestEffort
+	// returns an empty truncated page instead of an error.
+	expired, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-expired.Done()
+	empty, err := e.Search(expired, Request{Query: q, Budget: BestEffort})
+	if err != nil {
+		t.Fatalf("expired best-effort: err = %v, want nil", err)
+	}
+	if !empty.Truncated || len(empty.Fragments) != 0 {
+		t.Fatalf("expired best-effort: %d fragments truncated=%t, want 0/true", len(empty.Fragments), empty.Truncated)
+	}
+	// Cancellation is not softened: the caller is gone either way.
+	gone, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := e.Search(gone, Request{Query: q, Budget: BestEffort}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled best-effort: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCorpusBestEffortBudget covers the fan-out: an expired deadline under
+// BestEffort yields a truncated (possibly empty) page with no error, both
+// buffered and streamed, and the truncated stream's trailer stays
+// resumable.
+func TestCorpusBestEffortBudget(t *testing.T) {
+	c, q := corpusForCancel(t)
+
+	expired, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-expired.Done()
+	res, err := c.Search(expired, Request{Query: q, Budget: BestEffort})
+	if err != nil {
+		t.Fatalf("expired best-effort corpus search: err = %v, want nil", err)
+	}
+	if !res.Truncated {
+		t.Fatal("expired best-effort corpus search did not set Truncated")
+	}
+	if _, err := c.Search(expired, Request{Query: q}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("strict twin: err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// Mid-materialization trip through the streaming path: the fragments
+	// yielded before the deadline survive, the trailer marks truncation.
+	full, err := c.Search(context.Background(), Request{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Fragments) < 3 {
+		t.Skipf("query %q yields %d fragments; need a few to truncate between", q, len(full.Fragments))
+	}
+	ctx := &tripCtx{Context: context.Background(), after: int64(1 << 30), err: context.DeadlineExceeded}
+	seq, trailer := c.Stream(ctx, Request{Query: q, Budget: BestEffort})
+	streamed := 0
+	for _, err := range seq {
+		if err != nil {
+			t.Fatalf("stream yielded %v", err)
+		}
+		if streamed++; streamed == 2 {
+			// Arm the trip: the very next Err() call — the check before
+			// fragment 3 — reports an expired deadline.
+			ctx.after = -1
+		}
+	}
+	res = trailer()
+	if !res.Truncated || streamed != 2 {
+		t.Fatalf("truncated stream: %d fragments yielded truncated=%t, want 2/true", streamed, res.Truncated)
+	}
+	if res.Cursor == "" {
+		t.Fatal("truncated stream issued no cursor")
+	}
+	rest, err := c.Search(context.Background(), Request{Query: q, Cursor: res.Cursor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := 2 + len(rest.Fragments); got != len(full.Fragments) {
+		t.Fatalf("truncated stream + resume = %d fragments, want %d", got, len(full.Fragments))
 	}
 }
 

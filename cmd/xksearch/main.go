@@ -5,29 +5,38 @@
 // Usage:
 //
 //	xksearch -file doc.xml [-algo validrtf|maxmatch|raw] [-slca] [-rank]
-//	         [-limit N] [-offset N] [-timeout 5s]
-//	         [-format ascii|xml|snippet] "keyword query"
+//	         [-limit N] [-cursor tok] [-timeout 5s] [-best-effort]
+//	         [-format ascii|xml|snippet] [-stream] "keyword query"
 //	xksearch -store doc.xks "keyword query"          # search a shredded store
 //	xksearch -dir corpus/ -rank -limit 10 "query"    # search a directory-corpus
 //
 // With -dir the tool searches every *.xml file as one corpus (the same
 // corpus xkserver -dir serves) and labels each fragment with its source
 // document. Query terms may carry label predicates: "title:xml author:
-// keyword". -limit and -offset page through large result sets (the tool
-// prints the -offset of the next page); -timeout bounds the search, which
-// aborts mid-pipeline with an error once exceeded; interrupting the tool
-// (Ctrl-C) cancels the search the same way.
+// keyword". -limit pages through large result sets: when more results
+// remain the tool prints an opaque resume token, and -cursor continues the
+// scroll from it (the deprecated -offset raw-offset alias still works).
+// -timeout bounds the search, which aborts mid-pipeline with an error once
+// exceeded — unless -best-effort is set, in which case the fragments
+// finished in time are printed with a TRUNCATED marker. -stream switches
+// the output to NDJSON, one fragment object per line as the pipeline
+// materializes it, followed by a trailer record carrying the cursor and
+// stats. Interrupting the tool (Ctrl-C) cancels the search either way.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"iter"
 	"os"
 	"os/signal"
 	"strings"
 
 	"xks"
+	"xks/internal/httpapi"
+	"xks/internal/service"
 )
 
 func main() {
@@ -39,8 +48,11 @@ func main() {
 		slca    = flag.Bool("slca", false, "restrict fragment roots to smallest LCAs")
 		rankIt  = flag.Bool("rank", false, "order fragments by relevance score")
 		limit   = flag.Int("limit", 0, "maximum number of fragments (0 = all)")
-		offset  = flag.Int("offset", 0, "fragments to skip before -limit applies (pagination)")
+		cursor  = flag.String("cursor", "", "resume a previous page from its printed cursor token")
+		offset  = flag.Int("offset", 0, "deprecated: raw fragment offset; resume with -cursor instead")
 		timeout = flag.Duration("timeout", 0, "abort the search after this long (0 = no deadline)")
+		bestEff = flag.Bool("best-effort", false, "with -timeout: print the fragments finished in time instead of failing")
+		stream  = flag.Bool("stream", false, "emit NDJSON fragments as they materialize, plus a trailer record")
 		format  = flag.String("format", "ascii", "output format: ascii, xml or snippet")
 		exact   = flag.Bool("exact-content", false, "compare exact content sets instead of (min,max) features")
 		stats   = flag.Bool("stats", false, "print search statistics")
@@ -63,8 +75,12 @@ func main() {
 		Rank:         *rankIt,
 		Limit:        *limit,
 		Offset:       *offset,
+		Cursor:       xks.Cursor(*cursor),
 		Timeout:      *timeout,
 		ExactContent: *exact,
+	}
+	if *bestEff {
+		req.Budget = xks.BestEffort
 	}
 	switch strings.ToLower(*algo) {
 	case "validrtf":
@@ -83,8 +99,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// Resolve the source into one corpus-shaped stream; buffered output
+	// drains it, -stream prints each fragment the moment it materializes.
 	var (
-		res     *xks.CorpusResult
+		seq     iter.Seq2[xks.CorpusFragment, error]
+		trailer func() *xks.Results
 		showDoc bool
 	)
 	if *dir != "" {
@@ -92,10 +111,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err = corpus.Search(ctx, req)
-		if err != nil {
-			fatal(err)
-		}
+		seq, trailer = corpus.Stream(ctx, req)
 		showDoc = true
 	} else {
 		var (
@@ -113,27 +129,37 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		single, err := engine.Search(ctx, req)
+		// The same engine-to-corpus stream adapter the HTTP server uses.
+		seq, trailer = service.SingleDoc{Name: name, Engine: engine}.Stream(ctx, req)
+	}
+
+	if *stream {
+		streamOut(seq, trailer)
+		return
+	}
+
+	var frags []xks.CorpusFragment
+	for f, err := range seq {
 		if err != nil {
 			fatal(err)
 		}
-		res = single.AsCorpus(name)
+		frags = append(frags, f)
 	}
-
+	res := trailer()
 	if *stats {
 		fmt.Printf("keywords: %v\nkeyword nodes: %d\nfragments: %d\nelapsed: %v\n\n",
 			res.Stats.Keywords, res.Stats.KeywordNodes, res.Stats.NumLCAs, res.Stats.Elapsed)
 	}
-	if len(res.Fragments) == 0 {
+	if len(frags) == 0 && !res.Truncated {
 		fmt.Println("no fragments found")
 		return
 	}
-	for i, f := range res.Fragments {
+	for i, f := range frags {
 		kind := "LCA"
 		if f.IsSLCA {
 			kind = "SLCA"
 		}
-		fmt.Printf("--- fragment %d: root %s (%s) [%s]", req.Offset+i+1, f.Root, f.RootLabel, kind)
+		fmt.Printf("--- fragment %d: root %s (%s) [%s]", i+1, f.Root, f.RootLabel, kind)
 		if req.Rank {
 			fmt.Printf(" score=%.3f", f.Score)
 		}
@@ -151,9 +177,26 @@ func main() {
 		}
 		fmt.Println()
 	}
-	if res.NextOffset >= 0 {
-		fmt.Printf("more results: rerun with -offset %d\n", res.NextOffset)
+	if res.Truncated {
+		fmt.Println("TRUNCATED: the deadline expired before the page finished")
 	}
+	if res.Cursor != "" {
+		fmt.Printf("more results: rerun with -cursor %s\n", res.Cursor)
+	}
+}
+
+// streamOut emits the same NDJSON wire shapes the HTTP stream=1 endpoint
+// serves (httpapi.Fragment lines, one httpapi.StreamTrailer record), so
+// consumers parse one format regardless of transport.
+func streamOut(seq iter.Seq2[xks.CorpusFragment, error], trailer func() *xks.Results) {
+	enc := json.NewEncoder(os.Stdout)
+	for f, err := range seq {
+		if err != nil {
+			fatal(err)
+		}
+		enc.Encode(httpapi.ToFragment(f, false))
+	}
+	enc.Encode(httpapi.ToStreamTrailer(trailer()))
 }
 
 func fatal(err error) {

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -132,10 +134,23 @@ type CorpusFragment struct {
 	*Fragment
 }
 
-// CorpusResult is the merged outcome of a corpus search.
-type CorpusResult struct {
+// Results is the result envelope of the streaming API — the merged outcome
+// of a corpus search, and the shape every serving layer (internal/service,
+// internal/httpapi) passes around. Engine.Search produces the same envelope
+// minus the per-document bookkeeping (Result); AsCorpus converts.
+type Results struct {
 	Query     string
 	Fragments []CorpusFragment
+	// Cursor is the opaque resume token of the next page when the merged
+	// result set extends past this one, and empty when it is exhausted.
+	// It is generation-aware: replaying it after an AppendXML or
+	// Corpus.Add fails with ErrStaleCursor instead of serving a silently
+	// shifted page.
+	Cursor Cursor
+	// Truncated reports that a BestEffort deadline expired mid-pipeline:
+	// Fragments holds everything finished in time, and Cursor resumes
+	// from the first fragment that was not.
+	Truncated bool
 	// PerDocument counts fragments per document (documents with zero
 	// matches included).
 	PerDocument map[string]int
@@ -145,16 +160,26 @@ type CorpusResult struct {
 	Stats Stats
 	// NextOffset is the Request.Offset of the next page when the merged
 	// result set extends past this one, and -1 when it is exhausted.
+	//
+	// Deprecated: resume with Cursor, which survives index mutation
+	// checks; NextOffset remains as the raw-offset shim.
 	NextOffset int
 }
 
+// CorpusResult is the pre-streaming name of the result envelope.
+//
+// Deprecated: use Results.
+type CorpusResult = Results
+
 // AsCorpus wraps a single-document result in the corpus result shape,
 // tagging every fragment with doc.
-func (r *Result) AsCorpus(doc string) *CorpusResult {
-	out := &CorpusResult{
+func (r *Result) AsCorpus(doc string) *Results {
+	out := &Results{
 		Query:       r.Query,
 		Stats:       r.Stats,
 		PerDocument: map[string]int{doc: len(r.Fragments)},
+		Cursor:      r.Cursor,
+		Truncated:   r.Truncated,
 		NextOffset:  r.NextOffset,
 	}
 	for _, f := range r.Fragments {
@@ -185,35 +210,116 @@ func (r *Result) AsCorpus(doc string) *CorpusResult {
 // ctx cancellation (and req.Timeout) stops the fan-out: no further
 // documents are dispatched, in-flight candidate stages abandon their merge
 // loops mid-stream, every worker goroutine is joined, and Search returns
-// ctx.Err().
-func (c *Corpus) Search(ctx context.Context, req Request) (*CorpusResult, error) {
+// ctx.Err(). With req.Budget set to BestEffort, a deadline that expires
+// mid-materialization instead returns the fragments finished so far with
+// Truncated set (materialization runs serially in that mode so partial
+// work survives).
+func (c *Corpus) Search(ctx context.Context, req Request) (*Results, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	req = req.clampPaging()
 	if req.Document != "" {
 		return c.SearchDocument(ctx, req.Document, req)
+	}
+	gen := c.Generation()
+	req, err := req.clampPaging().ResolveCursor(gen)
+	if err != nil {
+		return nil, err
 	}
 	ctx, cancel := req.applyTimeout(ctx)
 	defer cancel()
 
+	start := time.Now()
+	outs, selected, merged, err := c.gather(ctx, req)
+	if err != nil {
+		if req.Budget == BestEffort && errors.Is(err, context.DeadlineExceeded) {
+			out := &Results{Query: req.Query, PerDocument: map[string]int{},
+				Truncated: true, NextOffset: -1, Stats: Stats{Elapsed: time.Since(start)}}
+			// Truncated before selection finished: the total is unknown,
+			// but the page resumes from its own start — an empty cursor
+			// would read as "exhausted" and silently end the scroll.
+			truncationCursor(&out.NextOffset, &out.Cursor, req, gen)
+			return out, nil
+		}
+		return nil, err
+	}
+
+	materialize := func(cand *exec.Candidate) (CorpusFragment, error) {
+		o := outs[cand.Doc]
+		return CorpusFragment{Document: o.name, Fragment: o.eng.materialize(cand, o.plan, o.params)}, nil
+	}
+	var frags []CorpusFragment
+	if req.Budget == BestEffort {
+		// Chunked fan-out: the same worker parallelism, with a deadline
+		// check between chunks, so an expiring deadline truncates the page
+		// to the chunks already finished instead of discarding everything
+		// the workers produced (concurrent.MapCtx drops partial output on
+		// error). Chunk size trades truncation granularity against join
+		// overhead.
+		chunk := c.Workers
+		if chunk <= 0 {
+			chunk = runtime.GOMAXPROCS(0)
+		}
+		chunk *= 4
+		for lo := 0; lo < len(selected); lo += chunk {
+			part, err := concurrent.MapCtx(ctx, selected[lo:min(lo+chunk, len(selected))], c.Workers, materialize)
+			if err != nil {
+				if errors.Is(err, context.DeadlineExceeded) {
+					merged.Truncated = true
+					break
+				}
+				return nil, err
+			}
+			frags = append(frags, part...)
+		}
+	} else {
+		// Materialize only the selection, fanned out across the same worker
+		// budget (engines are immutable and concurrency-safe; job order
+		// keeps the merged order deterministic).
+		frags, err = concurrent.MapCtx(ctx, selected, c.Workers, materialize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(frags) > 0 {
+		merged.Fragments = frags
+	}
+	lastDoc, lastSeq := 0, 0
+	if len(frags) > 0 {
+		last := selected[len(frags)-1]
+		lastDoc, lastSeq = last.Doc, last.Seq
+	}
+	pageCursor(&merged.NextOffset, &merged.Cursor, req, gen, len(frags), merged.Stats.NumLCAs, lastDoc, lastSeq, merged.Truncated)
+	merged.Stats.Elapsed = time.Since(start)
+	return merged, nil
+}
+
+// docOut is one document's candidate-stage output within a corpus search.
+type docOut struct {
+	name   string
+	eng    *Engine
+	plan   exec.Plan
+	params exec.Params
+	// cands is nil in the streamed top-K path: candidates live only in
+	// the bounded heap, so memory stays O(K), not O(total candidates).
+	cands []*exec.Candidate
+	// n is the candidate count (PerDocument / NumLCAs aggregation).
+	n int
+}
+
+// gather runs the cheap half of a corpus search — the per-document plan and
+// candidate fan-out, the shared (top-K) merge, and selection — and returns
+// the per-document outputs, the selected pagination window (nothing pruned
+// or assembled yet), and the result envelope with stats and PerDocument
+// filled. Search and Stream differ only in how they materialize the
+// selection. req must already be cursor-resolved and clamped; ctx carries
+// any deadline.
+func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Candidate, *Results, error) {
 	mergedLimit := req.Limit // applied to the merged selection; per-doc stages stay complete
 	docReq := req
 	docReq.Limit, docReq.Offset = 0, 0
 	docReq.Timeout = 0 // already applied to ctx
 
-	start := time.Now()
-	type docOut struct {
-		name   string
-		eng    *Engine
-		plan   exec.Plan
-		params exec.Params
-		// cands is nil in the streamed top-K path: candidates live only in
-		// the bounded heap, so memory stays O(K), not O(total candidates).
-		cands []*exec.Candidate
-		// n is the candidate count (PerDocument / NumLCAs aggregation).
-		n int
-	}
 	// Streaming merge: with Rank and a limit, workers offer candidates into
 	// the shared bounded heap as each document's candidate stage finishes;
 	// everything that falls off the heap is never materialized. The heap
@@ -249,10 +355,10 @@ func (c *Corpus) Search(ctx context.Context, req Request) (*CorpusResult, error)
 		return out, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
-	merged := &CorpusResult{Query: req.Query, PerDocument: map[string]int{}, NextOffset: -1}
+	merged := &Results{Query: req.Query, PerDocument: map[string]int{}, NextOffset: -1}
 	// concurrent.MapCtx returns results in job order, so ranging over outs
 	// aggregates in document insertion order regardless of which worker
 	// finished first.
@@ -279,35 +385,150 @@ func (c *Corpus) Search(ctx context.Context, req Request) (*CorpusResult, error)
 		}
 		selected = exec.Select(all, exec.Params{Rank: req.Rank, Limit: mergedLimit, Offset: req.Offset})
 	}
+	return outs, selected, merged, nil
+}
 
-	// Materialize only the selection, fanned out across the same worker
-	// budget (engines are immutable and concurrency-safe; job order keeps
-	// the merged order deterministic).
-	frags, err := concurrent.MapCtx(ctx, selected, c.Workers, func(cand *exec.Candidate) (CorpusFragment, error) {
-		o := outs[cand.Doc]
-		f := o.eng.materialize(cand, o.plan, o.params)
-		return CorpusFragment{Document: o.name, Fragment: f}, nil
-	})
+// Fragments is the streaming variant of Search — the corpus-level mirror of
+// Engine.Fragments. The candidate fan-out and the shared top-K selection
+// run eagerly (selection needs every document's candidates), but fragments
+// materialize one by one as the iterator is consumed, in exactly the order
+// Search returns them. Breaking out of the loop early — a disconnecting
+// client, a filled page, a deadline — leaves every unvisited candidate
+// unassembled: pruneRTF and node/string assembly run only for the
+// fragments actually yielded. A non-nil error is yielded once (with a zero
+// CorpusFragment) and ends the sequence. Callers that also need the
+// envelope (cursor, stats, truncation) use Stream.
+func (c *Corpus) Fragments(ctx context.Context, req Request) iter.Seq2[CorpusFragment, error] {
+	seq, _ := c.Stream(ctx, req)
+	return seq
+}
+
+// Stream begins a streamed corpus search: the fragment iterator plus a
+// trailer. Once the loop ends (drained, broken, errored, or truncated) the
+// trailer func returns the Results envelope for the fragments actually
+// yielded — stats, the Truncated marker, and the Cursor resuming after the
+// last yielded fragment, so an abandoned stream is still resumable. The
+// yielded fragments themselves are not retained in the trailer (collect
+// them from the iterator if a buffered page is needed), so consuming an
+// unbounded result set stays O(1) server-side. The trailer's value is
+// unspecified while the iterator is still running. Request.Document routes
+// to the named document's engine stream, with the cursor validated against
+// the corpus generation either way.
+func (c *Corpus) Stream(ctx context.Context, req Request) (iter.Seq2[CorpusFragment, error], func() *Results) {
+	res := &Results{Query: req.Query, PerDocument: map[string]int{}, NextOffset: -1}
+	seq := func(yield func(CorpusFragment, error) bool) {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		gen := c.Generation()
+		if req.Document != "" {
+			c.streamDocument(ctx, req, gen, res, yield)
+			return
+		}
+		req, err := req.clampPaging().ResolveCursor(gen)
+		if err != nil {
+			yield(CorpusFragment{}, err)
+			return
+		}
+		ctx, cancel := req.applyTimeout(ctx)
+		defer cancel()
+
+		start := time.Now()
+		defer func() { res.Stats.Elapsed = time.Since(start) }()
+		outs, selected, merged, err := c.gather(ctx, req)
+		if err != nil {
+			if req.Budget == BestEffort && errors.Is(err, context.DeadlineExceeded) {
+				res.Truncated = true
+				truncationCursor(&res.NextOffset, &res.Cursor, req, gen)
+				return
+			}
+			yield(CorpusFragment{}, err)
+			return
+		}
+		res.Stats.Keywords = merged.Stats.Keywords
+		res.Stats.KeywordNodes = merged.Stats.KeywordNodes
+		res.Stats.NumLCAs = merged.Stats.NumLCAs
+		res.PerDocument = merged.PerDocument
+
+		yielded, lastDoc, lastSeq := 0, 0, 0
+		defer func() {
+			pageCursor(&res.NextOffset, &res.Cursor, req, gen, yielded, res.Stats.NumLCAs, lastDoc, lastSeq, res.Truncated)
+		}()
+		for _, cand := range selected {
+			if cerr := ctx.Err(); cerr != nil {
+				if req.Budget == BestEffort && errors.Is(cerr, context.DeadlineExceeded) {
+					res.Truncated = true
+					return
+				}
+				yield(CorpusFragment{}, cerr)
+				return
+			}
+			o := outs[cand.Doc]
+			cf := CorpusFragment{Document: o.name, Fragment: o.eng.materialize(cand, o.plan, o.params)}
+			yielded, lastDoc, lastSeq = yielded+1, cand.Doc, cand.Seq
+			if !yield(cf, nil) {
+				return
+			}
+		}
+	}
+	return seq, func() *Results { return res }
+}
+
+// streamDocument is the Request.Document arm of Stream: the named engine's
+// stream with fragments tagged and the cursor re-anchored to the corpus
+// generation (an engine-issued cursor would pin the engine's own counter,
+// which serving layers validating against Corpus.Generation could not
+// honor).
+func (c *Corpus) streamDocument(ctx context.Context, req Request, gen uint64, res *Results, yield func(CorpusFragment, error) bool) {
+	name := req.Document
+	e := c.engines[name]
+	if e == nil {
+		yield(CorpusFragment{}, fmt.Errorf("xks: %w: %q", ErrUnknownDocument, name))
+		return
+	}
+	req, err := req.clampPaging().ResolveCursor(gen)
 	if err != nil {
-		return nil, err
+		yield(CorpusFragment{}, err)
+		return
 	}
-	if len(frags) > 0 {
-		merged.Fragments = frags
+	seq, trailer := e.Stream(ctx, req)
+	defer func() {
+		t := trailer().AsCorpus(name)
+		if t.NextOffset >= 0 {
+			t.Cursor = encodeCursor(cursorState{gen: gen, offset: t.NextOffset, fp: req.fingerprint()})
+		}
+		*res = *t
+	}()
+	for f, err := range seq {
+		if err != nil {
+			if ctx == nil || ctx.Err() == nil {
+				err = fmt.Errorf("xks: document %s: %w", name, err)
+			}
+			yield(CorpusFragment{}, err)
+			return
+		}
+		if !yield(CorpusFragment{Document: name, Fragment: f}, nil) {
+			return
+		}
 	}
-	if n := req.Offset + len(frags); len(frags) > 0 && n < merged.Stats.NumLCAs {
-		merged.NextOffset = n
-	}
-	merged.Stats.Elapsed = time.Since(start)
-	return merged, nil
 }
 
 // SearchDocument searches a single named document of the corpus, returning
-// the result in the corpus shape; req.Document is ignored in favor of name.
-// The error wraps ErrUnknownDocument when name is not in the corpus.
-func (c *Corpus) SearchDocument(ctx context.Context, name string, req Request) (*CorpusResult, error) {
+// the result in the corpus shape; req.Document is normalized to name (so
+// cursor fingerprints stay consistent however the caller routed here). The
+// error wraps ErrUnknownDocument when name is not in the corpus. Cursors
+// are validated against — and issued at — the corpus generation, matching
+// what corpus-level serving layers tag their caches with.
+func (c *Corpus) SearchDocument(ctx context.Context, name string, req Request) (*Results, error) {
 	e := c.engines[name]
 	if e == nil {
 		return nil, fmt.Errorf("xks: %w: %q", ErrUnknownDocument, name)
+	}
+	req.Document = name
+	gen := c.Generation()
+	req, err := req.clampPaging().ResolveCursor(gen)
+	if err != nil {
+		return nil, err
 	}
 	res, err := e.Search(ctx, req)
 	if err != nil {
@@ -316,5 +537,10 @@ func (c *Corpus) SearchDocument(ctx context.Context, name string, req Request) (
 		}
 		return nil, fmt.Errorf("xks: document %s: %w", name, err)
 	}
-	return res.AsCorpus(name), nil
+	out := res.AsCorpus(name)
+	if out.NextOffset >= 0 {
+		// Re-anchor the engine-issued cursor to the corpus generation.
+		out.Cursor = encodeCursor(cursorState{gen: gen, offset: out.NextOffset, fp: req.fingerprint()})
+	}
+	return out, nil
 }

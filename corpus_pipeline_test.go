@@ -2,6 +2,7 @@ package xks
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -67,6 +68,151 @@ func TestCorpusWithStoreBackedEngines(t *testing.T) {
 	}
 	if len(one.Fragments) == 0 {
 		t.Fatal("no fragments from store-backed document")
+	}
+}
+
+// TestCorpusFragmentsStreams pins the corpus-level streaming iterator: it
+// yields the same fragments as Search in the same order, an early break
+// materializes exactly the consumed prefix, and the trailer's cursor
+// resumes after it — the tentpole late-materialization contract of the
+// streaming results API.
+func TestCorpusFragmentsStreams(t *testing.T) {
+	c := NewCorpus()
+	for i := int64(0); i < 5; i++ {
+		c.Add(fmt.Sprintf("doc%d.xml", i), crosscheckDBLPEngine(t, 30+i))
+	}
+	c.Workers = 4
+	w := workload.DBLP()
+	q, err := w.Expand(w.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, rank := range []bool{false, true} {
+		full, err := c.Search(context.Background(), Request{Query: q, Rank: rank})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full.Fragments) < 4 {
+			t.Skipf("query %q yields %d fragments; need a few to stream", q, len(full.Fragments))
+		}
+
+		var streamed []CorpusFragment
+		for f, err := range c.Fragments(context.Background(), Request{Query: q, Rank: rank}) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed = append(streamed, f)
+		}
+		if len(streamed) != len(full.Fragments) {
+			t.Fatalf("rank=%v: streamed %d fragments, Search returned %d", rank, len(streamed), len(full.Fragments))
+		}
+		for i := range streamed {
+			if streamed[i].Document != full.Fragments[i].Document || streamed[i].Root != full.Fragments[i].Root {
+				t.Fatalf("rank=%v fragment %d: streamed %s/%s vs %s/%s", rank, i,
+					streamed[i].Document, streamed[i].Root, full.Fragments[i].Document, full.Fragments[i].Root)
+			}
+		}
+
+		// Early break: exactly the consumed fragments are assembled — the
+		// acceptance contract of the streaming API.
+		before := corpusAssembled(c)
+		n := 0
+		seq, trailer := c.Stream(context.Background(), Request{Query: q, Rank: rank})
+		for _, err := range seq {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n++; n == 2 {
+				break
+			}
+		}
+		if assembled := corpusAssembled(c) - before; assembled != 2 {
+			t.Fatalf("rank=%v: early break assembled %d fragments, want exactly 2", rank, assembled)
+		}
+		// The abandoned stream is resumable from its trailer.
+		res := trailer()
+		if res.Cursor == "" || res.NextOffset != 2 {
+			t.Fatalf("rank=%v: abandoned stream Cursor=%q NextOffset=%d, want resumable at 2", rank, res.Cursor, res.NextOffset)
+		}
+		rest, err := c.Search(context.Background(), Request{Query: q, Rank: rank, Cursor: res.Cursor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := 2 + len(rest.Fragments); got != len(full.Fragments) {
+			t.Fatalf("rank=%v: prefix + resume = %d fragments, want %d", rank, got, len(full.Fragments))
+		}
+	}
+
+	// An unknown document filter surfaces through the iterator.
+	var got error
+	for _, err := range c.Fragments(context.Background(), Request{Query: q, Document: "absent.xml"}) {
+		got = err
+	}
+	if !errors.Is(got, ErrUnknownDocument) {
+		t.Fatalf("unknown document stream: err = %v, want ErrUnknownDocument", got)
+	}
+}
+
+// TestCorpusSearchAssemblyCounts asserts exact assembly counts for the
+// buffered fan-out across its selection shapes: materialization must run
+// for precisely the returned page, never for candidates other documents
+// already covered.
+func TestCorpusSearchAssemblyCounts(t *testing.T) {
+	c := NewCorpus()
+	for i := int64(0); i < 5; i++ {
+		c.Add(fmt.Sprintf("doc%d.xml", i), crosscheckDBLPEngine(t, 40+i))
+	}
+	c.Workers = 4
+	// Pick the workload query with the most candidates, so every paging
+	// shape below has room to overshoot if the fix regresses.
+	w := workload.DBLP()
+	queries, err := w.ExpandAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		q     string
+		total *Results
+	)
+	for _, cand := range queries {
+		res, err := c.Search(context.Background(), Request{Query: cand})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total == nil || res.Stats.NumLCAs > total.Stats.NumLCAs {
+			q, total = cand, res
+		}
+	}
+	if total.Stats.NumLCAs < 8 {
+		t.Skipf("richest query %q yields %d candidates; need several documents' worth", q, total.Stats.NumLCAs)
+	}
+
+	cases := []struct {
+		name string
+		req  Request
+		want int
+	}{
+		{"ranked+limit", Request{Query: q, Rank: true, Limit: 3}, 3},
+		{"ranked+limit+offset", Request{Query: q, Rank: true, Limit: 3, Offset: 2}, 3},
+		{"unranked+limit", Request{Query: q, Limit: 4}, 4},
+		{"unranked+limit satisfied by first docs", Request{Query: q, Limit: 2}, 2},
+		{"ranked, no limit", Request{Query: q, Rank: true}, total.Stats.NumLCAs},
+		{"best-effort ranked+limit", Request{Query: q, Rank: true, Limit: 3, Budget: BestEffort}, 3},
+	}
+	for _, tc := range cases {
+		before := corpusAssembled(c)
+		res, err := c.Search(context.Background(), tc.req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(res.Fragments) != tc.want {
+			t.Fatalf("%s: %d fragments, want %d", tc.name, len(res.Fragments), tc.want)
+		}
+		if assembled := int(corpusAssembled(c) - before); assembled != tc.want {
+			t.Errorf("%s: assembled %d fragments for a %d-fragment page (of %d candidates)",
+				tc.name, assembled, tc.want, total.Stats.NumLCAs)
+		}
 	}
 }
 

@@ -7,6 +7,19 @@ package xks
 // byte-identical to the behavior those signatures always had. New code
 // (including everything in this repo outside the crosscheck tests; CI greps
 // for it) should build a Request and call the context-aware methods.
+//
+// The streaming results API deprecates two more spellings without breaking
+// them:
+//
+//   - Request.Offset / Result.NextOffset / Results.NextOffset — the raw
+//     integer pagination pair. Offsets silently shift when AppendXML or
+//     Corpus.Add mutate the index mid-scroll; the opaque generation-aware
+//     Request.Cursor / Results.Cursor pair fails loudly (ErrStaleCursor)
+//     instead. The integer fields keep working as a shim, a non-empty
+//     Cursor wins over Offset, and CI grep-gates new in-repo uses of the
+//     deprecated fields outside the shim internals and tests.
+//   - CorpusResult — now an alias of the shared Results envelope
+//     (corpus.go); existing code compiles unchanged.
 
 import "context"
 

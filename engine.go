@@ -232,14 +232,29 @@ type Stats struct {
 	Elapsed time.Duration
 }
 
-// Result is the outcome of one search.
+// Result is the outcome of one single-document search: the same envelope
+// shape as the corpus-level Results (fragments, cursor, truncation marker,
+// stats), minus the per-document bookkeeping.
 type Result struct {
-	Query     string
+	Query string
+	// Request echoes the executed request with the cursor resolved: Offset
+	// holds the effective window start even when the caller paged by
+	// Cursor.
 	Request   Request
 	Fragments []*Fragment
 	Stats     Stats
+	// Cursor is the opaque resume token of the next page when the result
+	// set extends past this one, and empty when it is exhausted.
+	Cursor Cursor
+	// Truncated reports that a BestEffort deadline expired mid-pipeline:
+	// Fragments holds everything finished in time, and Cursor resumes
+	// from the first fragment that was not.
+	Truncated bool
 	// NextOffset is the Request.Offset of the next page when the result
 	// set extends past this one, and -1 when it is exhausted.
+	//
+	// Deprecated: resume with Cursor, which survives index mutation
+	// checks; NextOffset remains as the raw-offset shim.
 	NextOffset int
 }
 
@@ -259,42 +274,13 @@ type Result struct {
 // single engine holds one document (see Corpus for the filterable
 // collection).
 func (e *Engine) Search(ctx context.Context, req Request) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	req = req.clampPaging()
-	ctx, cancel := req.applyTimeout(ctx)
-	defer cancel()
-
-	res := &Result{Query: req.Query, Request: req, NextOffset: -1}
-	p, err := e.plan(req.Query)
-	res.Stats.Keywords = p.Keywords
-	if err != nil {
-		var nm *index.ErrNoMatch
-		if errors.As(err, &nm) {
-			return res, nil
-		}
-		return nil, err
-	}
-	res.Stats.KeywordNodes = p.KeywordNodes()
-
-	start := time.Now()
-	params, total, selected, err := e.selection(ctx, p, req)
-	if err != nil {
-		return nil, err
-	}
-	res.Stats.NumLCAs = total
-	for _, c := range selected {
-		if err := ctx.Err(); err != nil {
+	seq, trailer := e.stream(ctx, req, true)
+	for _, err := range seq {
+		if err != nil {
 			return nil, err
 		}
-		res.Fragments = append(res.Fragments, e.materialize(c, p, params))
 	}
-	if n := req.Offset + len(res.Fragments); len(res.Fragments) > 0 && n < total {
-		res.NextOffset = n
-	}
-	res.Stats.Elapsed = time.Since(start)
-	return res, nil
+	return trailer(), nil
 }
 
 // selection runs the candidate and select stages for one planned request:
@@ -315,17 +301,52 @@ func (e *Engine) selection(ctx context.Context, p exec.Plan, req Request) (param
 // out of the loop early leaves the remaining candidates unassembled, so a
 // caller that stops after the first few fragments pays pruning and assembly
 // for exactly those. A non-nil error is yielded once (with a nil fragment)
-// and ends the sequence; ctx is checked before every fragment.
+// and ends the sequence; ctx is checked before every fragment. Callers that
+// also need the envelope (cursor, stats, truncation) use Stream.
 func (e *Engine) Fragments(ctx context.Context, req Request) iter.Seq2[*Fragment, error] {
-	return func(yield func(*Fragment, error) bool) {
+	// The trailer is discarded, so the stream does not retain yielded
+	// fragments: consuming an unbounded result set stays O(1) server-side.
+	seq, _ := e.stream(ctx, req, false)
+	return seq
+}
+
+// Stream begins a streamed search: the fragment iterator plus a trailer.
+// The iterator behaves exactly like Fragments — selection runs eagerly,
+// materialization lazily, an early break skips pruneRTF and assembly for
+// every unvisited candidate. Once the loop ends (drained, broken, errored,
+// or truncated), the trailer func returns the Result envelope for the
+// fragments actually yielded: stats, the Truncated marker, and the Cursor
+// resuming after the last yielded fragment — so an abandoned stream is
+// still resumable. The yielded fragments themselves are not retained in
+// the trailer (collect them from the iterator if a buffered page is
+// needed), so consuming an unbounded result set stays O(1) server-side.
+// The trailer's value is unspecified while the iterator is still running.
+func (e *Engine) Stream(ctx context.Context, req Request) (iter.Seq2[*Fragment, error], func() *Result) {
+	return e.stream(ctx, req, false)
+}
+
+// stream is the shared core of Fragments, Stream and Search. keep selects
+// whether yielded fragments accumulate in the trailer envelope: Search
+// drains with keep=true (its Result carries the page); the public
+// iterators pass false so streaming consumers retain nothing.
+func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[*Fragment, error], func() *Result) {
+	res := &Result{Query: req.Query, NextOffset: -1}
+	seq := func(yield func(*Fragment, error) bool) {
 		if ctx == nil {
 			ctx = context.Background()
 		}
-		req = req.clampPaging()
+		gen := e.Generation()
+		req, err := req.clampPaging().ResolveCursor(gen)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		res.Request = req
 		ctx, cancel := req.applyTimeout(ctx)
 		defer cancel()
 
 		p, err := e.plan(req.Query)
+		res.Stats.Keywords = p.Keywords
 		if err != nil {
 			var nm *index.ErrNoMatch
 			if errors.As(err, &nm) {
@@ -334,21 +355,49 @@ func (e *Engine) Fragments(ctx context.Context, req Request) iter.Seq2[*Fragment
 			yield(nil, err)
 			return
 		}
-		params, _, selected, err := e.selection(ctx, p, req)
+		res.Stats.KeywordNodes = p.KeywordNodes()
+
+		start := time.Now()
+		defer func() { res.Stats.Elapsed = time.Since(start) }()
+		params, total, selected, err := e.selection(ctx, p, req)
 		if err != nil {
+			if req.Budget == BestEffort && errors.Is(err, context.DeadlineExceeded) {
+				// Truncated before selection finished: the total is
+				// unknown, but the page is still resumable from its own
+				// start — an empty cursor here would read as "exhausted"
+				// and silently end the scroll.
+				res.Truncated = true
+				truncationCursor(&res.NextOffset, &res.Cursor, req, gen)
+				return
+			}
 			yield(nil, err)
 			return
 		}
+		res.Stats.NumLCAs = total
+		yielded, lastDoc, lastSeq := 0, 0, 0
+		defer func() {
+			pageCursor(&res.NextOffset, &res.Cursor, req, gen, yielded, total, lastDoc, lastSeq, res.Truncated)
+		}()
 		for _, c := range selected {
 			if err := ctx.Err(); err != nil {
+				if req.Budget == BestEffort && errors.Is(err, context.DeadlineExceeded) {
+					res.Truncated = true
+					return
+				}
 				yield(nil, err)
 				return
 			}
-			if !yield(e.materialize(c, p, params), nil) {
+			f := e.materialize(c, p, params)
+			if keep {
+				res.Fragments = append(res.Fragments, f)
+			}
+			yielded, lastDoc, lastSeq = yielded+1, c.Doc, c.Seq
+			if !yield(f, nil) {
 				return
 			}
 		}
 	}
+	return seq, func() *Result { return res }
 }
 
 // plan runs the planning stage: the query parsed and resolved to ID

@@ -1,8 +1,10 @@
 // Bibliography search: generate a DBLP-like dataset, search it with ranked
-// results, page through a large result set with Request.Offset/NextOffset,
-// stream fragments with early exit, bound a search with a deadline, and
-// demonstrate the SLCA-vs-all-LCA distinction on real-looking bibliographic
-// data (the workload motivating the paper's introduction).
+// results, page through a large result set with opaque cursors
+// (Request.Cursor/Results.Cursor), stream fragments with early exit and a
+// resumable trailer, bound a search with a deadline (strict and
+// best-effort), and demonstrate the SLCA-vs-all-LCA distinction on
+// real-looking bibliographic data (the workload motivating the paper's
+// introduction).
 //
 //	go run ./examples/dblp
 package main
@@ -43,9 +45,11 @@ func main() {
 		fmt.Printf("#%d score=%.3f root=%s (%s)\n%s\n", i+1, f.Score, f.Root, f.RootLabel, f.ASCII())
 	}
 
-	// Pagination: walk a large result set page by page. Each page prunes
-	// and assembles only its own fragments; NextOffset is the cursor of the
-	// following page (-1 when exhausted).
+	// Pagination: walk a large result set page by page with the opaque
+	// cursor. Each page prunes and assembles only its own fragments, and
+	// the token pins the data generation — had the document been appended
+	// to mid-scroll, the next page would fail with xks.ErrStaleCursor
+	// instead of silently shifting.
 	pageReq := xks.Request{Query: "data recognition", Rank: true, Limit: 100}
 	pages, total := 0, 0
 	for {
@@ -55,17 +59,19 @@ func main() {
 		}
 		pages++
 		total += len(page.Fragments)
-		if page.NextOffset < 0 {
+		if page.Cursor == "" {
 			break
 		}
-		pageReq.Offset = page.NextOffset
+		pageReq.Cursor = page.Cursor
 	}
 	fmt.Printf("paged the full result set: %d fragments over %d pages of %d\n", total, pages, pageReq.Limit)
 
 	// Streaming: fragments materialize one by one; breaking early leaves
-	// the rest unassembled.
+	// the rest unassembled, and the stream's trailer still carries a
+	// cursor resuming right after the last consumed fragment.
 	streamed := 0
-	for _, err := range engine.Fragments(ctx, xks.Request{Query: "data recognition", Rank: true}) {
+	seq, trailer := engine.Stream(ctx, xks.Request{Query: "data recognition", Rank: true})
+	for _, err := range seq {
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -73,7 +79,7 @@ func main() {
 			break
 		}
 	}
-	fmt.Printf("streamed %d fragments, stopped early\n", streamed)
+	fmt.Printf("streamed %d fragments, stopped early (resumable: %t)\n", streamed, trailer().Cursor != "")
 
 	// Deadlines: a request that cannot finish in time aborts mid-pipeline
 	// with context.DeadlineExceeded instead of running to completion.
@@ -83,6 +89,13 @@ func main() {
 	if _, err := engine.Search(hopeless, xks.Request{Query: query}); errors.Is(err, context.DeadlineExceeded) {
 		fmt.Println("deadlined search aborted with context.DeadlineExceeded")
 	}
+	// ... unless the request opts into best-effort delivery, which turns
+	// the expired deadline into a truncated partial page.
+	partial, err := engine.Search(hopeless, xks.Request{Query: query, Budget: xks.BestEffort})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best-effort deadline: %d fragments, truncated=%t\n", len(partial.Fragments), partial.Truncated)
 
 	// All-LCA vs SLCA-only semantics: ancestors of smallest LCAs can carry
 	// their own complete matches and are part of the answer under the

@@ -24,6 +24,14 @@
 // exactly 10 fragments. Unranked and unlimited searches select every
 // candidate in document order, so their materialized output is identical
 // to the pre-pipeline eager path (crosschecked in the xks tests).
+//
+// The streaming consumers (Engine.Stream, Corpus.Fragments/Stream, the
+// NDJSON HTTP path) drive the same stages with one difference: the
+// materialize stage runs lazily, one candidate per iterator step, so an
+// early break — client disconnect, page boundary, best-effort deadline —
+// pays pruning and assembly for exactly the fragments yielded. Candidate
+// Doc/Seq double as the cursor resume key the xks package embeds in its
+// opaque pagination tokens.
 package exec
 
 import (

@@ -12,17 +12,35 @@
 // Endpoints:
 //
 //	GET /search?q=keyword+query[&doc=name][&algo=validrtf|maxmatch|raw]
-//	           [&slca=1][&rank=1][&limit=N][&offset=N][&timeout=dur]
-//	           [&snippets=1]
+//	           [&slca=1][&rank=1][&limit=N][&cursor=tok][&offset=N]
+//	           [&timeout=dur][&budget=best-effort][&snippets=1][&stream=1]
 //	GET /documents
 //	GET /stats
 //	GET /healthz
 //
 // Error mapping: malformed parameters and unsearchable queries
 // (xks.ErrEmptyQuery, xks.ErrTooManyTerms) are 400, an unknown doc=
-// (xks.ErrUnknownDocument) is 404, and a search that exceeds its deadline
-// is 504. Paged responses carry a "next" cursor — the offset= of the
-// following page — whenever the result set extends past the returned page.
+// (xks.ErrUnknownDocument) is 404, a search that exceeds its deadline is
+// 504, a cursor that does not decode or was issued for a different query
+// (xks.ErrBadCursor, xks.ErrCursorMismatch) is 400, and a cursor
+// invalidated by an index mutation (xks.ErrStaleCursor) is 410 Gone with a
+// restart hint — the scroll must begin again from the first page.
+//
+// Pagination: responses whose result set extends past the returned page
+// carry an opaque "cursor" token; pass it back as cursor= to resume. The
+// token pins the data generation, so a page boundary can never silently
+// shift under a concurrent append. The "next"/offset= raw-offset pair
+// remains as a deprecated shim. With budget=best-effort, a deadline that
+// expires mid-page returns the fragments finished so far with
+// "truncated":true (and a cursor to resume) instead of a 504.
+//
+// Streaming: stream=1 switches /search to NDJSON chunked output — one
+// fragment object per line, written (and flushed, when the ResponseWriter
+// supports http.Flusher) as the pipeline materializes it, with no page
+// buffering; the final line is a trailer record ({"trailer":true, ...})
+// carrying the cursor, stats, and the truncation marker. A mid-stream
+// failure appears as a trailer with an "error" field, since the 200 status
+// is already on the wire.
 package httpapi
 
 import (
@@ -61,15 +79,40 @@ type Fragment struct {
 
 // Response is the JSON shape of a search response.
 type Response struct {
-	Query       string         `json:"query"`
-	Keywords    []string       `json:"keywords"`
-	NumLCAs     int            `json:"numLcas"`
-	ElapsedMS   float64        `json:"elapsedMs"`
-	Cached      bool           `json:"cached"`
-	Offset      int            `json:"offset,omitempty"`
-	Next        string         `json:"next,omitempty"` // offset= of the next page
+	Query     string   `json:"query"`
+	Keywords  []string `json:"keywords"`
+	NumLCAs   int      `json:"numLcas"`
+	ElapsedMS float64  `json:"elapsedMs"`
+	Cached    bool     `json:"cached"`
+	Offset    int      `json:"offset,omitempty"`
+	// Cursor is the opaque, generation-aware resume token of the next
+	// page; pass it back as cursor=. Empty when the result set is
+	// exhausted.
+	Cursor string `json:"cursor,omitempty"`
+	// Truncated reports a best-effort deadline expiring mid-page: the
+	// fragments below are everything that finished in time.
+	Truncated bool `json:"truncated,omitempty"`
+	// Next is the offset= of the next page.
+	//
+	// Deprecated: resume with Cursor, which fails loudly (410) instead of
+	// shifting silently when the index mutates mid-scroll.
+	Next        string         `json:"next,omitempty"`
 	PerDocument map[string]int `json:"perDocument,omitempty"`
 	Fragments   []Fragment     `json:"fragments"`
+}
+
+// StreamTrailer is the final NDJSON record of a stream=1 search — the
+// envelope for the fragment lines above it. Error is set when the stream
+// failed after the 200 status was already committed.
+type StreamTrailer struct {
+	Trailer   bool     `json:"trailer"` // always true; marks the record
+	Cursor    string   `json:"cursor,omitempty"`
+	Next      string   `json:"next,omitempty"` // deprecated offset shim
+	Truncated bool     `json:"truncated,omitempty"`
+	Keywords  []string `json:"keywords,omitempty"`
+	NumLCAs   int      `json:"numLcas"`
+	ElapsedMS float64  `json:"elapsedMs"`
+	Error     string   `json:"error,omitempty"`
 }
 
 // DocumentsResponse is the JSON shape of /documents.
@@ -122,6 +165,16 @@ func parseRequest(r *http.Request) (xks.Request, bool, error) {
 		}
 		req.Offset = n
 	}
+	if cur := q.Get("cursor"); cur != "" {
+		req.Cursor = xks.Cursor(cur)
+	}
+	switch q.Get("budget") {
+	case "", "strict":
+	case "best-effort", "besteffort":
+		req.Budget = xks.BestEffort
+	default:
+		return req, false, errors.New("bad budget")
+	}
 	if d := q.Get("timeout"); d != "" {
 		t, err := time.ParseDuration(d)
 		if err != nil || t <= 0 {
@@ -133,12 +186,17 @@ func parseRequest(r *http.Request) (xks.Request, bool, error) {
 }
 
 // status maps a search error to its HTTP status: 404 for unknown documents,
-// 504 for deadline-exceeded pipelines, 400 for everything else (bad query
-// shapes — xks.ErrEmptyQuery, xks.ErrTooManyTerms, malformed predicates).
+// 504 for deadline-exceeded pipelines, 410 for cursors invalidated by an
+// index mutation (the error text carries the restart hint), 400 for
+// everything else (bad query shapes — xks.ErrEmptyQuery,
+// xks.ErrTooManyTerms, malformed predicates — and malformed or mismatched
+// cursors).
 func status(err error) int {
 	switch {
 	case errors.Is(err, xks.ErrUnknownDocument):
 		return http.StatusNotFound
+	case errors.Is(err, xks.ErrStaleCursor):
+		return http.StatusGone
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	default:
@@ -180,6 +238,11 @@ func NewHandler(svc *service.Service, logger *log.Logger) http.Handler {
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 
+		if r.URL.Query().Get("stream") == "1" {
+			streamSearch(ctx, w, svc, req, withSnippets)
+			return
+		}
+
 		res, cached, err := svc.Search(ctx, req)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -196,29 +259,107 @@ func NewHandler(svc *service.Service, logger *log.Logger) http.Handler {
 			ElapsedMS:   float64(res.Stats.Elapsed.Microseconds()) / 1000.0,
 			Cached:      cached,
 			Offset:      req.Offset,
+			Cursor:      string(res.Cursor),
+			Truncated:   res.Truncated,
 			PerDocument: res.PerDocument,
 		}
 		if res.NextOffset >= 0 {
 			resp.Next = strconv.Itoa(res.NextOffset)
 		}
 		for _, f := range res.Fragments {
-			out := Fragment{
-				Document:  f.Document,
-				Root:      f.Root,
-				RootLabel: f.RootLabel,
-				IsSLCA:    f.IsSLCA,
-				Score:     f.Score,
-				XML:       f.XML(),
-				Nodes:     f.Len(),
-			}
-			if withSnippets {
-				out.Snippet = f.Snippet()
-			}
-			resp.Fragments = append(resp.Fragments, out)
+			resp.Fragments = append(resp.Fragments, ToFragment(f, withSnippets))
 		}
 		writeJSON(w, logger, resp)
 	})
 	return mux
+}
+
+// streamSearch serves /search?stream=1: NDJSON chunked output driven
+// directly off the service's fragment iterator — one fragment per line,
+// flushed as it materializes, then one StreamTrailer record. Errors before
+// the first fragment still map to proper status codes (400/404/410/504);
+// a failure after bytes are on the wire becomes a trailer with its "error"
+// field set.
+func streamSearch(ctx context.Context, w http.ResponseWriter, svc *service.Service, req xks.Request, withSnippets bool) {
+	seq, trailer := svc.Stream(ctx, req)
+	var (
+		enc     *json.Encoder
+		flusher http.Flusher
+		wrote   bool
+	)
+	begin := func() {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+		enc = json.NewEncoder(w)
+		flusher, _ = w.(http.Flusher)
+		wrote = true
+	}
+	for f, err := range seq {
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return // the client went away; there is no one to answer
+			}
+			if !wrote {
+				http.Error(w, err.Error(), status(err))
+				return
+			}
+			enc.Encode(StreamTrailer{Trailer: true, Error: err.Error()})
+			flush(flusher)
+			return
+		}
+		if !wrote {
+			begin()
+		}
+		enc.Encode(ToFragment(f, withSnippets))
+		flush(flusher)
+	}
+	if !wrote {
+		begin()
+	}
+	enc.Encode(ToStreamTrailer(trailer()))
+	flush(flusher)
+}
+
+func flush(f http.Flusher) {
+	if f != nil {
+		f.Flush()
+	}
+}
+
+// ToFragment converts one result fragment to its NDJSON/JSON wire shape —
+// the single source of the fragment format, shared by the buffered
+// response, the stream=1 endpoint, and cmd/xksearch's -stream output.
+func ToFragment(f xks.CorpusFragment, withSnippets bool) Fragment {
+	out := Fragment{
+		Document:  f.Document,
+		Root:      f.Root,
+		RootLabel: f.RootLabel,
+		IsSLCA:    f.IsSLCA,
+		Score:     f.Score,
+		XML:       f.XML(),
+		Nodes:     f.Len(),
+	}
+	if withSnippets {
+		out.Snippet = f.Snippet()
+	}
+	return out
+}
+
+// ToStreamTrailer builds the NDJSON trailer record for a stream's envelope
+// — the single source of the trailer format, shared with cmd/xksearch.
+func ToStreamTrailer(t *xks.Results) StreamTrailer {
+	tr := StreamTrailer{
+		Trailer:   true,
+		Cursor:    string(t.Cursor),
+		Truncated: t.Truncated,
+		Keywords:  t.Stats.Keywords,
+		NumLCAs:   t.Stats.NumLCAs,
+		ElapsedMS: float64(t.Stats.Elapsed.Microseconds()) / 1000.0,
+	}
+	if t.NextOffset >= 0 {
+		tr.Next = strconv.Itoa(t.NextOffset)
+	}
+	return tr
 }
 
 func writeJSON(w http.ResponseWriter, logger *log.Logger, v any) {

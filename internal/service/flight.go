@@ -36,6 +36,45 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// notOurAnswer reports whether a finished call's outcome is specific to the
+// leader's own request conditions rather than to the query: its context
+// died, or its BestEffort deadline truncated the page. Neither may be
+// handed to a joiner as the query's answer — a Strict waiter with a
+// generous deadline must get full results, not the leader's partial page —
+// so joiners re-enter and one of them leads a fresh execution.
+func notOurAnswer(c *call) bool {
+	if isCtxErr(c.err) {
+		return true
+	}
+	return c.err == nil && c.val != nil && c.val.Truncated
+}
+
+// poll joins an in-flight execution of key when one exists, without ever
+// leading one: ok=false means nothing was in flight (or the leader died of
+// its own cancellation, which is not this caller's answer) and the caller
+// should execute itself. A waiter whose own ctx ends while the leader is
+// still computing detaches with ok=true and its ctx.Err(). The streaming
+// path uses this so a streamed request can collapse onto an identical
+// buffered query without forcing streams — which are consumer-paced — to
+// lead flights themselves.
+func (g *group) poll(ctx context.Context, key string) (val *xks.Results, err error, ok bool) {
+	g.mu.Lock()
+	c, inFlight := g.calls[key]
+	g.mu.Unlock()
+	if !inFlight {
+		return nil, nil, false
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err(), true
+	case <-c.done:
+	}
+	if notOurAnswer(c) && ctx.Err() == nil {
+		return nil, nil, false
+	}
+	return c.val, c.err, true
+}
+
 // do runs fn once per key among concurrent callers. shared reports whether
 // this caller received another execution's result (a join, or a retry
 // after a cancelled leader); a waiter that detached on its own dead
@@ -56,10 +95,11 @@ func (g *group) do(ctx context.Context, key string, fn func() (*xks.CorpusResult
 				return nil, false, ctx.Err()
 			case <-c.done:
 			}
-			if isCtxErr(c.err) && ctx.Err() == nil {
-				// The leader was cancelled but we were not — its
-				// cancellation is not our answer. Re-enter the group; the
-				// first waiter back leads a fresh execution.
+			if notOurAnswer(c) && ctx.Err() == nil {
+				// The leader was cancelled — or its best-effort deadline
+				// truncated the page — but we were not; its outcome is not
+				// our answer. Re-enter the group; the first waiter back
+				// leads a fresh execution.
 				shared = true
 				continue
 			}

@@ -26,6 +26,7 @@ type Metrics struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	collapsed atomic.Uint64
+	streamed  atomic.Uint64
 
 	latCount atomic.Uint64
 	latSum   atomic.Uint64 // microseconds
@@ -56,7 +57,11 @@ type Snapshot struct {
 	CacheHitRate float64 `json:"cacheHitRate"`
 	// Collapsed counts requests that joined an in-flight identical query
 	// (singleflight) instead of executing the pipeline themselves.
-	Collapsed    uint64  `json:"collapsedRequests"`
+	Collapsed uint64 `json:"collapsedRequests"`
+	// Streamed counts requests served through the streaming path
+	// (Service.Stream), whether they replayed a cached page or drove the
+	// pipeline's lazy materialization directly.
+	Streamed     uint64  `json:"streamedRequests"`
 	AvgLatencyMS float64 `json:"avgLatencyMs"`
 	P50LatencyMS float64 `json:"p50LatencyMs"`
 	P95LatencyMS float64 `json:"p95LatencyMs"`
@@ -72,6 +77,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheHits:   m.hits.Load(),
 		CacheMisses: m.misses.Load(),
 		Collapsed:   m.collapsed.Load(),
+		Streamed:    m.streamed.Load(),
 	}
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)

@@ -30,6 +30,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"iter"
 	"strconv"
 	"time"
 
@@ -52,7 +53,22 @@ type Searcher interface {
 	Generation() uint64
 }
 
-var _ Searcher = (*xks.Corpus)(nil)
+// Streamer is the optional streaming surface of a Searcher: a lazily
+// materializing fragment iterator plus a trailer func that, once the loop
+// ends, reports the envelope (cursor, stats, truncation) for the fragments
+// actually yielded. *xks.Corpus implements it; SingleDoc adapts an engine.
+// Service.Stream uses it to serve NDJSON responses without buffering a
+// page, falling back to the buffered Search when the searcher does not
+// stream.
+type Streamer interface {
+	Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.CorpusFragment, error], func() *xks.Results)
+}
+
+var (
+	_ Searcher = (*xks.Corpus)(nil)
+	_ Streamer = (*xks.Corpus)(nil)
+	_ Streamer = SingleDoc{}
+)
 
 // SingleDoc adapts one engine to the Searcher interface under a document
 // name, so a single-file server and a corpus server share one serving path.
@@ -70,6 +86,30 @@ func (s SingleDoc) Search(ctx context.Context, req xks.Request) (*xks.CorpusResu
 		return nil, err
 	}
 	return res.AsCorpus(s.Name), nil
+}
+
+// Stream adapts the engine's fragment stream to the corpus shape, tagging
+// fragments and the trailer with the document name.
+func (s SingleDoc) Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.CorpusFragment, error], func() *xks.Results) {
+	if req.Document != "" && req.Document != s.Name {
+		err := fmt.Errorf("xks: %w: %q", xks.ErrUnknownDocument, req.Document)
+		return func(yield func(xks.CorpusFragment, error) bool) {
+			yield(xks.CorpusFragment{}, err)
+		}, func() *xks.Results { return &xks.Results{Query: req.Query, NextOffset: -1} }
+	}
+	seq, trailer := s.Engine.Stream(ctx, req)
+	wrapped := func(yield func(xks.CorpusFragment, error) bool) {
+		for f, err := range seq {
+			if err != nil {
+				yield(xks.CorpusFragment{}, err)
+				return
+			}
+			if !yield(xks.CorpusFragment{Document: s.Name, Fragment: f}, nil) {
+				return
+			}
+		}
+	}
+	return wrapped, func() *xks.Results { return trailer().AsCorpus(s.Name) }
 }
 
 func (s SingleDoc) Documents() []xks.DocumentInfo {
@@ -140,6 +180,12 @@ func cacheKey(req xks.Request) string {
 	b = strconv.AppendInt(b, int64(len(req.Document)), 10)
 	b = append(b, ':')
 	b = append(b, req.Document...)
+	// Cursors are resolved to an Offset (and cleared) before keying; the
+	// raw token is still mixed in defensively so an unresolved request can
+	// never alias a resolved one.
+	b = strconv.AppendInt(b, int64(len(req.Cursor)), 10)
+	b = append(b, ':')
+	b = append(b, req.Cursor...)
 	b = fmt.Appendf(b, "%d.%d.%t.%t.%d.%d",
 		req.Algorithm, req.Semantics, req.ExactContent, req.Rank, req.Limit, req.Offset)
 	return string(b)
@@ -150,11 +196,19 @@ func cacheKey(req xks.Request) string {
 // came from the cache. The returned result is shared with other callers —
 // do not mutate it.
 //
+// A request carrying a Cursor is validated here, against the same
+// generation cache entries are tagged with, before any cache lookup: a
+// stale token fails with xks.ErrStaleCursor (the data mutated since the
+// page was issued), a replay against a different query shape with
+// xks.ErrCursorMismatch, an undecodable one with xks.ErrBadCursor.
+//
 // ctx cancellation (and req.Timeout) aborts the request with ctx.Err():
 // a cancelled cache hit is still served, a cancelled pipeline execution is
 // abandoned mid-stream, and a cancelled singleflight waiter detaches from
-// its leader immediately.
-func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.CorpusResult, cached bool, err error) {
+// its leader immediately. Truncated results (a BestEffort deadline expired
+// mid-page) are served but never cached — the next identical request runs
+// the pipeline again rather than replaying a partial page.
+func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.Results, cached bool, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -167,11 +221,17 @@ func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.Corpus
 		sv.metrics.observe(time.Since(start))
 	}()
 
-	key := cacheKey(req)
 	// Capture the generation before searching: if the data mutates while
 	// the pipeline runs, the entry is stored under the old generation and
 	// dies on its next lookup instead of serving stale results forever.
+	// Cursor resolution uses the same snapshot, so a token issued under
+	// this generation is honored exactly as long as its cache entries are.
 	gen := sv.searcher.Generation()
+	req, err = req.ResolveCursor(gen)
+	if err != nil {
+		return nil, false, err
+	}
+	key := cacheKey(req)
 	if sv.cache != nil {
 		if hit, ok := sv.cache.Get(key, gen); ok {
 			sv.metrics.hits.Add(1)
@@ -180,9 +240,9 @@ func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.Corpus
 		sv.metrics.misses.Add(1)
 	}
 
-	res, shared, err := sv.flight.do(ctx, key, func() (*xks.CorpusResult, error) {
+	res, shared, err := sv.flight.do(ctx, key, func() (*xks.Results, error) {
 		r, err := sv.searcher.Search(ctx, req)
-		if err == nil && sv.cache != nil {
+		if err == nil && sv.cache != nil && !r.Truncated {
 			sv.cache.Put(key, gen, r)
 		}
 		return r, err
@@ -194,4 +254,142 @@ func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.Corpus
 		return nil, false, err
 	}
 	return res, false, nil
+}
+
+// Stream serves one request as a fragment stream: the iterator yields
+// materialized fragments as the pipeline produces them, and the trailer
+// func — valid once the loop ends — carries the envelope (cursor, stats,
+// truncation) for what was actually yielded; like the searcher streams
+// underneath, the trailer never retains the fragments themselves. Sources,
+// in order:
+//
+//   - a cache hit replays the cached page fragment by fragment;
+//   - a miss with an identical buffered query already in flight joins it
+//     (singleflight) and replays its page;
+//   - otherwise the searcher's own stream runs (Streamer), lazily — a
+//     consumer that breaks early leaves the remaining candidates
+//     unmaterialized; searchers that cannot stream fall back to one
+//     buffered Search.
+//
+// A consumer that abandons a replayed page early still gets an honest
+// trailer: the cursor is re-pointed to resume after the last fragment it
+// received (ResumePoint), not after the page it never saw.
+//
+// A live stream with a bounded page (Limit > 0) that drains completely
+// (and was not truncated) caches its page under the generation snapshot,
+// so the next identical request — buffered or streamed — hits. Unbounded
+// scrolls are not collected for caching, keeping server-side memory O(1)
+// however large the result set; abandoned or truncated streams cache
+// nothing either way.
+func (sv *Service) Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.CorpusFragment, error], func() *xks.Results) {
+	res := &xks.Results{Query: req.Query, NextOffset: -1}
+	seq := func(yield func(xks.CorpusFragment, error) bool) {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		start := time.Now()
+		sv.metrics.requests.Add(1)
+		sv.metrics.streamed.Add(1)
+		var err error
+		defer func() {
+			if err != nil {
+				sv.metrics.errors.Add(1)
+			}
+			sv.metrics.observe(time.Since(start))
+		}()
+
+		gen := sv.searcher.Generation()
+		req, err = req.ResolveCursor(gen)
+		if err != nil {
+			yield(xks.CorpusFragment{}, err)
+			return
+		}
+		key := cacheKey(req)
+		if sv.cache != nil {
+			if hit, ok := sv.cache.Get(key, gen); ok {
+				sv.metrics.hits.Add(1)
+				*res = *replay(hit, req, gen, yield)
+				return
+			}
+			sv.metrics.misses.Add(1)
+		}
+		// Join an identical buffered execution already in flight instead
+		// of running the pipeline a second time.
+		if joined, jerr, ok := sv.flight.poll(ctx, key); ok {
+			if jerr != nil {
+				err = jerr
+				yield(xks.CorpusFragment{}, jerr)
+				return
+			}
+			sv.metrics.collapsed.Add(1)
+			*res = *replay(joined, req, gen, yield)
+			return
+		}
+
+		st, ok := sv.searcher.(Streamer)
+		if !ok {
+			// Buffered fallback for searchers that cannot stream.
+			r, serr := sv.searcher.Search(ctx, req)
+			if serr != nil {
+				err = serr
+				yield(xks.CorpusFragment{}, serr)
+				return
+			}
+			if sv.cache != nil && !r.Truncated {
+				sv.cache.Put(key, gen, r)
+			}
+			*res = *replay(r, req, gen, yield)
+			return
+		}
+		sseq, strailer := st.Stream(ctx, req)
+		// Collect the page for caching only when it is bounded: an
+		// unlimited scroll must not pin every streamed fragment in memory.
+		collect := sv.cache != nil && req.Limit > 0
+		var page []xks.CorpusFragment
+		complete := true
+		for f, ferr := range sseq {
+			if ferr != nil {
+				err = ferr
+				complete = false
+				break
+			}
+			if collect {
+				page = append(page, f)
+			}
+			if !yield(f, nil) {
+				complete = false
+				break
+			}
+		}
+		t := strailer()
+		*res = *t
+		if err != nil {
+			yield(xks.CorpusFragment{}, err)
+			return
+		}
+		if complete && collect && !t.Truncated {
+			full := *t
+			full.Fragments = page
+			sv.cache.Put(key, gen, &full)
+		}
+	}
+	return seq, func() *xks.Results { return res }
+}
+
+// replay yields a buffered page fragment by fragment and returns the
+// trailer envelope for what the consumer actually took: a full drain keeps
+// the page's own cursor, an early break gets one re-pointed to resume
+// after the last yielded fragment.
+func replay(r *xks.Results, req xks.Request, gen uint64, yield func(xks.CorpusFragment, error) bool) *xks.Results {
+	n := 0
+	for _, f := range r.Fragments {
+		// The fragment reaches the consumer even when it stops the loop —
+		// yield delivered it before returning false — so it counts as
+		// received either way.
+		n++
+		if !yield(f, nil) {
+			break
+		}
+	}
+	return r.ResumePoint(n, req, gen)
 }

@@ -284,6 +284,308 @@ func TestCacheEvictionUnderPressure(t *testing.T) {
 	}
 }
 
+// TestCursorScrollStalenessAndMismatch covers the cursor lifecycle at the
+// serving layer: scroll page 1 → page 2 by cursor, then AppendXML and
+// watch the old cursor die with ErrStaleCursor; a cursor replayed under a
+// different query fails with ErrCursorMismatch. Both are validated before
+// any cache lookup and counted as request errors.
+func TestCursorScrollStalenessAndMismatch(t *testing.T) {
+	e, err := xks.LoadString(`<bib><paper><title>xml search</title></paper><paper><title>search trees</title></paper><paper><title>search engines</title></paper></bib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := service.New(service.SingleDoc{Name: "bib", Engine: e}, service.Config{CacheSize: 16})
+
+	page1, _, err := sv.Search(context.Background(), xks.Request{Query: "search", Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page1.Fragments) != 1 || page1.Cursor == "" {
+		t.Fatalf("page 1: %d fragments, cursor %q", len(page1.Fragments), page1.Cursor)
+	}
+	page2, _, err := sv.Search(context.Background(), xks.Request{Query: "search", Limit: 1, Cursor: page1.Cursor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page2.Fragments) != 1 || page2.Fragments[0].Root == page1.Fragments[0].Root {
+		t.Fatalf("page 2 did not advance: %+v", page2.Fragments)
+	}
+
+	// Fingerprint mismatch: the cursor belongs to a different query.
+	if _, _, err := sv.Search(context.Background(), xks.Request{Query: "trees", Limit: 1, Cursor: page1.Cursor}); !errors.Is(err, xks.ErrCursorMismatch) {
+		t.Fatalf("mismatched cursor: err = %v, want ErrCursorMismatch", err)
+	}
+
+	// An append invalidates the page boundary: the old cursor is 410
+	// material, deterministically.
+	if err := e.AppendXML("0", `<paper><title>fresh search result</title></paper>`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sv.Search(context.Background(), xks.Request{Query: "search", Limit: 1, Cursor: page1.Cursor}); !errors.Is(err, xks.ErrStaleCursor) {
+		t.Fatalf("post-append cursor: err = %v, want ErrStaleCursor", err)
+	}
+	// Restarting from the first page issues a fresh, working cursor.
+	fresh, _, err := sv.Search(context.Background(), xks.Request{Query: "search", Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cursor == "" {
+		t.Fatal("restarted scroll issued no cursor")
+	}
+	if _, _, err := sv.Search(context.Background(), xks.Request{Query: "search", Limit: 1, Cursor: fresh.Cursor}); err != nil {
+		t.Fatalf("fresh cursor: %v", err)
+	}
+	if s := sv.Metrics().Snapshot(); s.Errors != 2 {
+		t.Errorf("errors = %d, want 2 (one mismatch, one stale)", s.Errors)
+	}
+}
+
+// truncatingSearcher marks every result truncated, standing in for a
+// pipeline whose best-effort deadline always expires mid-page.
+type truncatingSearcher struct {
+	service.Searcher
+}
+
+func (ts truncatingSearcher) Search(ctx context.Context, req xks.Request) (*xks.Results, error) {
+	r, err := ts.Searcher.Search(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	rr := *r
+	rr.Truncated = true
+	return &rr, nil
+}
+
+// TestTruncatedResultsNotCached: a partial (truncated) page must never be
+// served from the cache as if it were the full answer.
+func TestTruncatedResultsNotCached(t *testing.T) {
+	sv := service.New(truncatingSearcher{Searcher: testCorpus(t)}, service.Config{CacheSize: 16})
+	for i := 0; i < 3; i++ {
+		res, cached, err := sv.Search(context.Background(), xks.Request{Query: "liu keyword", Budget: xks.BestEffort})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Truncated {
+			t.Fatal("searcher stub should truncate")
+		}
+		if cached {
+			t.Fatalf("request %d served a truncated page from the cache", i)
+		}
+	}
+	if n := sv.CacheLen(); n != 0 {
+		t.Errorf("CacheLen = %d, want 0 — truncated pages must not be cached", n)
+	}
+}
+
+// truncateOnceSearcher truncates its first execution (after a delay long
+// enough for joiners to pile up) and answers fully from then on.
+type truncateOnceSearcher struct {
+	service.Searcher
+	calls atomic.Int64
+	delay time.Duration
+}
+
+func (ts *truncateOnceSearcher) Search(ctx context.Context, req xks.Request) (*xks.Results, error) {
+	n := ts.calls.Add(1)
+	r, err := ts.Searcher.Search(ctx, req)
+	if err != nil || n > 1 {
+		return r, err
+	}
+	time.Sleep(ts.delay)
+	rr := *r
+	rr.Truncated = true
+	rr.Fragments = rr.Fragments[:1]
+	return &rr, nil
+}
+
+// TestFlightDoesNotShareTruncatedPage: a leader whose BestEffort deadline
+// truncated its page must not hand that partial page to singleflight
+// joiners — a Strict waiter with a generous deadline re-runs the pipeline
+// and gets full results.
+func TestFlightDoesNotShareTruncatedPage(t *testing.T) {
+	ts := &truncateOnceSearcher{Searcher: testCorpus(t), delay: 50 * time.Millisecond}
+	sv := service.New(ts, service.Config{}) // cache off: the flight is the only sharing path
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, _, err := sv.Search(context.Background(), xks.Request{Query: "liu keyword", Budget: xks.BestEffort})
+		if err != nil {
+			t.Error(err)
+		} else if !res.Truncated {
+			t.Error("leader should have been truncated")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the truncating leader take off
+
+	res, _, err := sv.Search(context.Background(), xks.Request{Query: "liu keyword"})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated || len(res.Fragments) != 2 {
+		t.Fatalf("strict joiner got truncated=%t with %d fragments; must re-execute for the full page",
+			res.Truncated, len(res.Fragments))
+	}
+	if got := ts.calls.Load(); got != 2 {
+		t.Errorf("underlying executions = %d, want 2 (truncated page not shared)", got)
+	}
+}
+
+// TestStreamServesCachesAndReplays covers Service.Stream: a cold stream
+// drives the pipeline lazily and caches its fully-drained page, a warm one
+// replays the cached page, an abandoned one caches nothing, and the
+// trailer always carries the envelope.
+func TestStreamServesCachesAndReplays(t *testing.T) {
+	sv := service.New(testCorpus(t), service.Config{CacheSize: 16})
+	// Bounded page: only Limit > 0 streams are collected for caching (an
+	// unbounded scroll must not pin its whole result set server-side).
+	req := xks.Request{Query: "name", Rank: true, Limit: 10}
+
+	// Cold: live stream, page cached at drain.
+	var cold []xks.CorpusFragment
+	seq, trailer := sv.Stream(context.Background(), req)
+	for f, err := range seq {
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold = append(cold, f)
+	}
+	if len(cold) == 0 {
+		t.Fatal("stream yielded nothing")
+	}
+	ct := trailer()
+	if ct.Stats.NumLCAs != len(cold) || ct.Cursor != "" {
+		t.Fatalf("trailer: stats %+v cursor %q for a drained %d-fragment stream", ct.Stats, ct.Cursor, len(cold))
+	}
+	if sv.CacheLen() != 1 {
+		t.Fatalf("CacheLen = %d after a drained stream, want 1", sv.CacheLen())
+	}
+
+	// The buffered path hits the stream-populated entry, and vice versa.
+	if _, cached, err := sv.Search(context.Background(), req); err != nil || !cached {
+		t.Fatalf("buffered after stream: cached=%t err=%v", cached, err)
+	}
+	var warm []xks.CorpusFragment
+	seq, _ = sv.Stream(context.Background(), req)
+	for f, err := range seq {
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm = append(warm, f)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("replayed %d fragments, want %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i].Root != cold[i].Root {
+			t.Fatalf("fragment %d: replay %s vs live %s", i, warm[i].Root, cold[i].Root)
+		}
+	}
+
+	// An abandoned stream caches nothing (its page is incomplete), and the
+	// trailer stays resumable from after the one fragment consumed.
+	other := xks.Request{Query: "liu keyword", Limit: 10}
+	seq, trailer = sv.Stream(context.Background(), other)
+	for _, err := range seq {
+		if err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if sv.CacheLen() != 1 {
+		t.Fatalf("CacheLen = %d after an abandoned stream, want still 1", sv.CacheLen())
+	}
+	if tr := trailer(); tr.Cursor == "" || tr.NextOffset != 1 {
+		t.Fatalf("abandoned trailer: Cursor=%q NextOffset=%d, want resumable at 1", tr.Cursor, tr.NextOffset)
+	}
+
+	// Replaying the cached page to a consumer that breaks early re-points
+	// the trailer cursor after the last yielded fragment — never past the
+	// fragments it never received.
+	p1req := xks.Request{Query: "name", Rank: true, Limit: 2}
+	if _, _, err := sv.Search(context.Background(), p1req); err != nil { // prime the cache
+		t.Fatal(err)
+	}
+	seq, trailer = sv.Stream(context.Background(), p1req)
+	for _, err := range seq {
+		if err != nil {
+			t.Fatal(err)
+		}
+		break // take 1 of the cached page of 2
+	}
+	if tr := trailer(); tr.NextOffset != 1 || tr.Cursor == "" {
+		t.Fatalf("replayed early break: Cursor=%q NextOffset=%d, want re-pointed to 1", tr.Cursor, tr.NextOffset)
+	}
+	// Resuming from that cursor yields the fragment the break skipped.
+	res2, _, err := sv.Search(context.Background(), xks.Request{Query: "name", Rank: true, Limit: 2, Cursor: trailer().Cursor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Fragments) == 0 {
+		t.Fatal("resume from re-pointed cursor yielded nothing")
+	}
+
+	// Errors surface through the iterator (and count in metrics).
+	seq, _ = sv.Stream(context.Background(), xks.Request{Query: "the of"})
+	var got error
+	for _, err := range seq {
+		got = err
+	}
+	if !errors.Is(got, xks.ErrEmptyQuery) {
+		t.Fatalf("unsearchable stream: err = %v, want ErrEmptyQuery", got)
+	}
+
+	s := sv.Metrics().Snapshot()
+	if s.Streamed != 5 {
+		t.Errorf("streamed = %d, want 5", s.Streamed)
+	}
+	if s.Errors != 1 {
+		t.Errorf("errors = %d, want 1", s.Errors)
+	}
+	if s.CacheHits < 2 {
+		t.Errorf("cache hits = %d, want >= 2 (one buffered, one replay)", s.CacheHits)
+	}
+}
+
+// TestStreamJoinsInflightBufferedQuery: a stream arriving while an
+// identical buffered query is mid-flight joins it (singleflight) and
+// replays its page instead of running the pipeline twice.
+func TestStreamJoinsInflightBufferedQuery(t *testing.T) {
+	cs := &countingSearcher{Searcher: testCorpus(t), delay: 50 * time.Millisecond}
+	sv := service.New(cs, service.Config{}) // cache off: only the flight can collapse
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := sv.Search(context.Background(), xks.Request{Query: "liu keyword"}); err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the buffered leader take off
+
+	n := 0
+	seq, _ := sv.Stream(context.Background(), xks.Request{Query: "liu keyword"})
+	for _, err := range seq {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	wg.Wait()
+	if n == 0 {
+		t.Fatal("joined stream yielded nothing")
+	}
+	if got := cs.execs.Load(); got != 1 {
+		t.Errorf("underlying executions = %d, want 1 (stream joined the in-flight leader)", got)
+	}
+	if s := sv.Metrics().Snapshot(); s.Collapsed != 1 {
+		t.Errorf("collapsed = %d, want 1", s.Collapsed)
+	}
+}
+
 func ExampleService_Search() {
 	engine, _ := xks.LoadString(`<bib><paper><title>xml keyword search</title></paper></bib>`)
 	sv := service.New(service.SingleDoc{Name: "bib.xml", Engine: engine}, service.Config{CacheSize: 128})

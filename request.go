@@ -2,6 +2,8 @@ package xks
 
 import (
 	"context"
+	"fmt"
+	"hash/fnv"
 	"strings"
 	"time"
 
@@ -50,13 +52,50 @@ type Request struct {
 	// Limit bounds the returned fragments when positive — the page size.
 	Limit int
 	// Offset skips that many fragments of the result order before Limit
-	// applies; results carry the offset of the next page so callers can
-	// cursor through large result sets without assembling them at once.
+	// applies.
+	//
+	// Deprecated: resume with Cursor instead. A raw offset silently shifts
+	// when the index mutates mid-scroll; the cursor pins the page boundary
+	// to the data generation it was issued at. Offset keeps working as a
+	// shim, and a non-empty Cursor takes precedence over it.
 	Offset int
+	// Cursor resumes a previous page: pass the Cursor of an earlier
+	// result to continue the scroll. The token is validated before the
+	// pipeline runs — ErrStaleCursor when the data mutated since it was
+	// issued, ErrCursorMismatch when the order-defining fields of this
+	// request differ from the one it was issued for, ErrBadCursor when it
+	// does not decode. Empty means the first page.
+	Cursor Cursor
+	// Budget selects deadline behavior (default Strict): BestEffort turns
+	// a deadline that expires mid-materialization into a partial page with
+	// Results.Truncated set, instead of an error.
+	Budget Budget
 	// Timeout, when positive, derives a deadline from the caller's context
 	// for this request alone. It does not affect cache keys: a result is
 	// the same however long it was allowed to take.
 	Timeout time.Duration
+}
+
+// Budget selects how a request treats its deadline.
+type Budget int
+
+const (
+	// Strict aborts the pipeline with ctx.Err() when the deadline expires
+	// (the default): the caller gets an error, never a partial page.
+	Strict Budget = iota
+	// BestEffort converts a deadline that expires mid-pipeline into a
+	// partial result: the fragments finished so far come back with
+	// Truncated set (and a Cursor to retry from the same spot) instead of
+	// a context.DeadlineExceeded error. Cancellation (context.Canceled —
+	// the caller went away) still aborts with the error either way.
+	BestEffort
+)
+
+func (b Budget) String() string {
+	if b == BestEffort {
+		return "BestEffort"
+	}
+	return "Strict"
 }
 
 // NewRequest builds a Request from the legacy query+Options pair, easing
@@ -76,8 +115,12 @@ func NewRequest(queryText string, opts Options) Request {
 // whitespace-normalized and case-folded (deeper normalization — stemming,
 // stop words — happens inside the engine) and negative Limit/Offset clamped
 // to zero. Two requests with equal canonical forms produce the same result,
-// which is what caching layers key on; Timeout is deliberately not part of
-// that equality and is cleared.
+// which is what caching layers key on; Timeout and Budget are deliberately
+// not part of that equality and are cleared — a result is the same however
+// long it was allowed to take, and a BestEffort request that completes
+// equals its Strict twin (truncated partial pages are never cached).
+// Cursor is left as-is: it resolves to an Offset only against a live data
+// generation (ResolveCursor), which serving layers do before keying.
 func (r Request) Canonical() Request {
 	r.Query = strings.Join(strings.Fields(strings.ToLower(r.Query)), " ")
 	if r.Limit < 0 {
@@ -87,7 +130,53 @@ func (r Request) Canonical() Request {
 		r.Offset = 0
 	}
 	r.Timeout = 0
+	r.Budget = Strict
 	return r
+}
+
+// fingerprint hashes the order-defining request fields — everything that
+// determines the identity and ordering of the full result list, but not
+// the window (Limit/Offset/Cursor), the deadline, or the budget. Cursors
+// embed it so a token cannot be replayed against a different query.
+func (r Request) fingerprint() uint64 {
+	r = r.Canonical()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d:%s%d:%s%d.%d.%t.%t",
+		len(r.Query), r.Query, len(r.Document), r.Document,
+		r.Algorithm, r.Semantics, r.ExactContent, r.Rank)
+	return h.Sum64()
+}
+
+// ResolveCursor validates r.Cursor against the current data generation gen
+// and folds it into the pagination window: on success the returned request
+// has Offset set to the encoded resume position and Cursor cleared, so
+// downstream stages (and cache keys) see one canonical window regardless
+// of how the caller expressed it. A request without a cursor is returned
+// unchanged. Errors wrap ErrBadCursor (undecodable), ErrCursorMismatch
+// (issued for a different query shape), or ErrStaleCursor (issued at an
+// older generation — the scroll must restart from the first page).
+//
+// Search entrypoints call this themselves with their own generation;
+// serving layers that cache (internal/service) resolve earlier, against
+// the same generation they tag cache entries with.
+func (r Request) ResolveCursor(gen uint64) (Request, error) {
+	if r.Cursor == "" {
+		return r, nil
+	}
+	st, err := r.Cursor.decode()
+	if err != nil {
+		return r, err
+	}
+	if st.fp != r.fingerprint() {
+		return r, fmt.Errorf("%w: the cursor's query shape does not match this request", ErrCursorMismatch)
+	}
+	if st.gen != gen {
+		return r, fmt.Errorf("%w: issued at generation %d, data is now at %d; restart from the first page",
+			ErrStaleCursor, st.gen, gen)
+	}
+	r.Offset = st.offset
+	r.Cursor = ""
+	return r, nil
 }
 
 // applyTimeout derives the request deadline from ctx when Timeout is set.
