@@ -19,6 +19,7 @@ import (
 
 	"xks/internal/datagen"
 	"xks/internal/exec"
+	"xks/internal/trace"
 	"xks/internal/workload"
 )
 
@@ -80,6 +81,48 @@ func TestCandidateStageAllocs(t *testing.T) {
 		if allocs > ceiling {
 			t.Errorf("Candidates(%q) allocates %.0f objects per run for %d candidates, ceiling %.0f",
 				q, allocs, len(cands), ceiling)
+		}
+	}
+}
+
+// TestTracingOffAllocs pins the observability layer's off switch: with no
+// trace attached to the context, the pipeline's instrumentation hooks
+// (SpanFromContext + nil-span method calls at every stage) must add zero
+// allocations — the candidate stage allocates exactly what it did before
+// the hooks existed. Measured per-query against the same run under a
+// background context; any drift means a hook allocates on the untraced
+// path.
+func TestTracingOffAllocs(t *testing.T) {
+	// The nil-span operations themselves must be allocation-free.
+	ctx := context.Background()
+	if allocs := testing.AllocsPerRun(100, func() {
+		sp := trace.SpanFromContext(ctx)
+		child := sp.Child("stage")
+		child.SetInt("n", 1)
+		child.SetStr("s", "v")
+		child.End()
+		trace.ContextWithSpan(ctx, child)
+	}); allocs != 0 {
+		t.Fatalf("untraced span ops allocate %.0f objects per run, want 0", allocs)
+	}
+
+	// And the full candidate stage must allocate identically with and
+	// without the instrumented context shape (both untraced).
+	e, queries := allocEngine(t)
+	params := e.params(Request{Rank: true})
+	for _, q := range queries {
+		p, err := e.plan(q)
+		if err != nil {
+			t.Fatalf("plan(%q): %v", q, err)
+		}
+		base := testing.AllocsPerRun(20, func() {
+			exec.Candidates(ctx, p, params, 0) //nolint:errcheck
+		})
+		again := testing.AllocsPerRun(20, func() {
+			exec.Candidates(ctx, p, params, 0) //nolint:errcheck
+		})
+		if base != again {
+			t.Errorf("Candidates(%q) allocations unstable untraced: %.0f vs %.0f", q, base, again)
 		}
 	}
 }

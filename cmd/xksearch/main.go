@@ -22,6 +22,9 @@
 // the output to NDJSON, one fragment object per line as the pipeline
 // materializes it, followed by a trailer record carrying the cursor and
 // stats. Interrupting the tool (Ctrl-C) cancels the search either way.
+// -explain traces the search and prints the per-stage span tree — wall
+// times, candidate counts, per-document fan-out — to stderr after the
+// results (the same tree /search?explain=1 returns as JSON).
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 	"xks"
 	"xks/internal/httpapi"
 	"xks/internal/service"
+	"xks/internal/trace"
 )
 
 func main() {
@@ -56,6 +60,7 @@ func main() {
 		format  = flag.String("format", "ascii", "output format: ascii, xml or snippet")
 		exact   = flag.Bool("exact-content", false, "compare exact content sets instead of (min,max) features")
 		stats   = flag.Bool("stats", false, "print search statistics")
+		explain = flag.Bool("explain", false, "trace the search and print the per-stage span tree to stderr")
 	)
 	flag.Parse()
 	sources := 0
@@ -98,6 +103,16 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	var tr *trace.Trace
+	if *explain {
+		tr = trace.New("search")
+		ctx = trace.NewContext(ctx, tr)
+		defer func() {
+			tr.Finish()
+			fmt.Fprint(os.Stderr, tr.Root().Text())
+		}()
+	}
 
 	// Resolve the source into one corpus-shaped stream; buffered output
 	// drains it, -stream prints each fragment the moment it materializes.
@@ -147,8 +162,11 @@ func main() {
 	}
 	res := trailer()
 	if *stats {
-		fmt.Printf("keywords: %v\nkeyword nodes: %d\nfragments: %d\nelapsed: %v\n\n",
+		fmt.Printf("keywords: %v\nkeyword nodes: %d\nfragments: %d\nelapsed: %v\n",
 			res.Stats.Keywords, res.Stats.KeywordNodes, res.Stats.NumLCAs, res.Stats.Elapsed)
+		st := res.Stats.Stages
+		fmt.Printf("stages: plan=%v candidates=%v select=%v materialize=%v\n\n",
+			st.Plan, st.Candidates, st.Select, st.Materialize)
 	}
 	if len(frags) == 0 && !res.Truncated {
 		fmt.Println("no fragments found")

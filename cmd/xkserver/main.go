@@ -24,23 +24,40 @@
 // cursor and stats — and budget=best-effort converts a mid-page deadline
 // into a truncated 200 instead of a 504.
 //
+// Observability: explain=1 on /search returns the per-stage trace span
+// tree, GET /metrics serves Prometheus text exposition, and every request
+// logs one structured (JSON) access line with its X-Request-Id.
+// -slow-query logs the full explain tree of searches slower than the
+// threshold; -debug-addr serves net/http/pprof on a separate listener.
+//
+// Shutdown: SIGINT/SIGTERM stops accepting connections and drains
+// in-flight requests for up to -drain before exiting.
+//
 // Endpoints:
 //
 //	GET /search?q=keyword+query[&doc=name][&algo=validrtf|maxmatch|raw]
 //	           [&slca=1][&rank=1][&limit=N][&cursor=tok][&offset=N]
 //	           [&timeout=dur][&budget=best-effort][&snippets=1][&stream=1]
+//	           [&explain=1]
 //	GET /documents
 //	GET /stats
+//	GET /metrics
 //	GET /healthz
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"xks"
 	"xks/internal/httpapi"
@@ -55,8 +72,13 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheSize = flag.Int("cache", 1024, "query result cache entries (0 disables caching)")
 		workers   = flag.Int("workers", 0, "corpus search fan-out workers (0 = GOMAXPROCS)")
+		slowQuery = flag.Duration("slow-query", 0, "log the explain trace of searches at least this slow (0 disables)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	sources := 0
 	for _, s := range []string{*file, *storeF, *dir} {
@@ -69,39 +91,86 @@ func main() {
 		os.Exit(2)
 	}
 
+	fatal := func(err error) {
+		logger.Error("xkserver: fatal", slog.String("error", err.Error()))
+		os.Exit(1)
+	}
+
 	var searcher service.Searcher
 	switch {
 	case *dir != "":
 		c, err := xks.LoadDir(*dir)
 		if err != nil {
-			log.Fatalf("xkserver: %v", err)
+			fatal(err)
 		}
 		c.Workers = *workers
 		searcher = c
-		log.Printf("loaded corpus: %d documents from %s", c.Len(), *dir)
+		logger.Info("loaded corpus", slog.Int("documents", c.Len()), slog.String("dir", *dir))
 	case *storeF != "":
 		engine, err := xks.OpenStore(*storeF)
 		if err != nil {
-			log.Fatalf("xkserver: %v", err)
+			fatal(err)
 		}
 		searcher = service.SingleDoc{Name: filepath.Base(*storeF), Engine: engine}
-		log.Printf("loaded store: %d distinct words indexed", engine.Index().NumWords())
+		logger.Info("loaded store", slog.Int("words", engine.Index().NumWords()))
 	default:
 		engine, err := xks.LoadFile(*file)
 		if err != nil {
-			log.Fatalf("xkserver: %v", err)
+			fatal(err)
 		}
 		searcher = service.SingleDoc{Name: filepath.Base(*file), Engine: engine}
-		log.Printf("loaded document: %d distinct words indexed", engine.Index().NumWords())
+		logger.Info("loaded document", slog.Int("words", engine.Index().NumWords()))
 	}
 
 	svc := service.New(searcher, service.Config{CacheSize: *cacheSize})
-	if *cacheSize > 0 {
-		log.Printf("query cache: %d entries", *cacheSize)
-	} else {
-		log.Printf("query cache: disabled")
+	logger.Info("query cache", slog.Int("entries", *cacheSize))
+
+	if *debugAddr != "" {
+		// pprof stays off the main listener so profiling endpoints are
+		// never exposed wherever the API is.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", *debugAddr))
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				logger.Error("pprof server failed", slog.String("error", err.Error()))
+			}
+		}()
 	}
-	log.Printf("listening on %s", *addr)
-	logger := log.New(os.Stderr, "xkserver: ", log.LstdFlags)
-	log.Fatal(http.ListenAndServe(*addr, httpapi.NewHandler(svc, logger)))
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: httpapi.NewHandler(svc, &httpapi.Options{Logger: logger, SlowQuery: *slowQuery}),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("listening", slog.String("addr", *addr))
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills immediately
+
+	// Bounded drain: stop accepting, let in-flight requests (including
+	// NDJSON streams) finish, then cut whatever remains.
+	logger.Info("shutting down", slog.Duration("drain", *drain))
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Error("shutdown", slog.String("error", err.Error()))
+		os.Exit(1)
+	}
+	logger.Info("stopped")
 }

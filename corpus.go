@@ -14,6 +14,7 @@ import (
 
 	"xks/internal/concurrent"
 	"xks/internal/exec"
+	"xks/internal/trace"
 )
 
 // ErrUnknownDocument is wrapped by document-filtered searches when the
@@ -151,6 +152,11 @@ type Results struct {
 	// Fragments holds everything finished in time, and Cursor resumes
 	// from the first fragment that was not.
 	Truncated bool
+	// Truncation says which stage the deadline expired in when Truncated
+	// is set (TruncNone otherwise): TruncCandidates means the candidate
+	// fan-out did not finish (empty page, unknown total), TruncMaterialize
+	// means a partial page of finished fragments.
+	Truncation TruncationReason
 	// PerDocument counts fragments per document (documents with zero
 	// matches included).
 	PerDocument map[string]int
@@ -180,6 +186,7 @@ func (r *Result) AsCorpus(doc string) *Results {
 		PerDocument: map[string]int{doc: len(r.Fragments)},
 		Cursor:      r.Cursor,
 		Truncated:   r.Truncated,
+		Truncation:  r.Truncation,
 		NextOffset:  r.NextOffset,
 	}
 	for _, f := range r.Fragments {
@@ -233,17 +240,25 @@ func (c *Corpus) Search(ctx context.Context, req Request) (*Results, error) {
 	outs, selected, merged, err := c.gather(ctx, req)
 	if err != nil {
 		if req.Budget == BestEffort && errors.Is(err, context.DeadlineExceeded) {
-			out := &Results{Query: req.Query, PerDocument: map[string]int{},
-				Truncated: true, NextOffset: -1, Stats: Stats{Elapsed: time.Since(start)}}
+			// The candidate fan-out did not finish: gather still returns the
+			// envelope aggregated over the documents that completed, so the
+			// truncated page carries real partial stats instead of a zero
+			// struct.
+			merged.Truncated = true
+			merged.Truncation = TruncCandidates
+			merged.Stats.Elapsed = time.Since(start)
 			// Truncated before selection finished: the total is unknown,
 			// but the page resumes from its own start — an empty cursor
 			// would read as "exhausted" and silently end the scroll.
-			truncationCursor(&out.NextOffset, &out.Cursor, req, gen)
-			return out, nil
+			truncationCursor(&merged.NextOffset, &merged.Cursor, req, gen)
+			return merged, nil
 		}
 		return nil, err
 	}
 
+	sp := trace.SpanFromContext(ctx)
+	matSp := sp.Child("materialize")
+	matStart := time.Now()
 	materialize := func(cand *exec.Candidate) (CorpusFragment, error) {
 		o := outs[cand.Doc]
 		return CorpusFragment{Document: o.name, Fragment: o.eng.materialize(cand, o.plan, o.params)}, nil
@@ -266,6 +281,7 @@ func (c *Corpus) Search(ctx context.Context, req Request) (*Results, error) {
 			if err != nil {
 				if errors.Is(err, context.DeadlineExceeded) {
 					merged.Truncated = true
+					merged.Truncation = TruncMaterialize
 					break
 				}
 				return nil, err
@@ -281,6 +297,14 @@ func (c *Corpus) Search(ctx context.Context, req Request) (*Results, error) {
 			return nil, err
 		}
 	}
+	merged.Stats.Stages.Materialize = time.Since(matStart)
+	var prunedNodes int64
+	for _, f := range frags {
+		prunedNodes += int64(f.Pruned)
+	}
+	matSp.SetInt("fragments", int64(len(frags)))
+	matSp.SetInt("prunedNodes", prunedNodes)
+	matSp.End()
 	if len(frags) > 0 {
 		merged.Fragments = frags
 	}
@@ -313,12 +337,19 @@ type docOut struct {
 // or assembled yet), and the result envelope with stats and PerDocument
 // filled. Search and Stream differ only in how they materialize the
 // selection. req must already be cursor-resolved and clamped; ctx carries
-// any deadline.
+// any deadline (and the trace span, when the request is traced).
+//
+// On error the envelope still comes back non-nil, aggregated over the
+// documents whose candidate stage completed before the failure, so a
+// BestEffort truncation reports the work actually done (keywords, partial
+// candidate counts, stage timings) instead of a zero Stats struct.
 func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Candidate, *Results, error) {
 	mergedLimit := req.Limit // applied to the merged selection; per-doc stages stay complete
 	docReq := req
 	docReq.Limit, docReq.Offset = 0, 0
 	docReq.Timeout = 0 // already applied to ctx
+
+	sp := trace.SpanFromContext(ctx)
 
 	// Streaming merge: with Rank and a limit, workers offer candidates into
 	// the shared bounded heap as each document's candidate stage finishes;
@@ -336,10 +367,16 @@ func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Can
 	for i := range docIdx {
 		docIdx[i] = i
 	}
+	candSp := sp.Child("candidates")
+	candStart := time.Now()
 	outs, err := concurrent.MapCtx(ctx, docIdx, c.Workers, func(i int) (docOut, error) {
 		name := c.names[i]
 		eng := c.engines[name]
-		p, cands, err := eng.searchCandidates(ctx, docReq, i)
+		// Each document gets its own child span (concurrent-safe); the
+		// engine's plan and the lca/rtf sub-stages hang under it.
+		docSp := candSp.Child("doc:" + name)
+		p, cands, err := eng.searchCandidates(trace.ContextWithSpan(ctx, docSp), docReq, i)
+		docSp.End()
 		if err != nil {
 			if ctx.Err() != nil {
 				return docOut{}, err // the shared context failed; no document to blame
@@ -354,27 +391,41 @@ func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Can
 		}
 		return out, nil
 	})
-	if err != nil {
-		return nil, nil, nil, err
-	}
 
 	merged := &Results{Query: req.Query, PerDocument: map[string]int{}, NextOffset: -1}
+	// Per-document planning runs inside the concurrent fan-out, so the
+	// corpus-level breakdown folds Plan into Candidates (the per-document
+	// split is still visible in the trace span tree).
+	merged.Stats.Stages.Candidates = time.Since(candStart)
 	// concurrent.MapCtx returns results in job order, so ranging over outs
 	// aggregates in document insertion order regardless of which worker
-	// finished first.
-	for i, o := range outs {
-		if i == 0 {
+	// finished first. Under cancellation the fan-out may have died
+	// mid-flight; completed entries (eng != nil) still aggregate so a
+	// truncated page carries real partial stats.
+	for _, o := range outs {
+		if o.eng == nil {
+			continue
+		}
+		if merged.Stats.Keywords == nil {
 			merged.Stats.Keywords = o.plan.Keywords
 		}
 		merged.Stats.KeywordNodes += o.plan.KeywordNodes()
 		merged.Stats.NumLCAs += o.n
 		merged.PerDocument[o.name] = o.n
 	}
+	candSp.SetInt("documents", int64(len(c.names)))
+	candSp.SetInt("candidates", int64(merged.Stats.NumLCAs))
+	candSp.End()
+	if err != nil {
+		return outs, nil, merged, err
+	}
 
 	// Select across documents. Candidates are cheap handles; nothing has
 	// been pruned or assembled yet. The streamed heap already holds the
 	// ranked pagination window; the remaining shapes run the same Select
 	// the single-document path uses, over the document-order concatenation.
+	selSp := sp.Child("select")
+	selStart := time.Now()
 	var selected []*exec.Candidate
 	if topk != nil {
 		selected = exec.Page(topk.Ranked(), req.Offset, mergedLimit)
@@ -385,6 +436,11 @@ func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Can
 		}
 		selected = exec.Select(all, exec.Params{Rank: req.Rank, Limit: mergedLimit, Offset: req.Offset})
 	}
+	merged.Stats.Stages.Select = time.Since(selStart)
+	merged.Stats.Selected = len(selected)
+	selSp.SetInt("candidates", int64(merged.Stats.NumLCAs))
+	selSp.SetInt("selected", int64(len(selected)))
+	selSp.End()
 	return outs, selected, merged, nil
 }
 
@@ -438,33 +494,46 @@ func (c *Corpus) Stream(ctx context.Context, req Request) (iter.Seq2[CorpusFragm
 		outs, selected, merged, err := c.gather(ctx, req)
 		if err != nil {
 			if req.Budget == BestEffort && errors.Is(err, context.DeadlineExceeded) {
+				// Partial stats from the documents that finished (see
+				// gather) instead of an Elapsed-only zero struct.
+				res.Stats = merged.Stats
+				res.PerDocument = merged.PerDocument
 				res.Truncated = true
+				res.Truncation = TruncCandidates
 				truncationCursor(&res.NextOffset, &res.Cursor, req, gen)
 				return
 			}
 			yield(CorpusFragment{}, err)
 			return
 		}
-		res.Stats.Keywords = merged.Stats.Keywords
-		res.Stats.KeywordNodes = merged.Stats.KeywordNodes
-		res.Stats.NumLCAs = merged.Stats.NumLCAs
+		res.Stats = merged.Stats
 		res.PerDocument = merged.PerDocument
 
+		sp := trace.SpanFromContext(ctx)
+		matSp := sp.Child("materialize")
 		yielded, lastDoc, lastSeq := 0, 0, 0
+		var prunedNodes int64
 		defer func() {
+			matSp.SetInt("fragments", int64(yielded))
+			matSp.SetInt("prunedNodes", prunedNodes)
+			matSp.End()
 			pageCursor(&res.NextOffset, &res.Cursor, req, gen, yielded, res.Stats.NumLCAs, lastDoc, lastSeq, res.Truncated)
 		}()
 		for _, cand := range selected {
 			if cerr := ctx.Err(); cerr != nil {
 				if req.Budget == BestEffort && errors.Is(cerr, context.DeadlineExceeded) {
 					res.Truncated = true
+					res.Truncation = TruncMaterialize
 					return
 				}
 				yield(CorpusFragment{}, cerr)
 				return
 			}
 			o := outs[cand.Doc]
+			matStart := time.Now()
 			cf := CorpusFragment{Document: o.name, Fragment: o.eng.materialize(cand, o.plan, o.params)}
+			res.Stats.Stages.Materialize += time.Since(matStart)
+			prunedNodes += int64(cf.Pruned)
 			yielded, lastDoc, lastSeq = yielded+1, cand.Doc, cand.Seq
 			if !yield(cf, nil) {
 				return

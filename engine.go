@@ -44,6 +44,7 @@ import (
 	"xks/internal/rank"
 	"xks/internal/snippet"
 	"xks/internal/store"
+	"xks/internal/trace"
 	"xks/internal/xmltree"
 )
 
@@ -219,6 +220,43 @@ func (e *Engine) Index() *index.Index { return e.ix }
 // (internal/service) compare generations to detect stale cached results.
 func (e *Engine) Generation() uint64 { return e.gen.Load() }
 
+// StageStats breaks one search's wall-clock time down by pipeline stage
+// (plan → candidates → select → materialize; see internal/exec). The
+// timings are recorded on every search — no tracing required, and the
+// struct is a value, so the breakdown is allocation-free. For corpus
+// searches Plan is folded into Candidates: per-document planning runs
+// inside the concurrent candidate fan-out, so the two are not separable at
+// the corpus level (the per-document split is still visible in the trace
+// span tree when the request is traced). Materialize accumulates the time
+// spent assembling fragments, which for streaming consumers excludes the
+// time the consumer held the iterator between fragments.
+type StageStats struct {
+	Plan        time.Duration
+	Candidates  time.Duration
+	Select      time.Duration
+	Materialize time.Duration
+}
+
+// TruncationReason says why a BestEffort page was cut short — the
+// machine-readable counterpart of the Truncated flag, so clients and
+// dashboards can distinguish a deadline that expired during the candidate
+// fan-out (empty page, unknown total) from one that expired between
+// materializations (partial page).
+type TruncationReason string
+
+const (
+	// TruncNone: the page was not truncated.
+	TruncNone TruncationReason = ""
+	// TruncCandidates: the BestEffort deadline expired during the plan or
+	// candidate stage, before selection finished. The page is empty, the
+	// total is unknown, and the cursor resumes from the page's own start.
+	TruncCandidates TruncationReason = "deadline-candidates"
+	// TruncMaterialize: the BestEffort deadline expired during the
+	// materialize stage. The page holds every fragment that finished in
+	// time and the cursor resumes after the last one.
+	TruncMaterialize TruncationReason = "deadline-materialize"
+)
+
 // Stats summarizes one search execution.
 type Stats struct {
 	// Keywords are the normalized query keywords in mask-bit order.
@@ -227,9 +265,14 @@ type Stats struct {
 	KeywordNodes int
 	// NumLCAs is the number of fragment roots (|A| in §5.1).
 	NumLCAs int
+	// Selected is the number of candidates selected into the pagination
+	// window — the fragments the search materializes when fully drained.
+	Selected int
 	// Elapsed is the wall-clock time of the LCA + RTF + prune pipeline
 	// (excluding index construction, matching the paper's measurement).
 	Elapsed time.Duration
+	// Stages is the per-stage breakdown of Elapsed.
+	Stages StageStats
 }
 
 // Result is the outcome of one single-document search: the same envelope
@@ -250,6 +293,9 @@ type Result struct {
 	// Fragments holds everything finished in time, and Cursor resumes
 	// from the first fragment that was not.
 	Truncated bool
+	// Truncation says which stage the deadline expired in when Truncated
+	// is set (TruncNone otherwise).
+	Truncation TruncationReason
 	// NextOffset is the Request.Offset of the next page when the result
 	// set extends past this one, and -1 when it is exhausted.
 	//
@@ -281,18 +327,6 @@ func (e *Engine) Search(ctx context.Context, req Request) (*Result, error) {
 		}
 	}
 	return trailer(), nil
-}
-
-// selection runs the candidate and select stages for one planned request:
-// the shared middle of Search and Fragments. total is the candidate count
-// before paging (|A|, the NumLCAs statistic).
-func (e *Engine) selection(ctx context.Context, p exec.Plan, req Request) (params exec.Params, total int, selected []*exec.Candidate, err error) {
-	params = e.params(req)
-	cands, err := exec.Candidates(ctx, p, params, 0)
-	if err != nil {
-		return params, 0, nil, err
-	}
-	return params, len(cands), exec.Select(cands, params), nil
 }
 
 // Fragments is the streaming variant of Search: it runs plan, candidates
@@ -345,8 +379,18 @@ func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[
 		ctx, cancel := req.applyTimeout(ctx)
 		defer cancel()
 
+		// One child span per stage when the request is traced; a nil span
+		// (the untraced common case) makes every call below a free no-op.
+		sp := trace.SpanFromContext(ctx)
+
+		planSp := sp.Child("plan")
+		planStart := time.Now()
 		p, err := e.plan(req.Query)
+		res.Stats.Stages.Plan = time.Since(planStart)
 		res.Stats.Keywords = p.Keywords
+		planSp.SetInt("keywordNodes", int64(p.KeywordNodes()))
+		planSp.SetInt("terms", int64(len(p.Keywords)))
+		planSp.End()
 		if err != nil {
 			var nm *index.ErrNoMatch
 			if errors.As(err, &nm) {
@@ -359,7 +403,11 @@ func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[
 
 		start := time.Now()
 		defer func() { res.Stats.Elapsed = time.Since(start) }()
-		params, total, selected, err := e.selection(ctx, p, req)
+		params := e.params(req)
+		candSp := sp.Child("candidates")
+		cands, err := exec.Candidates(trace.ContextWithSpan(ctx, candSp), p, params, 0)
+		res.Stats.Stages.Candidates = time.Since(start)
+		candSp.End()
 		if err != nil {
 			if req.Budget == BestEffort && errors.Is(err, context.DeadlineExceeded) {
 				// Truncated before selection finished: the total is
@@ -367,27 +415,47 @@ func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[
 				// start — an empty cursor here would read as "exhausted"
 				// and silently end the scroll.
 				res.Truncated = true
+				res.Truncation = TruncCandidates
 				truncationCursor(&res.NextOffset, &res.Cursor, req, gen)
 				return
 			}
 			yield(nil, err)
 			return
 		}
+		total := len(cands)
+		selSp := sp.Child("select")
+		selStart := time.Now()
+		selected := exec.Select(cands, params)
+		res.Stats.Stages.Select = time.Since(selStart)
+		selSp.SetInt("candidates", int64(total))
+		selSp.SetInt("selected", int64(len(selected)))
+		selSp.End()
 		res.Stats.NumLCAs = total
+		res.Stats.Selected = len(selected)
+
+		matSp := sp.Child("materialize")
 		yielded, lastDoc, lastSeq := 0, 0, 0
+		var prunedNodes int64
 		defer func() {
+			matSp.SetInt("fragments", int64(yielded))
+			matSp.SetInt("prunedNodes", prunedNodes)
+			matSp.End()
 			pageCursor(&res.NextOffset, &res.Cursor, req, gen, yielded, total, lastDoc, lastSeq, res.Truncated)
 		}()
 		for _, c := range selected {
 			if err := ctx.Err(); err != nil {
 				if req.Budget == BestEffort && errors.Is(err, context.DeadlineExceeded) {
 					res.Truncated = true
+					res.Truncation = TruncMaterialize
 					return
 				}
 				yield(nil, err)
 				return
 			}
+			matStart := time.Now()
 			f := e.materialize(c, p, params)
+			res.Stats.Stages.Materialize += time.Since(matStart)
+			prunedNodes += int64(f.Pruned)
 			if keep {
 				res.Fragments = append(res.Fragments, f)
 			}
@@ -434,7 +502,12 @@ func (e *Engine) params(req Request) exec.Params {
 // keyword yields an empty candidate list, not an error, mirroring Search;
 // doc tags the candidates for corpus merges.
 func (e *Engine) searchCandidates(ctx context.Context, req Request, doc int) (exec.Plan, []*exec.Candidate, error) {
+	sp := trace.SpanFromContext(ctx)
+	planSp := sp.Child("plan")
 	p, err := e.plan(req.Query)
+	planSp.SetInt("keywordNodes", int64(p.KeywordNodes()))
+	planSp.SetInt("terms", int64(len(p.Keywords)))
+	planSp.End()
 	if err != nil {
 		var nm *index.ErrNoMatch
 		if errors.As(err, &nm) {
@@ -535,6 +608,7 @@ func (e *Engine) materialize(c *exec.Candidate, p exec.Plan, params exec.Params)
 		RootLabel: e.src.labelOfID(c.RTF.Root),
 		IsSLCA:    c.IsSLCA,
 		Score:     c.Score,
+		Pruned:    kept.Visited - len(kept.Kept),
 		rootCode:  rootCode,
 		kept:      kept.Kept,
 		src:       e.src,

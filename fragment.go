@@ -37,6 +37,10 @@ type Fragment struct {
 	Nodes []FragmentNode
 	// Score is the ranking score (populated when Options.Rank is set).
 	Score float64
+	// Pruned is the number of nodes the pruning mechanism removed from the
+	// unpruned fragment tree (so Pruned+len(Nodes) is the tree's full
+	// size) — the per-fragment effectiveness number tracing reports.
+	Pruned int
 
 	rootCode dewey.Code
 	// kept is the ordered (pre-order) keep-set from pruning, carried

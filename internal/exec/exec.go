@@ -43,6 +43,7 @@ import (
 	"xks/internal/nid"
 	"xks/internal/prune"
 	"xks/internal/rtf"
+	"xks/internal/trace"
 )
 
 // scoreCheckInterval is the number of candidates scored between context
@@ -147,19 +148,28 @@ func Candidates(ctx context.Context, p Plan, params Params, doc int) ([]*Candida
 		return nil, err
 	}
 	t := params.Tab
+	// Traced requests get one child span per sub-stage (getLCA, getRTF),
+	// each annotated by the stage itself with its event counters; untraced
+	// requests pay one nil context lookup and no allocations.
+	sp := trace.SpanFromContext(ctx)
 	var (
 		roots []nid.ID
 		err   error
 	)
+	lcaSp := sp.Child("lca")
+	lctx := trace.ContextWithSpan(ctx, lcaSp)
 	if params.SLCAOnly {
-		roots, err = lca.SLCAIDsCtx(ctx, t, p.Sets)
+		roots, err = lca.SLCAIDsCtx(lctx, t, p.Sets)
 	} else {
-		roots, err = lca.ELCAStackMergeIDsCtx(ctx, t, p.Sets)
+		roots, err = lca.ELCAStackMergeIDsCtx(lctx, t, p.Sets)
 	}
+	lcaSp.End()
 	if err != nil {
 		return nil, err
 	}
-	rtfs, err := rtf.BuildIDsCtx(ctx, t, roots, p.Sets)
+	rtfSp := sp.Child("rtf")
+	rtfs, err := rtf.BuildIDsCtx(trace.ContextWithSpan(ctx, rtfSp), t, roots, p.Sets)
+	rtfSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -179,6 +189,7 @@ func Candidates(ctx context.Context, p Plan, params Params, doc int) ([]*Candida
 		}
 		out[i] = c
 	}
+	sp.SetInt("candidates", int64(len(out)))
 	return out, nil
 }
 

@@ -14,8 +14,10 @@
 //	GET /search?q=keyword+query[&doc=name][&algo=validrtf|maxmatch|raw]
 //	           [&slca=1][&rank=1][&limit=N][&cursor=tok][&offset=N]
 //	           [&timeout=dur][&budget=best-effort][&snippets=1][&stream=1]
+//	           [&explain=1]
 //	GET /documents
 //	GET /stats
+//	GET /metrics
 //	GET /healthz
 //
 // Error mapping: malformed parameters and unsearchable queries
@@ -32,7 +34,8 @@
 // shift under a concurrent append. The "next"/offset= raw-offset pair
 // remains as a deprecated shim. With budget=best-effort, a deadline that
 // expires mid-page returns the fragments finished so far with
-// "truncated":true (and a cursor to resume) instead of a 504.
+// "truncated":true (plus a machine-readable "truncation" reason naming the
+// stage the deadline expired in, and a cursor to resume) instead of a 504.
 //
 // Streaming: stream=1 switches /search to NDJSON chunked output — one
 // fragment object per line, written (and flushed, when the ResponseWriter
@@ -41,20 +44,35 @@
 // carrying the cursor, stats, and the truncation marker. A mid-stream
 // failure appears as a trailer with an "error" field, since the 200 status
 // is already on the wire.
+//
+// Observability: explain=1 attaches a trace (internal/trace) to the
+// request and returns the finished span tree — per-stage wall times,
+// candidate counts, cache disposition, per-document fan-out — as the
+// "explain" field of the response (or of the NDJSON trailer with
+// stream=1). GET /metrics serves the service counters, the request-latency
+// histogram, and the per-stage pipeline histograms in the Prometheus text
+// exposition format — the same atomics /stats reports as JSON. Every
+// request carries an X-Request-Id (the caller's, or a generated one), and
+// when Options.Logger is set each request emits one structured access
+// line; Options.SlowQuery additionally traces every search and logs the
+// full explain tree for those slower than the threshold.
 package httpapi
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
 
 	"xks"
 	"xks/internal/service"
+	"xks/internal/trace"
 )
 
 // MaxTimeout caps the timeout= parameter so a client cannot pin a worker
@@ -64,6 +82,19 @@ const MaxTimeout = 30 * time.Second
 // MaxPageParam caps limit= and offset= so a crafted request cannot ask the
 // pipeline for an absurd pagination window.
 const MaxPageParam = 1 << 20
+
+// Options configures the optional observability surfaces of the handler.
+// The zero value (and a nil *Options) disables them all: no access log, no
+// slow-query log — explain=1 and /metrics are always available.
+type Options struct {
+	// Logger receives one structured access line per request, plus
+	// slow-query reports and JSON encoding failures. nil disables logging.
+	Logger *slog.Logger
+	// SlowQuery, when positive, traces every /search request and logs the
+	// full explain tree (via Logger) for those that take at least this
+	// long end to end.
+	SlowQuery time.Duration
+}
 
 // Fragment is the JSON shape of one result fragment.
 type Fragment struct {
@@ -92,6 +123,10 @@ type Response struct {
 	// Truncated reports a best-effort deadline expiring mid-page: the
 	// fragments below are everything that finished in time.
 	Truncated bool `json:"truncated,omitempty"`
+	// Truncation names the stage the deadline expired in when Truncated is
+	// set: "deadline-candidates" (empty page, unknown total) or
+	// "deadline-materialize" (partial page of finished fragments).
+	Truncation string `json:"truncation,omitempty"`
 	// Next is the offset= of the next page.
 	//
 	// Deprecated: resume with Cursor, which fails loudly (410) instead of
@@ -99,20 +134,25 @@ type Response struct {
 	Next        string         `json:"next,omitempty"`
 	PerDocument map[string]int `json:"perDocument,omitempty"`
 	Fragments   []Fragment     `json:"fragments"`
+	// Explain is the finished trace span tree, present with explain=1.
+	Explain *trace.SpanJSON `json:"explain,omitempty"`
 }
 
 // StreamTrailer is the final NDJSON record of a stream=1 search — the
 // envelope for the fragment lines above it. Error is set when the stream
 // failed after the 200 status was already committed.
 type StreamTrailer struct {
-	Trailer   bool     `json:"trailer"` // always true; marks the record
-	Cursor    string   `json:"cursor,omitempty"`
-	Next      string   `json:"next,omitempty"` // deprecated offset shim
-	Truncated bool     `json:"truncated,omitempty"`
-	Keywords  []string `json:"keywords,omitempty"`
-	NumLCAs   int      `json:"numLcas"`
-	ElapsedMS float64  `json:"elapsedMs"`
-	Error     string   `json:"error,omitempty"`
+	Trailer    bool     `json:"trailer"` // always true; marks the record
+	Cursor     string   `json:"cursor,omitempty"`
+	Next       string   `json:"next,omitempty"` // deprecated offset shim
+	Truncated  bool     `json:"truncated,omitempty"`
+	Truncation string   `json:"truncation,omitempty"`
+	Keywords   []string `json:"keywords,omitempty"`
+	NumLCAs    int      `json:"numLcas"`
+	ElapsedMS  float64  `json:"elapsedMs"`
+	Error      string   `json:"error,omitempty"`
+	// Explain is the finished trace span tree, present with explain=1.
+	Explain *trace.SpanJSON `json:"explain,omitempty"`
 }
 
 // DocumentsResponse is the JSON shape of /documents.
@@ -204,8 +244,111 @@ func status(err error) int {
 	}
 }
 
-// NewHandler builds the API router over the service. logger may be nil.
-func NewHandler(svc *service.Service, logger *log.Logger) http.Handler {
+// reqMeta is the per-request bookkeeping the handlers fill in for the
+// access line: the request ID and the serving dispositions worth logging.
+type reqMeta struct {
+	id        string
+	cached    bool
+	truncated bool
+}
+
+type metaKey struct{}
+
+// metaFrom returns the request's bookkeeping record, or nil outside the
+// middleware (e.g. a handler invoked directly in tests).
+func metaFrom(ctx context.Context) *reqMeta {
+	m, _ := ctx.Value(metaKey{}).(*reqMeta)
+	return m
+}
+
+// requestID returns the request's ID, or "" outside the middleware.
+func requestID(ctx context.Context) string {
+	if m := metaFrom(ctx); m != nil {
+		return m.id
+	}
+	return ""
+}
+
+// newRequestID generates a 16-hex-digit random request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status and byte count for the access
+// line. It always implements http.Flusher — delegating when the wrapped
+// writer supports it, no-op otherwise — so the NDJSON streaming path keeps
+// its per-fragment flushes through the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withObservability wraps the router with the request-ID middleware and,
+// when logger is non-nil, one structured access line per request.
+func withObservability(next http.Handler, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		meta := &reqMeta{id: r.Header.Get("X-Request-Id")}
+		if meta.id == "" {
+			meta.id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", meta.id)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), metaKey{}, meta)))
+		if logger == nil {
+			return
+		}
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("requestId", meta.id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("query", r.URL.RawQuery),
+			slog.Int("status", sw.status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("duration", time.Since(start)),
+			slog.Bool("cached", meta.cached),
+			slog.Bool("truncated", meta.truncated),
+		)
+	})
+}
+
+// NewHandler builds the API router over the service. opts may be nil (no
+// access or slow-query logging; explain=1 and /metrics work regardless).
+func NewHandler(svc *service.Service, opts *Options) http.Handler {
+	if opts == nil {
+		opts = &Options{}
+	}
+	logger := opts.Logger
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -221,7 +364,12 @@ func NewHandler(svc *service.Service, logger *log.Logger) http.Handler {
 			Server:       svc.Metrics().Snapshot(),
 		})
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		svc.WritePrometheus(w)
+	})
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		req, withSnippets, err := parseRequest(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -238,8 +386,32 @@ func NewHandler(svc *service.Service, logger *log.Logger) http.Handler {
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 
+		// explain=1 returns the span tree to the client; a slow-query
+		// threshold traces every search so the ones that cross it can be
+		// logged with their full breakdown.
+		explain := r.URL.Query().Get("explain") == "1"
+		var tr *trace.Trace
+		if explain || opts.SlowQuery > 0 {
+			tr = trace.New("search")
+			tr.Root().SetStr("algorithm", req.Algorithm.String())
+			ctx = trace.NewContext(ctx, tr)
+		}
+		defer func() {
+			if tr == nil || opts.SlowQuery <= 0 || logger == nil {
+				return
+			}
+			if d := time.Since(start); d >= opts.SlowQuery {
+				logger.LogAttrs(r.Context(), slog.LevelWarn, "slow query",
+					slog.String("requestId", requestID(r.Context())),
+					slog.String("query", req.Query),
+					slog.Duration("duration", d),
+					slog.String("explain", tr.Root().Text()),
+				)
+			}
+		}()
+
 		if r.URL.Query().Get("stream") == "1" {
-			streamSearch(ctx, w, svc, req, withSnippets)
+			streamSearch(ctx, w, svc, req, withSnippets, explain, tr)
 			return
 		}
 
@@ -252,6 +424,12 @@ func NewHandler(svc *service.Service, logger *log.Logger) http.Handler {
 			http.Error(w, err.Error(), status(err))
 			return
 		}
+		if m := metaFrom(r.Context()); m != nil {
+			m.cached, m.truncated = cached, res.Truncated
+		}
+		if res.Truncation != "" {
+			tr.Root().SetStr("truncation", string(res.Truncation))
+		}
 		resp := Response{
 			Query:       req.Query,
 			Keywords:    res.Stats.Keywords,
@@ -261,6 +439,7 @@ func NewHandler(svc *service.Service, logger *log.Logger) http.Handler {
 			Offset:      req.Offset,
 			Cursor:      string(res.Cursor),
 			Truncated:   res.Truncated,
+			Truncation:  string(res.Truncation),
 			PerDocument: res.PerDocument,
 		}
 		if res.NextOffset >= 0 {
@@ -269,9 +448,13 @@ func NewHandler(svc *service.Service, logger *log.Logger) http.Handler {
 		for _, f := range res.Fragments {
 			resp.Fragments = append(resp.Fragments, ToFragment(f, withSnippets))
 		}
+		if explain {
+			tr.Finish()
+			resp.Explain = tr.Root().JSON()
+		}
 		writeJSON(w, logger, resp)
 	})
-	return mux
+	return withObservability(mux, logger)
 }
 
 // streamSearch serves /search?stream=1: NDJSON chunked output driven
@@ -279,8 +462,8 @@ func NewHandler(svc *service.Service, logger *log.Logger) http.Handler {
 // flushed as it materializes, then one StreamTrailer record. Errors before
 // the first fragment still map to proper status codes (400/404/410/504);
 // a failure after bytes are on the wire becomes a trailer with its "error"
-// field set.
-func streamSearch(ctx context.Context, w http.ResponseWriter, svc *service.Service, req xks.Request, withSnippets bool) {
+// field set. With explain set, the trailer carries tr's finished span tree.
+func streamSearch(ctx context.Context, w http.ResponseWriter, svc *service.Service, req xks.Request, withSnippets, explain bool, tr *trace.Trace) {
 	seq, trailer := svc.Stream(ctx, req)
 	var (
 		enc     *json.Encoder
@@ -316,7 +499,19 @@ func streamSearch(ctx context.Context, w http.ResponseWriter, svc *service.Servi
 	if !wrote {
 		begin()
 	}
-	enc.Encode(ToStreamTrailer(trailer()))
+	t := trailer()
+	if m := metaFrom(ctx); m != nil {
+		m.truncated = t.Truncated
+	}
+	if t.Truncation != "" {
+		tr.Root().SetStr("truncation", string(t.Truncation))
+	}
+	st := ToStreamTrailer(t)
+	if explain {
+		tr.Finish()
+		st.Explain = tr.Root().JSON()
+	}
+	enc.Encode(st)
 	flush(flusher)
 }
 
@@ -349,12 +544,13 @@ func ToFragment(f xks.CorpusFragment, withSnippets bool) Fragment {
 // — the single source of the trailer format, shared with cmd/xksearch.
 func ToStreamTrailer(t *xks.Results) StreamTrailer {
 	tr := StreamTrailer{
-		Trailer:   true,
-		Cursor:    string(t.Cursor),
-		Truncated: t.Truncated,
-		Keywords:  t.Stats.Keywords,
-		NumLCAs:   t.Stats.NumLCAs,
-		ElapsedMS: float64(t.Stats.Elapsed.Microseconds()) / 1000.0,
+		Trailer:    true,
+		Cursor:     string(t.Cursor),
+		Truncated:  t.Truncated,
+		Truncation: string(t.Truncation),
+		Keywords:   t.Stats.Keywords,
+		NumLCAs:    t.Stats.NumLCAs,
+		ElapsedMS:  float64(t.Stats.Elapsed.Microseconds()) / 1000.0,
 	}
 	if t.NextOffset >= 0 {
 		tr.Next = strconv.Itoa(t.NextOffset)
@@ -362,9 +558,9 @@ func ToStreamTrailer(t *xks.Results) StreamTrailer {
 	return tr
 }
 
-func writeJSON(w http.ResponseWriter, logger *log.Logger, v any) {
+func writeJSON(w http.ResponseWriter, logger *slog.Logger, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil && logger != nil {
-		logger.Printf("httpapi: encode: %v", err)
+		logger.Warn("httpapi: encode failed", slog.String("error", err.Error()))
 	}
 }

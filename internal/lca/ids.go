@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"xks/internal/nid"
+	"xks/internal/trace"
 )
 
 // ctxCheckInterval is the number of merge events (or outer iterations)
@@ -177,6 +178,7 @@ func elcaStackMergeIDs(ctx context.Context, t *nid.Table, sets [][]nid.ID) ([]ni
 			subtree = subtree[:top]
 		}
 	}
+	events := 0
 	for n := 0; ; n++ {
 		if ctx != nil && n%ctxCheckInterval == ctxCheckInterval-1 {
 			if err := ctx.Err(); err != nil {
@@ -187,6 +189,7 @@ func elcaStackMergeIDs(ctx context.Context, t *nid.Table, sets [][]nid.ID) ([]ni
 		if !ok {
 			break
 		}
+		events++
 		l := 0
 		if len(ids) > 0 {
 			l = int(t.LCADepth(ids[len(ids)-1], ev.ID)) + 1
@@ -207,6 +210,12 @@ func elcaStackMergeIDs(ctx context.Context, t *nid.Table, sets [][]nid.ID) ([]ni
 	}
 	pop(0)
 	sortIDs(result)
+	// One report per merge, never per event: the span lookup is a single
+	// context read, free when the request is untraced.
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		sp.SetInt("mergeEvents", int64(events))
+		sp.SetInt("roots", int64(len(result)))
+	}
 	return result, nil
 }
 
@@ -266,7 +275,12 @@ func slcaIDs(ctx context.Context, t *nid.Table, sets [][]nid.ID) ([]nid.ID, erro
 	}
 	sortIDs(candidates)
 	candidates = dedupIDs(candidates)
-	return removeAncestorIDs(t, candidates), nil
+	out := removeAncestorIDs(t, candidates)
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		sp.SetInt("mergeEvents", int64(len(sets[smallest])))
+		sp.SetInt("roots", int64(len(out)))
+	}
+	return out, nil
 }
 
 // closestID returns the node of the sorted list whose LCA with x is

@@ -502,6 +502,11 @@ type Result struct {
 	// KeptIDs parallels Kept with table IDs when the fragment was built
 	// over a node table (BuildFragmentIDs); nil otherwise.
 	KeptIDs []nid.ID
+	// Visited is the node count of the unpruned fragment tree, so
+	// Visited-len(Kept) is how many nodes the pruning mechanism removed —
+	// the per-fragment effectiveness number the explain/tracing surfaces
+	// report.
+	Visited int
 	keep    map[string]bool // lazy; see KeepSet
 }
 
@@ -560,7 +565,7 @@ func (f *Fragment) Prune(mode Mode, opts Options) *Result {
 		}
 	}
 	sortNodesDoc(kept)
-	res := &Result{Root: f.Root.Code, Kept: make([]dewey.Code, len(kept))}
+	res := &Result{Root: f.Root.Code, Kept: make([]dewey.Code, len(kept)), Visited: len(f.nodes)}
 	if f.tab != nil {
 		res.KeptIDs = make([]nid.ID, len(kept))
 	}

@@ -11,6 +11,7 @@ import (
 
 	"xks/internal/lca"
 	"xks/internal/nid"
+	"xks/internal/trace"
 )
 
 // ctxCheckInterval is the number of dispatched merge events between context
@@ -93,6 +94,13 @@ func buildIDs(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID)
 		if r.Mask() == full {
 			kept = append(kept, r)
 		}
+	}
+	// One report per build, never per event: free when the request is
+	// untraced (a single context read).
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		sp.SetInt("dispatchedEvents", int64(total))
+		sp.SetInt("coveringRTFs", int64(len(kept)))
+		sp.SetInt("partialRTFs", int64(len(out)-len(kept)))
 	}
 	return kept, nil
 }

@@ -3,11 +3,15 @@ package service
 import (
 	"sync/atomic"
 	"time"
+
+	"xks"
 )
 
 // latencyBounds are the histogram bucket upper bounds in microseconds,
 // roughly exponential from 50µs to 5s; a final implicit bucket catches
-// everything slower.
+// everything slower. One bucket layout backs every histogram the service
+// keeps — the request latency and the per-stage breakdowns — so the JSON
+// snapshot and the Prometheus exposition read from the same atomics.
 var latencyBounds = [...]uint64{
 	50, 100, 250, 500,
 	1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
@@ -16,6 +20,45 @@ var latencyBounds = [...]uint64{
 }
 
 const numBuckets = len(latencyBounds) + 1
+
+// histogram is a lock-free latency histogram over latencyBounds. The same
+// struct backs the request-latency histogram and the four per-stage
+// histograms; observations are independent per-bucket atomics, so reads
+// are only approximately consistent across buckets (fine for monitoring —
+// the Prometheus writer derives count from the bucket sum so each scrape
+// is self-consistent).
+type histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // microseconds
+	buckets [numBuckets]atomic.Uint64
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(us))
+	i := 0
+	for i < len(latencyBounds) && uint64(us) > latencyBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+}
+
+// Stage indices of Metrics.stages; stageNames are the Prometheus label
+// values, matching the span names the trace layer uses.
+const (
+	stagePlan = iota
+	stageCandidates
+	stageSelect
+	stageMaterialize
+	numStages
+)
+
+var stageNames = [numStages]string{"plan", "candidates", "select", "materialize"}
 
 // Metrics holds the live server counters. All fields are atomics, so the
 // hot path never takes a lock; Snapshot reads are lock-free and only
@@ -27,25 +70,30 @@ type Metrics struct {
 	misses    atomic.Uint64
 	collapsed atomic.Uint64
 	streamed  atomic.Uint64
+	truncated atomic.Uint64
 
-	latCount atomic.Uint64
-	latSum   atomic.Uint64 // microseconds
-	buckets  [numBuckets]atomic.Uint64
+	latency histogram
+	// stages breaks pipeline executions down by stage (indexed by the
+	// stage constants). Only real executions observe here — cache hits and
+	// collapsed joins never ran the stages, so they would dilute the
+	// distributions with zeros.
+	stages [numStages]histogram
 }
 
 // observe records one request latency in the histogram.
-func (m *Metrics) observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
+func (m *Metrics) observe(d time.Duration) { m.latency.observe(d) }
+
+// observeStages records one pipeline execution's per-stage durations and
+// its truncation outcome. Call only for executions that actually ran the
+// pipeline (not cache hits or collapsed joins).
+func (m *Metrics) observeStages(st xks.StageStats, truncated bool) {
+	m.stages[stagePlan].observe(st.Plan)
+	m.stages[stageCandidates].observe(st.Candidates)
+	m.stages[stageSelect].observe(st.Select)
+	m.stages[stageMaterialize].observe(st.Materialize)
+	if truncated {
+		m.truncated.Add(1)
 	}
-	m.latCount.Add(1)
-	m.latSum.Add(uint64(us))
-	i := 0
-	for i < len(latencyBounds) && uint64(us) > latencyBounds[i] {
-		i++
-	}
-	m.buckets[i].Add(1)
 }
 
 // Snapshot is a point-in-time JSON-friendly view of the metrics.
@@ -61,7 +109,10 @@ type Snapshot struct {
 	// Streamed counts requests served through the streaming path
 	// (Service.Stream), whether they replayed a cached page or drove the
 	// pipeline's lazy materialization directly.
-	Streamed     uint64  `json:"streamedRequests"`
+	Streamed uint64 `json:"streamedRequests"`
+	// Truncated counts pipeline executions cut short by a BestEffort
+	// deadline (partial or empty page served with Results.Truncated set).
+	Truncated    uint64  `json:"truncatedResults"`
 	AvgLatencyMS float64 `json:"avgLatencyMs"`
 	P50LatencyMS float64 `json:"p50LatencyMs"`
 	P95LatencyMS float64 `json:"p95LatencyMs"`
@@ -78,19 +129,20 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheMisses: m.misses.Load(),
 		Collapsed:   m.collapsed.Load(),
 		Streamed:    m.streamed.Load(),
+		Truncated:   m.truncated.Load(),
 	}
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
 	}
-	count := m.latCount.Load()
+	count := m.latency.count.Load()
 	if count == 0 {
 		return s
 	}
-	s.AvgLatencyMS = float64(m.latSum.Load()) / float64(count) / 1000.0
+	s.AvgLatencyMS = float64(m.latency.sum.Load()) / float64(count) / 1000.0
 	var counts [numBuckets]uint64
 	total := uint64(0)
 	for i := range counts {
-		counts[i] = m.buckets[i].Load()
+		counts[i] = m.latency.buckets[i].Load()
 		total += counts[i]
 	}
 	s.P50LatencyMS = quantile(counts[:], total, 0.50)

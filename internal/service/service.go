@@ -36,6 +36,7 @@ import (
 
 	"xks"
 	"xks/internal/lru"
+	"xks/internal/trace"
 )
 
 // Searcher is the search surface the service builds on. *xks.Corpus
@@ -232,23 +233,38 @@ func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.Result
 		return nil, false, err
 	}
 	key := cacheKey(req)
+	// Annotate the request's trace (when one is attached) with the serving
+	// decisions the pipeline itself cannot see; a nil span makes these
+	// free no-ops.
+	sp := trace.SpanFromContext(ctx)
+	sp.SetInt("generation", int64(gen))
 	if sv.cache != nil {
 		if hit, ok := sv.cache.Get(key, gen); ok {
 			sv.metrics.hits.Add(1)
+			sp.SetStr("cache", "hit")
 			return hit, true, nil
 		}
 		sv.metrics.misses.Add(1)
+		sp.SetStr("cache", "miss")
+	} else {
+		sp.SetStr("cache", "off")
 	}
 
 	res, shared, err := sv.flight.do(ctx, key, func() (*xks.Results, error) {
 		r, err := sv.searcher.Search(ctx, req)
-		if err == nil && sv.cache != nil && !r.Truncated {
-			sv.cache.Put(key, gen, r)
+		if err == nil {
+			// Only real executions feed the per-stage histograms; cache
+			// hits and collapsed joins never ran the stages.
+			sv.metrics.observeStages(r.Stats.Stages, r.Truncated)
+			if sv.cache != nil && !r.Truncated {
+				sv.cache.Put(key, gen, r)
+			}
 		}
 		return r, err
 	})
 	if shared {
 		sv.metrics.collapsed.Add(1)
+		sp.SetBool("collapsed", true)
 	}
 	if err != nil {
 		return nil, false, err
@@ -305,13 +321,19 @@ func (sv *Service) Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.C
 			return
 		}
 		key := cacheKey(req)
+		sp := trace.SpanFromContext(ctx)
+		sp.SetInt("generation", int64(gen))
 		if sv.cache != nil {
 			if hit, ok := sv.cache.Get(key, gen); ok {
 				sv.metrics.hits.Add(1)
+				sp.SetStr("cache", "hit")
 				*res = *replay(hit, req, gen, yield)
 				return
 			}
 			sv.metrics.misses.Add(1)
+			sp.SetStr("cache", "miss")
+		} else {
+			sp.SetStr("cache", "off")
 		}
 		// Join an identical buffered execution already in flight instead
 		// of running the pipeline a second time.
@@ -322,6 +344,7 @@ func (sv *Service) Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.C
 				return
 			}
 			sv.metrics.collapsed.Add(1)
+			sp.SetBool("collapsed", true)
 			*res = *replay(joined, req, gen, yield)
 			return
 		}
@@ -335,6 +358,7 @@ func (sv *Service) Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.C
 				yield(xks.CorpusFragment{}, serr)
 				return
 			}
+			sv.metrics.observeStages(r.Stats.Stages, r.Truncated)
 			if sv.cache != nil && !r.Truncated {
 				sv.cache.Put(key, gen, r)
 			}
@@ -367,6 +391,7 @@ func (sv *Service) Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.C
 			yield(xks.CorpusFragment{}, err)
 			return
 		}
+		sv.metrics.observeStages(t.Stats.Stages, t.Truncated)
 		if complete && collect && !t.Truncated {
 			full := *t
 			full.Fragments = page
