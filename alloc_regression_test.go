@@ -15,6 +15,7 @@ package xks
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"xks/internal/datagen"
@@ -124,6 +125,58 @@ func TestTracingOffAllocs(t *testing.T) {
 		if base != again {
 			t.Errorf("Candidates(%q) allocations unstable untraced: %.0f vs %.0f", q, base, again)
 		}
+	}
+}
+
+// allocBytesPerRun reports the average heap bytes one call of f allocates,
+// measured over runs calls on a quiesced heap.
+func allocBytesPerRun(runs int, f func()) int64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return int64(after.TotalAlloc-before.TotalAlloc) / int64(runs)
+}
+
+// TestDeferredEventsAllocBytes pins the score-without-events win: a ranked
+// candidate stage that defers event materialization (what ranked+limited
+// engine searches and every ranked corpus fan-out run) must allocate
+// meaningfully fewer heap bytes than the eager stage, because candidates
+// that will never be materialized never get their per-candidate
+// keyword-event lists built — scores come from the shared accumulator
+// arena. The byte dimension matters here: the eager path's cost is a few
+// large event slices, not many small objects, so an object count alone
+// would miss a regression.
+func TestDeferredEventsAllocBytes(t *testing.T) {
+	e, queries := allocEngine(t)
+	eager := e.params(Request{Rank: true})
+	deferred := eager
+	deferred.DeferEvents = true
+	var eagerBytes, deferredBytes int64
+	for _, q := range queries {
+		p, err := e.plan(q)
+		if err != nil {
+			t.Fatalf("plan(%q): %v", q, err)
+		}
+		eagerBytes += allocBytesPerRun(20, func() {
+			exec.Candidates(context.Background(), p, eager, 0) //nolint:errcheck
+		})
+		deferredBytes += allocBytesPerRun(20, func() {
+			exec.Candidates(context.Background(), p, deferred, 0) //nolint:errcheck
+		})
+	}
+	if deferredBytes >= eagerBytes {
+		t.Fatalf("deferred candidate stage allocates %d bytes per query mix, eager %d — no win",
+			deferredBytes, eagerBytes)
+	}
+	// The measured win on the DBLP mix is well past half; require a fifth
+	// so noise cannot mask a real regression without tripping on jitter.
+	if float64(deferredBytes) > 0.8*float64(eagerBytes) {
+		t.Errorf("deferred candidate stage allocates %d bytes vs eager %d (%.0f%%), want at least a 20%% reduction",
+			deferredBytes, eagerBytes, 100*float64(deferredBytes)/float64(eagerBytes))
 	}
 }
 

@@ -9,6 +9,7 @@
 //	xkbench -size large -csv     # bigger sweep, CSV output
 //	xkbench -repeats 5           # the paper's 6-runs-discard-first protocol
 //	xkbench -json out.json       # also write machine-readable records
+//	xkbench -planner             # also sweep Auto vs fixed merge strategies
 //	xkbench -cpuprofile cpu.out  # pprof CPU profile of the sweep
 //	xkbench -memprofile mem.out  # pprof heap profile at exit
 //
@@ -17,6 +18,11 @@
 // format the repo's BENCH_*.json perf trajectory accumulates. The
 // allocation fields cover the full Compare operation (both pipelines) and
 // are omitted for -parallel runs.
+//
+// -planner times each query under the cost-based planner (Strategy: Auto)
+// and under each fixed strategy — the fixed query-order ScanMerge runs are
+// the pre-planner baseline — and folds the planner/... records into the
+// -json output next to the Figure 5 series.
 package main
 
 import (
@@ -37,6 +43,7 @@ func main() {
 		repeats    = flag.Int("repeats", 3, "timed runs per query after the discarded warm-up")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel   = flag.Int("parallel", 0, "run queries across N workers (timings become indicative; 0 = sequential)")
+		planner    = flag.Bool("planner", false, "also sweep the cost-based planner (Auto) against each fixed strategy")
 		jsonOut    = flag.String("json", "", "write machine-readable benchmark records to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -116,6 +123,24 @@ func main() {
 		s := res.Summarize()
 		fmt.Printf("summary: mean ValidRTF/MaxMatch time ratio %.2f; CFR<1 on %d/%d queries; APR'>0 on %d/%d; min MaxAPR %.3f\n\n",
 			s.MeanTimeRatio, s.QueriesWithCFRBelow1, s.Queries, s.QueriesWithAPRPrimePositive, s.Queries, s.MinMaxAPR)
+	}
+	if *planner {
+		for _, spec := range selected {
+			res, err := experiments.RunPlanner(spec, *repeats)
+			if err != nil {
+				fatal(err)
+			}
+			if *jsonOut != "" {
+				records = append(records, res.Records()...)
+			}
+			if *csv {
+				continue
+			}
+			fmt.Println(res.Table())
+			s := res.Summarize()
+			fmt.Printf("planner summary: mean Auto/ScanMerge %.2f; mean Auto/best-fixed %.2f; within 10%% of best on %d/%d rows\n\n",
+				s.MeanAutoVsScanMerge, s.MeanAutoVsBestFixed, s.AutoNotWorse, s.Rows)
+		}
 	}
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, records); err != nil {

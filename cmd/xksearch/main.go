@@ -5,7 +5,8 @@
 // Usage:
 //
 //	xksearch -file doc.xml [-algo validrtf|maxmatch|raw] [-slca] [-rank]
-//	         [-limit N] [-cursor tok] [-timeout 5s] [-best-effort]
+//	         [-strategy auto|indexed|scan] [-limit N] [-cursor tok]
+//	         [-timeout 5s] [-best-effort]
 //	         [-format ascii|xml|snippet] [-stream] "keyword query"
 //	xksearch -store doc.xks "keyword query"          # search a shredded store
 //	xksearch -dir corpus/ -rank -limit 10 "query"    # search a directory-corpus
@@ -49,6 +50,7 @@ func main() {
 		storeF  = flag.String("store", "", "shredded store file to search instead of an XML document")
 		dir     = flag.String("dir", "", "directory of *.xml files to search as one corpus")
 		algo    = flag.String("algo", "validrtf", "pruning algorithm: validrtf, maxmatch or raw")
+		strat   = flag.String("strategy", "auto", "LCA evaluation strategy: auto (cost-based planner), indexed or scan")
 		slca    = flag.Bool("slca", false, "restrict fragment roots to smallest LCAs")
 		rankIt  = flag.Bool("rank", false, "order fragments by relevance score")
 		limit   = flag.Int("limit", 0, "maximum number of fragments (0 = all)")
@@ -99,6 +101,16 @@ func main() {
 	}
 	if *slca {
 		req.Semantics = xks.SLCAOnly
+	}
+	switch strings.ToLower(*strat) {
+	case "auto":
+		req.Strategy = xks.Auto
+	case "indexed", "indexedeager":
+		req.Strategy = xks.IndexedEager
+	case "scan", "scanmerge":
+		req.Strategy = xks.ScanMerge
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strat))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

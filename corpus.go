@@ -14,6 +14,8 @@ import (
 
 	"xks/internal/concurrent"
 	"xks/internal/exec"
+	"xks/internal/planner"
+	"xks/internal/query"
 	"xks/internal/trace"
 )
 
@@ -127,6 +129,50 @@ func (c *Corpus) Generation() uint64 {
 		g += e.Generation()
 	}
 	return g
+}
+
+// ResolveStrategy reports the strategy the planner resolves req to at the
+// corpus level: the corpus-wide aggregate of the per-document decisions,
+// computed from merged index statistics and summed per-term posting mass.
+// Caching layers fold this into their keys so a statistics change that flips
+// the plan cannot replay a page cached under a different algorithm. A
+// document-filtered request delegates to that document's engine; unparseable
+// queries and empty corpora fall back to the requested strategy (such
+// requests error or come back empty before any algorithm runs).
+func (c *Corpus) ResolveStrategy(req Request) Strategy {
+	if req.Document != "" {
+		if e := c.engines[req.Document]; e != nil {
+			return e.ResolveStrategy(req)
+		}
+		return req.Strategy
+	}
+	if len(c.names) == 0 {
+		return req.Strategy
+	}
+	first := c.engines[c.names[0]]
+	if req.Strategy != Auto || req.Semantics != SLCAOnly {
+		// Fixed strategies and ELCA semantics normalize identically in
+		// every document; the first engine's resolution is the corpus's.
+		return first.ResolveStrategy(req)
+	}
+	terms, err := query.Parse(req.Query, first.an)
+	if err != nil {
+		return req.Strategy
+	}
+	sizes := make([]int, len(terms))
+	var st planner.Stats
+	for _, n := range c.names {
+		e := c.engines[n]
+		st = planner.Merge(st, e.ix.Stats())
+		for i, t := range terms {
+			w := t.Keyword
+			if w == "" {
+				w = e.an.Normalize(t.Label)
+			}
+			sizes[i] += e.ix.Frequency(w)
+		}
+	}
+	return publicStrategy(planner.Decide(sizes, st, planner.Default).Strategy)
 }
 
 // CorpusFragment tags a fragment with its source document.
@@ -375,7 +421,10 @@ func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Can
 		// Each document gets its own child span (concurrent-safe); the
 		// engine's plan and the lca/rtf sub-stages hang under it.
 		docSp := candSp.Child("doc:" + name)
-		p, cands, err := eng.searchCandidates(trace.ContextWithSpan(ctx, docSp), docReq, i)
+		// With the shared top-K heap, each document materializes at most the
+		// merged page: skip per-candidate event lists and hydrate the few
+		// selected candidates lazily (score-without-events).
+		p, params, cands, err := eng.searchCandidates(trace.ContextWithSpan(ctx, docSp), docReq, i, topk != nil)
 		docSp.End()
 		if err != nil {
 			if ctx.Err() != nil {
@@ -383,7 +432,7 @@ func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Can
 			}
 			return docOut{}, fmt.Errorf("xks: document %s: %w", name, err)
 		}
-		out := docOut{name: name, eng: eng, plan: p, params: eng.params(docReq), n: len(cands)}
+		out := docOut{name: name, eng: eng, plan: p, params: params, n: len(cands)}
 		if topk != nil {
 			topk.Offer(cands...)
 		} else {

@@ -39,9 +39,11 @@ import (
 	"xks/internal/index"
 	"xks/internal/lca"
 	"xks/internal/nid"
+	"xks/internal/planner"
 	"xks/internal/prune"
 	"xks/internal/query"
 	"xks/internal/rank"
+	"xks/internal/rtf"
 	"xks/internal/snippet"
 	"xks/internal/store"
 	"xks/internal/trace"
@@ -102,6 +104,63 @@ func (s Semantics) String() string {
 		return "SLCAOnly"
 	}
 	return "AllLCA"
+}
+
+// Strategy selects how the LCA stage of a search is evaluated
+// (Request.Strategy). Unlike Algorithm and Semantics — which change the
+// answer — every strategy returns byte-identical fragments; the knob only
+// decides how the work is done, and the crosscheck tests pin the
+// equivalence.
+type Strategy int
+
+const (
+	// Auto (the default) engages the cost-based planner: per-term posting
+	// statistics order the k-way merge rarest-first, enable subtree
+	// galloping in the RTF dispatch, and pick between IndexedEager and
+	// ScanMerge from the estimated costs (internal/planner).
+	Auto Strategy = iota
+	// IndexedEager pins the paper's Indexed Lookup Eager algorithm for
+	// SLCA evaluation: the rarest list drives indexed lookups into the
+	// others. Runs in query order — the pre-planner behavior.
+	IndexedEager
+	// ScanMerge pins the scan-eager evaluation: every posting list streams
+	// through the k-way merge. Runs in query order.
+	ScanMerge
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case IndexedEager:
+		return "IndexedEager"
+	case ScanMerge:
+		return "ScanMerge"
+	default:
+		return "Auto"
+	}
+}
+
+// plannerStrategy maps the public knob onto the planner's enum.
+func (s Strategy) plannerStrategy() planner.Strategy {
+	switch s {
+	case IndexedEager:
+		return planner.IndexedEager
+	case ScanMerge:
+		return planner.ScanMerge
+	default:
+		return planner.Auto
+	}
+}
+
+// publicStrategy maps a resolved planner strategy back onto the public knob.
+func publicStrategy(s planner.Strategy) Strategy {
+	switch s {
+	case planner.IndexedEager:
+		return IndexedEager
+	case planner.ScanMerge:
+		return ScanMerge
+	default:
+		return Auto
+	}
 }
 
 // Options configures one search in the pre-Request API.
@@ -386,10 +445,16 @@ func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[
 		planSp := sp.Child("plan")
 		planStart := time.Now()
 		p, err := e.plan(req.Query)
+		if err == nil {
+			p.Decision = e.decide(req, p)
+		}
 		res.Stats.Stages.Plan = time.Since(planStart)
 		res.Stats.Keywords = p.Keywords
 		planSp.SetInt("keywordNodes", int64(p.KeywordNodes()))
 		planSp.SetInt("terms", int64(len(p.Keywords)))
+		if err == nil {
+			stampPlan(planSp, p)
+		}
 		planSp.End()
 		if err != nil {
 			var nm *index.ErrNoMatch
@@ -476,6 +541,58 @@ func (e *Engine) plan(queryText string) (exec.Plan, error) {
 	return exec.Plan{Keywords: words, IDFWords: idfWords, Sets: sets}, err
 }
 
+// decide resolves the planner decision for one planned query: fixed
+// strategies map straight through (query order, no galloping — the baseline
+// behavior), Auto consults the index statistics and the calibrated cost
+// model. ELCA semantics always evaluates via the stack merge — there is no
+// indexed variant — so the resolved strategy is normalized to ScanMerge
+// there, keeping explain output and cache keys honest.
+func (e *Engine) decide(req Request, p exec.Plan) planner.Decision {
+	var d planner.Decision
+	if req.Strategy != Auto {
+		d = planner.Fixed(req.Strategy.plannerStrategy())
+	} else {
+		sizes := make([]int, len(p.Sets))
+		for i, s := range p.Sets {
+			sizes[i] = len(s)
+		}
+		d = planner.Decide(sizes, e.ix.Stats(), planner.Default)
+	}
+	if req.Semantics != SLCAOnly {
+		d.Strategy = planner.ScanMerge
+	}
+	return d
+}
+
+// ResolveStrategy reports the strategy the planner resolves req to against
+// the engine's current statistics. Caching layers fold this into their keys
+// so a statistics refresh that flips the plan cannot replay a page cached
+// under a different algorithm. Planning errors (unparseable query, no
+// postings) fall back to the requested strategy — such requests error or
+// come back empty before any algorithm runs.
+func (e *Engine) ResolveStrategy(req Request) Strategy {
+	var p exec.Plan
+	if req.Strategy == Auto {
+		var err error
+		p, err = e.plan(req.Query)
+		if err != nil {
+			return req.Strategy
+		}
+	}
+	return publicStrategy(e.decide(req, p).Strategy)
+}
+
+// stampPlan annotates a plan span with the planner's decision — the chosen
+// algorithm, the merge order, and the model's cost estimates, next to the
+// actual event counters the downstream stages report.
+func stampPlan(sp *trace.Span, p exec.Plan) {
+	d := p.Decision
+	sp.SetStr("algorithm", d.Strategy.String())
+	sp.SetStr("termOrder", d.OrderString(len(p.Sets)))
+	sp.SetInt("estScan", int64(d.EstScan))
+	sp.SetInt("estIndexed", int64(d.EstIndexed))
+}
+
 // params maps the public request onto pipeline parameters, closing over the
 // engine's node table, document source and scorer.
 func (e *Engine) params(req Request) exec.Params {
@@ -491,8 +608,12 @@ func (e *Engine) params(req Request) exec.Params {
 		Score: func(root nid.ID, events []lca.IDEvent, words []string) float64 {
 			return e.scorer.ScoreIDs(tab, root, events, words)
 		},
-		LabelOf:   e.src.labelOfID,
-		ContentOf: e.src.contentOfID,
+		Incremental: e.scorer.Incremental,
+		// A ranked, limited search materializes only one page: skip
+		// per-candidate event lists and hydrate the selected few lazily.
+		DeferEvents: req.Rank && req.Limit > 0,
+		LabelOf:     e.src.labelOfID,
+		ContentOf:   e.src.contentOfID,
 	}
 }
 
@@ -500,26 +621,40 @@ func (e *Engine) params(req Request) exec.Params {
 // selection and materialization to the caller (Corpus.Search merges
 // candidates across documents before materializing). An unmatchable
 // keyword yields an empty candidate list, not an error, mirroring Search;
-// doc tags the candidates for corpus merges.
-func (e *Engine) searchCandidates(ctx context.Context, req Request, doc int) (exec.Plan, []*exec.Candidate, error) {
+// doc tags the candidates for corpus merges. deferEvents forces the
+// score-without-events candidate stage regardless of req's own paging
+// fields — corpus searches zero per-document Limit but still materialize
+// only the merged top-K page. The returned Params are the ones the
+// candidates were generated under; materialization must reuse them.
+func (e *Engine) searchCandidates(ctx context.Context, req Request, doc int, deferEvents bool) (exec.Plan, exec.Params, []*exec.Candidate, error) {
+	params := e.params(req)
+	if deferEvents && req.Rank {
+		params.DeferEvents = true
+	}
 	sp := trace.SpanFromContext(ctx)
 	planSp := sp.Child("plan")
 	p, err := e.plan(req.Query)
+	if err == nil {
+		p.Decision = e.decide(req, p)
+	}
 	planSp.SetInt("keywordNodes", int64(p.KeywordNodes()))
 	planSp.SetInt("terms", int64(len(p.Keywords)))
+	if err == nil {
+		stampPlan(planSp, p)
+	}
 	planSp.End()
 	if err != nil {
 		var nm *index.ErrNoMatch
 		if errors.As(err, &nm) {
-			return p, nil, nil
+			return p, params, nil, nil
 		}
-		return p, nil, err
+		return p, params, nil, err
 	}
-	cands, err := exec.Candidates(ctx, p, e.params(req), doc)
+	cands, err := exec.Candidates(ctx, p, params, doc)
 	if err != nil {
-		return p, nil, err
+		return p, params, nil, err
 	}
-	return p, cands, nil
+	return p, params, cands, nil
 }
 
 // resolveIDSets turns the query text into per-term ID posting lists over
@@ -600,6 +735,17 @@ func (e *Engine) contentOf(c dewey.Code) []string { return e.src.contentOf(c) }
 // FragmentNode strings.
 func (e *Engine) materialize(c *exec.Candidate, p exec.Plan, params exec.Params) *Fragment {
 	e.assembled.Add(1)
+	if c.RTF.KeywordNodes == nil && c.Roots != nil {
+		// The candidate stage deferred event materialization
+		// (score-without-events); hydrate this selected candidate's event
+		// list by replaying the dispatch inside its subtree window.
+		hydrated := *c
+		hydrated.RTF = &rtf.IDRTF{
+			Root:         c.RTF.Root,
+			KeywordNodes: rtf.EventsFor(params.Tab, c.RTF.Root, c.Roots, p.Sets),
+		}
+		c = &hydrated
+	}
 	kept := exec.Materialize(c, params)
 	tab := params.Tab
 	rootCode := tab.Code(c.RTF.Root)

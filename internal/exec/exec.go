@@ -41,7 +41,9 @@ import (
 
 	"xks/internal/lca"
 	"xks/internal/nid"
+	"xks/internal/planner"
 	"xks/internal/prune"
+	"xks/internal/rank"
 	"xks/internal/rtf"
 	"xks/internal/trace"
 )
@@ -59,6 +61,11 @@ type Plan struct {
 	Keywords []string
 	IDFWords []string
 	Sets     [][]nid.ID
+	// Decision is the planner's resolved plan for this query: evaluation
+	// strategy, merge order, dispatch galloping. The zero value preserves
+	// the pre-planner behavior (indexed SLCA, query order, no galloping),
+	// so callers that never plan — tests, benchmarks — are unaffected.
+	Decision planner.Decision
 }
 
 // KeywordNodes returns the total number of postings the plan consulted.
@@ -93,6 +100,15 @@ type Params struct {
 	// Score rates one fragment root from its keyword events (required when
 	// Rank is set).
 	Score func(root nid.ID, events []lca.IDEvent, words []string) float64
+	// Incremental returns a per-query incremental scorer; together with
+	// DeferEvents it enables the score-without-events candidate stage.
+	Incremental func(words []string) *rank.IncrementalScorer
+	// DeferEvents drops per-candidate keyword-event lists during ranked
+	// candidate generation (scores are accumulated during dispatch
+	// instead); materialization hydrates events lazily for the few
+	// selected candidates via rtf.EventsFor. Set when only a bounded page
+	// of a ranked search will ever be materialized.
+	DeferEvents bool
 	// LabelOf and ContentOf resolve node labels and content word sets for
 	// the pruning step.
 	LabelOf   prune.IDLabelFunc
@@ -110,7 +126,14 @@ type Candidate struct {
 	// Seq is the candidate's document-order position within its document.
 	Seq int
 	// RTF holds the fragment root and its keyword events, in ID form.
+	// Under Params.DeferEvents its KeywordNodes is nil; Roots then carries
+	// what lazy hydration needs.
 	RTF *rtf.IDRTF
+	// Roots is the full interesting-LCA list of the candidate's query
+	// (shared across the document's candidates), kept only when events
+	// were deferred: rtf.EventsFor needs every root — covering or not —
+	// to replay the dispatch inside the candidate's subtree.
+	Roots []nid.ID
 	// IsSLCA reports whether the root is a smallest LCA.
 	IsSLCA bool
 	// Score is the ranking score (zero unless Params.Rank).
@@ -156,19 +179,47 @@ func Candidates(ctx context.Context, p Plan, params Params, doc int) ([]*Candida
 		roots []nid.ID
 		err   error
 	)
+	d := p.Decision
 	lcaSp := sp.Child("lca")
 	lctx := trace.ContextWithSpan(ctx, lcaSp)
 	if params.SLCAOnly {
-		roots, err = lca.SLCAIDsCtx(lctx, t, p.Sets)
+		// The planner's strategy choice: scan the full merge, or drive
+		// indexed lookups from the rarest list (the legacy default).
+		if d.Strategy == planner.ScanMerge {
+			roots, err = lca.SLCAScanMergeIDsCtx(lctx, t, p.Sets, d.Order)
+		} else {
+			roots, err = lca.SLCAIDsCtx(lctx, t, p.Sets)
+		}
 	} else {
-		roots, err = lca.ELCAStackMergeIDsCtx(lctx, t, p.Sets)
+		roots, err = lca.ELCAStackMergeIDsOrderedCtx(lctx, t, p.Sets, d.Order)
 	}
 	lcaSp.End()
 	if err != nil {
 		return nil, err
 	}
 	rtfSp := sp.Child("rtf")
-	rtfs, err := rtf.BuildIDsCtx(trace.ContextWithSpan(ctx, rtfSp), t, roots, p.Sets)
+	rctx := trace.ContextWithSpan(ctx, rtfSp)
+	if params.DeferEvents && params.Rank && params.Incremental != nil {
+		// Score-without-events: one dispatch pass folds every event into
+		// per-root accumulators; selected candidates hydrate their event
+		// lists lazily at materialization (rtf.EventsFor via Roots).
+		scored, serr := rtf.BuildScoredIDsCtx(rctx, t, roots, p.Sets,
+			params.Incremental(p.IDFWords), d.Order, d.Skip)
+		rtfSp.End()
+		if serr != nil {
+			return nil, serr
+		}
+		hulls := make([]rtf.IDRTF, len(scored))
+		out := make([]*Candidate, len(scored))
+		for i, s := range scored {
+			isSLCA := !(i+1 < len(scored) && t.IsAncestorOf(s.Root, scored[i+1].Root))
+			hulls[i].Root = s.Root
+			out[i] = &Candidate{Doc: doc, Seq: i, RTF: &hulls[i], Roots: roots, IsSLCA: isSLCA, Score: s.Score}
+		}
+		sp.SetInt("candidates", int64(len(out)))
+		return out, nil
+	}
+	rtfs, err := rtf.BuildIDsPlanned(rctx, t, roots, p.Sets, d.Order, d.Skip)
 	rtfSp.End()
 	if err != nil {
 		return nil, err

@@ -164,3 +164,45 @@ func TestRunParallelMatchesSequentialRatios(t *testing.T) {
 		}
 	}
 }
+
+func TestRunPlannerSmallDBLP(t *testing.T) {
+	specs, _ := Presets("small")
+	res, err := RunPlanner(specs[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.DBLP()
+	wantRows := len(w.Queries) * len(plannerShapes())
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+	}
+	for _, row := range res.Rows {
+		if row.Auto <= 0 || row.ScanMerge <= 0 || row.IndexedEager <= 0 {
+			t.Errorf("%s/%s: times not recorded (%v / %v / %v)",
+				row.Abbrev, row.Shape, row.Auto, row.ScanMerge, row.IndexedEager)
+		}
+		if row.Chosen == "" || row.Chosen == "Auto" {
+			t.Errorf("%s/%s: unresolved chosen strategy %q", row.Abbrev, row.Shape, row.Chosen)
+		}
+		if strings.Contains(row.Shape, "elca") && row.Chosen != "ScanMerge" {
+			t.Errorf("%s/%s: ELCA must resolve to ScanMerge, got %s", row.Abbrev, row.Shape, row.Chosen)
+		}
+	}
+	recs := res.Records()
+	if len(recs) != 3*len(res.Rows) {
+		t.Fatalf("records = %d, want %d", len(recs), 3*len(res.Rows))
+	}
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Name, "planner/dblp/") || r.NsPerOp <= 0 {
+			t.Errorf("bad record %+v", r)
+		}
+	}
+	table := res.Table()
+	if !strings.Contains(table, "chosen") || !strings.Contains(table, "slca-rank-top10") {
+		t.Errorf("table malformed:\n%s", table)
+	}
+	sum := res.Summarize()
+	if sum.Rows != len(res.Rows) || sum.MeanAutoVsScanMerge <= 0 || sum.MeanAutoVsBestFixed <= 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"xks"
+)
+
+// plannerShape is one request shape of the planner sweep: the paging and
+// semantics knobs matter because the cost model's crossover shifts with
+// them (ranked top-K pages defer event materialization; ELCA always
+// evaluates via the stack merge).
+type plannerShape struct {
+	Name string
+	Req  xks.Request
+}
+
+func plannerShapes() []plannerShape {
+	return []plannerShape{
+		{Name: "slca-rank-top10", Req: xks.Request{Semantics: xks.SLCAOnly, Rank: true, Limit: 10}},
+		{Name: "slca-all", Req: xks.Request{Semantics: xks.SLCAOnly}},
+		{Name: "elca-rank-top10", Req: xks.Request{Rank: true, Limit: 10}},
+	}
+}
+
+// PlannerRow is one (query, shape) cell of the planner sweep: the averaged
+// elapsed time under the cost-based planner (Auto) and under each fixed
+// strategy, plus the strategy Auto resolved to.
+type PlannerRow struct {
+	Abbrev string
+	Query  string
+	Shape  string
+	// Chosen is the strategy the cost model resolved Auto to for this
+	// query; fixed-strategy times measure both sides of that choice.
+	Chosen string
+	// Auto, ScanMerge and IndexedEager are the averaged elapsed times of
+	// the full Search under the respective Request.Strategy.
+	Auto         time.Duration
+	ScanMerge    time.Duration
+	IndexedEager time.Duration
+	// Fragments is the page size every strategy returned; RunPlanner
+	// fails if the strategies disagree (they are output-identical knobs).
+	Fragments int
+}
+
+// PlannerResult holds the planner sweep for one dataset.
+type PlannerResult struct {
+	Spec  DatasetSpec
+	Nodes int
+	Rows  []PlannerRow
+}
+
+// RunPlanner generates the dataset and times the workload's query mix under
+// Auto (the cost-based planner) and under each fixed strategy, over the
+// request shapes the planner's crossover depends on. The fixed ScanMerge
+// runs are the pre-planner baseline: query-order merges, no galloping.
+// Timing follows the Figure 5 protocol — repeats+1 runs, first discarded,
+// rest averaged. Any fragment-count disagreement between strategies is an
+// error: strategy selection must never change answers.
+func RunPlanner(spec DatasetSpec, repeats int) (*PlannerResult, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	tree, w, err := Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	engine := xks.FromTree(tree)
+	res := &PlannerResult{Spec: spec, Nodes: tree.Size()}
+	for _, abbrev := range w.Queries {
+		query, err := w.Expand(abbrev)
+		if err != nil {
+			return nil, err
+		}
+		for _, shape := range plannerShapes() {
+			req := shape.Req
+			req.Query = query
+			row := PlannerRow{
+				Abbrev: abbrev, Query: query, Shape: shape.Name,
+				Chosen: engine.ResolveStrategy(req).String(),
+			}
+			counted := false
+			for _, strat := range []xks.Strategy{xks.Auto, xks.ScanMerge, xks.IndexedEager} {
+				req.Strategy = strat
+				// Warm-up run, discarded per §5.1.
+				first, err := engine.Search(context.Background(), req)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s %s/%s strategy %v: %w",
+						spec.Name, abbrev, shape.Name, strat, err)
+				}
+				if !counted {
+					row.Fragments = len(first.Fragments)
+					counted = true
+				} else if n := len(first.Fragments); n != row.Fragments {
+					return nil, fmt.Errorf("experiments: %s %s/%s: strategy %v returned %d fragments, others %d",
+						spec.Name, abbrev, shape.Name, strat, n, row.Fragments)
+				}
+				var sum time.Duration
+				for i := 0; i < repeats; i++ {
+					start := time.Now()
+					if _, err := engine.Search(context.Background(), req); err != nil {
+						return nil, err
+					}
+					sum += time.Since(start)
+				}
+				avg := sum / time.Duration(repeats)
+				switch strat {
+				case xks.Auto:
+					row.Auto = avg
+				case xks.ScanMerge:
+					row.ScanMerge = avg
+				case xks.IndexedEager:
+					row.IndexedEager = avg
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Records flattens the sweep into benchmark records, three per row (one per
+// strategy), named planner/<dataset>/<query>/<shape>/<strategy>.
+func (r *PlannerResult) Records() []BenchRecord {
+	out := make([]BenchRecord, 0, 3*len(r.Rows))
+	for _, row := range r.Rows {
+		prefix := fmt.Sprintf("planner/%s/%s/%s", r.Spec.Name, row.Abbrev, row.Shape)
+		out = append(out,
+			BenchRecord{Name: prefix + "/auto", NsPerOp: row.Auto.Nanoseconds(), Fragments: row.Fragments},
+			BenchRecord{Name: prefix + "/scanmerge", NsPerOp: row.ScanMerge.Nanoseconds(), Fragments: row.Fragments},
+			BenchRecord{Name: prefix + "/indexedeager", NsPerOp: row.IndexedEager.Nanoseconds(), Fragments: row.Fragments},
+		)
+	}
+	return out
+}
+
+// Table renders the sweep one (query, shape) row at a time, fixed-strategy
+// baselines next to Auto and the strategy Auto chose.
+func (r *PlannerResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# planner %s: %d nodes (records=%d, seed=%d)\n",
+		r.Spec.Name, r.Nodes, r.Spec.Records, r.Spec.Seed)
+	fmt.Fprintf(&b, "%-10s %-16s %-9s %-9s %-9s %6s  %s\n",
+		"query", "shape", "auto(ms)", "scan(ms)", "eager(ms)", "frags", "chosen")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %-16s %-9.3f %-9.3f %-9.3f %6d  %s\n",
+			row.Abbrev, row.Shape,
+			float64(row.Auto.Microseconds())/1000.0,
+			float64(row.ScanMerge.Microseconds())/1000.0,
+			float64(row.IndexedEager.Microseconds())/1000.0,
+			row.Fragments, row.Chosen)
+	}
+	return b.String()
+}
+
+// PlannerSummary aggregates one dataset's sweep: how Auto compares against
+// the fixed query-order ScanMerge baseline and against the best fixed
+// strategy per row (the regret of the cost model's choices).
+type PlannerSummary struct {
+	Dataset string
+	Rows    int
+	// MeanAutoVsScanMerge is mean(Auto / ScanMerge) across rows; < 1 means
+	// the planner beats the pre-planner baseline on average.
+	MeanAutoVsScanMerge float64
+	// MeanAutoVsBestFixed is mean(Auto / min(ScanMerge, IndexedEager));
+	// close to 1 means the model rarely picks the slower side.
+	MeanAutoVsBestFixed float64
+	// AutoNotWorse counts rows where Auto ran within 10% of the best fixed
+	// strategy.
+	AutoNotWorse int
+}
+
+// Summarize aggregates the sweep.
+func (r *PlannerResult) Summarize() PlannerSummary {
+	s := PlannerSummary{Dataset: r.Spec.Name, Rows: len(r.Rows)}
+	var vsScan, vsBest float64
+	for _, row := range r.Rows {
+		best := row.ScanMerge
+		if row.IndexedEager < best {
+			best = row.IndexedEager
+		}
+		if row.ScanMerge > 0 {
+			vsScan += float64(row.Auto) / float64(row.ScanMerge)
+		} else {
+			vsScan++
+		}
+		if best > 0 {
+			ratio := float64(row.Auto) / float64(best)
+			vsBest += ratio
+			if ratio <= 1.10 {
+				s.AutoNotWorse++
+			}
+		} else {
+			vsBest++
+			s.AutoNotWorse++
+		}
+	}
+	if len(r.Rows) > 0 {
+		s.MeanAutoVsScanMerge = vsScan / float64(len(r.Rows))
+		s.MeanAutoVsBestFixed = vsBest / float64(len(r.Rows))
+	}
+	return s
+}

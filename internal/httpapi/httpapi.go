@@ -188,6 +188,15 @@ func parseRequest(r *http.Request) (xks.Request, bool, error) {
 	if q.Get("slca") == "1" {
 		req.Semantics = xks.SLCAOnly
 	}
+	switch q.Get("strategy") {
+	case "", "auto":
+	case "indexed", "indexedeager":
+		req.Strategy = xks.IndexedEager
+	case "scan", "scanmerge":
+		req.Strategy = xks.ScanMerge
+	default:
+		return req, false, errors.New("unknown strategy")
+	}
 	if q.Get("rank") == "1" {
 		req.Rank = true
 	}
@@ -394,6 +403,7 @@ func NewHandler(svc *service.Service, opts *Options) http.Handler {
 		if explain || opts.SlowQuery > 0 {
 			tr = trace.New("search")
 			tr.Root().SetStr("algorithm", req.Algorithm.String())
+			tr.Root().SetStr("strategy", req.Strategy.String())
 			ctx = trace.NewContext(ctx, tr)
 		}
 		defer func() {

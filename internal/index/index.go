@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 
 	"xks/internal/analysis"
 	"xks/internal/dewey"
 	"xks/internal/nid"
+	"xks/internal/planner"
 	"xks/internal/xmltree"
 )
 
@@ -27,6 +29,12 @@ type Index struct {
 	tab      *nid.Table
 	postings map[string][]nid.ID
 	numNodes int
+
+	// Planner statistics, computed lazily by Stats or installed by
+	// SetStats on the store's load path. See stats.go.
+	statsOnce sync.Once
+	stats     planner.Stats
+	statsSet  bool
 }
 
 // Build indexes every node of the tree. A node is a keyword node for w when

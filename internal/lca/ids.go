@@ -41,14 +41,26 @@ const mergeSentinel = int64(1) << 40
 type Merger struct {
 	lists [][]nid.ID
 	pos   []int
-	loser []int32 // internal nodes 1..n-1: loser of the match played there
-	win   int32   // current overall winner (source index)
-	n     int     // number of leaves (power of two >= len(lists))
+	bit   []uint64 // nil = bit[s] is 1<<s; else per-leaf mask bit (ordered merge)
+	loser []int32  // internal nodes 1..n-1: loser of the match played there
+	win   int32    // current overall winner (source index)
+	n     int      // number of leaves (power of two >= len(lists))
 }
 
 // NewMerger builds a streaming merger over the pre-order-sorted posting
 // lists.
 func NewMerger(lists [][]nid.ID) *Merger {
+	return NewMergerOrdered(lists, nil)
+}
+
+// NewMergerOrdered builds a merger whose loser-tree leaves hold the lists in
+// the given order (order[leaf] = original list index — the planner's
+// rarest-first permutation) while every emitted event still carries the
+// original-order mask bits. Because Next coalesces all lists heading the
+// same ID into one OR-ed event, the merged stream is identical for every
+// leaf permutation (property-tested); the order only decides which source
+// wins tournament ties. nil order means query order.
+func NewMergerOrdered(lists [][]nid.ID, order []int) *Merger {
 	k := len(lists)
 	n := 1
 	for n < k {
@@ -60,13 +72,34 @@ func NewMerger(lists [][]nid.ID) *Merger {
 		loser: make([]int32, n),
 		n:     n,
 	}
-	// Play the initial tournament bottom-up; win[i] is the winner of the
-	// subtree rooted at internal node i, loser[i] the loser of its match.
-	win := make([]int32, 2*n)
-	for s := 0; s < n; s++ {
-		win[n+s] = int32(s)
+	if order != nil && len(order) == k {
+		permuted := make([][]nid.ID, k)
+		bit := make([]uint64, k)
+		for leaf, src := range order {
+			permuted[leaf] = lists[src]
+			bit[leaf] = 1 << uint(src)
+		}
+		m.lists = permuted
+		m.bit = bit
 	}
-	for i := n - 1; i >= 1; i-- {
+	m.rebuild()
+	return m
+}
+
+// rebuild replays the full tournament bottom-up from the current positions;
+// win[i] is the winner of the subtree rooted at internal node i, loser[i]
+// the loser of its match. O(n); allocation-free for k <= 64 (the query
+// layer's term cap, since masks are uint64).
+func (m *Merger) rebuild() {
+	var buf [128]int32
+	win := buf[:]
+	if 2*m.n > len(buf) {
+		win = make([]int32, 2*m.n)
+	}
+	for s := 0; s < m.n; s++ {
+		win[m.n+s] = int32(s)
+	}
+	for i := m.n - 1; i >= 1; i-- {
 		a, b := win[2*i], win[2*i+1]
 		if m.less(a, b) {
 			win[i], m.loser[i] = a, b
@@ -75,7 +108,23 @@ func NewMerger(lists [][]nid.ID) *Merger {
 		}
 	}
 	m.win = win[1]
-	return m
+}
+
+// SkipTo advances every source past all IDs below target and replays the
+// tournament, so the next event is the first with ID >= target. The common
+// case — the current winner already sits at or past target — returns
+// without touching the tree, so callers can invoke it unconditionally.
+func (m *Merger) SkipTo(target nid.ID) {
+	if m.key(m.win) >= int64(target) {
+		return
+	}
+	for s, list := range m.lists {
+		p := m.pos[s]
+		if p < len(list) && list[p] < target {
+			m.pos[s] = p + sort.Search(len(list)-p, func(i int) bool { return list[p+i] >= target })
+		}
+	}
+	m.rebuild()
 }
 
 // key returns the source's current head as an int64, or the sentinel when
@@ -116,9 +165,16 @@ func (m *Merger) Next() (ev IDEvent, ok bool) {
 		return IDEvent{}, false
 	}
 	ev.ID = nid.ID(k)
-	for m.key(m.win) == k {
-		ev.Mask |= 1 << uint(m.win)
-		m.advance()
+	if m.bit != nil {
+		for m.key(m.win) == k {
+			ev.Mask |= m.bit[m.win]
+			m.advance()
+		}
+	} else {
+		for m.key(m.win) == k {
+			ev.Mask |= 1 << uint(m.win)
+			m.advance()
+		}
 	}
 	return ev, true
 }
@@ -129,7 +185,7 @@ func (m *Merger) Next() (ev IDEvent, ok bool) {
 // masks. Identical output to ELCAStackMerge modulo representation; verified
 // by cross-check tests.
 func ELCAStackMergeIDs(t *nid.Table, sets [][]nid.ID) []nid.ID {
-	out, _ := elcaStackMergeIDs(nil, t, sets)
+	out, _, _ := elcaStackMergeIDs(nil, t, sets, nil)
 	return out
 }
 
@@ -139,21 +195,67 @@ func ELCAStackMergeIDs(t *nid.Table, sets [][]nid.ID) []nid.ID {
 // context is done, so a cancelled search stops paying for postings it will
 // never return.
 func ELCAStackMergeIDsCtx(ctx context.Context, t *nid.Table, sets [][]nid.ID) ([]nid.ID, error) {
-	return elcaStackMergeIDs(ctx, t, sets)
+	return ELCAStackMergeIDsOrderedCtx(ctx, t, sets, nil)
 }
 
-func elcaStackMergeIDs(ctx context.Context, t *nid.Table, sets [][]nid.ID) ([]nid.ID, error) {
+// ELCAStackMergeIDsOrderedCtx is ELCAStackMergeIDsCtx with the planner's
+// merge order feeding the loser tree (nil = query order). The output is
+// independent of the order.
+func ELCAStackMergeIDsOrderedCtx(ctx context.Context, t *nid.Table, sets [][]nid.ID, order []int) ([]nid.ID, error) {
+	out, events, err := elcaStackMergeIDs(ctx, t, sets, order)
+	if err != nil {
+		return nil, err
+	}
+	reportMerge(ctx, events, len(out))
+	return out, nil
+}
+
+// SLCAScanMergeIDs computes the SLCA set by scanning the full k-way merge —
+// the Scan Eager strategy. The SLCAs are exactly the ELCAs with no ELCA
+// proper descendant (any deeper all-keyword subtree would itself contain an
+// SLCA, which is always an ELCA), so the stack merge result filtered through
+// removeAncestorIDs equals SLCAIDs; property tests pin the equivalence.
+// Preferable to the indexed variant when the keyword frequencies are of
+// similar magnitude — the planner picks between the two.
+func SLCAScanMergeIDs(t *nid.Table, sets [][]nid.ID) []nid.ID {
+	out, _ := SLCAScanMergeIDsCtx(context.Background(), t, sets, nil)
+	return out
+}
+
+// SLCAScanMergeIDsCtx is SLCAScanMergeIDs with cancellation checks and the
+// planner's merge order (nil = query order).
+func SLCAScanMergeIDsCtx(ctx context.Context, t *nid.Table, sets [][]nid.ID, order []int) ([]nid.ID, error) {
+	elcas, events, err := elcaStackMergeIDs(ctx, t, sets, order)
+	if err != nil {
+		return nil, err
+	}
+	out := removeAncestorIDs(t, elcas)
+	reportMerge(ctx, events, len(out))
+	return out, nil
+}
+
+// reportMerge stamps the stage span with the merge's actual cost — one
+// report per merge, never per event: the span lookup is a single context
+// read, free when the request is untraced.
+func reportMerge(ctx context.Context, events, roots int) {
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		sp.SetInt("mergeEvents", int64(events))
+		sp.SetInt("roots", int64(roots))
+	}
+}
+
+func elcaStackMergeIDs(ctx context.Context, t *nid.Table, sets [][]nid.ID, order []int) ([]nid.ID, int, error) {
 	k := len(sets)
 	if k == 0 {
-		return nil, nil
+		return nil, 0, nil
 	}
 	for _, s := range sets {
 		if len(s) == 0 {
-			return nil, nil
+			return nil, 0, nil
 		}
 	}
 	full := FullMask(k)
-	m := NewMerger(sets)
+	m := NewMergerOrdered(sets, order)
 
 	var (
 		ids      []nid.ID // ids[d] = path node at depth d
@@ -182,7 +284,7 @@ func elcaStackMergeIDs(ctx context.Context, t *nid.Table, sets [][]nid.ID) ([]ni
 	for n := 0; ; n++ {
 		if ctx != nil && n%ctxCheckInterval == ctxCheckInterval-1 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		ev, ok := m.Next()
@@ -210,13 +312,7 @@ func elcaStackMergeIDs(ctx context.Context, t *nid.Table, sets [][]nid.ID) ([]ni
 	}
 	pop(0)
 	sortIDs(result)
-	// One report per merge, never per event: the span lookup is a single
-	// context read, free when the request is untraced.
-	if sp := trace.SpanFromContext(ctx); sp != nil {
-		sp.SetInt("mergeEvents", int64(events))
-		sp.SetInt("roots", int64(len(result)))
-	}
-	return result, nil
+	return result, events, nil
 }
 
 // SLCAIDs is the ID form of SLCA (Indexed Lookup Eager): for every node of

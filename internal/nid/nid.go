@@ -78,6 +78,23 @@ func (t *Table) IsAncestorOf(a, b ID) bool {
 	return a != b && t.IsAncestorOrSelf(a, b)
 }
 
+// SubtreeEnd returns the ID one past the last descendant of i: because IDs
+// are assigned in pre-order, i's subtree occupies exactly the contiguous
+// range [i, SubtreeEnd(i)). Found by binary search over the monotone
+// predicate "is no longer inside i's subtree".
+func (t *Table) SubtreeEnd(i ID) ID {
+	lo, hi := int(i)+1, len(t.parent)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.IsAncestorOrSelf(i, ID(mid)) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return ID(lo)
+}
+
 // LCA returns the lowest common ancestor of a and b (a or b itself when one
 // contains the other), or None when the nodes sit under distinct roots.
 func (t *Table) LCA(a, b ID) ID {

@@ -1,0 +1,49 @@
+package nid
+
+import (
+	"math/rand"
+	"testing"
+
+	"xks/internal/dewey"
+)
+
+func TestSubtreeEndRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		codes := randomCodeSet(rng, 1+rng.Intn(120))
+		tab := FromCodes(codes)
+		for i := 0; i < tab.Len(); i++ {
+			end := tab.SubtreeEnd(ID(i))
+			// Reference: linear scan for the first non-descendant.
+			want := ID(tab.Len())
+			for j := i + 1; j < tab.Len(); j++ {
+				if !tab.IsAncestorOrSelf(ID(i), ID(j)) {
+					want = ID(j)
+					break
+				}
+			}
+			if end != want {
+				t.Fatalf("trial %d: SubtreeEnd(%d) = %d, want %d", trial, i, end, want)
+			}
+			// Every node in [i, end) is a descendant-or-self; end is not.
+			for j := ID(i); j < end; j++ {
+				if !tab.IsAncestorOrSelf(ID(i), j) {
+					t.Fatalf("trial %d: node %d in range but not descendant of %d", trial, j, i)
+				}
+			}
+		}
+	}
+}
+
+func randomCodeSet(rng *rand.Rand, n int) []dewey.Code {
+	codes := make([]dewey.Code, 0, n)
+	for i := 0; i < n; i++ {
+		depth := 1 + rng.Intn(5)
+		c := make(dewey.Code, depth)
+		for d := range c {
+			c[d] = uint32(rng.Intn(3) + 1)
+		}
+		codes = append(codes, c)
+	}
+	return codes
+}

@@ -132,6 +132,67 @@ func (s *Scorer) ScoreIDs(t *nid.Table, root nid.ID, events []lca.IDEvent, words
 	return score
 }
 
+// IncrementalScorer scores roots one keyword event at a time, without ever
+// materializing the event list — the score-without-events dispatch mode uses
+// it to fold each event into per-root accumulators as the RTF stage streams
+// by. IDF weights are precomputed per query term, and Update/Finish perform
+// exactly the floating-point operations ScoreIDs performs in the same order,
+// so for events fed in dispatch (document) order the final score is
+// bit-identical to ScoreIDs over the materialized list (pinned by tests).
+type IncrementalScorer struct {
+	decay float64
+	idf   []float64
+}
+
+// Incremental precomputes the per-term weights for one query. words must be
+// in mask-bit order.
+func (s *Scorer) Incremental(words []string) *IncrementalScorer {
+	decay := s.Decay
+	if decay <= 0 || decay > 1 {
+		decay = 0.8
+	}
+	idf := make([]float64, len(words))
+	for i, w := range words {
+		idf[i] = s.idf(w)
+	}
+	return &IncrementalScorer{decay: decay, idf: idf}
+}
+
+// K returns the number of query terms (the length Update expects of the
+// best/extra accumulator slices).
+func (sc *IncrementalScorer) K() int { return len(sc.idf) }
+
+// Update folds one keyword event — dist levels below its root, matching the
+// masked terms — into the root's accumulators (each of length K, zeroed
+// before the first event).
+func (sc *IncrementalScorer) Update(best, extra []float64, dist int, mask uint64) {
+	if dist < 0 {
+		dist = 0
+	}
+	w := math.Pow(sc.decay, float64(dist))
+	for i := range sc.idf {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		contrib := w * sc.idf[i]
+		if contrib > best[i] {
+			extra[i] += best[i]
+			best[i] = contrib
+		} else {
+			extra[i] += contrib
+		}
+	}
+}
+
+// Finish collapses the accumulators into the root's final score.
+func (sc *IncrementalScorer) Finish(best, extra []float64) float64 {
+	score := 0.0
+	for i := range sc.idf {
+		score += best[i] + 0.1*extra[i]
+	}
+	return score
+}
+
 func (s *Scorer) idf(word string) float64 {
 	if s.IDF == nil {
 		return 1

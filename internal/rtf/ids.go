@@ -42,7 +42,7 @@ func (r *IDRTF) Mask() uint64 {
 // LCA node whose dispatched nodes cover the whole query, in pre-order of
 // their roots. Identical output to Build modulo representation.
 func BuildIDs(t *nid.Table, lcas []nid.ID, sets [][]nid.ID) []*IDRTF {
-	out, _ := buildIDs(nil, t, lcas, sets)
+	out, _ := buildIDs(nil, t, lcas, sets, nil, false)
 	return out
 }
 
@@ -50,10 +50,21 @@ func BuildIDs(t *nid.Table, lcas []nid.ID, sets [][]nid.ID) []*IDRTF {
 // dispatch passes: every ctxCheckInterval merged events it consults ctx and
 // abandons the build mid-stream with ctx.Err() when the context is done.
 func BuildIDsCtx(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID) ([]*IDRTF, error) {
-	return buildIDs(ctx, t, lcas, sets)
+	return buildIDs(ctx, t, lcas, sets, nil, false)
 }
 
-func buildIDs(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID) ([]*IDRTF, error) {
+// BuildIDsPlanned is BuildIDsCtx with the planner's merge order feeding the
+// loser tree (nil = query order) and, when skip is set, subtree galloping:
+// whenever an event lands outside every interesting LCA subtree, all merge
+// sources jump directly to the next LCA root instead of draining the gap
+// event by event. Both knobs are output-neutral (property-tested): skipped
+// events dispatch nowhere, and the coalesced merge stream is independent of
+// leaf order.
+func BuildIDsPlanned(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID, order []int, skip bool) ([]*IDRTF, error) {
+	return buildIDs(ctx, t, lcas, sets, order, skip)
+}
+
+func buildIDs(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID, order []int, skip bool) ([]*IDRTF, error) {
 	if len(lcas) == 0 {
 		return nil, nil
 	}
@@ -71,7 +82,7 @@ func buildIDs(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID)
 	// event arena — integer merges are cheap enough that counting twice
 	// beats growing len(lcas) slices append by append.
 	counts := make([]int32, len(lcas))
-	total, err := dispatch(ctx, t, lcas, sets, func(i int, ev lca.IDEvent) {
+	total, err := dispatch(ctx, t, lcas, sets, order, skip, func(i int, ev lca.IDEvent) {
 		counts[i]++
 	})
 	if err != nil {
@@ -83,7 +94,7 @@ func buildIDs(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID)
 		out[i].KeywordNodes = arena[len(arena) : len(arena) : len(arena)+n]
 		arena = arena[:len(arena)+n]
 	}
-	if _, err := dispatch(ctx, t, lcas, sets, func(i int, ev lca.IDEvent) {
+	if _, err := dispatch(ctx, t, lcas, sets, order, skip, func(i int, ev lca.IDEvent) {
 		out[i].KeywordNodes = append(out[i].KeywordNodes, ev)
 	}); err != nil {
 		return nil, err
@@ -109,8 +120,8 @@ func buildIDs(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID)
 // keeping the stack of LCA nodes whose subtree contains the current event;
 // the stack top is the deepest, i.e. the dispatch target. It reports the
 // number of dispatched events. A nil ctx disables cancellation checks.
-func dispatch(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID, emit func(int, lca.IDEvent)) (int, error) {
-	m := lca.NewMerger(sets)
+func dispatch(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID, order []int, skip bool, emit func(int, lca.IDEvent)) (int, error) {
+	m := lca.NewMergerOrdered(sets, order)
 	var stackBuf [12]int32
 	stack := stackBuf[:0] // indices into lcas
 	j, total := 0, 0
@@ -135,7 +146,18 @@ func dispatch(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID,
 			stack = stack[:len(stack)-1]
 		}
 		if len(stack) == 0 {
-			continue // keyword node outside every interesting LCA subtree
+			// Keyword node outside every interesting LCA subtree. Safe to
+			// skip ahead: every root pushed so far was popped, and a popped
+			// root's contiguous pre-order subtree ends at or before the
+			// event that popped it, so no event below the next unseen root
+			// can dispatch anywhere.
+			if skip {
+				if j >= len(lcas) {
+					break
+				}
+				m.SkipTo(lcas[j])
+			}
+			continue
 		}
 		emit(int(stack[len(stack)-1]), ev)
 		total++

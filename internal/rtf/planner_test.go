@@ -1,0 +1,145 @@
+package rtf
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"xks/internal/dewey"
+	"xks/internal/lca"
+	"xks/internal/nid"
+	"xks/internal/rank"
+)
+
+// randomDispatchInput builds a random table, k skewed posting lists, and
+// the interesting-LCA roots the dispatch runs over.
+func randomDispatchInput(rng *rand.Rand, nodes, k int) (*nid.Table, [][]nid.ID, []nid.ID) {
+	codes := make([]dewey.Code, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		depth := 1 + rng.Intn(6)
+		c := make(dewey.Code, depth)
+		for d := range c {
+			c[d] = uint32(rng.Intn(3) + 1)
+		}
+		codes = append(codes, c)
+	}
+	t := nid.FromCodes(codes)
+	sets := make([][]nid.ID, k)
+	for i := range sets {
+		want := t.Len()/(2*i+1) + 1
+		seen := map[nid.ID]bool{}
+		for j := 0; j < want; j++ {
+			id := nid.ID(rng.Intn(t.Len()))
+			if !seen[id] {
+				seen[id] = true
+				sets[i] = append(sets[i], id)
+			}
+		}
+	}
+	for i := range sets {
+		s := sets[i]
+		for a := 1; a < len(s); a++ {
+			for b := a; b > 0 && s[b-1] > s[b]; b-- {
+				s[b-1], s[b] = s[b], s[b-1]
+			}
+		}
+	}
+	roots := lca.ELCAStackMergeIDs(t, sets)
+	return t, sets, roots
+}
+
+func sameRTFs(a, b []*IDRTF) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Root != b[i].Root || len(a[i].KeywordNodes) != len(b[i].KeywordNodes) {
+			return false
+		}
+		for j := range a[i].KeywordNodes {
+			if a[i].KeywordNodes[j] != b[i].KeywordNodes[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Planned dispatch (rarest-first order + subtree galloping) must emit
+// exactly the partitions the plain dispatch emits.
+func TestBuildIDsPlannedMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 150; trial++ {
+		k := 1 + rng.Intn(5)
+		tab, sets, roots := randomDispatchInput(rng, 20+rng.Intn(250), k)
+		want := BuildIDs(tab, roots, sets)
+		for _, skip := range []bool{false, true} {
+			got, err := BuildIDsPlanned(context.Background(), tab, roots, sets, rng.Perm(k), skip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameRTFs(got, want) {
+				t.Fatalf("trial %d skip=%t: planned dispatch diverged", trial, skip)
+			}
+		}
+	}
+}
+
+// The scored single-pass build must keep the same covering roots and give
+// each the bitwise-identical score ScoreIDs gives its materialized events.
+func TestBuildScoredIDsMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		k := 1 + rng.Intn(5)
+		tab, sets, roots := randomDispatchInput(rng, 20+rng.Intn(250), k)
+		words := make([]string, k)
+		idf := map[string]float64{}
+		for i := range words {
+			words[i] = string(rune('a' + i))
+			idf[words[i]] = 0.5 + rng.Float64()*4
+		}
+		scorer := &rank.Scorer{Decay: 0.8, IDF: func(w string) float64 { return idf[w] }}
+
+		want := BuildIDs(tab, roots, sets)
+		got, err := BuildScoredIDsCtx(context.Background(), tab, roots, sets,
+			scorer.Incremental(words), rng.Perm(k), rng.Intn(2) == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d scored roots, want %d", trial, len(got), len(want))
+		}
+		for i, s := range got {
+			if s.Root != want[i].Root {
+				t.Fatalf("trial %d: root %d = %d, want %d", trial, i, s.Root, want[i].Root)
+			}
+			ref := scorer.ScoreIDs(tab, want[i].Root, want[i].KeywordNodes, words)
+			if math.Float64bits(s.Score) != math.Float64bits(ref) {
+				t.Fatalf("trial %d root %d: score %v != %v (bitwise)", trial, s.Root, s.Score, ref)
+			}
+		}
+	}
+}
+
+// Lazy hydration must reconstruct exactly the event list the eager build
+// dispatched to each covering root.
+func TestEventsForMatchesBuildIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 150; trial++ {
+		k := 1 + rng.Intn(5)
+		tab, sets, roots := randomDispatchInput(rng, 20+rng.Intn(250), k)
+		for _, r := range BuildIDs(tab, roots, sets) {
+			got := EventsFor(tab, r.Root, roots, sets)
+			if len(got) != len(r.KeywordNodes) {
+				t.Fatalf("trial %d root %d: %d events, want %d", trial, r.Root, len(got), len(r.KeywordNodes))
+			}
+			for j := range got {
+				if got[j] != r.KeywordNodes[j] {
+					t.Fatalf("trial %d root %d: event %d = %+v, want %+v",
+						trial, r.Root, j, got[j], r.KeywordNodes[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Score-without-events dispatch: ranked searches that will materialize only
+// a few selected candidates don't need each candidate's keyword-event list —
+// only its score. BuildScoredIDsCtx folds every dispatched event straight
+// into per-root score accumulators (bit-identical to scoring the
+// materialized list, see rank.IncrementalScorer) and EventsFor reconstructs
+// the event list lazily for the candidates that actually get materialized.
+
+package rtf
+
+import (
+	"context"
+	"sort"
+
+	"xks/internal/lca"
+	"xks/internal/nid"
+	"xks/internal/rank"
+	"xks/internal/trace"
+)
+
+// ScoredID is the no-events form of IDRTF: a covering root and its score.
+type ScoredID struct {
+	Root  nid.ID
+	Score float64
+}
+
+// BuildScoredIDsCtx runs one planned dispatch pass over the posting lists
+// and returns, in pre-order, every root whose dispatched nodes cover the
+// whole query, scored as if its event list had been materialized and passed
+// to Scorer.ScoreIDs (same floating-point operations in the same order).
+// Compared to BuildIDsPlanned it performs one merge pass instead of two and
+// allocates O(roots) accumulators instead of O(events) arenas.
+func BuildScoredIDsCtx(ctx context.Context, t *nid.Table, lcas []nid.ID, sets [][]nid.ID, sc *rank.IncrementalScorer, order []int, skip bool) ([]ScoredID, error) {
+	if len(lcas) == 0 {
+		return nil, nil
+	}
+	full := lca.FullMask(len(sets))
+	k := sc.K()
+	masks := make([]uint64, len(lcas))
+	acc := make([]float64, 2*k*len(lcas)) // per root: best[0:k], extra[k:2k]
+	total, err := dispatch(ctx, t, lcas, sets, order, skip, func(i int, ev lca.IDEvent) {
+		masks[i] |= ev.Mask
+		off := 2 * k * i
+		sc.Update(acc[off:off+k], acc[off+k:off+2*k], int(t.Depth(ev.ID)-t.Depth(lcas[i])), ev.Mask)
+	})
+	if err != nil {
+		return nil, err
+	}
+	kept := make([]ScoredID, 0, len(lcas))
+	for i, m := range masks {
+		if m != full {
+			continue
+		}
+		off := 2 * k * i
+		kept = append(kept, ScoredID{
+			Root:  lcas[i],
+			Score: sc.Finish(acc[off:off+k], acc[off+k:off+2*k]),
+		})
+	}
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		sp.SetInt("dispatchedEvents", int64(total))
+		sp.SetInt("coveringRTFs", int64(len(kept)))
+		sp.SetInt("partialRTFs", int64(len(lcas)-len(kept)))
+	}
+	return kept, nil
+}
+
+// EventsFor reconstructs the keyword-event list of the RTF rooted at root,
+// exactly as buildIDs would have dispatched it: allRoots must be the full
+// pre-order interesting-LCA list of the same query (including non-covering
+// roots — deeper partial roots steal events from their ancestors), and sets
+// the query's posting lists. Only the contiguous pre-order window of root's
+// subtree is merged, so hydrating one selected candidate costs the subtree,
+// not the document.
+func EventsFor(t *nid.Table, root nid.ID, allRoots []nid.ID, sets [][]nid.ID) []lca.IDEvent {
+	end := t.SubtreeEnd(root)
+	lo := sort.Search(len(allRoots), func(i int) bool { return allRoots[i] >= root })
+	if lo == len(allRoots) || allRoots[lo] != root {
+		return nil
+	}
+	hi := lo + sort.Search(len(allRoots)-lo, func(i int) bool { return allRoots[lo+i] >= end })
+	// Roots outside [root, end) can't be dispatch targets for events inside
+	// it: any other ancestor-or-self of such an event is an ancestor of
+	// root, hence shallower than root itself.
+	sub := allRoots[lo:hi]
+	windowed := make([][]nid.ID, len(sets))
+	for i, s := range sets {
+		a := sort.Search(len(s), func(j int) bool { return s[j] >= root })
+		b := a + sort.Search(len(s)-a, func(j int) bool { return s[a+j] >= end })
+		windowed[i] = s[a:b]
+	}
+	var events []lca.IDEvent
+	dispatch(nil, t, sub, windowed, nil, false, func(i int, ev lca.IDEvent) {
+		if i == 0 {
+			events = append(events, ev)
+		}
+	})
+	return events
+}

@@ -137,21 +137,31 @@ func TestGroupLeaderPanicReleasesJoinersWithError(t *testing.T) {
 }
 
 func TestCacheKeyNormalization(t *testing.T) {
-	base := cacheKey(xks.Request{Query: "xml keyword"})
-	if cacheKey(xks.Request{Query: "  XML   Keyword "}) != base {
+	base := cacheKey(xks.Request{Query: "xml keyword"}, xks.Auto)
+	if cacheKey(xks.Request{Query: "  XML   Keyword "}, xks.Auto) != base {
 		t.Error("whitespace/case folding should not change the key")
 	}
-	if cacheKey(xks.Request{Query: "keyword xml"}) == base {
+	if cacheKey(xks.Request{Query: "keyword xml"}, xks.Auto) == base {
 		t.Error("term order is part of the key")
 	}
-	if cacheKey(xks.Request{Query: "xml keyword", Document: "doc.xml"}) == base {
+	if cacheKey(xks.Request{Query: "xml keyword", Document: "doc.xml"}, xks.Auto) == base {
 		t.Error("document filter is part of the key")
 	}
-	if cacheKey(xks.Request{Query: "xml keyword", Rank: true}) == base {
+	if cacheKey(xks.Request{Query: "xml keyword", Rank: true}, xks.Auto) == base {
 		t.Error("options are part of the key")
 	}
-	if cacheKey(xks.Request{Query: "xml keyword", Limit: 3}) == base {
+	if cacheKey(xks.Request{Query: "xml keyword", Limit: 3}, xks.Auto) == base {
 		t.Error("limit is part of the key")
+	}
+}
+
+func TestCacheKeyStrategy(t *testing.T) {
+	base := cacheKey(xks.Request{Query: "xml keyword"}, xks.ScanMerge)
+	if cacheKey(xks.Request{Query: "xml keyword", Strategy: xks.ScanMerge}, xks.ScanMerge) == base {
+		t.Error("the requested strategy is part of the key")
+	}
+	if cacheKey(xks.Request{Query: "xml keyword"}, xks.IndexedEager) == base {
+		t.Error("the planner-resolved strategy is part of the key")
 	}
 }
 

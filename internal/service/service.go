@@ -65,10 +65,24 @@ type Streamer interface {
 	Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.CorpusFragment, error], func() *xks.Results)
 }
 
+// Planner is the optional planning surface of a Searcher: it reports the
+// strategy the cost-based query planner resolves a request to. The service
+// folds the resolution into its cache keys, so two requests the planner
+// would execute differently — say Strategy=Auto before and after a
+// statistics change flips the plan — never share an entry, and an explicit
+// Strategy=ScanMerge request never replays a page cached under an Auto
+// resolution that happened to pick IndexedEager. Searchers without the
+// method key on the requested strategy alone.
+type Planner interface {
+	ResolveStrategy(req xks.Request) xks.Strategy
+}
+
 var (
 	_ Searcher = (*xks.Corpus)(nil)
 	_ Streamer = (*xks.Corpus)(nil)
+	_ Planner  = (*xks.Corpus)(nil)
 	_ Streamer = SingleDoc{}
+	_ Planner  = SingleDoc{}
 )
 
 // SingleDoc adapts one engine to the Searcher interface under a document
@@ -119,6 +133,11 @@ func (s SingleDoc) Documents() []xks.DocumentInfo {
 }
 
 func (s SingleDoc) Generation() uint64 { return s.Engine.Generation() }
+
+// ResolveStrategy delegates planning to the engine (Planner interface).
+func (s SingleDoc) ResolveStrategy(req xks.Request) xks.Strategy {
+	return s.Engine.ResolveStrategy(req)
+}
 
 // Config sizes the service.
 type Config struct {
@@ -172,7 +191,9 @@ func (sv *Service) CacheLen() int {
 // length-prefixed so no two distinct requests can concatenate to the same
 // key — with plain separators, a separator embedded in the query could
 // alias another request's document filter.
-func cacheKey(req xks.Request) string {
+// resolved is the planner's resolution of req.Strategy, keyed alongside the
+// requested strategy so a plan flip invalidates instead of aliasing.
+func cacheKey(req xks.Request, resolved xks.Strategy) string {
 	req = req.Canonical()
 	var b []byte
 	b = strconv.AppendInt(b, int64(len(req.Query)), 10)
@@ -187,9 +208,20 @@ func cacheKey(req xks.Request) string {
 	b = strconv.AppendInt(b, int64(len(req.Cursor)), 10)
 	b = append(b, ':')
 	b = append(b, req.Cursor...)
-	b = fmt.Appendf(b, "%d.%d.%t.%t.%d.%d",
-		req.Algorithm, req.Semantics, req.ExactContent, req.Rank, req.Limit, req.Offset)
+	b = fmt.Appendf(b, "%d.%d.%t.%t.%d.%d.%d.%d",
+		req.Algorithm, req.Semantics, req.ExactContent, req.Rank, req.Limit, req.Offset,
+		req.Strategy, resolved)
 	return string(b)
+}
+
+// resolveStrategy asks the searcher's planner (when it has one) what req's
+// Strategy resolves to; every strategy is output-identical, so this feeds
+// cache keys only.
+func (sv *Service) resolveStrategy(req xks.Request) xks.Strategy {
+	if p, ok := sv.searcher.(Planner); ok {
+		return p.ResolveStrategy(req)
+	}
+	return req.Strategy
 }
 
 // Search serves one request — over the whole corpus, or over the document
@@ -232,7 +264,7 @@ func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.Result
 	if err != nil {
 		return nil, false, err
 	}
-	key := cacheKey(req)
+	key := cacheKey(req, sv.resolveStrategy(req))
 	// Annotate the request's trace (when one is attached) with the serving
 	// decisions the pipeline itself cannot see; a nil span makes these
 	// free no-ops.
@@ -320,7 +352,7 @@ func (sv *Service) Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.C
 			yield(xks.CorpusFragment{}, err)
 			return
 		}
-		key := cacheKey(req)
+		key := cacheKey(req, sv.resolveStrategy(req))
 		sp := trace.SpanFromContext(ctx)
 		sp.SetInt("generation", int64(gen))
 		if sv.cache != nil {

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"xks/internal/analysis"
+	"xks/internal/index"
+	"xks/internal/paperdata"
+)
+
+// A v2 file must round-trip the planner statistics exactly, and the loaded
+// store must install them on BuildIndex without recomputation.
+func TestStatsRoundTripV2(t *testing.T) {
+	s := pubStore()
+	want := s.Stats()
+	if want.Nodes != s.NumNodes() || want.Postings != s.NumValues() {
+		t.Fatalf("stats: Nodes=%d Postings=%d, want %d/%d",
+			want.Nodes, want.Postings, s.NumNodes(), s.NumValues())
+	}
+	if want.Words == 0 || want.MaxPostings == 0 || want.AvgDepth <= 0 || want.AvgFanout <= 0 {
+		t.Fatalf("degenerate stats: %+v", want)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.statsSet {
+		t.Fatal("v2 load did not restore persisted statistics")
+	}
+	got := loaded.Stats()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stats round trip:\n got %+v\nwant %+v", got, want)
+	}
+	if ixStats := loaded.BuildIndex(analysis.New()).Stats(); !reflect.DeepEqual(ixStats, want) {
+		t.Fatalf("BuildIndex stats:\n got %+v\nwant %+v", ixStats, want)
+	}
+}
+
+// The v1 reader must keep working: a file written at the old version loads,
+// and statistics come back lazily recomputed with identical values.
+func TestLoadV1Compat(t *testing.T) {
+	s := pubStore()
+	var buf bytes.Buffer
+	if err := s.save(&buf, versionV1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("v1 file failed to load: %v", err)
+	}
+	if loaded.statsSet {
+		t.Fatal("v1 load claims persisted statistics")
+	}
+	if loaded.NumNodes() != s.NumNodes() || loaded.NumValues() != s.NumValues() {
+		t.Fatalf("v1 tables: %d/%d nodes/values, want %d/%d",
+			loaded.NumNodes(), loaded.NumValues(), s.NumNodes(), s.NumValues())
+	}
+	if got, want := loaded.Stats(), s.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("v1 recomputed stats:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// Store-side statistics (what v2 files persist) must agree with the
+// index-side lazy scan: the planner must decide identically whether the
+// engine came from FromTree or OpenStore.
+func TestStoreStatsMatchIndexScan(t *testing.T) {
+	tree := paperdata.Publications()
+	s := Shred(tree, analysis.New())
+	fromStore := s.Stats()
+	fromIndex := index.Build(tree, analysis.New()).Stats()
+	if fromStore.Nodes != fromIndex.Nodes ||
+		fromStore.Words != fromIndex.Words ||
+		fromStore.Postings != fromIndex.Postings ||
+		fromStore.MaxPostings != fromIndex.MaxPostings ||
+		fromStore.MaxDepth != fromIndex.MaxDepth {
+		t.Fatalf("counts diverge:\n store %+v\n index %+v", fromStore, fromIndex)
+	}
+	if math.Abs(fromStore.AvgDepth-fromIndex.AvgDepth) > 1e-9 {
+		t.Fatalf("AvgDepth: store %v, index %v", fromStore.AvgDepth, fromIndex.AvgDepth)
+	}
+	if math.Abs(fromStore.AvgFanout-fromIndex.AvgFanout) > 1e-9 {
+		t.Fatalf("AvgFanout: store %v, index %v", fromStore.AvgFanout, fromIndex.AvgFanout)
+	}
+	if !reflect.DeepEqual(fromStore.DepthHist, fromIndex.DepthHist) {
+		t.Fatalf("DepthHist: store %v, index %v", fromStore.DepthHist, fromIndex.DepthHist)
+	}
+}

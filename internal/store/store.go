@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"xks/internal/dewey"
 	"xks/internal/index"
 	"xks/internal/nid"
+	"xks/internal/planner"
 	"xks/internal/xmltree"
 )
 
@@ -69,6 +71,13 @@ type Store struct {
 	nodeWordsOnce sync.Once
 	nodeWords     []string
 	wordOff       []int32
+
+	// stats caches the planner statistics: restored from a v2 file on Load
+	// (so opening a store plans without a rescan), computed lazily from the
+	// tables otherwise. Guarded by statsOnce.
+	statsOnce sync.Once
+	stats     planner.Stats
+	statsSet  bool
 }
 
 // Shred builds the three tables from a document, analyzing content with the
@@ -258,7 +267,11 @@ func (s *Store) BuildIndex(an *analysis.Analyzer) *index.Index {
 			postings[v.Keyword] = append(postings[v.Keyword], id)
 		}
 	}
-	return index.FromIDPostings(tab, postings, s.numNodes, an)
+	ix := index.FromIDPostings(tab, postings, s.numNodes, an)
+	// Hand the index the store's statistics (persisted in v2 files) so the
+	// planner never rescans posting lists on the load path.
+	ix.SetStats(s.Stats())
+	return ix
 }
 
 // ContentOf returns the content word set of the node — the inverse view of
@@ -318,6 +331,85 @@ func (s *Store) buildNodeWords() {
 	}
 }
 
+// statsDepthBuckets caps the persisted depth histogram; deeper postings
+// fold into the last bucket (mirroring the index-side collection).
+const statsDepthBuckets = 32
+
+// Stats returns the planner statistics of the shredded document: restored
+// from a v2 store file when present, computed from the tables otherwise
+// (one pass over the value table plus parent lookups over the element
+// table). BuildIndex installs them on the index it assembles, so a loaded
+// store plans queries without rescanning posting lists.
+func (s *Store) Stats() planner.Stats {
+	s.statsOnce.Do(func() {
+		if !s.statsSet {
+			s.stats = s.computeStats()
+			s.statsSet = true
+		}
+	})
+	return s.stats
+}
+
+func (s *Store) computeStats() planner.Stats {
+	st := planner.Stats{Nodes: len(s.elements), Docs: 1}
+	var depthSum int64
+	var hist [statsDepthBuckets]int64
+	maxBucket := 0
+	// The value table is sorted by (keyword, dewey): one pass yields the
+	// vocabulary and per-list lengths.
+	run := 0
+	for i, v := range s.values {
+		if i == 0 || v.Keyword != s.values[i-1].Keyword {
+			st.Words++
+			run = 0
+		}
+		run++
+		if run > st.MaxPostings {
+			st.MaxPostings = run
+		}
+		d := len(v.Dewey) - 1
+		if d < 0 {
+			d = 0
+		}
+		depthSum += int64(d)
+		if d > st.MaxDepth {
+			st.MaxDepth = d
+		}
+		b := min(d, statsDepthBuckets-1)
+		hist[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	st.Postings = len(s.values)
+	if st.Postings > 0 {
+		st.AvgDepth = float64(depthSum) / float64(st.Postings)
+		st.DepthHist = append([]int64(nil), hist[:maxBucket+1]...)
+	}
+	// Fanout from element-table parent lookups (pre-order rows).
+	children := 0
+	isParent := make([]bool, len(s.elements))
+	for _, e := range s.elements {
+		if len(e.Dewey) <= 1 {
+			continue
+		}
+		if p, ok := s.elementIndex(e.Dewey[:len(e.Dewey)-1]); ok {
+			children++
+			isParent[p] = true
+		}
+	}
+	internal := 0
+	for _, b := range isParent {
+		if b {
+			internal++
+		}
+	}
+	if internal > 0 {
+		st.AvgFanout = float64(children) / float64(internal)
+	}
+	return st
+}
+
 // Children returns the element rows of the node's children in document
 // order, used by store-backed fragment rendering.
 func (s *Store) Children(c dewey.Code) []ElementRow {
@@ -340,18 +432,29 @@ func (s *Store) Children(c dewey.Code) []ElementRow {
 // ---- Binary persistence -------------------------------------------------
 
 const (
-	magic   = "XKSSTORE"
-	version = uint32(1)
+	magic = "XKSSTORE"
+	// versionV1 is the original format: label, element and value tables.
+	versionV1 = uint32(1)
+	// version (v2) appends a planner-statistics section after the value
+	// table, so OpenStore plans queries without rescanning posting lists.
+	// v1 files still load (statistics are then recomputed lazily).
+	version = uint32(2)
 )
 
-// Save writes the store to w in the binary table format.
+// Save writes the store to w in the binary table format (current version).
 func (s *Store) Save(w io.Writer) error {
+	return s.save(w, version)
+}
+
+// save writes the store at an explicit format version; the v1 arm exists so
+// tests can pin backward compatibility of the reader.
+func (s *Store) save(w io.Writer, ver uint32) error {
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
 	if _, err := cw.Write([]byte(magic)); err != nil {
 		return err
 	}
-	if err := writeU32(cw, version); err != nil {
+	if err := writeU32(cw, ver); err != nil {
 		return err
 	}
 	// Label table.
@@ -407,11 +510,84 @@ func (s *Store) Save(w io.Writer) error {
 			return err
 		}
 	}
+	// Planner-statistics section (v2+).
+	if ver >= 2 {
+		if err := writeStats(cw, s.Stats()); err != nil {
+			return err
+		}
+	}
 	// Trailing checksum over everything written so far.
 	if err := binary.Write(bw, binary.BigEndian, cw.sum); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+func writeStats(w io.Writer, st planner.Stats) error {
+	for _, v := range []uint32{
+		uint32(st.Nodes), uint32(st.Words), uint32(st.Postings),
+		uint32(st.MaxPostings), uint32(st.MaxDepth), uint32(st.Docs),
+	} {
+		if err := writeU32(w, v); err != nil {
+			return err
+		}
+	}
+	if err := writeU64(w, math.Float64bits(st.AvgDepth)); err != nil {
+		return err
+	}
+	if err := writeU64(w, math.Float64bits(st.AvgFanout)); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(st.DepthHist))); err != nil {
+		return err
+	}
+	for _, h := range st.DepthHist {
+		if err := writeU64(w, uint64(h)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readStats(r io.Reader) (planner.Stats, error) {
+	var st planner.Stats
+	var u [6]uint32
+	for i := range u {
+		v, err := readU32(r)
+		if err != nil {
+			return st, err
+		}
+		u[i] = v
+	}
+	st.Nodes, st.Words, st.Postings = int(u[0]), int(u[1]), int(u[2])
+	st.MaxPostings, st.MaxDepth, st.Docs = int(u[3]), int(u[4]), int(u[5])
+	bits, err := readU64(r)
+	if err != nil {
+		return st, err
+	}
+	st.AvgDepth = math.Float64frombits(bits)
+	if bits, err = readU64(r); err != nil {
+		return st, err
+	}
+	st.AvgFanout = math.Float64frombits(bits)
+	n, err := readU32(r)
+	if err != nil {
+		return st, err
+	}
+	if n > 1<<16 {
+		return st, fmt.Errorf("store: depth histogram too long: %d", n)
+	}
+	if n > 0 {
+		st.DepthHist = make([]int64, n)
+		for i := range st.DepthHist {
+			h, err := readU64(r)
+			if err != nil {
+				return st, err
+			}
+			st.DepthHist[i] = int64(h)
+		}
+	}
+	return st, nil
 }
 
 // SaveFile writes the store to a file.
@@ -443,7 +619,7 @@ func Load(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != version {
+	if ver != versionV1 && ver != version {
 		return nil, fmt.Errorf("store: unsupported version %d", ver)
 	}
 	s := &Store{labelIDs: map[string]uint32{}}
@@ -515,6 +691,14 @@ func Load(r io.Reader) (*Store, error) {
 		}
 		s.values = append(s.values, v)
 	}
+	if ver >= 2 {
+		st, err := readStats(cr)
+		if err != nil {
+			return nil, err
+		}
+		s.stats = st
+		s.statsSet = true
+	}
 	want := cr.sum
 	var got uint32
 	if err := binary.Read(br, binary.BigEndian, &got); err != nil {
@@ -571,6 +755,21 @@ func readU32(r io.Reader) (uint32, error) {
 		return 0, err
 	}
 	return binary.BigEndian.Uint32(buf[:]), nil
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(buf[:]), nil
 }
 
 func writeString(w io.Writer, s string) error {

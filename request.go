@@ -43,6 +43,15 @@ type Request struct {
 	Algorithm Algorithm
 	// Semantics picks the fragment roots (default AllLCA).
 	Semantics Semantics
+	// Strategy selects the LCA evaluation strategy. The default, Auto,
+	// engages the cost-based planner: posting-list statistics pick between
+	// the scan-merge and indexed-eager algorithms, order the k-way merge
+	// rarest-first, and enable dispatch galloping. Fixed strategies pin
+	// the algorithm and run in query order (the planner-off baseline).
+	// Every strategy returns byte-identical results — the knob only moves
+	// work around — so it is not part of the cursor fingerprint; caching
+	// layers key on the planner-resolved strategy instead.
+	Strategy Strategy
 	// ExactContent replaces the (min,max) cID approximation of rule 2(b)
 	// with exact tree-content-set comparison (ablation switch).
 	ExactContent bool
