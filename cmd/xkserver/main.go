@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"xks"
+	"xks/internal/admission"
 	"xks/internal/httpapi"
 	"xks/internal/service"
 )
@@ -75,6 +76,8 @@ func main() {
 		slowQuery = flag.Duration("slow-query", 0, "log the explain trace of searches at least this slow (0 disables)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
+		maxInFl   = flag.Int("max-inflight", 256, "concurrently executing searches before requests queue")
+		queue     = flag.Int("queue", 1024, "searches waiting for a slot before requests shed with 429 (-1 disables queueing)")
 	)
 	flag.Parse()
 
@@ -142,9 +145,12 @@ func main() {
 		}()
 	}
 
+	adm := admission.New(admission.Config{MaxInFlight: *maxInFl, MaxQueue: *queue})
+	logger.Info("admission", slog.Int("maxInflight", *maxInFl), slog.Int("queue", *queue))
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: httpapi.NewHandler(svc, &httpapi.Options{Logger: logger, SlowQuery: *slowQuery}),
+		Handler: httpapi.NewHandler(svc, &httpapi.Options{Logger: logger, SlowQuery: *slowQuery, Admission: adm}),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -163,8 +169,11 @@ func main() {
 	}
 	stop() // restore default signal handling: a second signal kills immediately
 
-	// Bounded drain: stop accepting, let in-flight requests (including
-	// NDJSON streams) finish, then cut whatever remains.
+	// Bounded drain: flip the front door shut first — new searches on live
+	// keep-alive connections answer 503 + Connection: close and /healthz
+	// turns unhealthy — then stop accepting and let in-flight and queued
+	// requests (including NDJSON streams) finish before cutting the rest.
+	adm.Drain()
 	logger.Info("shutting down", slog.Duration("drain", *drain))
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

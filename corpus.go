@@ -14,6 +14,7 @@ import (
 
 	"xks/internal/concurrent"
 	"xks/internal/exec"
+	"xks/internal/fault"
 	"xks/internal/planner"
 	"xks/internal/query"
 	"xks/internal/trace"
@@ -200,8 +201,10 @@ type Results struct {
 	Truncated bool
 	// Truncation says which stage the deadline expired in when Truncated
 	// is set (TruncNone otherwise): TruncCandidates means the candidate
-	// fan-out did not finish (empty page, unknown total), TruncMaterialize
-	// means a partial page of finished fragments.
+	// fan-out did not finish (Fragments holds a best-effort page salvaged
+	// from the documents that completed; the total is unknown and the
+	// cursor resumes from the page's own start), TruncMaterialize means a
+	// partial page of finished fragments.
 	Truncation TruncationReason
 	// PerDocument counts fragments per document (documents with zero
 	// matches included).
@@ -284,18 +287,39 @@ func (c *Corpus) Search(ctx context.Context, req Request) (*Results, error) {
 
 	start := time.Now()
 	outs, selected, merged, err := c.gather(ctx, req)
+	materialize := func(cand *exec.Candidate) (CorpusFragment, error) {
+		o := outs[cand.Doc]
+		// The expired outer ctx (not a detached salvage one) feeds the
+		// injection point so scripted deadline faults resolve immediately;
+		// assembly itself never consults a context.
+		f, merr := o.eng.materializeSafe(ctx, o.name, cand, o.plan, o.params)
+		if merr != nil {
+			return CorpusFragment{}, merr
+		}
+		return CorpusFragment{Document: o.name, Fragment: f}, nil
+	}
 	if err != nil {
 		if req.Budget == BestEffort && errors.Is(err, context.DeadlineExceeded) {
 			// The candidate fan-out did not finish: gather still returns the
-			// envelope aggregated over the documents that completed, so the
-			// truncated page carries real partial stats instead of a zero
-			// struct.
+			// envelope aggregated over the documents that completed — real
+			// partial stats instead of a zero struct — plus the selection
+			// salvaged from them. Materialize that page on a detached
+			// context (the deadline is already spent; the work is bounded
+			// by the page size) so finished candidate stages are not thrown
+			// away.
 			merged.Truncated = true
 			merged.Truncation = TruncCandidates
+			if len(selected) > 0 {
+				frags, merr := concurrent.MapCtx(context.WithoutCancel(ctx), selected, c.Workers, materialize)
+				if merr == nil {
+					merged.Fragments = frags
+				}
+			}
 			merged.Stats.Elapsed = time.Since(start)
-			// Truncated before selection finished: the total is unknown,
-			// but the page resumes from its own start — an empty cursor
-			// would read as "exhausted" and silently end the scroll.
+			// Truncated before selection finished: the total is unknown
+			// (the salvaged page covers only the completed documents), so
+			// the page resumes from its own start — an empty cursor would
+			// read as "exhausted" and silently end the scroll.
 			truncationCursor(&merged.NextOffset, &merged.Cursor, req, gen)
 			return merged, nil
 		}
@@ -305,10 +329,6 @@ func (c *Corpus) Search(ctx context.Context, req Request) (*Results, error) {
 	sp := trace.SpanFromContext(ctx)
 	matSp := sp.Child("materialize")
 	matStart := time.Now()
-	materialize := func(cand *exec.Candidate) (CorpusFragment, error) {
-		o := outs[cand.Doc]
-		return CorpusFragment{Document: o.name, Fragment: o.eng.materialize(cand, o.plan, o.params)}, nil
-	}
 	var frags []CorpusFragment
 	if req.Budget == BestEffort {
 		// Chunked fan-out: the same worker parallelism, with a deadline
@@ -418,6 +438,19 @@ func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Can
 	outs, err := concurrent.MapCtx(ctx, docIdx, c.Workers, func(i int) (docOut, error) {
 		name := c.names[i]
 		eng := c.engines[name]
+		// Chaos injection points: a scripted store-read or candidate-stage
+		// fault targeted at this document fails (or panics — MapCtx recovers)
+		// here, exercising the same degradation paths a real fault would.
+		ferr := fault.Inject(ctx, fault.PointStoreRead, name)
+		if ferr == nil {
+			ferr = fault.Inject(ctx, fault.PointCandidates, name)
+		}
+		if ferr != nil {
+			if ctx.Err() != nil {
+				return docOut{}, ferr // the shared deadline expired; no document to blame
+			}
+			return docOut{}, fmt.Errorf("xks: document %s: %w", name, ferr)
+		}
 		// Each document gets its own child span (concurrent-safe); the
 		// engine's plan and the lca/rtf sub-stages hang under it.
 		docSp := candSp.Child("doc:" + name)
@@ -466,6 +499,17 @@ func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Can
 	candSp.SetInt("candidates", int64(merged.Stats.NumLCAs))
 	candSp.End()
 	if err != nil {
+		if req.Budget == BestEffort && errors.Is(err, context.DeadlineExceeded) {
+			// Candidate-stage salvage: the fan-out died on the deadline, but
+			// every completed document's candidate set (and the shared top-K
+			// heap the workers fed) is intact. Select over that partial
+			// corpus so the caller can materialize an honest best-effort
+			// page instead of discarding finished work. The error still
+			// propagates — the caller owns the Truncated marking.
+			selected := selectAcross(topk, outs, req, mergedLimit)
+			merged.Stats.Selected = len(selected)
+			return outs, selected, merged, err
+		}
 		return outs, nil, merged, err
 	}
 
@@ -475,22 +519,29 @@ func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Can
 	// the single-document path uses, over the document-order concatenation.
 	selSp := sp.Child("select")
 	selStart := time.Now()
-	var selected []*exec.Candidate
-	if topk != nil {
-		selected = exec.Page(topk.Ranked(), req.Offset, mergedLimit)
-	} else {
-		var all []*exec.Candidate
-		for _, o := range outs {
-			all = append(all, o.cands...)
-		}
-		selected = exec.Select(all, exec.Params{Rank: req.Rank, Limit: mergedLimit, Offset: req.Offset})
-	}
+	selected := selectAcross(topk, outs, req, mergedLimit)
 	merged.Stats.Stages.Select = time.Since(selStart)
 	merged.Stats.Selected = len(selected)
 	selSp.SetInt("candidates", int64(merged.Stats.NumLCAs))
 	selSp.SetInt("selected", int64(len(selected)))
 	selSp.End()
 	return outs, selected, merged, nil
+}
+
+// selectAcross runs the merged selection over the per-document candidate
+// outputs: the shared top-K heap's pagination window when the streamed merge
+// ran, otherwise the standard Select over the document-order concatenation
+// of completed documents (o.eng == nil marks a document whose candidate
+// stage did not finish; it contributed nothing).
+func selectAcross(topk *exec.TopK, outs []docOut, req Request, mergedLimit int) []*exec.Candidate {
+	if topk != nil {
+		return exec.Page(topk.Ranked(), req.Offset, mergedLimit)
+	}
+	var all []*exec.Candidate
+	for _, o := range outs {
+		all = append(all, o.cands...)
+	}
+	return exec.Select(all, exec.Params{Rank: req.Rank, Limit: mergedLimit, Offset: req.Offset})
 }
 
 // Fragments is the streaming variant of Search — the corpus-level mirror of
@@ -544,12 +595,25 @@ func (c *Corpus) Stream(ctx context.Context, req Request) (iter.Seq2[CorpusFragm
 		if err != nil {
 			if req.Budget == BestEffort && errors.Is(err, context.DeadlineExceeded) {
 				// Partial stats from the documents that finished (see
-				// gather) instead of an Elapsed-only zero struct.
+				// gather) instead of an Elapsed-only zero struct, and the
+				// selection salvaged from them yielded as a best-effort
+				// page (assembly ignores the spent deadline; the work is
+				// bounded by the page size).
 				res.Stats = merged.Stats
 				res.PerDocument = merged.PerDocument
 				res.Truncated = true
 				res.Truncation = TruncCandidates
 				truncationCursor(&res.NextOffset, &res.Cursor, req, gen)
+				for _, cand := range selected {
+					o := outs[cand.Doc]
+					cf, merr := o.eng.materializeSafe(ctx, o.name, cand, o.plan, o.params)
+					if merr != nil {
+						return
+					}
+					if !yield(CorpusFragment{Document: o.name, Fragment: cf}, nil) {
+						return
+					}
+				}
 				return
 			}
 			yield(CorpusFragment{}, err)
@@ -580,8 +644,18 @@ func (c *Corpus) Stream(ctx context.Context, req Request) (iter.Seq2[CorpusFragm
 			}
 			o := outs[cand.Doc]
 			matStart := time.Now()
-			cf := CorpusFragment{Document: o.name, Fragment: o.eng.materialize(cand, o.plan, o.params)}
+			f, merr := o.eng.materializeSafe(ctx, o.name, cand, o.plan, o.params)
 			res.Stats.Stages.Materialize += time.Since(matStart)
+			if merr != nil {
+				if req.Budget == BestEffort && errors.Is(merr, context.DeadlineExceeded) {
+					res.Truncated = true
+					res.Truncation = TruncMaterialize
+					return
+				}
+				yield(CorpusFragment{}, merr)
+				return
+			}
+			cf := CorpusFragment{Document: o.name, Fragment: f}
 			prunedNodes += int64(cf.Pruned)
 			yielded, lastDoc, lastSeq = yielded+1, cand.Doc, cand.Seq
 			if !yield(cf, nil) {

@@ -34,8 +34,10 @@ import (
 	"time"
 
 	"xks/internal/analysis"
+	"xks/internal/concurrent"
 	"xks/internal/dewey"
 	"xks/internal/exec"
+	"xks/internal/fault"
 	"xks/internal/index"
 	"xks/internal/lca"
 	"xks/internal/nid"
@@ -307,8 +309,11 @@ const (
 	// TruncNone: the page was not truncated.
 	TruncNone TruncationReason = ""
 	// TruncCandidates: the BestEffort deadline expired during the plan or
-	// candidate stage, before selection finished. The page is empty, the
-	// total is unknown, and the cursor resumes from the page's own start.
+	// candidate stage, before selection finished. The total is unknown and
+	// the cursor resumes from the page's own start. Single-engine pages are
+	// empty; corpus pages salvage the documents whose candidate stage
+	// finished in time, so the page holds a best-effort selection over that
+	// partial corpus (re-running the cursor recomputes the true page).
 	TruncCandidates TruncationReason = "deadline-candidates"
 	// TruncMaterialize: the BestEffort deadline expired during the
 	// materialize stage. The page holds every fragment that finished in
@@ -442,6 +447,13 @@ func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[
 		// (the untraced common case) makes every call below a free no-op.
 		sp := trace.SpanFromContext(ctx)
 
+		// Chaos injection point: a scripted store-read fault fails the
+		// search here, before planning touches the document source.
+		if err := fault.Inject(ctx, fault.PointStoreRead, ""); err != nil {
+			yield(nil, err)
+			return
+		}
+
 		planSp := sp.Child("plan")
 		planStart := time.Now()
 		p, err := e.plan(req.Query)
@@ -470,7 +482,7 @@ func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[
 		defer func() { res.Stats.Elapsed = time.Since(start) }()
 		params := e.params(req)
 		candSp := sp.Child("candidates")
-		cands, err := exec.Candidates(trace.ContextWithSpan(ctx, candSp), p, params, 0)
+		cands, err := safeCandidates(trace.ContextWithSpan(ctx, candSp), "", p, params, 0)
 		res.Stats.Stages.Candidates = time.Since(start)
 		candSp.End()
 		if err != nil {
@@ -518,8 +530,17 @@ func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[
 				return
 			}
 			matStart := time.Now()
-			f := e.materialize(c, p, params)
+			f, merr := e.materializeSafe(ctx, "", c, p, params)
 			res.Stats.Stages.Materialize += time.Since(matStart)
+			if merr != nil {
+				if req.Budget == BestEffort && errors.Is(merr, context.DeadlineExceeded) {
+					res.Truncated = true
+					res.Truncation = TruncMaterialize
+					return
+				}
+				yield(nil, merr)
+				return
+			}
 			prunedNodes += int64(f.Pruned)
 			if keep {
 				res.Fragments = append(res.Fragments, f)
@@ -615,6 +636,43 @@ func (e *Engine) params(req Request) exec.Params {
 		LabelOf:     e.src.labelOfID,
 		ContentOf:   e.src.contentOfID,
 	}
+}
+
+// safeCandidates runs the candidate stage under panic isolation and the
+// chaos harness's candidates injection point: a panicking merge (or an
+// injected fault) surfaces as this stage's error — a *PanicError wrapping
+// ErrInternal for panics — instead of unwinding through the iterator into
+// the caller. label is the document name for corpus searches, "" for
+// single-engine ones.
+func safeCandidates(ctx context.Context, label string, p exec.Plan, params exec.Params, doc int) (cands []*exec.Candidate, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = concurrent.Recovered(r)
+		}
+	}()
+	if ferr := fault.Inject(ctx, fault.PointCandidates, label); ferr != nil {
+		return nil, ferr
+	}
+	return exec.Candidates(ctx, p, params, doc)
+}
+
+// materializeSafe runs materialize under panic isolation and the chaos
+// harness's materialize injection point: one poisoned candidate degrades
+// into a structured error (a *PanicError wrapping ErrInternal) for this
+// search instead of crashing the process — materialization runs inside
+// iterator sequences where no http.Server recovery applies. The fragment
+// assembly itself never consults ctx, so callers salvaging a truncated page
+// may pass an already-expired context.
+func (e *Engine) materializeSafe(ctx context.Context, label string, c *exec.Candidate, p exec.Plan, params exec.Params) (f *Fragment, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = concurrent.Recovered(r)
+		}
+	}()
+	if ferr := fault.Inject(ctx, fault.PointMaterialize, label); ferr != nil {
+		return nil, ferr
+	}
+	return e.materialize(c, p, params), nil
 }
 
 // searchCandidates runs the plan and candidate stages only, leaving

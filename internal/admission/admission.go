@@ -1,0 +1,215 @@
+// Package admission is the concurrency-limited, queue-bounded front door of
+// the serving stack: every search acquires a slot before it may touch the
+// pipeline, at most MaxInFlight searches execute at once, at most MaxQueue
+// more wait for a slot, and everything beyond that is shed immediately with
+// a structured error the HTTP layer maps to a fast 429/503 plus Retry-After.
+//
+// Shedding is the point: an overloaded server that answers "no" in
+// microseconds keeps its admitted requests fast and its memory bounded,
+// where an unbounded accept loop degrades every request at once. The
+// ROADMAP's scatter-gather direction lists this front door as a
+// prerequisite — a shard that cannot shed cannot be load-balanced around.
+//
+// A queued request does not wait forever: its queue wait is carved out of
+// the request's own deadline (half the remaining budget, capped by
+// MaxQueueWait), so a request admitted late still has time to do its work,
+// and one that would not is turned away while its client is still listening.
+//
+// Draining (SIGTERM) flips the front door shut: new acquisitions fail with
+// ErrDraining — the HTTP layer answers 503 with Connection: close — while
+// requests already executing or already queued proceed to completion within
+// the server's drain budget.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Shed errors, matched with errors.Is. All three mean "not admitted, try
+// elsewhere or later"; they differ in what the client should conclude.
+var (
+	// ErrShed reports a full queue: the server is saturated and the request
+	// was rejected without waiting (HTTP 429).
+	ErrShed = errors.New("admission: saturated, request shed")
+	// ErrQueueTimeout reports a queue wait that exhausted the request's
+	// carved-out budget before a slot freed (HTTP 503).
+	ErrQueueTimeout = errors.New("admission: queue wait exceeded")
+	// ErrDraining reports a server shutting down: it finishes what it has
+	// but admits nothing new (HTTP 503 + Connection: close).
+	ErrDraining = errors.New("admission: draining, not admitting new requests")
+)
+
+// Config sizes the front door. The zero value of a field picks its default.
+type Config struct {
+	// MaxInFlight bounds concurrently executing searches (default 256).
+	MaxInFlight int
+	// MaxQueue bounds searches waiting for a slot (default 4×MaxInFlight).
+	// Zero queue capacity is expressed as -1: saturation sheds immediately.
+	MaxQueue int
+	// MaxQueueWait caps one request's time in the queue (default 2s); the
+	// effective wait is further bounded by half the request's remaining
+	// deadline budget.
+	MaxQueueWait time.Duration
+}
+
+// Controller is the front door. One Controller guards one serving surface;
+// its counters feed /metrics and the explain span tree.
+type Controller struct {
+	slots    chan struct{}
+	maxQueue int64
+	maxWait  time.Duration
+	queued   atomic.Int64
+	draining atomic.Bool
+
+	admitted      atomic.Uint64
+	queuedTotal   atomic.Uint64
+	shedFull      atomic.Uint64
+	shedTimeout   atomic.Uint64
+	shedDraining  atomic.Uint64
+	queueWaitUsec atomic.Uint64
+}
+
+// New builds a controller from cfg (see Config for defaults).
+func New(cfg Config) *Controller {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	switch {
+	case cfg.MaxQueue == 0:
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	case cfg.MaxQueue < 0:
+		cfg.MaxQueue = 0
+	}
+	if cfg.MaxQueueWait <= 0 {
+		cfg.MaxQueueWait = 2 * time.Second
+	}
+	return &Controller{
+		slots:    make(chan struct{}, cfg.MaxInFlight),
+		maxQueue: int64(cfg.MaxQueue),
+		maxWait:  cfg.MaxQueueWait,
+	}
+}
+
+// Acquire admits one request: it returns a release func (call exactly once,
+// when the request's work — including response streaming — is done) and the
+// time spent queued. A request that cannot be admitted fails fast with
+// ErrDraining, ErrShed, ErrQueueTimeout, or the caller's own ctx error; no
+// shed path blocks, so rejection latency stays in microseconds regardless
+// of load.
+func (c *Controller) Acquire(ctx context.Context) (release func(), waited time.Duration, err error) {
+	if c.draining.Load() {
+		c.shedDraining.Add(1)
+		return nil, 0, ErrDraining
+	}
+	// Fast path: a free slot means no queueing at all.
+	select {
+	case c.slots <- struct{}{}:
+		c.admitted.Add(1)
+		return c.release, 0, nil
+	default:
+	}
+	// Saturated: queue if the queue has room, shed immediately otherwise.
+	if c.queued.Add(1) > c.maxQueue {
+		c.queued.Add(-1)
+		c.shedFull.Add(1)
+		return nil, 0, ErrShed
+	}
+	defer c.queued.Add(-1)
+	c.queuedTotal.Add(1)
+
+	// The queue wait is carved out of the request's own budget: half the
+	// remaining deadline (a request admitted with no time left would only
+	// be cancelled mid-pipeline), capped by the configured maximum.
+	wait := c.maxWait
+	if dl, ok := ctx.Deadline(); ok {
+		if carve := time.Until(dl) / 2; carve < wait {
+			wait = carve
+		}
+	}
+	start := time.Now()
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case c.slots <- struct{}{}:
+		waited = time.Since(start)
+		c.queueWaitUsec.Add(uint64(waited.Microseconds()))
+		c.admitted.Add(1)
+		return c.release, waited, nil
+	case <-timer.C:
+		c.shedTimeout.Add(1)
+		return nil, time.Since(start), ErrQueueTimeout
+	case <-ctx.Done():
+		return nil, time.Since(start), ctx.Err()
+	}
+}
+
+func (c *Controller) release() { <-c.slots }
+
+// Drain flips the controller into draining mode: every later Acquire fails
+// with ErrDraining, while requests already executing — and waiters already
+// queued, which keep their place — run to completion. Draining is one-way.
+func (c *Controller) Drain() { c.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (c *Controller) Draining() bool { return c.draining.Load() }
+
+// Stats is a point-in-time view of the front door.
+type Stats struct {
+	// InFlight and Queued are instantaneous gauges; the rest are
+	// monotone counters.
+	InFlight     int    `json:"inFlight"`
+	Queued       int    `json:"queued"`
+	Admitted     uint64 `json:"admitted"`
+	QueuedTotal  uint64 `json:"queuedTotal"`
+	ShedFull     uint64 `json:"shedQueueFull"`
+	ShedTimeout  uint64 `json:"shedQueueTimeout"`
+	ShedDraining uint64 `json:"shedDraining"`
+	Draining     bool   `json:"draining"`
+	MaxInFlight  int    `json:"maxInFlight"`
+	MaxQueue     int    `json:"maxQueue"`
+}
+
+// Stats reads the live counters (lock-free; approximately consistent).
+func (c *Controller) Stats() Stats {
+	q := c.queued.Load()
+	if q < 0 {
+		q = 0
+	}
+	return Stats{
+		InFlight:     len(c.slots),
+		Queued:       int(q),
+		Admitted:     c.admitted.Load(),
+		QueuedTotal:  c.queuedTotal.Load(),
+		ShedFull:     c.shedFull.Load(),
+		ShedTimeout:  c.shedTimeout.Load(),
+		ShedDraining: c.shedDraining.Load(),
+		Draining:     c.draining.Load(),
+		MaxInFlight:  cap(c.slots),
+		MaxQueue:     int(c.maxQueue),
+	}
+}
+
+// WritePrometheus appends the admission families to a Prometheus text
+// exposition (version 0.0.4) — the HTTP layer calls it right after the
+// service's own writer so one /metrics scrape covers both.
+func (c *Controller) WritePrometheus(w io.Writer) {
+	s := c.Stats()
+	fmt.Fprintf(w, "# HELP xks_admission_admitted_total Requests admitted past the front door.\n# TYPE xks_admission_admitted_total counter\nxks_admission_admitted_total %d\n", s.Admitted)
+	fmt.Fprintf(w, "# HELP xks_admission_queued_total Admission attempts that waited in the queue.\n# TYPE xks_admission_queued_total counter\nxks_admission_queued_total %d\n", s.QueuedTotal)
+	fmt.Fprintf(w, "# HELP xks_admission_shed_total Requests rejected at the front door, by reason.\n# TYPE xks_admission_shed_total counter\n")
+	fmt.Fprintf(w, "xks_admission_shed_total{reason=\"queue-full\"} %d\n", s.ShedFull)
+	fmt.Fprintf(w, "xks_admission_shed_total{reason=\"queue-timeout\"} %d\n", s.ShedTimeout)
+	fmt.Fprintf(w, "xks_admission_shed_total{reason=\"draining\"} %d\n", s.ShedDraining)
+	fmt.Fprintf(w, "# HELP xks_admission_inflight Searches executing right now.\n# TYPE xks_admission_inflight gauge\nxks_admission_inflight %d\n", s.InFlight)
+	fmt.Fprintf(w, "# HELP xks_admission_queue_depth Searches waiting for a slot right now.\n# TYPE xks_admission_queue_depth gauge\nxks_admission_queue_depth %d\n", s.Queued)
+	drain := 0
+	if s.Draining {
+		drain = 1
+	}
+	fmt.Fprintf(w, "# HELP xks_admission_draining Whether the front door is draining (1) or serving (0).\n# TYPE xks_admission_draining gauge\nxks_admission_draining %d\n", drain)
+}

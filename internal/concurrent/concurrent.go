@@ -7,9 +7,39 @@ package concurrent
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// ErrInternal is the sentinel under every recovered panic: a worker (or any
+// other isolated execution) that panicked surfaces as an error wrapping
+// ErrInternal instead of crashing the process. Serving layers match it with
+// errors.Is to map to 500s and count recoveries; the xks package re-exports
+// it as xks.ErrInternal.
+var ErrInternal = errors.New("internal error")
+
+// PanicError is the structured form of a recovered panic: the recovered
+// value plus the goroutine stack captured at the recovery site, so the
+// serving layer can log the stack while clients see only a structured
+// internal error. It wraps ErrInternal.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("recovered panic: %v", e.Value) }
+
+func (e *PanicError) Unwrap() error { return ErrInternal }
+
+// Recovered wraps a recover() value into a PanicError, capturing the stack
+// of the calling goroutine. Call it only from a deferred recover handler so
+// the stack still shows the panic site.
+func Recovered(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
 
 // Result pairs a job index with its outcome.
 type Result[T any] struct {
@@ -30,6 +60,12 @@ func Map[J, T any](jobs []J, workers int, fn func(J) (T, error)) ([]T, error) {
 // still finish — fn is expected to observe ctx itself for mid-job
 // cancellation). Every worker goroutine is joined before MapCtx returns, so
 // a cancelled fan-out leaks nothing. A nil ctx never cancels.
+//
+// Panic isolation: a panicking fn does not crash the process (an unrecovered
+// panic on a worker goroutine would — no http.Server recovery reaches
+// here). The panic is recovered into that job's error as a *PanicError
+// (wrapping ErrInternal, stack captured), so one poisoned job degrades the
+// fan-out into a structured error instead of killing the server.
 func MapCtx[J, T any](ctx context.Context, jobs []J, workers int, fn func(J) (T, error)) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -43,6 +79,14 @@ func MapCtx[J, T any](ctx context.Context, jobs []J, workers int, fn func(J) (T,
 		}
 		return ctx.Err()
 	}
+	call := func(j J) (out T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = Recovered(r)
+			}
+		}()
+		return fn(j)
+	}
 	out := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	if workers <= 1 {
@@ -50,7 +94,7 @@ func MapCtx[J, T any](ctx context.Context, jobs []J, workers int, fn func(J) (T,
 			if err := ctxErr(); err != nil {
 				return out, err
 			}
-			out[i], errs[i] = fn(j)
+			out[i], errs[i] = call(j)
 		}
 		return out, firstError(errs)
 	}
@@ -74,7 +118,7 @@ func MapCtx[J, T any](ctx context.Context, jobs []J, workers int, fn func(J) (T,
 				if i >= len(jobs) {
 					return
 				}
-				out[i], errs[i] = fn(jobs[i])
+				out[i], errs[i] = call(jobs[i])
 			}
 		}()
 	}

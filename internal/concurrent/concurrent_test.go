@@ -1,9 +1,11 @@
 package concurrent
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapOrderPreserved(t *testing.T) {
@@ -117,4 +119,48 @@ func BenchmarkMapParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+func TestMapCtxRecoversWorkerPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		jobs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		out, err := MapCtx(context.Background(), jobs, workers, func(j int) (int, error) {
+			if j == 3 {
+				panic("poisoned job")
+			}
+			return j * 10, nil
+		})
+		if !errors.Is(err, ErrInternal) {
+			t.Fatalf("workers=%d: err = %v, want ErrInternal", workers, err)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err %T does not unwrap to *PanicError", workers, err)
+		}
+		if pe.Value != "poisoned job" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError = {%v, %d stack bytes}", workers, pe.Value, len(pe.Stack))
+		}
+		// Other jobs still completed (partial results alongside the error).
+		if workers > 1 && out[7] != 70 {
+			t.Errorf("workers=%d: out[7] = %d, want 70", workers, out[7])
+		}
+	}
+}
+
+func TestMapCtxPanicDoesNotKillProcess(t *testing.T) {
+	// A panic on a bare worker goroutine would crash the whole test binary;
+	// surviving this call at workers>len-triggering parallelism is the
+	// assertion.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		MapCtx(context.Background(), make([]int, 64), 8, func(int) (int, error) {
+			panic("every job panics")
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("MapCtx did not return")
+	}
 }

@@ -1,0 +1,179 @@
+// Package fault is the deterministic fault-injection harness behind the
+// chaos test suite: named injection points compiled into the serving stack
+// (the per-document candidate fan-out, fragment materialization, store
+// reads, the admission front door) that do nothing in production and fire
+// scripted failures — delays, errors, panics, forced deadline exhaustion —
+// when a test installs a Plan on the request context.
+//
+// The harness is deterministic by construction: a Rule fires on exact hit
+// counts (skip the first After matches, then fire Count times), never on
+// randomness or wall-clock races, so a chaos test that kills the third
+// document's candidate stage kills exactly that one, every run.
+//
+// Cost when off: injection points call Inject, whose fast path is a single
+// atomic load (no context lookup, no allocation) until the first
+// Activate/NewContext of the process — production servers never activate
+// the harness, so the hot pipeline pays one predictable branch per stage,
+// not per event.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site in the serving stack.
+type Point string
+
+const (
+	// PointCandidates fires inside the candidate stage — for corpus
+	// searches, inside each per-document worker (Label is the document
+	// name), before getLCA runs.
+	PointCandidates Point = "candidates"
+	// PointMaterialize fires before each fragment materialization (Label is
+	// the document name for corpus searches, "" for single-engine ones).
+	PointMaterialize Point = "materialize"
+	// PointStoreRead fires where the engine reads its document source,
+	// modeling a failed store/disk read during planning.
+	PointStoreRead Point = "store-read"
+	// PointAdmission fires between admission and execution in the HTTP
+	// handler, inside the admitted slot — holding it for the action's
+	// duration, which is how the overload tests congest the server
+	// deterministically.
+	PointAdmission Point = "admission"
+)
+
+// ErrInjected is the default error of Action{Err: nil, Fail: true}
+// injections and the sentinel chaos tests match to tell an injected
+// failure from a real one.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Action is what a matched rule does, applied in field order: first the
+// delay (or deadline exhaustion), then the panic, then the error.
+type Action struct {
+	// Delay sleeps before proceeding; the sleep observes the context, so an
+	// expiring deadline cuts it short and the injection returns ctx.Err().
+	Delay time.Duration
+	// UntilDeadline blocks until the request context is done and returns
+	// ctx.Err() — forced deadline exhaustion, exactly at this point.
+	UntilDeadline bool
+	// PanicMsg, when non-empty, panics with this message — the injected
+	// worker panic the isolation layer must recover.
+	PanicMsg string
+	// Err, when non-nil, is returned from the injection point verbatim (the
+	// instrumented site propagates it as the stage's failure).
+	Err error
+}
+
+// Rule scripts one injection: fire Action at Point, optionally only where
+// the site's label (e.g. the document name) matches, skipping the first
+// After hits and firing at most Count times (Count 0 = every later hit).
+type Rule struct {
+	Point  Point
+	Label  string // "" matches any label
+	After  int
+	Count  int
+	Action Action
+}
+
+type ruleState struct {
+	Rule
+	hits atomic.Int64
+}
+
+// Plan is an installed set of rules. One Plan is safe for concurrent use;
+// its hit counters are shared across every request carrying it, which is
+// what lets a test say "the third candidate stage anywhere dies".
+type Plan struct {
+	rules []*ruleState
+}
+
+// NewPlan builds a plan from rules; rules are tried in order and the first
+// match fires.
+func NewPlan(rules ...Rule) *Plan {
+	p := &Plan{rules: make([]*ruleState, len(rules))}
+	for i, r := range rules {
+		p.rules[i] = &ruleState{Rule: r}
+	}
+	return p
+}
+
+// active gates the context lookup: zero until the first plan of the
+// process is installed, so production Inject calls cost one atomic load.
+var active atomic.Bool
+
+type planKey struct{}
+
+// NewContext returns ctx carrying the plan and activates the harness
+// process-wide (activation is sticky: the fast path stays off only until
+// the first chaos test runs). A nil plan returns ctx unchanged.
+func NewContext(ctx context.Context, p *Plan) context.Context {
+	if p == nil {
+		return ctx
+	}
+	active.Store(true)
+	return context.WithValue(ctx, planKey{}, p)
+}
+
+// planFrom extracts the installed plan, or nil.
+func planFrom(ctx context.Context) *Plan {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(planKey{}).(*Plan)
+	return p
+}
+
+// Inject is the injection point: instrumented sites call it with their
+// point name and label and propagate a non-nil error as that stage's
+// failure. With no plan installed it returns nil after one atomic load.
+// A matched rule's action may sleep (context-aware), panic (the isolation
+// layer's job to recover), or return an error.
+func Inject(ctx context.Context, pt Point, label string) error {
+	if !active.Load() {
+		return nil
+	}
+	p := planFrom(ctx)
+	if p == nil {
+		return nil
+	}
+	for _, r := range p.rules {
+		if r.Point != pt || (r.Label != "" && r.Label != label) {
+			continue
+		}
+		n := r.hits.Add(1)
+		if n <= int64(r.After) {
+			continue
+		}
+		if r.Count > 0 && n > int64(r.After+r.Count) {
+			continue
+		}
+		return r.apply(ctx)
+	}
+	return nil
+}
+
+// apply runs one matched action.
+func (r *ruleState) apply(ctx context.Context) error {
+	a := r.Action
+	if a.UntilDeadline {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if a.Delay > 0 {
+		t := time.NewTimer(a.Delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	if a.PanicMsg != "" {
+		panic(fmt.Sprintf("fault: injected panic: %s", a.PanicMsg))
+	}
+	return a.Err
+}

@@ -1,0 +1,33 @@
+package fault
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and returns a check func the
+// chaos tests defer (or register with t.Cleanup): it waits for the count
+// to fall back to the snapshot — workers joining, queue waiters draining,
+// http keep-alives idling out — and returns a goroutine dump when it does
+// not within two seconds. The empty return string means no leak.
+//
+// The check tolerates nothing above the starting count: every fault class
+// the chaos suite injects must leave zero goroutines behind, which is the
+// acceptance bar for panic isolation and admission shedding.
+func LeakCheck() func() string {
+	before := runtime.NumGoroutine()
+	return func() string {
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				var buf bytes.Buffer
+				pprof.Lookup("goroutine").WriteTo(&buf, 1)
+				return buf.String()
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return ""
+	}
+}

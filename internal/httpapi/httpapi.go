@@ -71,6 +71,8 @@ import (
 	"time"
 
 	"xks"
+	"xks/internal/admission"
+	"xks/internal/fault"
 	"xks/internal/service"
 	"xks/internal/trace"
 )
@@ -94,6 +96,12 @@ type Options struct {
 	// full explain tree (via Logger) for those that take at least this
 	// long end to end.
 	SlowQuery time.Duration
+	// Admission, when non-nil, gates /search behind the concurrency-limited,
+	// queue-bounded front door: shed requests answer 429/503 with
+	// Retry-After in microseconds, a draining server answers 503 with
+	// Connection: close (and /healthz flips unhealthy), and the admission
+	// counters ride along on /metrics and the explain span tree.
+	Admission *admission.Controller
 }
 
 // Fragment is the JSON shape of one result fragment.
@@ -248,9 +256,39 @@ func status(err error) int {
 		return http.StatusGone
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, xks.ErrInternal):
+		// A recovered pipeline panic: the request failed, the server did
+		// not. The stack went to the log, not the client.
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// errorBody is the client-facing error text: recovered panics are replaced
+// by an opaque line (the stack and panic value stay in the server log).
+func errorBody(err error) string {
+	if errors.Is(err, xks.ErrInternal) {
+		return "internal error"
+	}
+	return err.Error()
+}
+
+// logInternal emits the structured error line for a recovered panic — the
+// one place the captured stack surfaces.
+func logInternal(logger *slog.Logger, ctx context.Context, err error) {
+	if logger == nil || !errors.Is(err, xks.ErrInternal) {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("requestId", requestID(ctx)),
+		slog.String("error", err.Error()),
+	}
+	var pe *xks.PanicError
+	if errors.As(err, &pe) {
+		attrs = append(attrs, slog.String("stack", string(pe.Stack)))
+	}
+	logger.LogAttrs(ctx, slog.LevelError, "panic recovered", attrs...)
 }
 
 // reqMeta is the per-request bookkeeping the handlers fill in for the
@@ -360,6 +398,13 @@ func NewHandler(svc *service.Service, opts *Options) http.Handler {
 	logger := opts.Logger
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if opts.Admission != nil && opts.Admission.Draining() {
+			// Tell load balancers to route elsewhere while in-flight and
+			// queued requests finish.
+			w.Header().Set("Connection", "close")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/documents", func(w http.ResponseWriter, _ *http.Request) {
@@ -376,6 +421,9 @@ func NewHandler(svc *service.Service, opts *Options) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		svc.WritePrometheus(w)
+		if opts.Admission != nil {
+			opts.Admission.WritePrometheus(w)
+		}
 	})
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -420,8 +468,48 @@ func NewHandler(svc *service.Service, opts *Options) http.Handler {
 			}
 		}()
 
+		// Admission: acquire an execution slot (or shed) before any
+		// pipeline work. The slot is held until the handler — including
+		// response streaming — returns.
+		if adm := opts.Admission; adm != nil {
+			release, waited, aerr := adm.Acquire(ctx)
+			if aerr != nil {
+				if errors.Is(aerr, context.Canceled) {
+					return // the client went away while queued
+				}
+				code := http.StatusServiceUnavailable
+				switch {
+				case errors.Is(aerr, admission.ErrShed):
+					code = http.StatusTooManyRequests
+				case errors.Is(aerr, context.DeadlineExceeded):
+					code = http.StatusGatewayTimeout
+				case errors.Is(aerr, admission.ErrDraining):
+					// Make the client re-dial: the next connection lands on
+					// a live server, not this draining one.
+					w.Header().Set("Connection", "close")
+				}
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, aerr.Error(), code)
+				return
+			}
+			defer release()
+			if tr != nil {
+				st := adm.Stats()
+				asp := tr.Root()
+				asp.SetInt("admissionWaitUs", waited.Microseconds())
+				asp.SetInt("admissionInflight", int64(st.InFlight))
+				asp.SetInt("admissionQueued", int64(st.Queued))
+			}
+		}
+		// Chaos injection point: overload tests congest the server by
+		// holding admitted slots here, between admission and execution.
+		if ferr := fault.Inject(ctx, fault.PointAdmission, ""); ferr != nil {
+			http.Error(w, errorBody(ferr), status(ferr))
+			return
+		}
+
 		if r.URL.Query().Get("stream") == "1" {
-			streamSearch(ctx, w, svc, req, withSnippets, explain, tr)
+			streamSearch(ctx, w, svc, logger, req, withSnippets, explain, tr)
 			return
 		}
 
@@ -431,7 +519,8 @@ func NewHandler(svc *service.Service, opts *Options) http.Handler {
 				// The client went away; there is no one to answer.
 				return
 			}
-			http.Error(w, err.Error(), status(err))
+			logInternal(logger, r.Context(), err)
+			http.Error(w, errorBody(err), status(err))
 			return
 		}
 		if m := metaFrom(r.Context()); m != nil {
@@ -473,7 +562,7 @@ func NewHandler(svc *service.Service, opts *Options) http.Handler {
 // the first fragment still map to proper status codes (400/404/410/504);
 // a failure after bytes are on the wire becomes a trailer with its "error"
 // field set. With explain set, the trailer carries tr's finished span tree.
-func streamSearch(ctx context.Context, w http.ResponseWriter, svc *service.Service, req xks.Request, withSnippets, explain bool, tr *trace.Trace) {
+func streamSearch(ctx context.Context, w http.ResponseWriter, svc *service.Service, logger *slog.Logger, req xks.Request, withSnippets, explain bool, tr *trace.Trace) {
 	seq, trailer := svc.Stream(ctx, req)
 	var (
 		enc     *json.Encoder
@@ -492,11 +581,12 @@ func streamSearch(ctx context.Context, w http.ResponseWriter, svc *service.Servi
 			if errors.Is(err, context.Canceled) {
 				return // the client went away; there is no one to answer
 			}
+			logInternal(logger, ctx, err)
 			if !wrote {
-				http.Error(w, err.Error(), status(err))
+				http.Error(w, errorBody(err), status(err))
 				return
 			}
-			enc.Encode(StreamTrailer{Trailer: true, Error: err.Error()})
+			enc.Encode(StreamTrailer{Trailer: true, Error: errorBody(err)})
 			flush(flusher)
 			return
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"xks"
+	"xks/internal/concurrent"
 )
 
 // group collapses concurrent executions with the same key into one: the
@@ -116,11 +117,14 @@ func (g *group) do(ctx context.Context, key string, fn func() (*xks.CorpusResult
 			close(c.done)
 		}()
 		// Runs before the release defer above (LIFO): a panicking fn must
-		// hand joiners an error, not a nil result with a nil error.
+		// hand joiners an error, not a nil result with a nil error — and the
+		// leader itself absorbs the panic into a structured ErrInternal
+		// (stack captured in the PanicError) instead of re-raising it
+		// through the HTTP handler and killing the connection goroutine.
 		defer func() {
 			if r := recover(); r != nil {
-				c.err = fmt.Errorf("xks: query execution panicked: %v", r)
-				panic(r)
+				c.err = fmt.Errorf("xks: query execution panicked: %w", concurrent.Recovered(r))
+				val, err = c.val, c.err
 			}
 		}()
 		c.val, c.err = fn()

@@ -111,13 +111,14 @@ func TestGroupLeaderPanicReleasesJoinersWithError(t *testing.T) {
 	started := make(chan struct{})
 	joined := make(chan struct{})
 	errs := make(chan error, 1)
+	leaderErrs := make(chan error, 1)
 	go func() {
-		defer func() { recover() }() // leader's panic propagates; contain it
-		g.do(context.Background(), "k", func() (*xks.CorpusResult, error) {
+		_, _, err := g.do(context.Background(), "k", func() (*xks.CorpusResult, error) {
 			close(started)
 			<-joined
 			panic("boom")
 		})
+		leaderErrs <- err
 	}()
 	<-started
 	go func() {
@@ -131,8 +132,18 @@ func TestGroupLeaderPanicReleasesJoinersWithError(t *testing.T) {
 	}()
 	time.Sleep(10 * time.Millisecond) // let the joiner reach Wait
 	close(joined)
-	if err := <-errs; err == nil {
-		t.Fatal("joiner must receive an error when the leader panics")
+	if err := <-errs; !errors.Is(err, xks.ErrInternal) {
+		t.Fatalf("joiner err = %v, want ErrInternal when the leader panics", err)
+	}
+	// The leader absorbs its own panic into the same structured error (the
+	// stack rides along in the PanicError) instead of re-raising it.
+	lerr := <-leaderErrs
+	if !errors.Is(lerr, xks.ErrInternal) {
+		t.Fatalf("leader err = %v, want ErrInternal", lerr)
+	}
+	var pe *xks.PanicError
+	if !errors.As(lerr, &pe) || len(pe.Stack) == 0 {
+		t.Fatalf("leader err %v does not carry a stack-bearing PanicError", lerr)
 	}
 }
 

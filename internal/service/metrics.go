@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
 
@@ -71,6 +72,15 @@ type Metrics struct {
 	collapsed atomic.Uint64
 	streamed  atomic.Uint64
 	truncated atomic.Uint64
+	// panics counts requests whose error wrapped xks.ErrInternal — a
+	// recovered pipeline (or singleflight-leader) panic. A crash-free server
+	// with a rising panic counter is the signal panic isolation is doing
+	// its job and something underneath is broken.
+	panics atomic.Uint64
+	// partialResumes counts requests that resumed a truncated page from the
+	// partial-page cache instead of recomputing the already-materialized
+	// prefix.
+	partialResumes atomic.Uint64
 
 	latency histogram
 	// stages breaks pipeline executions down by stage (indexed by the
@@ -82,6 +92,15 @@ type Metrics struct {
 
 // observe records one request latency in the histogram.
 func (m *Metrics) observe(d time.Duration) { m.latency.observe(d) }
+
+// observeError counts one failed request, classifying recovered panics
+// (errors wrapping xks.ErrInternal) into their own counter.
+func (m *Metrics) observeError(err error) {
+	m.errors.Add(1)
+	if errors.Is(err, xks.ErrInternal) {
+		m.panics.Add(1)
+	}
+}
 
 // observeStages records one pipeline execution's per-stage durations and
 // its truncation outcome. Call only for executions that actually ran the
@@ -112,24 +131,32 @@ type Snapshot struct {
 	Streamed uint64 `json:"streamedRequests"`
 	// Truncated counts pipeline executions cut short by a BestEffort
 	// deadline (partial or empty page served with Results.Truncated set).
-	Truncated    uint64  `json:"truncatedResults"`
-	AvgLatencyMS float64 `json:"avgLatencyMs"`
-	P50LatencyMS float64 `json:"p50LatencyMs"`
-	P95LatencyMS float64 `json:"p95LatencyMs"`
-	P99LatencyMS float64 `json:"p99LatencyMs"`
+	Truncated uint64 `json:"truncatedResults"`
+	// PanicsRecovered counts requests that failed with a recovered panic
+	// (xks.ErrInternal) instead of crashing the process.
+	PanicsRecovered uint64 `json:"panicsRecovered"`
+	// PartialResumes counts requests that resumed a truncated page from the
+	// partial-page cache.
+	PartialResumes uint64  `json:"partialPageResumes"`
+	AvgLatencyMS   float64 `json:"avgLatencyMs"`
+	P50LatencyMS   float64 `json:"p50LatencyMs"`
+	P95LatencyMS   float64 `json:"p95LatencyMs"`
+	P99LatencyMS   float64 `json:"p99LatencyMs"`
 }
 
 // Snapshot derives the aggregate view, estimating the latency percentiles
 // from the histogram by linear interpolation within the matched bucket.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Requests:    m.requests.Load(),
-		Errors:      m.errors.Load(),
-		CacheHits:   m.hits.Load(),
-		CacheMisses: m.misses.Load(),
-		Collapsed:   m.collapsed.Load(),
-		Streamed:    m.streamed.Load(),
-		Truncated:   m.truncated.Load(),
+		Requests:        m.requests.Load(),
+		Errors:          m.errors.Load(),
+		CacheHits:       m.hits.Load(),
+		CacheMisses:     m.misses.Load(),
+		Collapsed:       m.collapsed.Load(),
+		Streamed:        m.streamed.Load(),
+		Truncated:       m.truncated.Load(),
+		PanicsRecovered: m.panics.Load(),
+		PartialResumes:  m.partialResumes.Load(),
 	}
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)

@@ -1,0 +1,196 @@
+package service_test
+
+// Partial-page cache tests: a deadline-truncated (TruncMaterialize) page
+// is remembered under its request key, an identical retry resumes
+// materialization at the cursor instead of reassembling the finished
+// prefix, a completed stitch is promoted to the main cache, and
+// candidate-stage salvage pages — whose fragments are not a definitive
+// prefix of the true order — are never cached. The fault-injection harness
+// (internal/fault) makes the first request's truncation deterministic.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"xks"
+	"xks/internal/fault"
+	"xks/internal/paperdata"
+	"xks/internal/service"
+)
+
+// partialCorpus builds a ten-copy corpus (one matching fragment each for
+// the workload query) with serial materialization (Workers=1), so the
+// BestEffort materialize loop runs in chunks of four and an injected
+// deadline exhaustion on the fifth fragment leaves a four-fragment
+// partial page.
+func partialCorpus(t *testing.T) *xks.Corpus {
+	t.Helper()
+	c := xks.NewCorpus()
+	for _, n := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"} {
+		c.Add(n, xks.FromTree(paperdata.Publications()))
+	}
+	c.Workers = 1
+	return c
+}
+
+// truncatedFirstPage runs one BestEffort search whose fifth fragment
+// materialization burns the whole deadline, returning the service, the
+// request, and the partial page it produced.
+func truncatedFirstPage(t *testing.T, limit int) (*service.Service, xks.Request, *xks.Results) {
+	t.Helper()
+	sv := service.New(partialCorpus(t), service.Config{CacheSize: 32})
+
+	req := xks.NewRequest(paperdata.Q1, xks.Options{Rank: true, Limit: limit})
+	req.Budget = xks.BestEffort
+	req.Timeout = 200 * time.Millisecond
+
+	plan := fault.NewPlan(fault.Rule{
+		Point:  fault.PointMaterialize,
+		After:  4,
+		Count:  1,
+		Action: fault.Action{UntilDeadline: true},
+	})
+	part, cached, err := sv.Search(fault.NewContext(context.Background(), plan), req)
+	if err != nil || cached {
+		t.Fatalf("truncated search: cached=%t err=%v", cached, err)
+	}
+	if !part.Truncated || part.Truncation != xks.TruncMaterialize {
+		t.Fatalf("truncation = (%v, %q), want (true, %q)", part.Truncated, part.Truncation, xks.TruncMaterialize)
+	}
+	if n := len(part.Fragments); n == 0 || n >= limit {
+		t.Fatalf("partial page has %d fragments, want a non-empty strict prefix of %d", n, limit)
+	}
+	return sv, req, part
+}
+
+// TestPartialPageResumeStitchesAndPromotes pins the satellite end to end:
+// the retry of a materialize-truncated page resumes at the cursor (the
+// continuation runs with the prefix's length folded into Offset), the
+// stitched page equals the fault-free page, the resume metric counts it,
+// and the completed page is promoted so a third try is a plain cache hit.
+func TestPartialPageResumeStitchesAndPromotes(t *testing.T) {
+	const limit = 8
+	// Fault-free baseline on an identical corpus: what the full page holds.
+	baseline, err := partialCorpus(t).Search(context.Background(),
+		xks.NewRequest(paperdata.Q1, xks.Options{Rank: true, Limit: limit}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline.Fragments) != limit {
+		t.Fatalf("baseline page has %d fragments, want %d (corpus too small for the test)", len(baseline.Fragments), limit)
+	}
+
+	sv, req, part := truncatedFirstPage(t, limit)
+
+	// Identical retry, no faults: resumes from the partial page.
+	full, cached, err := sv.Search(context.Background(), req)
+	if err != nil || cached {
+		t.Fatalf("retry: cached=%t err=%v", cached, err)
+	}
+	if full.Truncated {
+		t.Fatalf("retry still truncated (%q) without any fault installed", full.Truncation)
+	}
+	if len(full.Fragments) != limit {
+		t.Fatalf("stitched page has %d fragments, want %d", len(full.Fragments), limit)
+	}
+	for i, f := range full.Fragments {
+		want := baseline.Fragments[i]
+		if f.Document != want.Document || f.Root != want.Root {
+			t.Fatalf("stitched fragment %d = %s/%s, want %s/%s (prefix and tail disagree with the fault-free page)",
+				i, f.Document, f.Root, want.Document, want.Root)
+		}
+	}
+	// The prefix objects are reused, not re-materialized.
+	for i, f := range part.Fragments {
+		if full.Fragments[i].Fragment != f.Fragment {
+			t.Errorf("stitched fragment %d was re-materialized instead of reusing the cached prefix", i)
+		}
+	}
+	if s := sv.Metrics().Snapshot(); s.PartialResumes != 1 {
+		t.Errorf("partialPageResumes = %d, want 1", s.PartialResumes)
+	}
+
+	// The stitched page was promoted to the main cache.
+	again, cached, err := sv.Search(context.Background(), req)
+	if err != nil || !cached {
+		t.Fatalf("third search: cached=%t err=%v, want a main-cache hit", cached, err)
+	}
+	if len(again.Fragments) != limit {
+		t.Fatalf("promoted page has %d fragments, want %d", len(again.Fragments), limit)
+	}
+	if s := sv.Metrics().Snapshot(); s.PartialResumes != 1 {
+		t.Errorf("partialPageResumes after cache hit = %d, want still 1", s.PartialResumes)
+	}
+}
+
+// TestPartialPageResumeServesStream pins the streaming side: a stream of
+// the same request replays the stitched page fragment by fragment with an
+// untruncated trailer.
+func TestPartialPageResumeServesStream(t *testing.T) {
+	const limit = 8
+	sv, req, _ := truncatedFirstPage(t, limit)
+
+	seq, trailer := sv.Stream(context.Background(), req)
+	n := 0
+	for f, err := range seq {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Fragment == nil {
+			t.Fatal("stream yielded a nil fragment")
+		}
+		n++
+	}
+	if n != limit {
+		t.Fatalf("stream yielded %d fragments, want the full stitched page of %d", n, limit)
+	}
+	if tr := trailer(); tr.Truncated {
+		t.Fatalf("stream trailer still truncated (%q)", tr.Truncation)
+	}
+	if s := sv.Metrics().Snapshot(); s.PartialResumes != 1 {
+		t.Errorf("partialPageResumes = %d, want 1", s.PartialResumes)
+	}
+}
+
+// TestSalvagedPageNotCachedAsPartial pins the cache-exclusion rule:
+// a candidate-stage salvage page (TruncCandidates) covers only the
+// documents that finished, so it is not a definitive prefix and must not
+// seed the partial-page cache — the retry runs the full pipeline.
+func TestSalvagedPageNotCachedAsPartial(t *testing.T) {
+	sv := service.New(partialCorpus(t), service.Config{CacheSize: 32})
+
+	req := xks.NewRequest(paperdata.Q1, xks.Options{Rank: true, Limit: 6})
+	req.Budget = xks.BestEffort
+	req.Timeout = 150 * time.Millisecond
+
+	plan := fault.NewPlan(fault.Rule{
+		Point:  fault.PointCandidates,
+		Label:  "j",
+		Action: fault.Action{UntilDeadline: true},
+	})
+	part, _, err := sv.Search(fault.NewContext(context.Background(), plan), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Truncated || part.Truncation != xks.TruncCandidates {
+		t.Fatalf("truncation = (%v, %q), want (true, %q)", part.Truncated, part.Truncation, xks.TruncCandidates)
+	}
+
+	full, cached, err := sv.Search(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("retry of a salvaged page must not hit any cache")
+	}
+	if full.Truncated {
+		t.Fatalf("fault-free retry still truncated (%q)", full.Truncation)
+	}
+	if len(full.Fragments) != 6 {
+		t.Fatalf("retry page has %d fragments, want 6", len(full.Fragments))
+	}
+	if s := sv.Metrics().Snapshot(); s.PartialResumes != 0 {
+		t.Errorf("partialPageResumes = %d, want 0: salvage pages must not seed the partial cache", s.PartialResumes)
+	}
+}

@@ -32,6 +32,10 @@ func (sv *Service) WritePrometheus(w io.Writer) {
 		"Requests served through the streaming (NDJSON) path.", m.streamed.Load())
 	writeCounter(w, "xks_truncated_results_total",
 		"Pipeline executions cut short by a best-effort deadline.", m.truncated.Load())
+	writeCounter(w, "xks_panic_recovered_total",
+		"Requests that failed with a recovered pipeline panic instead of crashing the process.", m.panics.Load())
+	writeCounter(w, "xks_partial_resumes_total",
+		"Requests that resumed a truncated page from the partial-page cache.", m.partialResumes.Load())
 
 	writeHistogram(w, "xks_request_duration_seconds",
 		"End-to-end request latency, including cache hits.", "", &m.latency)

@@ -153,6 +153,14 @@ type Config struct {
 type Service struct {
 	searcher Searcher
 	cache    *lru.Cache[*xks.CorpusResult]
+	// partials caches deadline-truncated pages (TruncMaterialize, bounded
+	// Limit) under the same key space as cache, so an identical retry
+	// resumes materialization at the cursor — re-entering the pipeline at
+	// Offset+len(prefix) — instead of reassembling the fragments that
+	// already finished. Entries are generation-tagged like the main cache;
+	// full-page semantics are untouched (a completed page always lands in
+	// cache, never here).
+	partials *lru.Cache[*xks.CorpusResult]
 	flight   group
 	metrics  Metrics
 }
@@ -162,6 +170,7 @@ func New(s Searcher, cfg Config) *Service {
 	sv := &Service{searcher: s}
 	if cfg.CacheSize > 0 {
 		sv.cache = lru.New[*xks.CorpusResult](cfg.CacheSize, cfg.CacheShards)
+		sv.partials = lru.New[*xks.CorpusResult](cfg.CacheSize, cfg.CacheShards)
 	}
 	return sv
 }
@@ -249,7 +258,7 @@ func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.Result
 	sv.metrics.requests.Add(1)
 	defer func() {
 		if err != nil {
-			sv.metrics.errors.Add(1)
+			sv.metrics.observeError(err)
 		}
 		sv.metrics.observe(time.Since(start))
 	}()
@@ -278,6 +287,13 @@ func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.Result
 		}
 		sv.metrics.misses.Add(1)
 		sp.SetStr("cache", "miss")
+		if r, ok, perr := sv.resumePartial(ctx, key, gen, req); ok {
+			if perr != nil {
+				return nil, false, perr
+			}
+			sp.SetStr("cache", "partial")
+			return r, false, nil
+		}
 	} else {
 		sp.SetStr("cache", "off")
 	}
@@ -288,9 +304,7 @@ func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.Result
 			// Only real executions feed the per-stage histograms; cache
 			// hits and collapsed joins never ran the stages.
 			sv.metrics.observeStages(r.Stats.Stages, r.Truncated)
-			if sv.cache != nil && !r.Truncated {
-				sv.cache.Put(key, gen, r)
-			}
+			sv.store(key, gen, req, r)
 		}
 		return r, err
 	})
@@ -302,6 +316,71 @@ func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.Result
 		return nil, false, err
 	}
 	return res, false, nil
+}
+
+// store routes one completed execution's page into the right cache: a full
+// page into the main cache, a materialize-truncated bounded partial page
+// into the partial-page cache (so an identical retry resumes at the
+// cursor), and everything else — candidate-stage truncations, whose
+// fragments were salvaged from a partial corpus and are not a definitive
+// prefix, and unbounded pages — nowhere.
+func (sv *Service) store(key string, gen uint64, req xks.Request, r *xks.Results) {
+	if sv.cache == nil {
+		return
+	}
+	if !r.Truncated {
+		sv.cache.Put(key, gen, r)
+		return
+	}
+	if r.Truncation == xks.TruncMaterialize && req.Limit > 0 &&
+		len(r.Fragments) > 0 && len(r.Fragments) < req.Limit {
+		sv.partials.Put(key, gen, r)
+	}
+}
+
+// resumePartial serves a cache miss from the partial-page cache when an
+// earlier identical request materialized a truncated prefix of this page:
+// the pipeline re-enters at the cursor — Offset advanced past the prefix,
+// Limit shrunk to the remainder, a derived singleflight key so concurrent
+// retries still collapse — and the cached prefix is stitched onto whatever
+// the continuation yields. A completed stitch is promoted to the main
+// cache; a still-truncated one replaces the partial entry with the longer
+// prefix. ok=false means no usable partial page exists and the caller runs
+// the full pipeline; the combined envelope carries the continuation's
+// cursor, truncation state, and stats (the prefix's cost was paid — and
+// reported — by the request that assembled it).
+func (sv *Service) resumePartial(ctx context.Context, key string, gen uint64, req xks.Request) (res *xks.Results, ok bool, err error) {
+	if sv.partials == nil || req.Limit <= 0 {
+		return nil, false, nil
+	}
+	part, found := sv.partials.Get(key, gen)
+	if !found {
+		return nil, false, nil
+	}
+	n := len(part.Fragments)
+	if n == 0 || n >= req.Limit {
+		return nil, false, nil
+	}
+	sv.metrics.partialResumes.Add(1)
+	cont := req
+	cont.Offset += n
+	cont.Limit -= n
+	ckey := fmt.Sprintf("%s|partial:%d", key, n)
+	tail, _, err := sv.flight.do(ctx, ckey, func() (*xks.Results, error) {
+		r, err := sv.searcher.Search(ctx, cont)
+		if err == nil {
+			sv.metrics.observeStages(r.Stats.Stages, r.Truncated)
+		}
+		return r, err
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	combined := *tail
+	combined.Fragments = append(append(
+		make([]xks.CorpusFragment, 0, n+len(tail.Fragments)), part.Fragments...), tail.Fragments...)
+	sv.store(key, gen, req, &combined)
+	return &combined, true, nil
 }
 
 // Stream serves one request as a fragment stream: the iterator yields
@@ -341,7 +420,7 @@ func (sv *Service) Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.C
 		var err error
 		defer func() {
 			if err != nil {
-				sv.metrics.errors.Add(1)
+				sv.metrics.observeError(err)
 			}
 			sv.metrics.observe(time.Since(start))
 		}()
@@ -380,6 +459,19 @@ func (sv *Service) Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.C
 			*res = *replay(joined, req, gen, yield)
 			return
 		}
+		// A truncated prefix of this exact page may be cached: resume at
+		// the cursor (buffered, like a cache-hit replay) instead of
+		// reassembling the fragments that already finished.
+		if r, ok, perr := sv.resumePartial(ctx, key, gen, req); ok {
+			if perr != nil {
+				err = perr
+				yield(xks.CorpusFragment{}, perr)
+				return
+			}
+			sp.SetStr("cache", "partial")
+			*res = *replay(r, req, gen, yield)
+			return
+		}
 
 		st, ok := sv.searcher.(Streamer)
 		if !ok {
@@ -391,9 +483,7 @@ func (sv *Service) Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.C
 				return
 			}
 			sv.metrics.observeStages(r.Stats.Stages, r.Truncated)
-			if sv.cache != nil && !r.Truncated {
-				sv.cache.Put(key, gen, r)
-			}
+			sv.store(key, gen, req, r)
 			*res = *replay(r, req, gen, yield)
 			return
 		}
@@ -424,10 +514,10 @@ func (sv *Service) Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.C
 			return
 		}
 		sv.metrics.observeStages(t.Stats.Stages, t.Truncated)
-		if complete && collect && !t.Truncated {
+		if complete && collect {
 			full := *t
 			full.Fragments = page
-			sv.cache.Put(key, gen, &full)
+			sv.store(key, gen, req, &full)
 		}
 	}
 	return seq, func() *xks.Results { return res }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"xks/internal/concurrent"
 	"xks/internal/query"
 )
 
@@ -21,7 +22,17 @@ var (
 	ErrEmptyQuery = query.ErrEmptyQuery
 	// ErrTooManyTerms reports a query exceeding the 64-term mask limit.
 	ErrTooManyTerms = query.ErrTooManyTerms
+	// ErrInternal reports a recovered panic somewhere in the pipeline —
+	// re-exported from internal/concurrent so serving layers can map it to
+	// 500 and count recoveries. Unwrap with errors.As to a *PanicError for
+	// the captured stack.
+	ErrInternal = concurrent.ErrInternal
 )
+
+// PanicError is the structured form of a recovered pipeline panic: the
+// recovered value plus the stack captured at the recovery site. It wraps
+// ErrInternal. Serving layers log the stack; clients see only the sentinel.
+type PanicError = concurrent.PanicError
 
 // Request describes one search: the query text, an optional document
 // filter, the algorithm knobs, and the pagination window. It is the unit of
