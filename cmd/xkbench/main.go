@@ -10,6 +10,7 @@
 //	xkbench -repeats 5           # the paper's 6-runs-discard-first protocol
 //	xkbench -json out.json       # also write machine-readable records
 //	xkbench -planner             # also sweep Auto vs fixed merge strategies
+//	xkbench -open                # store cold-open sweep (v2 parse vs v3 mmap)
 //	xkbench -cpuprofile cpu.out  # pprof CPU profile of the sweep
 //	xkbench -memprofile mem.out  # pprof heap profile at exit
 //
@@ -44,6 +45,7 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel   = flag.Int("parallel", 0, "run queries across N workers (timings become indicative; 0 = sequential)")
 		planner    = flag.Bool("planner", false, "also sweep the cost-based planner (Auto) against each fixed strategy")
+		openSweep  = flag.Bool("open", false, "run the store cold-open sweep (v2-heap vs v3-heap vs v3-mmap) instead of the figure panels")
 		jsonOut    = flag.String("json", "", "write machine-readable benchmark records to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -73,6 +75,20 @@ func main() {
 				fatal(err)
 			}
 		}()
+	}
+
+	if *openSweep {
+		res, err := experiments.RunOpen(*size, *repeats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Table())
+		if *jsonOut != "" {
+			if err := writeJSON(*jsonOut, res.Records()); err != nil {
+				fatal(err)
+			}
+		}
+		return
 	}
 
 	specs, err := experiments.Presets(*size)

@@ -10,8 +10,15 @@
 // Usage:
 //
 //	xkserver -file doc.xml [-addr :8080] [-cache 1024]
-//	xkserver -store doc.xks [-addr :8080] [-cache 1024]
+//	xkserver -store doc.xks [-mmap auto|on|off] [-addr :8080] [-cache 1024]
 //	xkserver -dir corpus/ [-addr :8080] [-cache 1024] [-workers 8]
+//
+// With -store, a format-v3 file is mapped read-only by default (-mmap
+// auto): the posting payloads stay on disk and page in on demand, so cold
+// open is near zero-parse. -mmap off copies the file onto the heap; -mmap
+// on fails instead of falling back where mapping is unsupported. The open
+// time and byte split are logged at startup and exported on /metrics as
+// xks_store_open_seconds / xks_store_mapped_bytes / xks_store_heap_bytes.
 //
 // Every request runs under its own context: a disconnecting client or an
 // exceeded timeout= deadline (default and cap: 30s) cancels the pipeline
@@ -78,6 +85,7 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
 		maxInFl   = flag.Int("max-inflight", 256, "concurrently executing searches before requests queue")
 		queue     = flag.Int("queue", 1024, "searches waiting for a slot before requests shed with 429 (-1 disables queueing)")
+		mmapMode  = flag.String("mmap", "auto", "store-file backing with -store: auto (mmap when possible), on (require mmap), off (heap)")
 	)
 	flag.Parse()
 
@@ -100,6 +108,7 @@ func main() {
 	}
 
 	var searcher service.Searcher
+	var openInfo *service.StoreOpenInfo
 	switch {
 	case *dir != "":
 		c, err := xks.LoadDir(*dir)
@@ -110,12 +119,37 @@ func main() {
 		searcher = c
 		logger.Info("loaded corpus", slog.Int("documents", c.Len()), slog.String("dir", *dir))
 	case *storeF != "":
-		engine, err := xks.OpenStore(*storeF)
+		var mode xks.StoreMode
+		switch *mmapMode {
+		case "auto":
+			mode = xks.StoreAuto
+		case "on":
+			mode = xks.StoreMmap
+		case "off":
+			mode = xks.StoreHeap
+		default:
+			fatal(fmt.Errorf("invalid -mmap mode %q (want auto, on or off)", *mmapMode))
+		}
+		start := time.Now()
+		engine, err := xks.OpenStoreMode(*storeF, mode)
 		if err != nil {
 			fatal(err)
 		}
+		elapsed := time.Since(start)
+		info := engine.StoreInfo()
+		openInfo = &service.StoreOpenInfo{
+			Seconds:     elapsed.Seconds(),
+			Mode:        info.Mode,
+			MappedBytes: info.MappedBytes,
+			HeapBytes:   info.FileBytes - info.MappedBytes,
+		}
 		searcher = service.SingleDoc{Name: filepath.Base(*storeF), Engine: engine}
-		logger.Info("loaded store", slog.Int("words", engine.Index().NumWords()))
+		logger.Info("loaded store",
+			slog.Int("words", engine.Index().NumWords()),
+			slog.String("mode", info.Mode),
+			slog.Duration("openTime", elapsed),
+			slog.Int64("mappedBytes", info.MappedBytes),
+			slog.Int64("fileBytes", info.FileBytes))
 	default:
 		engine, err := xks.LoadFile(*file)
 		if err != nil {
@@ -127,6 +161,9 @@ func main() {
 
 	svc := service.New(searcher, service.Config{CacheSize: *cacheSize})
 	logger.Info("query cache", slog.Int("entries", *cacheSize))
+	if openInfo != nil {
+		svc.Metrics().SetStoreOpen(*openInfo)
+	}
 
 	if *debugAddr != "" {
 		// pprof stays off the main listener so profiling endpoints are

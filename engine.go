@@ -191,6 +191,7 @@ type Options struct {
 // plus its inverted keyword index.
 type Engine struct {
 	tree   *xmltree.Tree // nil for store-backed engines
+	st     *store.Store  // nil for tree-backed engines
 	src    docSource
 	an     *analysis.Analyzer
 	ix     *index.Index
@@ -251,6 +252,7 @@ func FromStore(st *store.Store) *Engine {
 	an := analysis.New()
 	ix := st.BuildIndex(an)
 	return &Engine{
+		st:     st,
 		src:    &storeSource{st: st},
 		an:     an,
 		ix:     ix,
@@ -259,14 +261,77 @@ func FromStore(st *store.Store) *Engine {
 	}
 }
 
+// StoreMode selects how OpenStoreMode backs the store's memory.
+type StoreMode int
+
+const (
+	// StoreAuto maps v3 files read-only where the platform supports it and
+	// falls back to the heap otherwise; v1/v2 files load row-backed.
+	StoreAuto StoreMode = iota
+	// StoreMmap requires a memory-mapped v3 file and fails otherwise.
+	StoreMmap
+	// StoreHeap forces the heap path even when mmap is available.
+	StoreHeap
+)
+
+func (m StoreMode) storeMode() store.OpenMode {
+	switch m {
+	case StoreMmap:
+		return store.OpenMmap
+	case StoreHeap:
+		return store.OpenHeap
+	default:
+		return store.OpenAuto
+	}
+}
+
 // OpenStore loads a store file written by store.Save / cmd/xkshred and
-// builds an engine over it.
+// builds an engine over it. v3 files open mmap-backed where the platform
+// supports it (StoreAuto); use OpenStoreMode to pin the backing.
 func OpenStore(path string) (*Engine, error) {
-	st, err := store.LoadFile(path)
+	return OpenStoreMode(path, StoreAuto)
+}
+
+// OpenStoreMode is OpenStore with an explicit memory-backing mode.
+func OpenStoreMode(path string, mode StoreMode) (*Engine, error) {
+	st, err := store.OpenFile(path, store.OpenOptions{Mode: mode.storeMode()})
 	if err != nil {
 		return nil, err
 	}
 	return FromStore(st), nil
+}
+
+// StoreInfo describes how a store-backed engine's data is resident.
+type StoreInfo struct {
+	// Mode is "rows" (v1/v2 heap structures), "v3-heap" (v3 sections in one
+	// heap buffer), "v3-mmap" (v3 sections in a read-only file mapping), or
+	// "memory" for tree-backed engines.
+	Mode string
+	// MappedBytes is the size of the read-only file mapping, 0 unless
+	// Mode is "v3-mmap".
+	MappedBytes int64
+	// FileBytes is the on-disk size of the opened store file, 0 for
+	// engines built in memory.
+	FileBytes int64
+}
+
+// StoreInfo reports the engine's store backing (Mode "memory" for
+// tree-backed engines).
+func (e *Engine) StoreInfo() StoreInfo {
+	if e.st == nil {
+		return StoreInfo{Mode: "memory"}
+	}
+	return StoreInfo{Mode: e.st.Mode(), MappedBytes: e.st.MappedBytes(), FileBytes: e.st.FileBytes()}
+}
+
+// Close releases the engine's store mapping, if any. After Close the engine
+// must not be used: a mapped store's index and fragments view unmapped
+// memory. Engines without a file mapping close as a no-op.
+func (e *Engine) Close() error {
+	if e.st != nil {
+		return e.st.Close()
+	}
+	return nil
 }
 
 // Tree exposes the underlying document tree (read-only); nil when the

@@ -1,8 +1,10 @@
 package xks
 
 import (
+	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"xks/internal/dewey"
 	"xks/internal/snippet"
@@ -57,9 +59,11 @@ type Fragment struct {
 
 	// Rendered forms are computed once and shared: fragments are cached by
 	// the serving layer (internal/service) and may be rendered concurrently
-	// by many requests.
+	// by many requests. xmlDone publishes xmlText to WriteXML without
+	// touching the Once (set inside xmlOnce.Do after xmlText is assigned).
 	xmlOnce   sync.Once
 	xmlText   string
+	xmlDone   atomic.Bool
 	asciiOnce sync.Once
 	asciiText string
 }
@@ -151,6 +155,22 @@ func (f *Fragment) ASCII() string {
 func (f *Fragment) XML() string {
 	f.xmlOnce.Do(func() {
 		f.xmlText = f.src.renderXML(f.rootCode, f.kept, f.keepSet())
+		f.xmlDone.Store(true)
 	})
 	return f.xmlText
+}
+
+// WriteXML streams the fragment's XML rendering into w — byte-identical to
+// XML(), but written incrementally so a large fragment flows straight into
+// a chunked response body under the consumer's backpressure instead of
+// buffering whole in memory. When the rendering was already memoized by
+// XML(), the cached string is written instead of re-rendering; WriteXML
+// itself does not populate the cache (a streamed fragment is typically
+// rendered exactly once).
+func (f *Fragment) WriteXML(w io.Writer) error {
+	if f.xmlDone.Load() {
+		_, err := io.WriteString(w, f.xmlText)
+		return err
+	}
+	return f.src.renderXMLTo(w, f.rootCode, f.kept, f.keepSet())
 }

@@ -206,3 +206,41 @@ func TestRunPlannerSmallDBLP(t *testing.T) {
 		t.Errorf("summary = %+v", sum)
 	}
 }
+
+// TestRunOpen pins the cold-open sweep's shape: all heap rows present,
+// the v2 parse measurably slower than the v3 section reader, and records
+// named for the BENCH trajectory.
+func TestRunOpen(t *testing.T) {
+	res, err := RunOpen("small", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]OpenRow{}
+	for _, r := range res.Rows {
+		rows[r.Mode] = r
+	}
+	v2, ok2 := rows["v2-heap"]
+	v3, ok3 := rows["v3-heap"]
+	if !ok2 || !ok3 {
+		t.Fatalf("missing heap rows in %+v", res.Rows)
+	}
+	if v2.Open <= 0 || v3.Open <= 0 || v2.FileBytes == 0 || v3.FileBytes == 0 {
+		t.Fatalf("unmeasured rows: %+v / %+v", v2, v3)
+	}
+	if v3.Open >= v2.Open {
+		t.Errorf("v3-heap open (%v) not faster than v2 parse (%v)", v3.Open, v2.Open)
+	}
+	if m, ok := rows["v3-mmap"]; ok {
+		if m.MappedBytes != m.FileBytes || m.MappedBytes == 0 {
+			t.Errorf("v3-mmap row %+v: mapped bytes must equal file size", m)
+		}
+	}
+	for _, r := range res.Records() {
+		if !strings.HasPrefix(r.Name, "open/dblp-small/") || r.NsPerOp <= 0 {
+			t.Errorf("bad record %+v", r)
+		}
+	}
+	if table := res.Table(); !strings.Contains(table, "v2-heap") {
+		t.Errorf("table malformed:\n%s", table)
+	}
+}

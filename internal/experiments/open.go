@@ -1,0 +1,164 @@
+package experiments
+
+// The cold-open sweep behind BENCH_PR9.json: how long it takes to go from
+// a store file on disk to a queryable Store, and how many bytes land on
+// the heap doing it, across the three backings — the v2 row format (full
+// parse), v3 copied to the heap, and v3 mapped read-only (near zero-parse;
+// postings stay on disk until a query touches them).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"xks/internal/analysis"
+	"xks/internal/store"
+)
+
+// OpenRow is one backing's averaged cold-open measurement.
+type OpenRow struct {
+	// Mode is the store backing: "v2-heap", "v3-heap" or "v3-mmap".
+	Mode string
+	// Open is the averaged wall time of store.OpenFile.
+	Open time.Duration
+	// HeapBytes is the averaged heap growth across the open (resident
+	// bytes the process pays up front); MappedBytes is the read-only
+	// mapping the OS pages in on demand instead.
+	HeapBytes   int64
+	MappedBytes int64
+	// FileBytes is the store file's size in this format.
+	FileBytes int64
+}
+
+// OpenResult is the cold-open sweep over one generated dataset.
+type OpenResult struct {
+	Dataset string
+	Nodes   int
+	Rows    []OpenRow
+}
+
+// RunOpen generates the DBLP dataset at the given preset size, persists it
+// in the v2 row format and the v3 section format, and measures the
+// cold-open cost of each backing, averaged over repeats runs (after one
+// discarded warm-up so file-system caching is equal for all modes). The
+// v3-mmap row is omitted on platforms without mmap support.
+func RunOpen(size string, repeats int) (*OpenResult, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	specs, err := Presets(size)
+	if err != nil {
+		return nil, err
+	}
+	spec := specs[0] // DBLP panel
+	tree, _, err := Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	s := store.Shred(tree, analysis.New())
+
+	dir, err := os.MkdirTemp("", "xks-open")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	v3path := filepath.Join(dir, "v3.xks")
+	if err := s.SaveFile(v3path); err != nil {
+		return nil, err
+	}
+	v2path := filepath.Join(dir, "v2.xks")
+	f, err := os.Create(v2path)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.SaveLegacy(f, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+
+	res := &OpenResult{Dataset: fmt.Sprintf("dblp-%s", size), Nodes: s.NumNodes()}
+	modes := []struct {
+		name string
+		path string
+		opts store.OpenOptions
+	}{
+		{"v2-heap", v2path, store.OpenOptions{}},
+		{"v3-heap", v3path, store.OpenOptions{Mode: store.OpenHeap}},
+		{"v3-mmap", v3path, store.OpenOptions{Mode: store.OpenMmap}},
+	}
+	for _, m := range modes {
+		row, err := measureOpen(m.name, m.path, m.opts, repeats)
+		if err != nil {
+			if m.name == "v3-mmap" {
+				continue // platform without mmap; the heap rows still stand
+			}
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// measureOpen times repeats cold opens of one backing after a discarded
+// warm-up, reading the heap growth of each open through a quiesced GC.
+func measureOpen(name, path string, opts store.OpenOptions, repeats int) (OpenRow, error) {
+	row := OpenRow{Mode: name}
+	for i := 0; i <= repeats; i++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		st, err := store.OpenFile(path, opts)
+		if err != nil {
+			return row, fmt.Errorf("open %s: %w", name, err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if i > 0 { // discard the warm-up run
+			row.Open += elapsed
+			if after.HeapAlloc > before.HeapAlloc {
+				row.HeapBytes += int64(after.HeapAlloc - before.HeapAlloc)
+			}
+		}
+		row.MappedBytes = st.MappedBytes()
+		row.FileBytes = st.FileBytes()
+		if err := st.Close(); err != nil {
+			return row, err
+		}
+	}
+	row.Open /= time.Duration(repeats)
+	row.HeapBytes /= int64(repeats)
+	return row, nil
+}
+
+// Records flattens the sweep into the BENCH_*.json record shape: open time
+// as ns_per_op, up-front resident (heap) bytes as bytes_per_op.
+func (r *OpenResult) Records() []BenchRecord {
+	out := make([]BenchRecord, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, BenchRecord{
+			Name:       fmt.Sprintf("open/%s/%s", r.Dataset, row.Mode),
+			NsPerOp:    row.Open.Nanoseconds(),
+			BytesPerOp: row.HeapBytes,
+		})
+	}
+	return out
+}
+
+// Table renders the sweep for terminal output.
+func (r *OpenResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cold open: %s (%d nodes)\n", r.Dataset, r.Nodes)
+	fmt.Fprintf(&b, "%-8s %12s %14s %14s %12s\n", "mode", "open", "heap bytes", "mapped bytes", "file bytes")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %12s %14d %14d %12d\n",
+			row.Mode, row.Open.Round(time.Microsecond), row.HeapBytes, row.MappedBytes, row.FileBytes)
+	}
+	return b.String()
+}

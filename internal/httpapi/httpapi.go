@@ -65,6 +65,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -593,7 +594,10 @@ func streamSearch(ctx context.Context, w http.ResponseWriter, svc *service.Servi
 		if !wrote {
 			begin()
 		}
-		enc.Encode(ToFragment(f, withSnippets))
+		if err := writeFragmentLine(w, f, withSnippets); err != nil {
+			// The connection is gone mid-line; nothing left to answer.
+			return
+		}
 		flush(flusher)
 	}
 	if !wrote {
@@ -619,6 +623,92 @@ func flush(f http.Flusher) {
 	if f != nil {
 		f.Flush()
 	}
+}
+
+// fragmentMeta is the Fragment wire shape minus the xml field — the part
+// of a streamed NDJSON line that is marshaled whole; the xml value is then
+// streamed behind it (writeFragmentLine), so the record stays identical to
+// a marshaled Fragment without the rendering ever being buffered.
+type fragmentMeta struct {
+	Document  string  `json:"document,omitempty"`
+	Root      string  `json:"root"`
+	RootLabel string  `json:"rootLabel"`
+	IsSLCA    bool    `json:"isSlca"`
+	Score     float64 `json:"score,omitempty"`
+	Snippet   string  `json:"snippet,omitempty"`
+	Nodes     int     `json:"nodes"`
+}
+
+// writeFragmentLine writes one stream=1 NDJSON fragment record with the
+// XML rendered straight into the chunked body: the metadata fields are
+// marshaled normally, then the closing brace is replaced by an "xml" member
+// whose string value streams through a JSON escaper under the client's
+// backpressure. The bytes on the wire decode identically to
+// json.Marshal(ToFragment(f, withSnippets)).
+func writeFragmentLine(w io.Writer, f xks.CorpusFragment, withSnippets bool) error {
+	meta := fragmentMeta{
+		Document:  f.Document,
+		Root:      f.Root,
+		RootLabel: f.RootLabel,
+		IsSLCA:    f.IsSLCA,
+		Score:     f.Score,
+		Nodes:     f.Len(),
+	}
+	if withSnippets {
+		meta.Snippet = f.Snippet()
+	}
+	head, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(head[:len(head)-1]); err != nil { // strip closing '}'
+		return err
+	}
+	if _, err := io.WriteString(w, `,"xml":"`); err != nil {
+		return err
+	}
+	esc := jsonStringEscaper{w: w}
+	if err := f.WriteXML(&esc); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\"}\n")
+	return err
+}
+
+// jsonStringEscaper escapes the bytes of a JSON string value on the fly:
+// quotes, backslashes and control characters are escaped, valid UTF-8
+// passes through untouched (encoding/json would escape <, > and & too —
+// an HTML-safety measure both encodings decode identically from).
+type jsonStringEscaper struct {
+	w   io.Writer
+	buf []byte
+}
+
+func (j *jsonStringEscaper) Write(p []byte) (int, error) {
+	b := j.buf[:0]
+	for _, c := range p {
+		switch {
+		case c == '"':
+			b = append(b, '\\', '"')
+		case c == '\\':
+			b = append(b, '\\', '\\')
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c < 0x20:
+			b = append(b, fmt.Sprintf(`\u%04x`, c)...)
+		default:
+			b = append(b, c)
+		}
+	}
+	j.buf = b[:0] // keep the grown capacity for the next chunk
+	if _, err := j.w.Write(b); err != nil {
+		return 0, err
+	}
+	return len(p), nil
 }
 
 // ToFragment converts one result fragment to its NDJSON/JSON wire shape —

@@ -15,11 +15,13 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"xks/internal/analysis"
 	"xks/internal/dewey"
 	"xks/internal/nid"
 	"xks/internal/planner"
+	"xks/internal/postings"
 	"xks/internal/xmltree"
 )
 
@@ -30,11 +32,41 @@ type Index struct {
 	postings map[string][]nid.ID
 	numNodes int
 
+	// lazy holds block-compressed posting lists (the store's v3 load path)
+	// that decode once, on first lookup. Exactly one of postings/lazy is
+	// non-nil; every accessor routes through the lazy arm when set, so
+	// opening a compressed store decodes nothing until a query asks.
+	lazy    map[string]*lazyList
+	decoded atomic.Int64 // lists decoded so far (observability + tests)
+
 	// Planner statistics, computed lazily by Stats or installed by
 	// SetStats on the store's load path. See stats.go.
 	statsOnce sync.Once
 	stats     planner.Stats
 	statsSet  bool
+}
+
+// lazyList is one compressed posting list plus its once-decoded form.
+type lazyList struct {
+	list postings.List
+	once sync.Once
+	ids  []nid.ID
+}
+
+// decode materializes the list exactly once (concurrent lookups of the
+// same term share the work) and bumps the index's decoded counter.
+func (lp *lazyList) decode(counter *atomic.Int64) []nid.ID {
+	lp.once.Do(func() {
+		ids, err := lp.list.Decode()
+		if err != nil {
+			// Unreachable through the CRC-guarded store open path; degrade
+			// to an empty list rather than panicking mid-query.
+			ids = nil
+		}
+		lp.ids = ids
+		counter.Add(1)
+	})
+	return lp.ids
 }
 
 // Build indexes every node of the tree. A node is a keyword node for w when
@@ -113,6 +145,53 @@ func FromIDPostings(tab *nid.Table, postings map[string][]nid.ID, numNodes int, 
 	return &Index{analyzer: a, tab: tab, postings: postings, numNodes: numNodes}
 }
 
+// FromCompressed constructs an index over block-compressed posting lists
+// without decoding any of them — the store's v3 load path. words[i] names
+// lists[i]; each list decodes lazily on its first lookup and the decoded
+// form is cached for the index's lifetime. The lists (and the table) may
+// view mmap-ed memory; they must outlive the index.
+func FromCompressed(tab *nid.Table, words []string, lists []postings.List, numNodes int, a *analysis.Analyzer) *Index {
+	if a == nil {
+		a = analysis.New()
+	}
+	lazy := make(map[string]*lazyList, len(words))
+	for i, w := range words {
+		lazy[w] = &lazyList{list: lists[i]}
+	}
+	return &Index{analyzer: a, tab: tab, lazy: lazy, numNodes: numNodes}
+}
+
+// DecodedLists reports how many posting lists have been decoded so far —
+// zero right after a compressed open, exactly the queried terms afterwards.
+// Always zero for in-RAM indexes.
+func (ix *Index) DecodedLists() int64 { return ix.decoded.Load() }
+
+// LookupList returns the compressed posting list for the word when the
+// index is compressed-backed; ok is false for in-RAM indexes and unknown
+// words. Callers wanting a streaming merge build iterators from it (they
+// satisfy lca.Merger's Source) instead of forcing a full decode.
+func (ix *Index) LookupList(word string) (postings.List, bool) {
+	lp := ix.lazy[word]
+	if lp == nil {
+		return postings.List{}, false
+	}
+	return lp.list, true
+}
+
+// eachList visits every posting list in decoded form (decoding compressed
+// lists on demand), in unspecified order.
+func (ix *Index) eachList(fn func(list []nid.ID)) {
+	if ix.lazy != nil {
+		for _, lp := range ix.lazy {
+			fn(lp.decode(&ix.decoded))
+		}
+		return
+	}
+	for _, list := range ix.postings {
+		fn(list)
+	}
+}
+
 func sortedIDs(list []nid.ID) bool {
 	for i := 1; i < len(list); i++ {
 		if list[i-1] > list[i] {
@@ -149,12 +228,25 @@ func (ix *Index) Table() *nid.Table { return ix.tab }
 func (ix *Index) NumNodes() int { return ix.numNodes }
 
 // NumWords returns the vocabulary size.
-func (ix *Index) NumWords() int { return len(ix.postings) }
+func (ix *Index) NumWords() int {
+	if ix.lazy != nil {
+		return len(ix.lazy)
+	}
+	return len(ix.postings)
+}
 
 // LookupIDs returns the posting list Di for the (already normalized) word
 // as node IDs, or nil if the word does not occur. The returned slice is
-// shared; callers must not modify it.
+// shared; callers must not modify it. On a compressed-backed index the
+// first lookup of a term decodes its list (once; cached thereafter).
 func (ix *Index) LookupIDs(word string) []nid.ID {
+	if ix.lazy != nil {
+		lp := ix.lazy[word]
+		if lp == nil {
+			return nil
+		}
+		return lp.decode(&ix.decoded)
+	}
 	return ix.postings[word]
 }
 
@@ -162,7 +254,7 @@ func (ix *Index) LookupIDs(word string) []nid.ID {
 // Dewey codes, or nil if the word does not occur. The code values are
 // zero-copy views into the node table; callers must not modify them.
 func (ix *Index) Lookup(word string) []dewey.Code {
-	return ix.codesOf(ix.postings[word])
+	return ix.codesOf(ix.LookupIDs(word))
 }
 
 func (ix *Index) codesOf(ids []nid.ID) []dewey.Code {
@@ -176,16 +268,30 @@ func (ix *Index) codesOf(ids []nid.ID) []dewey.Code {
 	return out
 }
 
-// Frequency returns the number of keyword nodes containing the word.
+// Frequency returns the number of keyword nodes containing the word. On a
+// compressed-backed index this reads the list header — no decode — so the
+// planner and scorer cost nothing at open time.
 func (ix *Index) Frequency(word string) int {
+	if ix.lazy != nil {
+		if lp := ix.lazy[word]; lp != nil {
+			return lp.list.Len()
+		}
+		return 0
+	}
 	return len(ix.postings[word])
 }
 
 // Words returns the vocabulary in lexical order.
 func (ix *Index) Words() []string {
-	out := make([]string, 0, len(ix.postings))
-	for w := range ix.postings {
-		out = append(out, w)
+	out := make([]string, 0, ix.NumWords())
+	if ix.lazy != nil {
+		for w := range ix.lazy {
+			out = append(out, w)
+		}
+	} else {
+		for w := range ix.postings {
+			out = append(out, w)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -228,7 +334,7 @@ func (ix *Index) KeywordSetIDs(query string) (words []string, sets [][]nid.ID, e
 	}
 	sets = make([][]nid.ID, len(words))
 	for i, w := range words {
-		list := ix.postings[w]
+		list := ix.LookupIDs(w)
 		if len(list) == 0 {
 			return nil, nil, &ErrNoMatch{Word: w}
 		}
@@ -244,6 +350,18 @@ func (ix *Index) KeywordSetIDs(query string) (words []string, sets [][]nid.ID, e
 // sorted position. Inserting an already-present (word, code) pair is a
 // no-op. Not safe for use concurrently with readers.
 func (ix *Index) Insert(c dewey.Code, words []string) {
+	if ix.lazy != nil {
+		// Compressed lists are immutable views (possibly into mmap-ed
+		// memory); flatten the whole vocabulary into mutable heap lists
+		// before the first mutation. In practice only tree-backed engines
+		// append, so this path is defensive.
+		flat := make(map[string][]nid.ID, len(ix.lazy))
+		for w, lp := range ix.lazy {
+			flat[w] = slices.Clone(lp.decode(&ix.decoded))
+		}
+		ix.postings = flat
+		ix.lazy = nil
+	}
 	ix.numNodes++
 	id, created := ix.tab.Insert(c)
 	// Replay the table's renumbering on the stored IDs: for each splice
@@ -272,9 +390,16 @@ func (ix *Index) Insert(c dewey.Code, words []string) {
 
 // Postings exposes a copy of the word → posting map in Dewey code form,
 // used when shredding an index into the store. The code values are
-// zero-copy views into the node table.
+// zero-copy views into the node table. On a compressed-backed index this
+// decodes the full vocabulary.
 func (ix *Index) Postings() map[string][]dewey.Code {
-	out := make(map[string][]dewey.Code, len(ix.postings))
+	out := make(map[string][]dewey.Code, ix.NumWords())
+	if ix.lazy != nil {
+		for w, lp := range ix.lazy {
+			out[w] = ix.codesOf(lp.decode(&ix.decoded))
+		}
+		return out
+	}
 	for w, l := range ix.postings {
 		out[w] = ix.codesOf(l)
 	}

@@ -38,13 +38,16 @@ func (ix *Index) SetStats(st planner.Stats) {
 func (ix *Index) computeStats() planner.Stats {
 	st := planner.Stats{
 		Nodes: ix.tab.Len(),
-		Words: len(ix.postings),
+		Words: ix.NumWords(),
 		Docs:  1,
 	}
 	var depthSum int64
 	var hist [maxDepthBuckets]int64
 	maxBucket := 0
-	for _, list := range ix.postings {
+	// On compressed-backed indexes this decodes every list — the store
+	// persists statistics precisely so SetStats preempts this scan; the
+	// fallback only runs for hand-assembled indexes.
+	ix.eachList(func(list []nid.ID) {
 		st.Postings += len(list)
 		if len(list) > st.MaxPostings {
 			st.MaxPostings = len(list)
@@ -61,7 +64,7 @@ func (ix *Index) computeStats() planner.Stats {
 				maxBucket = b
 			}
 		}
-	}
+	})
 	if st.Postings > 0 {
 		st.AvgDepth = float64(depthSum) / float64(st.Postings)
 		st.DepthHist = append([]int64(nil), hist[:maxBucket+1]...)

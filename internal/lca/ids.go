@@ -33,14 +33,35 @@ type IDEvent struct {
 // mergeSentinel orders after every valid ID (IDs are int32).
 const mergeSentinel = int64(1) << 40
 
+// Source is a stream of strictly increasing node IDs — the shape the
+// Merger consumes when posting lists are not materialized slices (e.g. the
+// block-compressed lists of internal/postings, whose Iterator satisfies
+// this interface structurally). Next consumes and returns the next ID;
+// SeekGE discards every remaining ID below target, then consumes and
+// returns the first remaining one (which may be below target only if the
+// stream's head already was — callers here never ask that). Both return
+// ok=false on exhaustion.
+type Source interface {
+	Next() (nid.ID, bool)
+	SeekGE(target nid.ID) (nid.ID, bool)
+}
+
 // Merger streams the pre-order merge of k ID posting lists, OR-ing the
 // masks of equal IDs — the DIL-style merged stream of XRank, without
 // materializing it. It is a classic loser tree over the (sentinel-padded)
 // sources: each Next pops the winner and replays one leaf-to-root path,
 // O(log k) comparisons per event.
+//
+// Two leaf representations share the tree: materialized []nid.ID lists
+// (lists/pos — the in-RAM hot path, pure slice indexing with no interface
+// dispatch) and Source streams (srcs/head — compressed iterators, one
+// interface call per consumed element with the current head cached in
+// head[s]). Exactly one of lists/srcs is non-nil.
 type Merger struct {
 	lists [][]nid.ID
 	pos   []int
+	srcs  []Source
+	head  []int64  // srcs mode: current unconsumed key per leaf; sentinel = exhausted
 	bit   []uint64 // nil = bit[s] is 1<<s; else per-leaf mask bit (ordered merge)
 	loser []int32  // internal nodes 1..n-1: loser of the match played there
 	win   int32    // current overall winner (source index)
@@ -86,6 +107,45 @@ func NewMergerOrdered(lists [][]nid.ID, order []int) *Merger {
 	return m
 }
 
+// NewMergerSources builds a merger over ID streams instead of materialized
+// lists — the disk-native path, where each Source is typically a
+// postings.Iterator decoding a block-compressed list on demand. order has
+// the same contract as in NewMergerOrdered (nil = given order). The merged
+// event stream is byte-identical to a slice-backed merger over the decoded
+// lists (crosscheck-tested).
+func NewMergerSources(srcs []Source, order []int) *Merger {
+	k := len(srcs)
+	n := 1
+	for n < k {
+		n *= 2
+	}
+	m := &Merger{
+		srcs:  srcs,
+		head:  make([]int64, k),
+		loser: make([]int32, n),
+		n:     n,
+	}
+	if order != nil && len(order) == k {
+		permuted := make([]Source, k)
+		bit := make([]uint64, k)
+		for leaf, src := range order {
+			permuted[leaf] = srcs[src]
+			bit[leaf] = 1 << uint(src)
+		}
+		m.srcs = permuted
+		m.bit = bit
+	}
+	for s, src := range m.srcs {
+		if v, ok := src.Next(); ok {
+			m.head[s] = int64(v)
+		} else {
+			m.head[s] = mergeSentinel
+		}
+	}
+	m.rebuild()
+	return m
+}
+
 // rebuild replays the full tournament bottom-up from the current positions;
 // win[i] is the winner of the subtree rooted at internal node i, loser[i]
 // the loser of its match. O(n); allocation-free for k <= 64 (the query
@@ -118,10 +178,23 @@ func (m *Merger) SkipTo(target nid.ID) {
 	if m.key(m.win) >= int64(target) {
 		return
 	}
-	for s, list := range m.lists {
-		p := m.pos[s]
-		if p < len(list) && list[p] < target {
-			m.pos[s] = p + sort.Search(len(list)-p, func(i int) bool { return list[p+i] >= target })
+	if m.srcs != nil {
+		for s, src := range m.srcs {
+			if m.head[s] >= int64(target) {
+				continue
+			}
+			if v, ok := src.SeekGE(target); ok {
+				m.head[s] = int64(v)
+			} else {
+				m.head[s] = mergeSentinel
+			}
+		}
+	} else {
+		for s, list := range m.lists {
+			p := m.pos[s]
+			if p < len(list) && list[p] < target {
+				m.pos[s] = p + sort.Search(len(list)-p, func(i int) bool { return list[p+i] >= target })
+			}
 		}
 	}
 	m.rebuild()
@@ -130,6 +203,12 @@ func (m *Merger) SkipTo(target nid.ID) {
 // key returns the source's current head as an int64, or the sentinel when
 // the source (or padding leaf) is exhausted.
 func (m *Merger) key(s int32) int64 {
+	if m.srcs != nil {
+		if int(s) >= len(m.srcs) {
+			return mergeSentinel
+		}
+		return m.head[s]
+	}
 	if int(s) >= len(m.lists) || m.pos[s] >= len(m.lists[s]) {
 		return mergeSentinel
 	}
@@ -146,7 +225,15 @@ func (m *Merger) less(a, b int32) bool {
 // advance pops the current winner's head and replays its path to the root.
 func (m *Merger) advance() {
 	s := m.win
-	m.pos[s]++
+	if m.srcs != nil {
+		if v, ok := m.srcs[s].Next(); ok {
+			m.head[s] = int64(v)
+		} else {
+			m.head[s] = mergeSentinel
+		}
+	} else {
+		m.pos[s]++
+	}
 	cur := s
 	for i := (m.n + int(s)) / 2; i >= 1; i /= 2 {
 		if m.less(m.loser[i], cur) {

@@ -1,0 +1,110 @@
+package lca
+
+import (
+	"math/rand"
+	"testing"
+
+	"xks/internal/nid"
+	"xks/internal/postings"
+)
+
+// randSets builds k random strictly increasing posting lists.
+func randSets(r *rand.Rand, k int) [][]nid.ID {
+	sets := make([][]nid.ID, k)
+	for i := range sets {
+		n := 1 + r.Intn(400)
+		ids := make([]nid.ID, 0, n)
+		cur := int64(r.Intn(4))
+		for j := 0; j < n; j++ {
+			ids = append(ids, nid.ID(cur))
+			cur += 1 + int64(r.Intn(6))
+		}
+		sets[i] = ids
+	}
+	return sets
+}
+
+func compressedSources(t *testing.T, sets [][]nid.ID) []Source {
+	t.Helper()
+	srcs := make([]Source, len(sets))
+	for i, ids := range sets {
+		l, err := postings.FromBytes(postings.Encode(ids))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[i] = l.Iterator()
+	}
+	return srcs
+}
+
+// TestMergerSourcesMatchesSlices pins the srcs-backed merger byte-identical
+// to the slice-backed one over the same lists: postings.Iterator is the
+// Source implementation the disk-native store feeds the k-way merge.
+func TestMergerSourcesMatchesSlices(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + r.Intn(6)
+		sets := randSets(r, k)
+		var order []int
+		if trial%2 == 1 {
+			order = r.Perm(k)
+		}
+		ref := NewMergerOrdered(sets, order)
+		got := NewMergerSources(compressedSources(t, sets), order)
+		for {
+			we, wok := ref.Next()
+			ge, gok := got.Next()
+			if wok != gok {
+				t.Fatalf("trial %d: stream length mismatch", trial)
+			}
+			if !wok {
+				break
+			}
+			if we != ge {
+				t.Fatalf("trial %d: event %+v != %+v", trial, ge, we)
+			}
+		}
+	}
+}
+
+// TestMergerSourcesSkipTo pins SkipTo over compressed sources against the
+// slice-backed merger under an identical skip schedule — the subtree
+// galloping pattern the RTF dispatch uses.
+func TestMergerSourcesSkipTo(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + r.Intn(5)
+		sets := randSets(r, k)
+		order := r.Perm(k)
+		ref := NewMergerOrdered(sets, order)
+		got := NewMergerSources(compressedSources(t, sets), order)
+		for step := 0; ; step++ {
+			if step%3 == 2 {
+				// Skip both mergers to the same target past the current head.
+				we, wok := ref.Next()
+				ge, gok := got.Next()
+				if wok != gok || (wok && we != ge) {
+					t.Fatalf("trial %d: pre-skip event mismatch", trial)
+				}
+				if !wok {
+					break
+				}
+				target := we.ID + nid.ID(r.Intn(40))
+				ref.SkipTo(target)
+				got.SkipTo(target)
+				continue
+			}
+			we, wok := ref.Next()
+			ge, gok := got.Next()
+			if wok != gok {
+				t.Fatalf("trial %d: stream length mismatch at step %d", trial, step)
+			}
+			if !wok {
+				break
+			}
+			if we != ge {
+				t.Fatalf("trial %d: event %+v != %+v", trial, ge, we)
+			}
+		}
+	}
+}

@@ -18,6 +18,8 @@
 package nid
 
 import (
+	"fmt"
+
 	"xks/internal/dewey"
 )
 
@@ -253,6 +255,51 @@ func (b *Builder) Add(c dewey.Code) ID {
 // Table finalizes and returns the built table. The Builder must not be used
 // afterwards.
 func (b *Builder) Table() *Table { return &b.t }
+
+// Columns exposes the table's parallel columns and the shared Dewey arena
+// for serialization (the store's v3 writer persists them verbatim). The
+// slices are the table's own backing arrays; callers must not modify them.
+func (t *Table) Columns() (parent []ID, depth []int32, off, arena []uint32) {
+	return t.parent, t.depth, t.off, t.arena
+}
+
+// FromColumns adopts pre-built columns without copying — the store's v3
+// zero-copy load path, where the slices view an mmap-ed (or heap-loaded)
+// file section. It validates the structural invariants every table
+// operation relies on for memory safety — column lengths agree, parents
+// precede their children with depth parent+1, roots sit at depth 0, and
+// every code window stays inside the arena — so a table built from
+// CRC-valid but adversarial bytes can return wrong answers, never index
+// out of bounds. Deeper semantic invariants (pre-order code ordering) are
+// not checked; they cost a full scan and only affect result correctness.
+//
+// Tables adopted this way must not be mutated via Insert while the backing
+// memory is shared; Insert's append-based splicing would reallocate, which
+// is safe, but the renumbering pass writes into the parent column in place.
+func FromColumns(parent []ID, depth []int32, off, arena []uint32) (*Table, error) {
+	n := len(parent)
+	if len(depth) != n || len(off) != n {
+		return nil, fmt.Errorf("nid: column lengths disagree: parent %d, depth %d, off %d", n, len(depth), len(off))
+	}
+	for i := 0; i < n; i++ {
+		p := parent[i]
+		switch {
+		case p == None:
+			if depth[i] != 0 {
+				return nil, fmt.Errorf("nid: root node %d has depth %d", i, depth[i])
+			}
+		case p < 0 || int(p) >= i:
+			return nil, fmt.Errorf("nid: node %d has invalid parent %d", i, p)
+		case depth[i] != depth[p]+1:
+			return nil, fmt.Errorf("nid: node %d depth %d under parent depth %d", i, depth[i], depth[p])
+		}
+		end := uint64(off[i]) + uint64(depth[i]) + 1
+		if end > uint64(len(arena)) {
+			return nil, fmt.Errorf("nid: node %d code window [%d,%d) exceeds arena length %d", i, off[i], end, len(arena))
+		}
+	}
+	return &Table{parent: parent, depth: depth, off: off, arena: arena}, nil
+}
 
 // FromCodes builds a Table from an arbitrary set of codes: the input is
 // copied, sorted, deduplicated and ancestor-closed. The returned table

@@ -88,7 +88,28 @@ type Metrics struct {
 	// collapsed joins never ran the stages, so they would dilute the
 	// distributions with zeros.
 	stages [numStages]histogram
+
+	// storeOpen is the one-time cold-open observation a disk-backed server
+	// records at startup (nil until SetStoreOpen): how long opening the
+	// store file took, in which mode, and how its bytes are resident.
+	storeOpen atomic.Pointer[StoreOpenInfo]
 }
+
+// StoreOpenInfo describes one store-file open: wall time, the resulting
+// backing mode ("v3-mmap", "v3-heap" or "rows"), and the byte split
+// between the read-only mapping (paged in on demand by the OS) and heap
+// allocations.
+type StoreOpenInfo struct {
+	Seconds     float64
+	Mode        string
+	MappedBytes int64
+	HeapBytes   int64
+}
+
+// SetStoreOpen records the store cold-open observation exposed on
+// /metrics. Servers that build their engine from a tree or an in-memory
+// store never call it, and the gauges stay absent.
+func (m *Metrics) SetStoreOpen(info StoreOpenInfo) { m.storeOpen.Store(&info) }
 
 // observe records one request latency in the histogram.
 func (m *Metrics) observe(d time.Duration) { m.latency.observe(d) }

@@ -46,6 +46,17 @@ func (sv *Service) WritePrometheus(w io.Writer) {
 			`stage="`+stageNames[i]+`"`, &m.stages[i])
 	}
 
+	if so := m.storeOpen.Load(); so != nil {
+		fmt.Fprintf(w, "# HELP xks_store_open_seconds Wall time the startup store-file open took.\n")
+		fmt.Fprintf(w, "# TYPE xks_store_open_seconds gauge\n")
+		fmt.Fprintf(w, "xks_store_open_seconds{mode=%q} %s\n", so.Mode, formatFloat(so.Seconds))
+		writeGauge(w, "xks_store_mapped_bytes",
+			"Store bytes served through the read-only mmap (resident on demand via the OS page cache).",
+			float64(so.MappedBytes))
+		writeGauge(w, "xks_store_heap_bytes",
+			"Store file bytes materialized on the Go heap at open.", float64(so.HeapBytes))
+	}
+
 	writeGauge(w, "xks_cache_entries",
 		"Live entries in the query-result cache.", float64(sv.CacheLen()))
 	writeGauge(w, "xks_corpus_generation",

@@ -1,0 +1,37 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"xks"
+	"xks/internal/paperdata"
+)
+
+// TestStoreOpenGauges pins the store cold-open exposition: absent until
+// SetStoreOpen, then one xks_store_open_seconds sample labelled with the
+// backing mode plus the mapped/heap byte gauges.
+func TestStoreOpenGauges(t *testing.T) {
+	sv := New(SingleDoc{Name: "d", Engine: xks.FromTree(paperdata.Publications())},
+		Config{CacheSize: 4})
+	var before strings.Builder
+	sv.WritePrometheus(&before)
+	if strings.Contains(before.String(), "xks_store_open_seconds") {
+		t.Fatal("store-open gauges exposed before SetStoreOpen")
+	}
+	sv.Metrics().SetStoreOpen(StoreOpenInfo{
+		Seconds: 0.012, Mode: "v3-mmap", MappedBytes: 4096, HeapBytes: 0,
+	})
+	var after strings.Builder
+	sv.WritePrometheus(&after)
+	out := after.String()
+	for _, want := range []string{
+		`xks_store_open_seconds{mode="v3-mmap"} 0.012`,
+		"xks_store_mapped_bytes 4096",
+		"xks_store_heap_bytes 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"encoding/binary"
+	"unsafe"
+
+	"xks/internal/nid"
+)
+
+// hostLittleEndian reports whether the host stores multi-byte integers
+// little-endian — the layout the v3 sections are written in. On such hosts
+// (every platform this repo targets in practice) the fixed-width section
+// arrays are reinterpreted in place; big-endian hosts fall back to a
+// decoding copy, trading open time for portability.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// u32view reinterprets b (length a multiple of 4) as []uint32 without
+// copying when the host is little-endian and the data is 4-byte aligned
+// (the v3 writer 8-aligns every section, so views over file sections
+// always are); otherwise it decodes a copy.
+func u32view(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+// i32view is u32view for []int32.
+func i32view(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// idView is u32view for []nid.ID (int32 underneath).
+func idView(b []byte) []nid.ID {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*nid.ID)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]nid.ID, len(b)/4)
+	for i := range out {
+		out[i] = nid.ID(int32(binary.LittleEndian.Uint32(b[i*4:])))
+	}
+	return out
+}
+
+// stringView reinterprets b as a string without copying. The bytes must
+// stay immutable and outlive the string — true for store sections, which
+// are read-only mappings (or never-mutated heap buffers) pinned by the
+// Store.
+func stringView(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// appendU32sLE appends vals to dst in little-endian order (the v3 section
+// writer's bulk array form).
+func appendU32sLE(dst []byte, vals []uint32) []byte {
+	var buf [4]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+// appendI32sLE appends int32 values to dst in little-endian order.
+func appendI32sLE(dst []byte, vals []int32) []byte {
+	var buf [4]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+// appendIDsLE appends node IDs to dst in little-endian order.
+func appendIDsLE(dst []byte, vals []nid.ID) []byte {
+	var buf [4]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(buf[:], uint32(int32(v)))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}

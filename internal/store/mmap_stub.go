@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this build can map store files read-only.
+// On platforms without a syscall.Mmap wrapper OpenFile falls back to the
+// portable io.ReaderAt path: one read of the whole file into the heap.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("store: mmap is not supported on this platform")
+}

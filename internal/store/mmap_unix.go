@@ -1,0 +1,22 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can map store files read-only.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared. The returned closer
+// unmaps; the file descriptor itself may be closed immediately after mapping
+// (the mapping keeps the pages alive).
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -78,6 +78,17 @@ type Store struct {
 	statsOnce sync.Once
 	stats     planner.Stats
 	statsSet  bool
+
+	// cols is non-nil for column-backed stores opened from a v3 file; its
+	// slices (and labels above) are zero-copy views into data, which is
+	// either a read-only file mapping (mapped, released by closer) or a
+	// heap buffer holding one whole-file read. Row-backed stores leave all
+	// four zero.
+	cols     *v3cols
+	data     []byte
+	closer   func() error
+	mapped   bool
+	fileSize int64
 }
 
 // Shred builds the three tables from a document, analyzing content with the
@@ -144,7 +155,12 @@ func (s *Store) NumNodes() int { return s.numNodes }
 func (s *Store) NumLabels() int { return len(s.labels) }
 
 // NumValues returns the number of keyword-occurrence rows.
-func (s *Store) NumValues() int { return len(s.values) }
+func (s *Store) NumValues() int {
+	if s.cols != nil {
+		return len(s.cols.termIDs)
+	}
+	return len(s.values)
+}
 
 // Label resolves a label ID, or "" when out of range.
 func (s *Store) Label(id uint32) string {
@@ -164,6 +180,21 @@ func (s *Store) LabelID(label string) (uint32, bool) {
 // the keyword — the SQL "SELECT dewey FROM value WHERE keyword = ?" of the
 // paper's getKeywordNodes.
 func (s *Store) Postings(keyword string) []dewey.Code {
+	if c := s.cols; c != nil {
+		t, ok := c.findTerm(keyword)
+		if !ok {
+			return nil
+		}
+		ids, err := c.lists[t].Decode()
+		if err != nil {
+			return nil // unreachable behind the section CRCs
+		}
+		out := make([]dewey.Code, len(ids))
+		for i, id := range ids {
+			out[i] = c.tab.Code(id)
+		}
+		return out
+	}
 	lo := sort.Search(len(s.values), func(i int) bool { return s.values[i].Keyword >= keyword })
 	var out []dewey.Code
 	for i := lo; i < len(s.values) && s.values[i].Keyword == keyword; i++ {
@@ -172,15 +203,17 @@ func (s *Store) Postings(keyword string) []dewey.Code {
 	return out
 }
 
-// Element returns the element row for a Dewey code.
+// Element returns the element row for a Dewey code. On column-backed
+// stores the row is synthesized from the node table and CSR columns.
 func (s *Store) Element(c dewey.Code) (ElementRow, bool) {
-	i := sort.Search(len(s.elements), func(i int) bool {
-		return dewey.Compare(s.elements[i].Dewey, c) >= 0
-	})
-	if i < len(s.elements) && dewey.Equal(s.elements[i].Dewey, c) {
-		return s.elements[i], true
+	i, ok := s.elementIndex(c)
+	if !ok {
+		return ElementRow{}, false
 	}
-	return ElementRow{}, false
+	if s.cols != nil {
+		return s.colsRow(i), true
+	}
+	return s.elements[i], true
 }
 
 // LabelOf resolves a node's label directly from the element table.
@@ -196,6 +229,12 @@ func (s *Store) LabelOf(c dewey.Code) string {
 // pre-order, so the row index doubles as the node ID of the index built by
 // BuildIndex). It returns "" when out of range.
 func (s *Store) LabelAt(i int) string {
+	if c := s.cols; c != nil {
+		if i < 0 || i >= len(c.nodeLabels) {
+			return ""
+		}
+		return s.Label(c.nodeLabels[i])
+	}
 	if i < 0 || i >= len(s.elements) {
 		return ""
 	}
@@ -204,6 +243,12 @@ func (s *Store) LabelAt(i int) string {
 
 // ElementAt returns the i-th element row.
 func (s *Store) ElementAt(i int) (ElementRow, bool) {
+	if s.cols != nil {
+		if i < 0 || i >= s.numNodes {
+			return ElementRow{}, false
+		}
+		return s.colsRow(i), true
+	}
 	if i < 0 || i >= len(s.elements) {
 		return ElementRow{}, false
 	}
@@ -212,6 +257,10 @@ func (s *Store) ElementAt(i int) (ElementRow, bool) {
 
 // elementIndex locates the element row for a Dewey code.
 func (s *Store) elementIndex(c dewey.Code) (int, bool) {
+	if s.cols != nil {
+		id, ok := s.cols.tab.Find(c)
+		return int(id), ok
+	}
 	i := sort.Search(len(s.elements), func(i int) bool {
 		return dewey.Compare(s.elements[i].Dewey, c) >= 0
 	})
@@ -223,6 +272,9 @@ func (s *Store) elementIndex(c dewey.Code) (int, bool) {
 
 // Keywords returns the distinct keywords in lexical order.
 func (s *Store) Keywords() []string {
+	if s.cols != nil {
+		return append([]string(nil), s.cols.terms...)
+	}
 	var out []string
 	for i := 0; i < len(s.values); {
 		out = append(out, s.values[i].Keyword)
@@ -241,26 +293,15 @@ func (s *Store) Keywords() []string {
 // so its IDs equal element row indices and LabelAt/ContentAt serve label
 // and content lookups by ID in constant time.
 func (s *Store) BuildIndex(an *analysis.Analyzer) *index.Index {
-	sorted := sort.SliceIsSorted(s.elements, func(i, j int) bool {
-		return dewey.Compare(s.elements[i].Dewey, s.elements[j].Dewey) < 0
-	})
-	var tab *nid.Table
-	if sorted {
-		b := nid.NewBuilder(len(s.elements))
-		for _, e := range s.elements {
-			b.Add(e.Dewey)
-		}
-		tab = b.Table()
-	} else {
-		// Defensive: a hand-crafted store file may carry an unsorted
-		// element table; fall back to the sorting constructor. (Row-index
-		// ID lookups stay coherent only for well-formed stores.)
-		codes := make([]dewey.Code, len(s.elements))
-		for i, e := range s.elements {
-			codes[i] = e.Dewey
-		}
-		tab = nid.FromCodes(codes)
+	if c := s.cols; c != nil {
+		// Column-backed: the index shares the store's node table and wraps
+		// the compressed lists directly — per-term decode happens lazily on
+		// first lookup, so building the index off a v3 open is O(vocabulary).
+		ix := index.FromCompressed(c.tab, c.terms, c.lists, s.numNodes, an)
+		ix.SetStats(s.Stats())
+		return ix
 	}
+	tab := s.rowTable()
 	postings := make(map[string][]nid.ID)
 	for _, v := range s.values {
 		if id, ok := tab.Find(v.Dewey); ok {
@@ -268,7 +309,7 @@ func (s *Store) BuildIndex(an *analysis.Analyzer) *index.Index {
 		}
 	}
 	ix := index.FromIDPostings(tab, postings, s.numNodes, an)
-	// Hand the index the store's statistics (persisted in v2 files) so the
+	// Hand the index the store's statistics (persisted in v2+ files) so the
 	// planner never rescans posting lists on the load path.
 	ix.SetStats(s.Stats())
 	return ix
@@ -297,6 +338,19 @@ func (s *Store) ContentAt(i int) []string {
 }
 
 func (s *Store) buildNodeWords() {
+	if c := s.cols; c != nil {
+		// Column-backed: the CSR already groups term IDs per node in
+		// lexical order; materialize only the string headers.
+		s.wordOff = make([]int32, len(c.wordOff))
+		for i, o := range c.wordOff {
+			s.wordOff[i] = int32(o)
+		}
+		s.nodeWords = make([]string, len(c.termIDs))
+		for i, t := range c.termIDs {
+			s.nodeWords[i] = c.terms[t]
+		}
+		return
+	}
 	// Count words per element row, then bucket them: the value table is
 	// sorted by (keyword, dewey), so each row's bucket needs a final sort
 	// to come out lexical.
@@ -413,6 +467,21 @@ func (s *Store) computeStats() planner.Stats {
 // Children returns the element rows of the node's children in document
 // order, used by store-backed fragment rendering.
 func (s *Store) Children(c dewey.Code) []ElementRow {
+	if cols := s.cols; cols != nil {
+		id, ok := cols.tab.Find(c)
+		if !ok {
+			return nil
+		}
+		end := cols.tab.SubtreeEnd(id)
+		d := cols.tab.Depth(id)
+		var out []ElementRow
+		for j := id + 1; j < end; j++ {
+			if cols.tab.Depth(j) == d+1 {
+				out = append(out, s.colsRow(int(j)))
+			}
+		}
+		return out
+	}
 	i := sort.Search(len(s.elements), func(i int) bool {
 		return dewey.Compare(s.elements[i].Dewey, c) > 0
 	})
@@ -435,10 +504,17 @@ const (
 	magic = "XKSSTORE"
 	// versionV1 is the original format: label, element and value tables.
 	versionV1 = uint32(1)
-	// version (v2) appends a planner-statistics section after the value
+	// versionV2 appends a planner-statistics section after the value
 	// table, so OpenStore plans queries without rescanning posting lists.
 	// v1 files still load (statistics are then recomputed lazily).
-	version = uint32(2)
+	versionV2 = uint32(2)
+	// versionV3 is the disk-native section format (see v3.go): node-table
+	// columns and block-compressed postings behind a CRC-guarded section
+	// directory, mmap-able read-only. v1/v2 files still load through the
+	// row reader.
+	versionV3 = uint32(3)
+	// version is the format Save writes.
+	version = versionV3
 )
 
 // Save writes the store to w in the binary table format (current version).
@@ -446,9 +522,27 @@ func (s *Store) Save(w io.Writer) error {
 	return s.save(w, version)
 }
 
-// save writes the store at an explicit format version; the v1 arm exists so
-// tests can pin backward compatibility of the reader.
+// SaveLegacy writes the store in a superseded row format (1 or 2) —
+// compatibility tooling for the upgrade tests and the cold-open benchmark,
+// which needs real v2 images to measure the old parse path against. New
+// files should use Save. Column-backed stores (loaded from v3) cannot be
+// downgraded.
+func (s *Store) SaveLegacy(w io.Writer, ver uint32) error {
+	if ver != versionV1 && ver != versionV2 {
+		return fmt.Errorf("store: SaveLegacy supports versions 1 and 2, not %d", ver)
+	}
+	return s.save(w, ver)
+}
+
+// save writes the store at an explicit format version; the v1/v2 arms exist
+// so tests can pin backward compatibility of the reader.
 func (s *Store) save(w io.Writer, ver uint32) error {
+	if ver == versionV3 {
+		return s.saveV3(w)
+	}
+	if s.cols != nil {
+		return fmt.Errorf("store: cannot save a column-backed store as version %d", ver)
+	}
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
 	if _, err := cw.Write([]byte(magic)); err != nil {
@@ -604,9 +698,19 @@ func (s *Store) SaveFile(path string) error {
 }
 
 // Load reads a store written by Save, verifying magic, version and
-// checksum.
+// checksums. v3 streams are buffered whole and open column-backed (heap
+// mode); v1/v2 streams parse through the row reader. Prefer OpenFile for
+// files — it can map v3 sections instead of copying them.
 func Load(r io.Reader) (*Store, error) {
 	br := bufio.NewReader(r)
+	if head, err := br.Peek(12); err == nil && string(head[:8]) == magic &&
+		binary.BigEndian.Uint32(head[8:12]) == versionV3 {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading v3 stream: %w", err)
+		}
+		return openV3FromBytes(data)
+	}
 	cr := &crcReader{r: br}
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(cr, head); err != nil {
@@ -619,7 +723,7 @@ func Load(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != versionV1 && ver != version {
+	if ver != versionV1 && ver != versionV2 {
 		return nil, fmt.Errorf("store: unsupported version %d", ver)
 	}
 	s := &Store{labelIDs: map[string]uint32{}}
@@ -710,14 +814,11 @@ func Load(r io.Reader) (*Store, error) {
 	return s, nil
 }
 
-// LoadFile reads a store from a file.
+// LoadFile opens a store file with default options: v3 files come back
+// mmap-backed where the platform allows (heap otherwise), v1/v2 files
+// row-backed.
 func LoadFile(path string) (*Store, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return Load(f)
+	return OpenFile(path, OpenOptions{})
 }
 
 type crcWriter struct {

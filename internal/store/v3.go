@@ -1,0 +1,716 @@
+package store
+
+// Format v3 — the disk-native layout.
+//
+// v1/v2 files are row streams: every open re-parses each element and value
+// row into heap structures, so open time and resident memory scale with the
+// corpus. v3 instead persists the query-time representation directly —
+// the nid.Table columns (parent/depth/offset plus the shared Dewey arena)
+// and block-compressed posting lists (internal/postings) — as aligned,
+// CRC-guarded sections behind a section directory:
+//
+//	offset 0   magic "XKSSTORE"                  (8 bytes, shared with v1/v2)
+//	offset 8   version u32 big-endian = 3        (shared dispatch point)
+//	offset 12  section count u32 little-endian
+//	offset 16  directory: 32-byte entries {id u32, crc32 u32, off u64,
+//	           len u64, reserved u64}, little-endian
+//	then       header crc32 u32 LE over bytes [0, end of directory)
+//	then       sections, each starting on an 8-byte boundary, zero-padded
+//
+// Every section offset is 8-aligned so the fixed-width arrays inside can be
+// reinterpreted in place (cast.go) when the file is mmap-ed: opening a v3
+// store validates directory bounds, per-section CRCs and the structural
+// invariants of each section, but copies no node columns and decodes no
+// posting list. All multi-byte values inside sections are little-endian;
+// the stats section reuses the big-endian v2 encoding verbatim.
+//
+// Section payloads (ids secLabels..secStats below):
+//
+//	labels     u32 count, then per label {u32 len, bytes}
+//	nodes      u32 n, u32 arenaLen, parent i32[n], depth i32[n],
+//	           off u32[n], arena u32[arenaLen]
+//	labelids   u32[n] — element-table label column, node-ID order
+//	terms      u32 count, u32 blobLen, offs u32[count+1], blob bytes
+//	           (terms strictly increasing; term i = blob[offs[i]:offs[i+1]])
+//	postings   u32 count, u32 reserved, offs u32[count+1], concatenated
+//	           postings.Encode blobs (list i = blob[offs[i]:offs[i+1]])
+//	nodewords  u32 n, u32 total, wordOff u32[n+1], termIDs u32[total] —
+//	           CSR of each node's term IDs, ascending per node
+//	stats      planner statistics, v2 writeStats encoding
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"xks/internal/dewey"
+	"xks/internal/nid"
+	"xks/internal/postings"
+)
+
+// Section IDs of the v3 directory. Unknown IDs are ignored on open, so
+// future versions can add sections without breaking this reader.
+const (
+	secLabels    = uint32(1)
+	secNodes     = uint32(2)
+	secLabelIDs  = uint32(3)
+	secTerms     = uint32(4)
+	secPostings  = uint32(5)
+	secNodeWords = uint32(6)
+	secStats     = uint32(7)
+)
+
+// maxSections bounds the directory a reader will parse; the writer emits 7.
+const maxSections = 64
+
+// v3cols is the column-oriented store representation backing a v3 file:
+// zero-copy views into the store's data buffer (mmap-ed or heap-loaded).
+// Element and value rows are synthesized from it on demand.
+type v3cols struct {
+	tab        *nid.Table
+	nodeLabels []uint32        // per node, indexes Store.labels
+	terms      []string        // sorted vocabulary, views into the blob
+	lists      []postings.List // lists[i] is terms[i]'s compressed postings
+	wordOff    []uint32        // CSR: node i's terms are termIDs[wordOff[i]:wordOff[i+1]]
+	termIDs    []uint32
+}
+
+// OpenMode selects how OpenFile backs a store's memory.
+type OpenMode int
+
+const (
+	// OpenAuto maps v3 files read-only when the platform supports it,
+	// falling back to a single whole-file read into the heap; v1/v2 files
+	// load through the row reader.
+	OpenAuto OpenMode = iota
+	// OpenMmap requires a memory-mapped v3 file and fails otherwise.
+	OpenMmap
+	// OpenHeap forces the heap path even when mmap is available.
+	OpenHeap
+)
+
+// OpenOptions configures OpenFile.
+type OpenOptions struct {
+	Mode OpenMode
+}
+
+// OpenFile opens a store file, dispatching on its format version. v3 files
+// open column-backed — mmap-ed read-only under OpenAuto/OpenMmap, or loaded
+// with one whole-file read under OpenHeap (and on platforms without mmap) —
+// decoding no posting list eagerly. v1/v2 files load through the row reader.
+func OpenFile(path string, opts OpenOptions) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	var head [12]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		return nil, fmt.Errorf("store: reading header: %w", err)
+	}
+	if string(head[:8]) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", head[:8])
+	}
+	ver := binary.BigEndian.Uint32(head[8:12])
+	if ver != versionV3 {
+		if opts.Mode == OpenMmap {
+			return nil, fmt.Errorf("store: version %d files are row-encoded and cannot be mapped; re-save to upgrade", ver)
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		s, err := Load(f)
+		if err != nil {
+			return nil, err
+		}
+		s.fileSize = size
+		return s, nil
+	}
+	if opts.Mode == OpenMmap && !mmapSupported {
+		return nil, fmt.Errorf("store: mmap requested but not supported on this platform")
+	}
+	if mmapSupported && opts.Mode != OpenHeap && size > 0 {
+		data, closer, err := mmapFile(f, size)
+		if err != nil {
+			if opts.Mode == OpenMmap {
+				return nil, fmt.Errorf("store: mmap: %w", err)
+			}
+			// Auto mode: fall through to the heap path.
+		} else {
+			s, err := openV3FromBytes(data)
+			if err != nil {
+				closer()
+				return nil, err
+			}
+			s.closer, s.mapped = closer, true
+			return s, nil
+		}
+	}
+	// Portable fallback: one io.ReaderAt pass over the whole file.
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, fmt.Errorf("store: reading file: %w", err)
+	}
+	return openV3FromBytes(data)
+}
+
+// Mode describes how this store is backed: "rows" (v1/v2 heap structures),
+// "v3-heap" (column sections in one heap buffer) or "v3-mmap" (column
+// sections in a read-only file mapping).
+func (s *Store) Mode() string {
+	switch {
+	case s.cols == nil:
+		return "rows"
+	case s.mapped:
+		return "v3-mmap"
+	default:
+		return "v3-heap"
+	}
+}
+
+// MappedBytes returns the size of the read-only file mapping backing this
+// store, or 0 when it is heap-backed.
+func (s *Store) MappedBytes() int64 {
+	if s.mapped {
+		return int64(len(s.data))
+	}
+	return 0
+}
+
+// FileBytes returns the on-disk size of the file this store was opened
+// from, or 0 when it was built in memory or read from a stream.
+func (s *Store) FileBytes() int64 { return s.fileSize }
+
+// Close releases the store's file mapping, if any. Every view handed out by
+// a mapped store — codes, labels, keywords, posting lists and any index
+// built from it — becomes invalid after Close. Heap-backed and row-backed
+// stores close as a no-op. Close is not safe to call concurrently with
+// queries.
+func (s *Store) Close() error {
+	c := s.closer
+	s.closer = nil
+	if c != nil {
+		return c()
+	}
+	return nil
+}
+
+// ---- v3 writer ----------------------------------------------------------
+
+func appendU32LE(dst []byte, v uint32) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return append(dst, buf[:]...)
+}
+
+// saveV3 writes the store in format v3, building the column form from the
+// row tables when the store was shredded or row-loaded, or re-serializing
+// the existing columns (without decoding any posting list) when it is
+// already column-backed.
+func (s *Store) saveV3(w io.Writer) error {
+	var (
+		tab        *nid.Table
+		nodeLabels []uint32
+		terms      []string
+		postBlob   []byte
+		postOffs   []uint32
+		wordOff    []uint32
+		termIDs    []uint32
+	)
+	if c := s.cols; c != nil {
+		tab, nodeLabels, terms = c.tab, c.nodeLabels, c.terms
+		wordOff, termIDs = c.wordOff, c.termIDs
+		postOffs = make([]uint32, len(c.lists)+1)
+		for i, l := range c.lists {
+			postBlob = l.AppendBytes(postBlob)
+			postOffs[i+1] = uint32(len(postBlob))
+		}
+	} else {
+		tab = s.rowTable()
+		n := tab.Len()
+		nodeLabels = make([]uint32, n)
+		for _, e := range s.elements {
+			if id, ok := tab.Find(e.Dewey); ok {
+				nodeLabels[id] = e.LabelID
+			}
+		}
+		// The value table is sorted by (keyword, dewey) and the table is in
+		// Dewey pre-order, so each keyword run maps to an increasing ID
+		// list. Duplicate rows (possible only in hand-crafted files) and
+		// rows whose code is missing from the element table are dropped,
+		// matching BuildIndex.
+		var idLists [][]nid.ID
+		for i := 0; i < len(s.values); {
+			kw := s.values[i].Keyword
+			var ids []nid.ID
+			j := i
+			for ; j < len(s.values) && s.values[j].Keyword == kw; j++ {
+				if id, ok := tab.Find(s.values[j].Dewey); ok {
+					if len(ids) > 0 && id <= ids[len(ids)-1] {
+						continue
+					}
+					ids = append(ids, id)
+				}
+			}
+			if len(ids) > 0 {
+				terms = append(terms, kw)
+				idLists = append(idLists, ids)
+			}
+			i = j
+		}
+		postOffs = make([]uint32, len(idLists)+1)
+		for i, ids := range idLists {
+			postBlob = postings.AppendEncode(postBlob, ids)
+			postOffs[i+1] = uint32(len(postBlob))
+		}
+		// Node→terms CSR, filled term-major so each node's term IDs come
+		// out ascending (and, terms being sorted, its words lexical).
+		wordOff = make([]uint32, n+1)
+		for _, ids := range idLists {
+			for _, id := range ids {
+				wordOff[id+1]++
+			}
+		}
+		for i := 1; i <= n; i++ {
+			wordOff[i] += wordOff[i-1]
+		}
+		termIDs = make([]uint32, wordOff[n])
+		fill := make([]uint32, n)
+		for t, ids := range idLists {
+			for _, id := range ids {
+				termIDs[wordOff[id]+fill[id]] = uint32(t)
+				fill[id]++
+			}
+		}
+	}
+
+	// Assemble section payloads.
+	labelsSec := appendU32LE(nil, uint32(len(s.labels)))
+	for _, l := range s.labels {
+		labelsSec = appendU32LE(labelsSec, uint32(len(l)))
+		labelsSec = append(labelsSec, l...)
+	}
+
+	parent, depth, off, arena := tab.Columns()
+	nodesSec := appendU32LE(nil, uint32(tab.Len()))
+	nodesSec = appendU32LE(nodesSec, uint32(len(arena)))
+	nodesSec = appendIDsLE(nodesSec, parent)
+	nodesSec = appendI32sLE(nodesSec, depth)
+	nodesSec = appendU32sLE(nodesSec, off)
+	nodesSec = appendU32sLE(nodesSec, arena)
+
+	labelIDsSec := appendU32sLE(nil, nodeLabels)
+
+	var termBlob []byte
+	termOffs := make([]uint32, len(terms)+1)
+	for i, t := range terms {
+		termBlob = append(termBlob, t...)
+		termOffs[i+1] = uint32(len(termBlob))
+	}
+	termsSec := appendU32LE(nil, uint32(len(terms)))
+	termsSec = appendU32LE(termsSec, uint32(len(termBlob)))
+	termsSec = appendU32sLE(termsSec, termOffs)
+	termsSec = append(termsSec, termBlob...)
+
+	postSec := appendU32LE(nil, uint32(len(postOffs)-1))
+	postSec = appendU32LE(postSec, 0)
+	postSec = appendU32sLE(postSec, postOffs)
+	postSec = append(postSec, postBlob...)
+
+	wordsSec := appendU32LE(nil, uint32(len(wordOff)-1))
+	wordsSec = appendU32LE(wordsSec, uint32(len(termIDs)))
+	wordsSec = appendU32sLE(wordsSec, wordOff)
+	wordsSec = appendU32sLE(wordsSec, termIDs)
+
+	var statsBuf bytes.Buffer
+	if err := writeStats(&statsBuf, s.Stats()); err != nil {
+		return err
+	}
+
+	secs := []struct {
+		id   uint32
+		data []byte
+	}{
+		{secLabels, labelsSec},
+		{secNodes, nodesSec},
+		{secLabelIDs, labelIDsSec},
+		{secTerms, termsSec},
+		{secPostings, postSec},
+		{secNodeWords, wordsSec},
+		{secStats, statsBuf.Bytes()},
+	}
+
+	// Header: magic + BE version, LE count, directory, header CRC, padding.
+	dirEnd := 16 + 32*len(secs)
+	header := make([]byte, 0, dirEnd+4)
+	header = append(header, magic...)
+	header = binary.BigEndian.AppendUint32(header, versionV3)
+	header = appendU32LE(header, uint32(len(secs)))
+	pos := uint64(align8(dirEnd + 4))
+	for _, sec := range secs {
+		header = appendU32LE(header, sec.id)
+		header = appendU32LE(header, crc32.ChecksumIEEE(sec.data))
+		header = binary.LittleEndian.AppendUint64(header, pos)
+		header = binary.LittleEndian.AppendUint64(header, uint64(len(sec.data)))
+		header = binary.LittleEndian.AppendUint64(header, 0)
+		pos = uint64(align8(int(pos) + len(sec.data)))
+	}
+	header = appendU32LE(header, crc32.ChecksumIEEE(header[:dirEnd]))
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	written := len(header)
+	var pad [8]byte
+	for _, sec := range secs {
+		if p := align8(written) - written; p > 0 {
+			if _, err := bw.Write(pad[:p]); err != nil {
+				return err
+			}
+			written += p
+		}
+		if _, err := bw.Write(sec.data); err != nil {
+			return err
+		}
+		written += len(sec.data)
+	}
+	return bw.Flush()
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// rowTable builds the nid.Table of a row-backed store from its element
+// table (one node per row, pre-order).
+func (s *Store) rowTable() *nid.Table {
+	sorted := sort.SliceIsSorted(s.elements, func(i, j int) bool {
+		return dewey.Compare(s.elements[i].Dewey, s.elements[j].Dewey) < 0
+	})
+	if sorted {
+		b := nid.NewBuilder(len(s.elements))
+		for _, e := range s.elements {
+			b.Add(e.Dewey)
+		}
+		return b.Table()
+	}
+	// Defensive: a hand-crafted store file may carry an unsorted element
+	// table; fall back to the sorting constructor. (Row-index ID lookups
+	// stay coherent only for well-formed stores.)
+	codes := make([]dewey.Code, len(s.elements))
+	for i, e := range s.elements {
+		codes[i] = e.Dewey
+	}
+	return nid.FromCodes(codes)
+}
+
+// ---- v3 reader ----------------------------------------------------------
+
+// openV3FromBytes validates a v3 image and returns a column-backed Store
+// whose views alias data. The caller owns data's lifetime (heap buffer or
+// file mapping); openV3FromBytes never retains it on error. Validation
+// covers everything memory safety relies on — directory bounds, section
+// CRCs, column invariants, offset monotonicity, ID ranges — so corrupted
+// or adversarial bytes fail with an error, never a panic, and a store that
+// opens cleanly can be queried without further bounds anxiety. No posting
+// list is decoded.
+func openV3FromBytes(data []byte) (*Store, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("store: v3 file too short: %d bytes", len(data))
+	}
+	if string(data[:8]) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", data[:8])
+	}
+	if v := binary.BigEndian.Uint32(data[8:12]); v != versionV3 {
+		return nil, fmt.Errorf("store: not a v3 file (version %d)", v)
+	}
+	count := binary.LittleEndian.Uint32(data[12:16])
+	if count == 0 || count > maxSections {
+		return nil, fmt.Errorf("store: implausible section count %d", count)
+	}
+	dirEnd := 16 + 32*int(count)
+	if dirEnd+4 > len(data) {
+		return nil, fmt.Errorf("store: truncated section directory")
+	}
+	if got := binary.LittleEndian.Uint32(data[dirEnd:]); got != crc32.ChecksumIEEE(data[:dirEnd]) {
+		return nil, fmt.Errorf("store: header checksum mismatch")
+	}
+	secs := make(map[uint32][]byte, count)
+	minOff := uint64(align8(dirEnd + 4))
+	for i := 0; i < int(count); i++ {
+		e := data[16+32*i:]
+		id := binary.LittleEndian.Uint32(e)
+		crc := binary.LittleEndian.Uint32(e[4:])
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		if off%8 != 0 {
+			return nil, fmt.Errorf("store: section %d misaligned at offset %d", id, off)
+		}
+		if off < minOff || off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, fmt.Errorf("store: section %d out of bounds (off %d, len %d)", id, off, length)
+		}
+		sec := data[off : off+length]
+		if crc32.ChecksumIEEE(sec) != crc {
+			return nil, fmt.Errorf("store: section %d checksum mismatch", id)
+		}
+		if _, dup := secs[id]; dup {
+			return nil, fmt.Errorf("store: duplicate section %d", id)
+		}
+		secs[id] = sec
+	}
+	need := func(id uint32, name string) ([]byte, error) {
+		sec, ok := secs[id]
+		if !ok {
+			return nil, fmt.Errorf("store: missing %s section", name)
+		}
+		return sec, nil
+	}
+
+	// Labels.
+	sec, err := need(secLabels, "labels")
+	if err != nil {
+		return nil, err
+	}
+	if len(sec) < 4 {
+		return nil, fmt.Errorf("store: truncated labels section")
+	}
+	nLabels := binary.LittleEndian.Uint32(sec)
+	if uint64(nLabels)*4 > uint64(len(sec)) {
+		return nil, fmt.Errorf("store: implausible label count %d", nLabels)
+	}
+	labels := make([]string, 0, nLabels)
+	labelMap := make(map[string]uint32, nLabels)
+	cursor := 4
+	for i := uint32(0); i < nLabels; i++ {
+		if cursor+4 > len(sec) {
+			return nil, fmt.Errorf("store: truncated labels section at label %d", i)
+		}
+		l := int(binary.LittleEndian.Uint32(sec[cursor:]))
+		cursor += 4
+		if l < 0 || l > len(sec)-cursor {
+			return nil, fmt.Errorf("store: label %d overruns section", i)
+		}
+		lab := stringView(sec[cursor : cursor+l])
+		cursor += l
+		labels = append(labels, lab)
+		labelMap[lab] = i
+	}
+
+	// Nodes → nid.Table (zero-copy columns).
+	sec, err = need(secNodes, "nodes")
+	if err != nil {
+		return nil, err
+	}
+	if len(sec) < 8 {
+		return nil, fmt.Errorf("store: truncated nodes section")
+	}
+	n := binary.LittleEndian.Uint32(sec)
+	arenaLen := binary.LittleEndian.Uint32(sec[4:])
+	if uint64(len(sec)) != 8+12*uint64(n)+4*uint64(arenaLen) {
+		return nil, fmt.Errorf("store: nodes section length %d inconsistent with n=%d arena=%d", len(sec), n, arenaLen)
+	}
+	p := sec[8:]
+	parent := idView(p[:4*n])
+	depth := i32view(p[4*n : 8*n])
+	offCol := u32view(p[8*n : 12*n])
+	arena := u32view(p[12*n:])
+	tab, err := nid.FromColumns(parent, depth, offCol, arena)
+	if err != nil {
+		return nil, fmt.Errorf("store: nodes section: %w", err)
+	}
+
+	// Per-node label IDs.
+	sec, err = need(secLabelIDs, "labelids")
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(sec)) != 4*uint64(n) {
+		return nil, fmt.Errorf("store: labelids section length %d, want %d", len(sec), 4*n)
+	}
+	nodeLabels := u32view(sec)
+	for i, id := range nodeLabels {
+		if id >= nLabels {
+			return nil, fmt.Errorf("store: node %d references label %d of %d", i, id, nLabels)
+		}
+	}
+
+	// Terms.
+	sec, err = need(secTerms, "terms")
+	if err != nil {
+		return nil, err
+	}
+	if len(sec) < 8 {
+		return nil, fmt.Errorf("store: truncated terms section")
+	}
+	tcount := binary.LittleEndian.Uint32(sec)
+	blobLen := binary.LittleEndian.Uint32(sec[4:])
+	if uint64(len(sec)) != 8+4*(uint64(tcount)+1)+uint64(blobLen) {
+		return nil, fmt.Errorf("store: terms section length %d inconsistent with count=%d blob=%d", len(sec), tcount, blobLen)
+	}
+	termOffs := u32view(sec[8 : 8+4*(int(tcount)+1)])
+	termBlob := sec[8+4*(int(tcount)+1):]
+	if termOffs[0] != 0 || termOffs[tcount] != blobLen {
+		return nil, fmt.Errorf("store: terms offsets do not span the blob")
+	}
+	terms := make([]string, tcount)
+	for i := uint32(0); i < tcount; i++ {
+		if termOffs[i+1] < termOffs[i] {
+			return nil, fmt.Errorf("store: terms offsets decrease at %d", i)
+		}
+		t := stringView(termBlob[termOffs[i]:termOffs[i+1]])
+		if i > 0 && t <= terms[i-1] {
+			return nil, fmt.Errorf("store: terms not strictly sorted at %d", i)
+		}
+		terms[i] = t
+	}
+
+	// Postings: per-term lazy views; skip tables validated, payloads not.
+	sec, err = need(secPostings, "postings")
+	if err != nil {
+		return nil, err
+	}
+	if len(sec) < 8 {
+		return nil, fmt.Errorf("store: truncated postings section")
+	}
+	pcount := binary.LittleEndian.Uint32(sec)
+	if pcount != tcount {
+		return nil, fmt.Errorf("store: %d posting lists for %d terms", pcount, tcount)
+	}
+	if uint64(len(sec)) < 8+4*(uint64(pcount)+1) {
+		return nil, fmt.Errorf("store: truncated postings offsets")
+	}
+	postOffs := u32view(sec[8 : 8+4*(int(pcount)+1)])
+	postBlob := sec[8+4*(int(pcount)+1):]
+	if postOffs[0] != 0 || uint64(postOffs[pcount]) != uint64(len(postBlob)) {
+		return nil, fmt.Errorf("store: postings offsets do not span the blob")
+	}
+	lists := make([]postings.List, pcount)
+	for i := uint32(0); i < pcount; i++ {
+		if postOffs[i+1] < postOffs[i] {
+			return nil, fmt.Errorf("store: postings offsets decrease at %d", i)
+		}
+		l, err := postings.FromBytes(postBlob[postOffs[i]:postOffs[i+1]])
+		if err != nil {
+			return nil, fmt.Errorf("store: posting list %d (%q): %w", i, terms[i], err)
+		}
+		if l.EncodedLen() != int(postOffs[i+1]-postOffs[i]) {
+			return nil, fmt.Errorf("store: posting list %d (%q) has trailing bytes", i, terms[i])
+		}
+		if l.Len() == 0 {
+			// The writer drops postings-less terms, so an empty list marks
+			// corruption; rejecting it keeps "every keyword matches
+			// something" an invariant of opened stores.
+			return nil, fmt.Errorf("store: posting list %d (%q) is empty", i, terms[i])
+		}
+		lists[i] = l
+	}
+
+	// Node→terms CSR.
+	sec, err = need(secNodeWords, "nodewords")
+	if err != nil {
+		return nil, err
+	}
+	if len(sec) < 8 {
+		return nil, fmt.Errorf("store: truncated nodewords section")
+	}
+	wn := binary.LittleEndian.Uint32(sec)
+	total := binary.LittleEndian.Uint32(sec[4:])
+	if wn != n {
+		return nil, fmt.Errorf("store: nodewords covers %d nodes of %d", wn, n)
+	}
+	if uint64(len(sec)) != 8+4*(uint64(wn)+1)+4*uint64(total) {
+		return nil, fmt.Errorf("store: nodewords section length %d inconsistent with n=%d total=%d", len(sec), wn, total)
+	}
+	wordOff := u32view(sec[8 : 8+4*(int(wn)+1)])
+	termIDs := u32view(sec[8+4*(int(wn)+1):])
+	if wordOff[0] != 0 || wordOff[wn] != total {
+		return nil, fmt.Errorf("store: nodewords offsets do not span the term IDs")
+	}
+	for i := uint32(0); i < wn; i++ {
+		if wordOff[i+1] < wordOff[i] {
+			return nil, fmt.Errorf("store: nodewords offsets decrease at %d", i)
+		}
+	}
+	for i, id := range termIDs {
+		if id >= tcount {
+			return nil, fmt.Errorf("store: nodewords entry %d references term %d of %d", i, id, tcount)
+		}
+	}
+
+	// Statistics (mandatory in v3, so opening never rescans postings).
+	sec, err = need(secStats, "stats")
+	if err != nil {
+		return nil, err
+	}
+	st, err := readStats(bytes.NewReader(sec))
+	if err != nil {
+		return nil, fmt.Errorf("store: stats section: %w", err)
+	}
+
+	s := &Store{
+		labels:   labels,
+		labelIDs: labelMap,
+		numNodes: int(n),
+		cols: &v3cols{
+			tab:        tab,
+			nodeLabels: nodeLabels,
+			terms:      terms,
+			lists:      lists,
+			wordOff:    wordOff,
+			termIDs:    termIDs,
+		},
+		data:     data,
+		fileSize: int64(len(data)),
+	}
+	s.stats = st
+	s.statsSet = true
+	return s, nil
+}
+
+// ---- column-backed row synthesis ----------------------------------------
+
+// findTerm locates a keyword in the sorted vocabulary.
+func (c *v3cols) findTerm(keyword string) (int, bool) {
+	i := sort.SearchStrings(c.terms, keyword)
+	if i < len(c.terms) && c.terms[i] == keyword {
+		return i, true
+	}
+	return 0, false
+}
+
+// colsTermAt returns node i's j-th (lexically ordered) content word.
+func (c *v3cols) termAt(i, j int) string {
+	return c.terms[c.termIDs[c.wordOff[i]+uint32(j)]]
+}
+
+// colsRow synthesizes the element row for node i from the columns: the
+// Dewey code and label path come from parent-chain walks, the content
+// feature from the node's first and last (lexically ordered) words.
+func (s *Store) colsRow(i int) ElementRow {
+	c := s.cols
+	id := nid.ID(i)
+	d := c.tab.Depth(id)
+	row := ElementRow{
+		Dewey:     c.tab.Code(id),
+		LabelID:   c.nodeLabels[i],
+		Level:     uint16(d),
+		LabelPath: make([]uint32, d+1),
+	}
+	for a := id; a != nid.None; a = c.tab.Parent(a) {
+		row.LabelPath[c.tab.Depth(a)] = c.nodeLabels[a]
+	}
+	if nWords := int(c.wordOff[i+1] - c.wordOff[i]); nWords > 0 {
+		row.CIDMin = c.termAt(i, 0)
+		row.CIDMax = c.termAt(i, nWords-1)
+	}
+	return row
+}

@@ -1,0 +1,123 @@
+package xks
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"xks/internal/analysis"
+	"xks/internal/datagen"
+	"xks/internal/paperdata"
+	"xks/internal/store"
+)
+
+// assertSameResults pins two engines' search results byte-identical for one
+// request: fragment headers, node lists and rendered XML.
+func assertSameResults(t *testing.T, label string, want, got *Engine, req Request) {
+	t.Helper()
+	a, err := want.Search(context.Background(), req)
+	if err != nil {
+		t.Fatalf("%s: reference search: %v", label, err)
+	}
+	b, err := got.Search(context.Background(), req)
+	if err != nil {
+		t.Fatalf("%s: search: %v", label, err)
+	}
+	if len(a.Fragments) != len(b.Fragments) {
+		t.Fatalf("%s: %d vs %d fragments", label, len(a.Fragments), len(b.Fragments))
+	}
+	for i := range a.Fragments {
+		fa, fb := a.Fragments[i], b.Fragments[i]
+		if fa.Root != fb.Root || fa.RootLabel != fb.RootLabel || fa.IsSLCA != fb.IsSLCA || fa.Score != fb.Score {
+			t.Fatalf("%s fragment %d: headers differ: %+v vs %+v", label, i, fa, fb)
+		}
+		if fa.Len() != fb.Len() {
+			t.Fatalf("%s fragment %d: %d vs %d nodes", label, i, fa.Len(), fb.Len())
+		}
+		for j := range fa.Nodes {
+			na, nb := fa.Nodes[j], fb.Nodes[j]
+			if na.Dewey != nb.Dewey || na.Label != nb.Label || na.Text != nb.Text ||
+				na.IsKeywordNode != nb.IsKeywordNode {
+				t.Fatalf("%s fragment %d node %d: %+v vs %+v", label, i, j, na, nb)
+			}
+		}
+		if fa.XML() != fb.XML() {
+			t.Fatalf("%s fragment %d: XML differs:\n%s\n----\n%s", label, i, fa.XML(), fb.XML())
+		}
+	}
+}
+
+// TestMmapCrosscheck pins search results byte-identical across the three
+// store backings — in-RAM rows (shredded, never persisted), v3-heap and
+// v3-mmap — for every algorithm and both semantics, on a corpus large
+// enough to exercise multi-block compressed postings.
+func TestMmapCrosscheck(t *testing.T) {
+	tree := datagen.DBLP(datagen.DBLPConfig{Seed: 11, NumRecords: 300, Keywords: []datagen.KeywordSpec{
+		{Word: "xml", Count: 160}, {Word: "keyword", Count: 90}, {Word: "search", Count: 40},
+	}})
+	shredded := store.Shred(tree, analysis.New())
+	path := filepath.Join(t.TempDir(), "dblp.xks")
+	if err := shredded.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	rows := FromStore(shredded)
+	heap, err := OpenStoreMode(path, StoreHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer heap.Close()
+	engines := map[string]*Engine{"v3-heap": heap}
+	if info := heap.StoreInfo(); info.Mode != "v3-heap" {
+		t.Fatalf("heap engine mode %q", info.Mode)
+	}
+	mapped, err := OpenStoreMode(path, StoreMmap)
+	if err == nil {
+		defer mapped.Close()
+		if info := mapped.StoreInfo(); info.Mode != "v3-mmap" || info.MappedBytes == 0 {
+			t.Fatalf("mmap engine info %+v", info)
+		}
+		engines["v3-mmap"] = mapped
+	} else if info := heap.StoreInfo(); info.Mode == "v3-heap" {
+		t.Logf("mmap unavailable on this platform: %v", err)
+	}
+	queries := []string{"xml keyword", "xml keyword search", "xml"}
+	for name, e := range engines {
+		for _, q := range queries {
+			for _, algo := range []Algorithm{ValidRTF, MaxMatch, RawRTF} {
+				for _, sem := range []Semantics{AllLCA, SLCAOnly} {
+					req := NewRequest(q, Options{Algorithm: algo, Semantics: sem})
+					assertSameResults(t, name+"/"+q+"/"+algo.String()+"/"+sem.String(), rows, e, req)
+				}
+			}
+		}
+	}
+}
+
+// TestOpenStoreLazyDecode is the acceptance check for the disk-native open
+// path: opening a v3 store (and building its engine, scorer and planner
+// statistics) decodes no posting list; the first k-keyword search decodes
+// exactly the k lists it touches.
+func TestOpenStoreLazyDecode(t *testing.T) {
+	s := store.Shred(paperdata.Publications(), analysis.New())
+	path := filepath.Join(t.TempDir(), "paper.xks")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	e, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if info := e.StoreInfo(); info.Mode != "v3-mmap" && info.Mode != "v3-heap" {
+		t.Fatalf("v3 open produced mode %q", info.Mode)
+	}
+	if n := e.Index().DecodedLists(); n != 0 {
+		t.Fatalf("open decoded %d posting lists eagerly, want 0", n)
+	}
+	if _, err := e.Search(context.Background(), NewRequest("xml keyword", Options{})); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Index().DecodedLists(); n != 2 {
+		t.Fatalf("2-keyword search decoded %d lists, want 2", n)
+	}
+}

@@ -2,6 +2,7 @@ package xks
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"xks/internal/analysis"
@@ -28,6 +29,10 @@ type docSource interface {
 	nodeTextID(id nid.ID) string
 	renderASCII(root dewey.Code, kept []dewey.Code, keep map[string]bool) string
 	renderXML(root dewey.Code, kept []dewey.Code, keep map[string]bool) string
+	// renderXMLTo streams the XML rendering straight into w — the
+	// backpressure-friendly path the NDJSON streaming endpoint uses, so a
+	// large fragment never buffers whole in server memory.
+	renderXMLTo(w io.Writer, root dewey.Code, kept []dewey.Code, keep map[string]bool) error
 }
 
 // treeSource serves everything from the in-memory document tree. nodes
@@ -120,6 +125,14 @@ func (s *treeSource) renderXML(root dewey.Code, _ []dewey.Code, keep map[string]
 	return b.String()
 }
 
+func (s *treeSource) renderXMLTo(w io.Writer, root dewey.Code, _ []dewey.Code, keep map[string]bool) error {
+	n := s.tree.NodeAt(root)
+	if n == nil {
+		return nil
+	}
+	return xmltree.WriteFragmentXML(w, n, keep)
+}
+
 // storeSource serves labels and content from the shredded tables. Node IDs
 // equal element row indices (store.BuildIndex builds the table over the
 // element rows in order), so ID lookups are direct row accesses. Original
@@ -154,30 +167,47 @@ func (s *storeSource) renderASCII(root dewey.Code, kept []dewey.Code, _ map[stri
 	return b.String()
 }
 
-func (s *storeSource) renderXML(_ dewey.Code, kept []dewey.Code, _ map[string]bool) string {
+func (s *storeSource) renderXML(root dewey.Code, kept []dewey.Code, keep map[string]bool) string {
 	var b strings.Builder
+	if err := s.renderXMLTo(&b, root, kept, keep); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+func (s *storeSource) renderXMLTo(w io.Writer, _ dewey.Code, kept []dewey.Code, _ map[string]bool) error {
+	var err error
 	var stack []dewey.Code
 	closeTo := func(depth int) {
-		for len(stack) > depth {
+		for err == nil && len(stack) > depth {
 			top := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			fmt.Fprintf(&b, "%s</%s>\n", strings.Repeat("  ", len(stack)), s.st.LabelOf(top))
+			_, err = fmt.Fprintf(w, "%s</%s>\n", strings.Repeat("  ", len(stack)), s.st.LabelOf(top))
 		}
 	}
 	for _, c := range kept {
-		for len(stack) > 0 && !stack[len(stack)-1].IsAncestorOf(c) {
+		for err == nil && len(stack) > 0 && !stack[len(stack)-1].IsAncestorOf(c) {
 			closeTo(len(stack) - 1)
+		}
+		if err != nil {
+			return err
 		}
 		ind := strings.Repeat("  ", len(stack))
 		label := s.st.LabelOf(c)
-		fmt.Fprintf(&b, "%s<%s>", ind, label)
-		if words := s.st.ContentOf(c); len(words) > 0 {
-			b.WriteString(strings.Join(words, " "))
+		if _, err = fmt.Fprintf(w, "%s<%s>", ind, label); err != nil {
+			return err
 		}
-		b.WriteByte('\n')
+		if words := s.st.ContentOf(c); len(words) > 0 {
+			if _, err = io.WriteString(w, strings.Join(words, " ")); err != nil {
+				return err
+			}
+		}
+		if _, err = io.WriteString(w, "\n"); err != nil {
+			return err
+		}
 		// Reopen: we emitted the start tag inline; push for closing later.
 		stack = append(stack, c)
 	}
 	closeTo(0)
-	return b.String()
+	return err
 }
