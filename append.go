@@ -3,51 +3,171 @@ package xks
 import (
 	"fmt"
 
+	"xks/internal/delta"
 	"xks/internal/dewey"
+	"xks/internal/index"
+	"xks/internal/nid"
 	"xks/internal/xmltree"
 )
 
 // AppendXML parses an XML snippet and appends it as the last child of the
-// node at parentDewey (dotted form, e.g. "0.2"), updating the inverted
-// index incrementally — the engine's support for the growing documents the
-// axiomatic data-monotonicity property is about.
+// node at parentDewey (dotted form, e.g. "0.2") — the engine's support for
+// the growing documents the axiomatic data-monotonicity property is about.
+//
+// When the parent lies on the tree's rightmost spine (its subtree ends at
+// the current end of the node table — always true for the document root),
+// the write takes the delta fast path: the new nodes get the next dense
+// IDs at the table tail, their postings land in an immutable delta segment
+// (internal/delta), and a new head is published atomically. No existing ID
+// moves, no base posting list is rewritten, and the cost is proportional
+// to the appended subtree, not the index. Concurrent searches are safe and
+// unaffected: in-flight queries and outstanding cursors keep reading the
+// snapshot they pinned.
+//
+// Appending anywhere else would renumber IDs, so it falls back to a full
+// reindex under a new rebuild generation — correct but O(document), and
+// cursors issued before it resume as ErrStaleCursor. The fallback is not
+// snapshot-isolated: like the pre-delta engine, it must not race in-flight
+// reads of the same engine.
 //
 // Only tree-backed engines support appends (a store is a frozen shredded
-// snapshot). AppendXML must not run concurrently with Search; interleave
-// them from a single goroutine or add external synchronization.
+// snapshot).
 func (e *Engine) AppendXML(parentDewey, snippet string) error {
-	if e.tree == nil {
-		return fmt.Errorf("xks: AppendXML requires a tree-backed engine")
-	}
-	parent, err := dewey.Parse(parentDewey)
-	if err != nil {
-		return fmt.Errorf("xks: bad parent code: %w", err)
-	}
-	sub, err := xmltree.ParseString(snippet)
-	if err != nil {
-		return fmt.Errorf("xks: bad snippet: %w", err)
-	}
-	node, err := e.tree.AppendChild(parent, treeToE(sub.Root))
+	ts, parent, sub, err := e.prepareAppend(parentDewey, snippet)
 	if err != nil {
 		return err
 	}
-	// Index exactly the new nodes; each insert splices the node into the
-	// node table at its pre-order position (renumbering later IDs).
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := e.head.Load()
+	pid, ok := h.Tab.Find(parent)
+	if !ok {
+		return fmt.Errorf("xks: no node at %s", parent)
+	}
+	if h.Tab.SubtreeEnd(pid) != nid.ID(h.Tab.Len()) {
+		// Off the rightmost spine: the appended subtree would splice into
+		// the middle of the pre-order, renumbering every later ID.
+		if _, err := ts.appendChild(parent, treeToE(sub.Root)); err != nil {
+			return err
+		}
+		e.republishRebuilt(ts)
+		return nil
+	}
+
+	node, err := ts.appendChild(parent, treeToE(sub.Root))
+	if err != nil {
+		return err
+	}
+	// One pre-order walk of the new subtree collects everything the
+	// publish needs: Dewey codes for the table tail, the segment's posting
+	// lists (ascending by construction — IDs increase per node, each word
+	// at most once per node), and the source-cache rows.
+	start := nid.ID(h.Tab.Len())
+	id := start
+	var (
+		codes    []dewey.Code
+		nodes    []*xmltree.Node
+		words    [][]string
+		postings = map[string][]nid.ID{}
+	)
 	var rec func(n *xmltree.Node)
 	rec = func(n *xmltree.Node) {
-		e.ix.Insert(n.Code, e.an.ContentSet(n.ContentPieces()...))
+		codes = append(codes, n.Code)
+		nodes = append(nodes, n)
+		ws := e.an.ContentSet(n.ContentPieces()...)
+		words = append(words, ws)
+		for _, w := range ws {
+			postings[w] = append(postings[w], id)
+		}
+		id++
 		for _, c := range n.Children {
 			rec(c)
 		}
 	}
 	rec(node)
-	// The ID-aligned caches (pre-order node list, content sets) are stale
-	// after renumbering; rebuild them to match the new table.
-	if ts, ok := e.src.(*treeSource); ok {
-		ts.refresh()
+
+	tab, _, err := h.Tab.Extend(codes)
+	if err == nil {
+		var seg *delta.Segment
+		seg, err = delta.NewSegment(start, nid.ID(tab.Len()), postings)
+		if err == nil {
+			ts.extend(nodes, words)
+			// Copy-on-append keeps earlier heads' segment slices immutable.
+			segs := append(h.Segs[:len(h.Segs):len(h.Segs)], seg)
+			e.head.Store(&delta.Head{RebuildGen: h.RebuildGen, Tab: tab, Base: h.Base, Segs: segs})
+			return nil
+		}
 	}
-	e.gen.Add(1) // invalidates generation-tagged cache entries (internal/service)
+	// The tree already holds the new subtree but the tail publish failed
+	// (unreachable through the spine check above); reindex from the tree so
+	// the engine stays consistent rather than erroring half-applied.
+	e.republishRebuilt(ts)
+	return err
+}
+
+// AppendXMLBaseline is the pre-delta append path, retained as the
+// benchmark baseline (xkbench -append): each new node is spliced into the
+// node table at its pre-order position, renumbering every later ID across
+// every posting list — O(index) per node. It requires a compacted engine
+// (the splice mutates the base in place) and, unlike AppendXML, must not
+// run concurrently with searches.
+func (e *Engine) AppendXMLBaseline(parentDewey, snippet string) error {
+	ts, parent, sub, err := e.prepareAppend(parentDewey, snippet)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := e.head.Load()
+	if len(h.Segs) > 0 {
+		return fmt.Errorf("xks: baseline append requires a compacted engine (pending delta segments)")
+	}
+	node, err := ts.appendChild(parent, treeToE(sub.Root))
+	if err != nil {
+		return err
+	}
+	var rec func(n *xmltree.Node)
+	rec = func(n *xmltree.Node) {
+		h.Base.Insert(n.Code, e.an.ContentSet(n.ContentPieces()...))
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(node)
+	ts.refresh()
+	// The splice renumbered IDs in place: publish under a new rebuild
+	// generation so cursors and caches cannot read across it.
+	e.head.Store(&delta.Head{RebuildGen: h.RebuildGen + 1, Tab: h.Base.Table(), Base: h.Base})
 	return nil
+}
+
+// prepareAppend validates the shared preconditions of both append paths.
+func (e *Engine) prepareAppend(parentDewey, snippet string) (*treeSource, dewey.Code, *xmltree.Tree, error) {
+	if e.tree == nil {
+		return nil, nil, nil, fmt.Errorf("xks: AppendXML requires a tree-backed engine")
+	}
+	ts, ok := e.src.(*treeSource)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("xks: AppendXML requires a tree-backed engine")
+	}
+	parent, err := dewey.Parse(parentDewey)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("xks: bad parent code: %w", err)
+	}
+	sub, err := xmltree.ParseString(snippet)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("xks: bad snippet: %w", err)
+	}
+	return ts, parent, sub, nil
+}
+
+// republishRebuilt reindexes the mutated tree from scratch and publishes
+// it under a new rebuild generation. Caller holds e.mu.
+func (e *Engine) republishRebuilt(ts *treeSource) {
+	h := e.head.Load()
+	ix := index.Build(e.tree, e.an)
+	ts.refresh()
+	e.head.Store(&delta.Head{RebuildGen: h.RebuildGen + 1, Tab: ix.Table(), Base: ix})
 }
 
 // treeToE converts a parsed subtree back into the builder form AppendChild

@@ -247,7 +247,7 @@ func BenchmarkStages(b *testing.B) {
 	ds := benchData(b)[1]
 	const q = "preventions description order"
 	e := ds.engine
-	tab := e.ix.Table()
+	tab := e.Index().Table()
 	p, err := e.plan(q)
 	if err != nil {
 		b.Fatal(err)
@@ -293,7 +293,7 @@ func BenchmarkStages(b *testing.B) {
 func BenchmarkAblationELCA(b *testing.B) {
 	ds := benchData(b)[3]
 	const q = "preventions description order"
-	tab := ds.engine.ix.Table()
+	tab := ds.engine.Index().Table()
 	_, _, idSets, err := ds.engine.resolveIDSets(q)
 	if err != nil {
 		b.Fatal(err)

@@ -11,6 +11,7 @@
 //	xkbench -json out.json       # also write machine-readable records
 //	xkbench -planner             # also sweep Auto vs fixed merge strategies
 //	xkbench -open                # store cold-open sweep (v2 parse vs v3 mmap)
+//	xkbench -append              # append sweep (delta vs renumbering baseline)
 //	xkbench -cpuprofile cpu.out  # pprof CPU profile of the sweep
 //	xkbench -memprofile mem.out  # pprof heap profile at exit
 //
@@ -46,6 +47,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "run queries across N workers (timings become indicative; 0 = sequential)")
 		planner    = flag.Bool("planner", false, "also sweep the cost-based planner (Auto) against each fixed strategy")
 		openSweep  = flag.Bool("open", false, "run the store cold-open sweep (v2-heap vs v3-heap vs v3-mmap) instead of the figure panels")
+		appendSw   = flag.Bool("append", false, "run the append sweep (delta path vs renumbering baseline, read p99 under a write storm) instead of the figure panels")
 		jsonOut    = flag.String("json", "", "write machine-readable benchmark records to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -75,6 +77,20 @@ func main() {
 				fatal(err)
 			}
 		}()
+	}
+
+	if *appendSw {
+		res, err := experiments.RunAppend(*size, 0, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Table())
+		if *jsonOut != "" {
+			if err := writeJSON(*jsonOut, res.Records()); err != nil {
+				fatal(err)
+			}
+		}
+		return
 	}
 
 	if *openSweep {

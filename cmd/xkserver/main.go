@@ -50,6 +50,15 @@
 //	GET /stats
 //	GET /metrics
 //	GET /healthz
+//	POST /append   (with -allow-writes)
+//	POST /compact  (with -allow-writes)
+//
+// Writes: -allow-writes exposes POST /append (land an XML snippet in a
+// document's write-side delta index; outstanding cursors and cached pages
+// keep working, pinned to the snapshot they were issued at) and POST
+// /compact (fold delta segments into the base). -compact-interval runs
+// that fold on a background ticker so a write-heavy server never
+// accumulates unbounded segments.
 package main
 
 import (
@@ -86,6 +95,8 @@ func main() {
 		maxInFl   = flag.Int("max-inflight", 256, "concurrently executing searches before requests queue")
 		queue     = flag.Int("queue", 1024, "searches waiting for a slot before requests shed with 429 (-1 disables queueing)")
 		mmapMode  = flag.String("mmap", "auto", "store-file backing with -store: auto (mmap when possible), on (require mmap), off (heap)")
+		allowWr   = flag.Bool("allow-writes", false, "expose POST /append and /compact")
+		compactIv = flag.Duration("compact-interval", 0, "fold delta segments into the base on this interval (0 disables; needs -allow-writes)")
 	)
 	flag.Parse()
 
@@ -186,12 +197,42 @@ func main() {
 	logger.Info("admission", slog.Int("maxInflight", *maxInFl), slog.Int("queue", *queue))
 
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: httpapi.NewHandler(svc, &httpapi.Options{Logger: logger, SlowQuery: *slowQuery, Admission: adm}),
+		Addr: *addr,
+		Handler: httpapi.NewHandler(svc, &httpapi.Options{
+			Logger: logger, SlowQuery: *slowQuery, Admission: adm, AllowWrites: *allowWr,
+		}),
+	}
+	if *allowWr {
+		logger.Info("writes enabled", slog.Duration("compactInterval", *compactIv))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *allowWr && *compactIv > 0 {
+		// Background compactor: fold accumulated delta segments on a fixed
+		// cadence. Readers never notice — version tokens are unchanged by a
+		// fold — so there is no coordination beyond the engines' own locks.
+		go func() {
+			tick := time.NewTicker(*compactIv)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					folded, err := svc.Compact(ctx)
+					if err != nil {
+						logger.Error("compaction failed", slog.String("error", err.Error()))
+						continue
+					}
+					if folded > 0 {
+						logger.Info("compacted", slog.Int("segmentsFolded", folded))
+					}
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {

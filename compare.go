@@ -39,8 +39,13 @@ func (e *Engine) Compare(ctx context.Context, req Request) (*Comparison, error) 
 	ctx, cancel := req.applyTimeout(ctx)
 	defer cancel()
 
+	// One pinned snapshot serves both timed pipelines, so they compare the
+	// same state even under concurrent appends.
+	v := e.currentView()
+	defer v.release()
+
 	cmp := &Comparison{Query: req.Query}
-	p, err := e.plan(req.Query)
+	p, err := e.planAt(v, req.Query)
 	if err != nil {
 		var nm *index.ErrNoMatch
 		if errors.As(err, &nm) {
@@ -49,7 +54,7 @@ func (e *Engine) Compare(ctx context.Context, req Request) (*Comparison, error) 
 		}
 		return nil, err
 	}
-	params := e.params(req)
+	params := e.paramsAt(v, req)
 	params.Limit, params.Offset = 0, 0 // the ratios need every fragment
 
 	// Timed ValidRTF pipeline.

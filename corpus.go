@@ -4,12 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"iter"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"xks/internal/concurrent"
@@ -32,30 +33,83 @@ type Corpus struct {
 	engines map[string]*Engine
 	// Workers bounds the per-search concurrency (0 = GOMAXPROCS).
 	Workers int
-	// structGen counts structural mutations (Add calls); see Generation.
-	structGen atomic.Uint64
+	// regIDs gives every registration a unique nonce (regSeq), so a
+	// replaced document can never satisfy a snapshot recorded against its
+	// predecessor even if the new engine happens to share a version token.
+	regIDs map[string]uint64
+	regSeq uint64
+	// snaps remembers recently served snapshot vectors by hash, letting
+	// cursors re-pin the exact per-document versions their page was issued
+	// against (see resolveSnapshot).
+	snaps snapRegistry
+}
+
+// docSnap pins one document inside a corpus snapshot vector: the name, the
+// registration nonce (detects replacement), and the engine version token
+// the snapshot serves the document at.
+type docSnap struct {
+	name string
+	reg  uint64
+	ver  uint64
+}
+
+// snapRegistry is a bounded FIFO memory of recently issued snapshot
+// vectors, keyed by their hash. Eviction is what finally makes an old
+// corpus cursor ErrStaleCursor: until then any append-only mutation leaves
+// outstanding cursors resumable.
+type snapRegistry struct {
+	mu   sync.Mutex
+	m    map[uint64][]docSnap
+	fifo []uint64
+}
+
+// snapRegistryCap bounds remembered snapshot vectors; at a few dozen bytes
+// per document entry the registry stays small while outliving any
+// plausible scroll.
+const snapRegistryCap = 256
+
+func (r *snapRegistry) put(v uint64, vec []docSnap) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = map[uint64][]docSnap{}
+	}
+	if _, ok := r.m[v]; ok {
+		return
+	}
+	r.m[v] = vec
+	r.fifo = append(r.fifo, v)
+	for len(r.fifo) > snapRegistryCap {
+		delete(r.m, r.fifo[0])
+		r.fifo = r.fifo[1:]
+	}
+}
+
+func (r *snapRegistry) get(v uint64) ([]docSnap, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vec, ok := r.m[v]
+	return vec, ok
 }
 
 // NewCorpus returns an empty corpus.
 func NewCorpus() *Corpus {
-	return &Corpus{engines: map[string]*Engine{}}
+	return &Corpus{engines: map[string]*Engine{}, regIDs: map[string]uint64{}}
 }
 
 // Add registers a document engine under a name. Adding a name twice
-// replaces the previous engine (keeping its insertion-order position).
-// Add must not run concurrently with Search.
+// replaces the previous engine (keeping its insertion-order position);
+// cursors and cached results touching the replaced document go stale,
+// while those touching only other documents are unaffected. Add must not
+// run concurrently with Search (AppendXML may — it mutates through the
+// engine, which is concurrency-safe).
 func (c *Corpus) Add(name string, e *Engine) {
-	bump := uint64(1)
-	if old, dup := c.engines[name]; !dup {
+	if _, dup := c.engines[name]; !dup {
 		c.names = append(c.names, name)
-	} else {
-		// The replaced engine's generation leaves the Generation sum;
-		// absorb it into structGen so the total never revisits a value
-		// (a repeat would let caches serve the replaced document).
-		bump += old.Generation()
 	}
 	c.engines[name] = e
-	c.structGen.Add(bump)
+	c.regSeq++
+	c.regIDs[name] = c.regSeq
 }
 
 // AddFile loads one XML file under its base name.
@@ -120,16 +174,152 @@ func (c *Corpus) Documents() []DocumentInfo {
 	return out
 }
 
-// Generation reports the corpus mutation generation: the sum of every
-// engine's generation plus one increment per Add. It changes whenever a
-// document is added, replaced, or appended to, so caching layers can tag
-// entries with it and detect staleness.
+// Generation reports the corpus version token: the hash of the current
+// snapshot vector (every document's name, registration nonce, and engine
+// version, in insertion order). It changes whenever a document is added,
+// replaced, appended to, or rebuilt, so caching layers can tag entries
+// with it and detect staleness. Compaction does not change it — folding
+// delta segments into the base is invisible to readers.
 func (c *Corpus) Generation() uint64 {
-	g := c.structGen.Load()
-	for _, e := range c.engines {
-		g += e.Generation()
+	return vectorHash(c.currentVector())
+}
+
+// VersionFor reports the version token serving layers should tag req's
+// cache entry with: the full snapshot-vector hash for corpus-wide
+// requests, and a document-scoped hash (name, registration nonce, engine
+// version) for document-filtered ones — so appending to document A never
+// invalidates cached pages that only touch document B.
+func (c *Corpus) VersionFor(req Request) uint64 {
+	if req.Document != "" {
+		if e := c.engines[req.Document]; e != nil {
+			return vectorHash([]docSnap{{name: req.Document, reg: c.regIDs[req.Document], ver: e.Generation()}})
+		}
 	}
-	return g
+	return c.Generation()
+}
+
+// currentVector snapshots the corpus as a vector of per-document pins, in
+// insertion order.
+func (c *Corpus) currentVector() []docSnap {
+	vec := make([]docSnap, len(c.names))
+	for i, n := range c.names {
+		vec[i] = docSnap{name: n, reg: c.regIDs[n], ver: c.engines[n].Generation()}
+	}
+	return vec
+}
+
+// vectorHash condenses a snapshot vector into the uint64 version token
+// cursors and caches carry (FNV-64a over every pin).
+func vectorHash(vec []docSnap) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, ds := range vec {
+		fmt.Fprintf(h, "%d:%s", len(ds.name), ds.name)
+		for _, v := range [2]uint64{ds.reg, ds.ver} {
+			for i := range buf {
+				buf[i] = byte(v >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// resolveSnapshot is the corpus entry point's cursor-and-snapshot
+// resolution: it clamps paging, builds the snapshot vector the request
+// will serve (all documents, or just req.Document when filtered), records
+// it in the registry, and — when the request carries a cursor — re-pins
+// the exact vector the cursor's page was issued against. The returned
+// request has the cursor folded into Offset; the returned version token is
+// what the next page's cursor must be stamped with.
+//
+// A cursor goes ErrStaleCursor only when its snapshot is unresolvable: the
+// registry evicted the entry, a pinned document was replaced or removed,
+// or (detected later, in the engine) a renumbering rebuild discarded the
+// pinned version. Appends and compactions never stale a cursor.
+func (c *Corpus) resolveSnapshot(req Request) (Request, []docSnap, uint64, error) {
+	req = req.clampPaging()
+	var cur []docSnap
+	if req.Document != "" {
+		e := c.engines[req.Document]
+		if e == nil {
+			return req, nil, 0, fmt.Errorf("xks: %w: %q", ErrUnknownDocument, req.Document)
+		}
+		cur = []docSnap{{name: req.Document, reg: c.regIDs[req.Document], ver: e.Generation()}}
+	} else {
+		cur = c.currentVector()
+	}
+	curV := vectorHash(cur)
+	c.snaps.put(curV, cur)
+	if req.Cursor == "" {
+		return req, cur, curV, nil
+	}
+	st, err := req.Cursor.decode()
+	if err != nil {
+		return req, nil, 0, err
+	}
+	if st.fp != req.fingerprint() {
+		return req, nil, 0, ErrCursorMismatch
+	}
+	req.Offset, req.Cursor = st.offset, ""
+	if st.gen == curV {
+		return req, cur, curV, nil
+	}
+	vec, ok := c.snaps.get(st.gen)
+	if !ok {
+		return req, nil, 0, fmt.Errorf("%w: snapshot evicted from the corpus registry", ErrStaleCursor)
+	}
+	for _, ds := range vec {
+		if e := c.engines[ds.name]; e == nil || c.regIDs[ds.name] != ds.reg {
+			return req, nil, 0, fmt.Errorf("%w: document %q changed since the cursor was issued", ErrStaleCursor, ds.name)
+		}
+	}
+	return req, vec, st.gen, nil
+}
+
+// AppendXML appends a parsed XML snippet under the identified node of the
+// named document — the corpus face of Engine.AppendXML. Outstanding
+// cursors and cached pages, including corpus-wide ones, keep working: they
+// re-pin the snapshot they were issued against.
+func (c *Corpus) AppendXML(doc, parentDewey, snippet string) error {
+	e := c.engines[doc]
+	if e == nil {
+		return fmt.Errorf("xks: %w: %q", ErrUnknownDocument, doc)
+	}
+	if err := e.AppendXML(parentDewey, snippet); err != nil {
+		return fmt.Errorf("xks: document %s: %w", doc, err)
+	}
+	return nil
+}
+
+// Compact folds every document's delta segments into its base index,
+// returning the total number of segments folded. Version tokens do not
+// change, so cursors and cached pages survive.
+func (c *Corpus) Compact(ctx context.Context) (int, error) {
+	total := 0
+	for _, n := range c.names {
+		folded, err := c.engines[n].Compact(ctx)
+		total += folded
+		if err != nil {
+			return total, fmt.Errorf("xks: document %s: %w", n, err)
+		}
+	}
+	return total, nil
+}
+
+// DeltaInfo sums the per-document delta-index counters (segments,
+// postings, pinned snapshots, compactions) across the corpus.
+func (c *Corpus) DeltaInfo() DeltaInfo {
+	var total DeltaInfo
+	for _, n := range c.names {
+		di := c.engines[n].DeltaInfo()
+		total.Segments += di.Segments
+		total.Postings += di.Postings
+		total.PinnedSnapshots += di.PinnedSnapshots
+		total.Compactions += di.Compactions
+		total.CompactionSeconds += di.CompactionSeconds
+	}
+	return total
 }
 
 // ResolveStrategy reports the strategy the planner resolves req to at the
@@ -164,14 +354,16 @@ func (c *Corpus) ResolveStrategy(req Request) Strategy {
 	var st planner.Stats
 	for _, n := range c.names {
 		e := c.engines[n]
-		st = planner.Merge(st, e.ix.Stats())
+		v := e.currentView()
+		st = planner.Merge(st, v.snap.Stats())
 		for i, t := range terms {
 			w := t.Keyword
 			if w == "" {
 				w = e.an.Normalize(t.Label)
 			}
-			sizes[i] += e.ix.Frequency(w)
+			sizes[i] += v.snap.Frequency(w)
 		}
+		v.release()
 	}
 	return publicStrategy(planner.Decide(sizes, st, planner.Default).Strategy)
 }
@@ -277,8 +469,7 @@ func (c *Corpus) Search(ctx context.Context, req Request) (*Results, error) {
 	if req.Document != "" {
 		return c.SearchDocument(ctx, req.Document, req)
 	}
-	gen := c.Generation()
-	req, err := req.clampPaging().ResolveCursor(gen)
+	req, vec, gen, err := c.resolveSnapshot(req)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +477,8 @@ func (c *Corpus) Search(ctx context.Context, req Request) (*Results, error) {
 	defer cancel()
 
 	start := time.Now()
-	outs, selected, merged, err := c.gather(ctx, req)
+	outs, selected, merged, err := c.gather(ctx, req, vec)
+	defer releaseAll(outs)
 	materialize := func(cand *exec.Candidate) (CorpusFragment, error) {
 		o := outs[cand.Doc]
 		// The expired outer ctx (not a detached salvage one) feeds the
@@ -395,6 +587,20 @@ type docOut struct {
 	cands []*exec.Candidate
 	// n is the candidate count (PerDocument / NumLCAs aggregation).
 	n int
+	// release unpins the engine snapshot this document's stage ran
+	// against; the caller drops every pin once materialization is done.
+	release func()
+}
+
+// releaseAll unpins every completed document's snapshot after a corpus
+// search finishes with its outputs (pins are pure accounting — the
+// fragments already materialized stay valid).
+func releaseAll(outs []docOut) {
+	for _, o := range outs {
+		if o.release != nil {
+			o.release()
+		}
+	}
 }
 
 // gather runs the cheap half of a corpus search — the per-document plan and
@@ -402,14 +608,19 @@ type docOut struct {
 // the per-document outputs, the selected pagination window (nothing pruned
 // or assembled yet), and the result envelope with stats and PerDocument
 // filled. Search and Stream differ only in how they materialize the
-// selection. req must already be cursor-resolved and clamped; ctx carries
-// any deadline (and the trace span, when the request is traced).
+// selection. req must already be cursor-resolved and clamped; vec is the
+// snapshot vector resolveSnapshot pinned the request to (each document's
+// candidate stage runs against its recorded engine version, so a resumed
+// cursor reads exactly the state its first page did); ctx carries any
+// deadline (and the trace span, when the request is traced). Completed
+// entries in the returned outs hold snapshot release funcs — the caller
+// must releaseAll them after materializing.
 //
 // On error the envelope still comes back non-nil, aggregated over the
 // documents whose candidate stage completed before the failure, so a
 // BestEffort truncation reports the work actually done (keywords, partial
 // candidate counts, stage timings) instead of a zero Stats struct.
-func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Candidate, *Results, error) {
+func (c *Corpus) gather(ctx context.Context, req Request, vec []docSnap) ([]docOut, []*exec.Candidate, *Results, error) {
 	mergedLimit := req.Limit // applied to the merged selection; per-doc stages stay complete
 	docReq := req
 	docReq.Limit, docReq.Offset = 0, 0
@@ -429,14 +640,14 @@ func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Can
 			topk = exec.NewTopK(window)
 		}
 	}
-	docIdx := make([]int, len(c.names))
+	docIdx := make([]int, len(vec))
 	for i := range docIdx {
 		docIdx[i] = i
 	}
 	candSp := sp.Child("candidates")
 	candStart := time.Now()
 	outs, err := concurrent.MapCtx(ctx, docIdx, c.Workers, func(i int) (docOut, error) {
-		name := c.names[i]
+		name := vec[i].name
 		eng := c.engines[name]
 		// Chaos injection points: a scripted store-read or candidate-stage
 		// fault targeted at this document fails (or panics — MapCtx recovers)
@@ -457,7 +668,7 @@ func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Can
 		// With the shared top-K heap, each document materializes at most the
 		// merged page: skip per-candidate event lists and hydrate the few
 		// selected candidates lazily (score-without-events).
-		p, params, cands, err := eng.searchCandidates(trace.ContextWithSpan(ctx, docSp), docReq, i, topk != nil)
+		p, params, cands, release, err := eng.searchCandidates(trace.ContextWithSpan(ctx, docSp), docReq, i, topk != nil, vec[i].ver)
 		docSp.End()
 		if err != nil {
 			if ctx.Err() != nil {
@@ -465,7 +676,7 @@ func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Can
 			}
 			return docOut{}, fmt.Errorf("xks: document %s: %w", name, err)
 		}
-		out := docOut{name: name, eng: eng, plan: p, params: params, n: len(cands)}
+		out := docOut{name: name, eng: eng, plan: p, params: params, n: len(cands), release: release}
 		if topk != nil {
 			topk.Offer(cands...)
 		} else {
@@ -495,7 +706,7 @@ func (c *Corpus) gather(ctx context.Context, req Request) ([]docOut, []*exec.Can
 		merged.Stats.NumLCAs += o.n
 		merged.PerDocument[o.name] = o.n
 	}
-	candSp.SetInt("documents", int64(len(c.names)))
+	candSp.SetInt("documents", int64(len(vec)))
 	candSp.SetInt("candidates", int64(merged.Stats.NumLCAs))
 	candSp.End()
 	if err != nil {
@@ -576,12 +787,11 @@ func (c *Corpus) Stream(ctx context.Context, req Request) (iter.Seq2[CorpusFragm
 		if ctx == nil {
 			ctx = context.Background()
 		}
-		gen := c.Generation()
 		if req.Document != "" {
-			c.streamDocument(ctx, req, gen, res, yield)
+			c.streamDocument(ctx, req, res, yield)
 			return
 		}
-		req, err := req.clampPaging().ResolveCursor(gen)
+		req, vec, gen, err := c.resolveSnapshot(req)
 		if err != nil {
 			yield(CorpusFragment{}, err)
 			return
@@ -591,7 +801,8 @@ func (c *Corpus) Stream(ctx context.Context, req Request) (iter.Seq2[CorpusFragm
 
 		start := time.Now()
 		defer func() { res.Stats.Elapsed = time.Since(start) }()
-		outs, selected, merged, err := c.gather(ctx, req)
+		outs, selected, merged, err := c.gather(ctx, req, vec)
+		defer releaseAll(outs)
 		if err != nil {
 			if req.Budget == BestEffort && errors.Is(err, context.DeadlineExceeded) {
 				// Partial stats from the documents that finished (see
@@ -666,24 +877,46 @@ func (c *Corpus) Stream(ctx context.Context, req Request) (iter.Seq2[CorpusFragm
 	return seq, func() *Results { return res }
 }
 
+// pinDocRequest resolves a document-filtered request's corpus cursor and
+// rewrites it in the engine's own cursor dialect, pinned to the engine
+// version the snapshot vector recorded for the document — so a resumed
+// scroll reads exactly the state its first page did even after appends.
+// The returned token is what the next page's corpus cursor must be
+// stamped with.
+func (c *Corpus) pinDocRequest(req Request) (Request, uint64, error) {
+	req, vec, gen, err := c.resolveSnapshot(req)
+	if err != nil {
+		return req, 0, err
+	}
+	var ver uint64
+	for _, ds := range vec {
+		if ds.name == req.Document {
+			ver = ds.ver
+			break
+		}
+	}
+	if ver == 0 {
+		// A resumed corpus-wide vector that never pinned this document:
+		// the document postdates the cursor.
+		return req, 0, fmt.Errorf("%w: document %q is not in the cursor's snapshot", ErrStaleCursor, req.Document)
+	}
+	req.Cursor = encodeCursor(cursorState{gen: ver, offset: req.Offset, fp: req.fingerprint()})
+	return req, gen, nil
+}
+
 // streamDocument is the Request.Document arm of Stream: the named engine's
 // stream with fragments tagged and the cursor re-anchored to the corpus
-// generation (an engine-issued cursor would pin the engine's own counter,
-// which serving layers validating against Corpus.Generation could not
+// snapshot token (an engine-issued cursor would pin the engine's own
+// version, which serving layers validating against the corpus could not
 // honor).
-func (c *Corpus) streamDocument(ctx context.Context, req Request, gen uint64, res *Results, yield func(CorpusFragment, error) bool) {
+func (c *Corpus) streamDocument(ctx context.Context, req Request, res *Results, yield func(CorpusFragment, error) bool) {
 	name := req.Document
-	e := c.engines[name]
-	if e == nil {
-		yield(CorpusFragment{}, fmt.Errorf("xks: %w: %q", ErrUnknownDocument, name))
-		return
-	}
-	req, err := req.clampPaging().ResolveCursor(gen)
+	req, gen, err := c.pinDocRequest(req)
 	if err != nil {
 		yield(CorpusFragment{}, err)
 		return
 	}
-	seq, trailer := e.Stream(ctx, req)
+	seq, trailer := c.engines[name].Stream(ctx, req)
 	defer func() {
 		t := trailer().AsCorpus(name)
 		if t.NextOffset >= 0 {
@@ -709,20 +942,15 @@ func (c *Corpus) streamDocument(ctx context.Context, req Request, gen uint64, re
 // the result in the corpus shape; req.Document is normalized to name (so
 // cursor fingerprints stay consistent however the caller routed here). The
 // error wraps ErrUnknownDocument when name is not in the corpus. Cursors
-// are validated against — and issued at — the corpus generation, matching
-// what corpus-level serving layers tag their caches with.
+// are validated against — and issued at — the document-scoped snapshot
+// token, so mutations to other corpus documents never stale them.
 func (c *Corpus) SearchDocument(ctx context.Context, name string, req Request) (*Results, error) {
-	e := c.engines[name]
-	if e == nil {
-		return nil, fmt.Errorf("xks: %w: %q", ErrUnknownDocument, name)
-	}
 	req.Document = name
-	gen := c.Generation()
-	req, err := req.clampPaging().ResolveCursor(gen)
+	req, gen, err := c.pinDocRequest(req)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Search(ctx, req)
+	res, err := c.engines[name].Search(ctx, req)
 	if err != nil {
 		if ctx != nil && ctx.Err() != nil {
 			return nil, err // the caller's context failed; no document to blame

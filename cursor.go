@@ -12,9 +12,12 @@ import (
 // in Request.Cursor resumes the scroll exactly where it stopped. The token
 // encodes everything that makes resumption safe under mutation:
 //
-//   - the data generation it was issued at — a cursor outlives an
-//     AppendXML / Corpus.Add only as ErrStaleCursor, never as a silently
-//     shifted page boundary;
+//   - the snapshot version it was issued at — resuming re-pins that exact
+//     snapshot, so a cursor survives concurrent appends and compactions
+//     (the page boundary cannot shift: the cursor keeps reading the state
+//     it was issued against) and fails as ErrStaleCursor only when the
+//     snapshot is no longer resolvable (a renumbering rebuild, document
+//     replacement, or corpus registry eviction);
 //   - the resume position (the offset of the next unreturned fragment,
 //     plus the document/sequence key of the last one yielded);
 //   - a fingerprint of the order-defining request fields, so a cursor
@@ -32,9 +35,11 @@ type Cursor string
 var (
 	// ErrBadCursor reports a token that does not decode.
 	ErrBadCursor = errors.New("malformed cursor")
-	// ErrStaleCursor reports a cursor issued at an older data generation:
-	// the index mutated (AppendXML, Corpus.Add) since the page was served,
-	// so the encoded boundary may no longer line up with the result order.
+	// ErrStaleCursor reports a cursor whose issuing snapshot can no longer
+	// be resolved. Tail appends and compactions do NOT stale a cursor —
+	// resumption re-pins the snapshot it was issued at; what does is a
+	// renumbering rebuild (a non-tail append), replacing or removing a
+	// corpus document, or the corpus snapshot registry evicting the entry.
 	ErrStaleCursor = errors.New("stale cursor")
 	// ErrCursorMismatch reports a cursor replayed against a request whose
 	// order-defining fields (query, document filter, algorithm, semantics,
@@ -45,11 +50,13 @@ var (
 // cursorVersion is the first byte of every encoded token; bump it when the
 // payload layout changes so old tokens fail as ErrBadCursor instead of
 // misparsing.
-const cursorVersion = 1
+const cursorVersion = 2
 
 // cursorState is the decoded payload of a Cursor.
 type cursorState struct {
-	// gen is the data generation the cursor was issued at.
+	// gen is the version token of the snapshot the cursor was issued at:
+	// an engine's packed (rebuild generation, node count) pair, or a
+	// corpus's snapshot-vector hash.
 	gen uint64
 	// offset is the resume position: the selection-order index of the
 	// first fragment the next page should return. Because a cursor is

@@ -195,7 +195,10 @@ func TestCorpusCursorWalk(t *testing.T) {
 		}
 	}
 
-	// A mutation between pages deterministically invalidates the cursor.
+	// Adding a new document between pages does NOT stale the cursor: it
+	// re-pins the snapshot vector it was issued against, so the scroll
+	// continues over exactly the documents its first page saw — the late
+	// document is invisible to it.
 	page1, err := c.Search(context.Background(), Request{Query: q, Rank: true, Limit: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -204,14 +207,33 @@ func TestCorpusCursorWalk(t *testing.T) {
 		t.Fatal("page 1 issued no cursor")
 	}
 	c.Add("late.xml", FromTree(paperdata.Publications()))
+	pinned, err := c.Search(context.Background(), Request{Query: q, Rank: true, Limit: 3, Cursor: page1.Cursor})
+	if err != nil {
+		t.Fatalf("post-Add page 2: err = %v, want snapshot-pinned resume", err)
+	}
+	for _, f := range pinned.Fragments {
+		if f.Document == "late.xml" {
+			t.Fatalf("pinned scroll surfaced the late document: %+v", f)
+		}
+	}
+	if _, ok := pinned.PerDocument["late.xml"]; ok {
+		t.Fatal("pinned scroll counted the late document")
+	}
+
+	// Replacing a document the cursor pinned destroys its snapshot: the
+	// cursor dies loudly instead of silently scrolling different data.
+	c.Add(c.Names()[0], FromTree(paperdata.Publications()))
 	if _, err := c.Search(context.Background(), Request{Query: q, Rank: true, Limit: 3, Cursor: page1.Cursor}); !errors.Is(err, ErrStaleCursor) {
-		t.Fatalf("post-Add page 2: err = %v, want ErrStaleCursor", err)
+		t.Fatalf("post-replace page 2: err = %v, want ErrStaleCursor", err)
 	}
 }
 
-// TestAppendXMLStalesEngineCursor covers the single-engine mutation path:
-// AppendXML bumps the generation, so a pre-append cursor dies loudly.
-func TestAppendXMLStalesEngineCursor(t *testing.T) {
+// TestAppendXMLEngineCursorLifecycle covers the single-engine mutation
+// path: a tail append lands in the delta index without renumbering, so a
+// pre-append cursor resumes against its pinned snapshot (the appended
+// content invisible to it); only a non-tail append — a renumbering rebuild
+// — makes the cursor die loudly.
+func TestAppendXMLEngineCursorLifecycle(t *testing.T) {
 	e, err := LoadString(`<bib><paper><title>xml search</title></paper><paper><title>search trees</title></paper></bib>`)
 	if err != nil {
 		t.Fatal(err)
@@ -227,11 +249,23 @@ func TestAppendXMLStalesEngineCursor(t *testing.T) {
 	if _, err := e.Search(context.Background(), Request{Query: "search", Limit: 1, Cursor: page1.Cursor}); err != nil {
 		t.Fatal(err)
 	}
-	// ...and dies after an append.
+	// ...survives a tail append, serving the pre-append page 2 with the
+	// fresh paper invisible...
 	if err := e.AppendXML("0", `<paper><title>fresh search result</title></paper>`); err != nil {
 		t.Fatal(err)
 	}
+	pinned, err := e.Search(context.Background(), Request{Query: "search", Limit: 1, Cursor: page1.Cursor})
+	if err != nil {
+		t.Fatalf("post-append: err = %v, want snapshot-pinned resume", err)
+	}
+	if pinned.Stats.NumLCAs != 2 {
+		t.Fatalf("pinned scroll sees %d candidates, want the pre-append 2", pinned.Stats.NumLCAs)
+	}
+	// ...and dies after a non-tail append renumbers the document.
+	if err := e.AppendXML("0.0", `<note>search aside</note>`); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := e.Search(context.Background(), Request{Query: "search", Limit: 1, Cursor: page1.Cursor}); !errors.Is(err, ErrStaleCursor) {
-		t.Fatalf("post-append: err = %v, want ErrStaleCursor", err)
+		t.Fatalf("post-rebuild: err = %v, want ErrStaleCursor", err)
 	}
 }

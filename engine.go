@@ -30,11 +30,13 @@ import (
 	"iter"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"xks/internal/analysis"
 	"xks/internal/concurrent"
+	"xks/internal/delta"
 	"xks/internal/dewey"
 	"xks/internal/exec"
 	"xks/internal/fault"
@@ -186,23 +188,104 @@ type Options struct {
 	Limit int
 }
 
-// Engine is an immutable, concurrency-safe search engine over one XML
-// document: a document source (the parsed tree, or the shredded store)
-// plus its inverted keyword index.
+// Engine is a concurrency-safe search engine over one XML document: a
+// document source (the parsed tree, or the shredded store) plus its
+// inverted keyword index, published as an atomically swapped delta head
+// (base index + append segments; internal/delta). Reads resolve a pinned
+// snapshot at entry and never block; writes (AppendXML, Compact) serialize
+// on an internal mutex and publish a new head.
 type Engine struct {
-	tree   *xmltree.Tree // nil for store-backed engines
-	st     *store.Store  // nil for tree-backed engines
-	src    docSource
-	an     *analysis.Analyzer
-	ix     *index.Index
-	scorer *rank.Scorer
-	snip   *snippet.Generator
-	gen    atomic.Uint64 // bumped by AppendXML; see Generation
+	tree *xmltree.Tree // nil for store-backed engines
+	st   *store.Store  // nil for tree-backed engines
+	src  docSource
+	an   *analysis.Analyzer
+	snip *snippet.Generator
+
+	// head is the current index state; mu serializes the writers that
+	// replace it. counters carries the delta subsystem's observability
+	// state (pinned snapshots, compactions).
+	head     atomic.Pointer[delta.Head]
+	mu       sync.Mutex
+	counters delta.Counters
+
 	// assembled counts materialized fragments over the engine's lifetime —
 	// the observable half of the late-materialization contract (selection
 	// is cheap; only selected candidates are assembled). Tests and
 	// benchmarks assert on it.
 	assembled atomic.Uint64
+}
+
+// view is one query's resolved read state: a pinned snapshot plus the
+// scorer whose IDF weights reflect exactly the nodes that snapshot sees.
+// Callers must release it exactly once when the query finishes.
+type view struct {
+	snap   *delta.Snapshot
+	scorer *rank.Scorer
+}
+
+func (v *view) release() { v.snap.Release() }
+
+// viewAt resolves and pins the snapshot of head h at n nodes.
+func (e *Engine) viewAt(h *delta.Head, n int) (*view, error) {
+	snap, err := h.At(n, &e.counters)
+	if err != nil {
+		return nil, err
+	}
+	return &view{snap: snap, scorer: rank.NewScorerFrom(snap)}, nil
+}
+
+// currentView pins the engine's newest published state. Resolving a head
+// at its own length cannot fail.
+func (e *Engine) currentView() *view {
+	h := e.head.Load()
+	v, err := e.viewAt(h, h.Tab.Len())
+	if err != nil {
+		// Unreachable: a head is always a valid boundary of itself.
+		panic(fmt.Sprintf("xks: head rejected its own snapshot: %v", err))
+	}
+	return v
+}
+
+// viewAtVersion resolves and pins the snapshot a packed version token
+// names, failing with ErrStaleCursor when the token is from another
+// rebuild generation (IDs were renumbered) or past the current head.
+func (e *Engine) viewAtVersion(version uint64) (*view, error) {
+	h := e.head.Load()
+	g, n := delta.UnpackVersion(version)
+	if g != h.RebuildGen {
+		return nil, fmt.Errorf("%w: index was rebuilt since the cursor was issued; restart from the first page", ErrStaleCursor)
+	}
+	v, err := e.viewAt(h, n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v; restart from the first page", ErrStaleCursor, err)
+	}
+	return v, nil
+}
+
+// resolveRequest resolves the request's read snapshot: cursorless requests
+// pin the newest head; a cursor re-pins the exact snapshot it was issued
+// against (same rebuild generation, same node count), which stays
+// resolvable across later appends and compactions — only a renumbering
+// rebuild (or document replacement) makes it ErrStaleCursor.
+func (e *Engine) resolveRequest(req Request) (Request, *view, error) {
+	req = req.clampPaging()
+	if req.Cursor == "" {
+		return req, e.currentView(), nil
+	}
+	st, err := req.Cursor.decode()
+	if err != nil {
+		return req, nil, err
+	}
+	if st.fp != req.fingerprint() {
+		return req, nil, ErrCursorMismatch
+	}
+	v, err := e.viewAtVersion(st.gen)
+	if err != nil {
+		return req, nil, err
+	}
+	req.Offset = st.offset
+	req.Cursor = ""
+	return req, v, nil
 }
 
 // Load parses an XML document and builds the engine.
@@ -230,18 +313,18 @@ func LoadFile(path string) (*Engine, error) {
 }
 
 // FromTree builds an engine over an already-parsed tree. The tree must not
-// be mutated afterwards.
+// be mutated afterwards except through the engine's own AppendXML.
 func FromTree(t *xmltree.Tree) *Engine {
 	an := analysis.New()
 	ix := index.Build(t, an)
-	return &Engine{
-		tree:   t,
-		src:    newTreeSource(t, an),
-		an:     an,
-		ix:     ix,
-		scorer: rank.NewScorer(ix),
-		snip:   snippet.NewGenerator(an, snippet.Options{}),
+	e := &Engine{
+		tree: t,
+		src:  newTreeSource(t, an),
+		an:   an,
+		snip: snippet.NewGenerator(an, snippet.Options{}),
 	}
+	e.head.Store(&delta.Head{Tab: ix.Table(), Base: ix})
+	return e
 }
 
 // FromStore builds an engine over a shredded store — the paper's actual
@@ -251,14 +334,14 @@ func FromTree(t *xmltree.Tree) *Engine {
 func FromStore(st *store.Store) *Engine {
 	an := analysis.New()
 	ix := st.BuildIndex(an)
-	return &Engine{
-		st:     st,
-		src:    &storeSource{st: st},
-		an:     an,
-		ix:     ix,
-		scorer: rank.NewScorer(ix),
-		snip:   snippet.NewGenerator(an, snippet.Options{}),
+	e := &Engine{
+		st:   st,
+		src:  &storeSource{st: st},
+		an:   an,
+		snip: snippet.NewGenerator(an, snippet.Options{}),
 	}
+	e.head.Store(&delta.Head{Tab: ix.Table(), Base: ix})
+	return e
 }
 
 // StoreMode selects how OpenStoreMode backs the store's memory.
@@ -338,13 +421,75 @@ func (e *Engine) Close() error {
 // engine is store-backed.
 func (e *Engine) Tree() *xmltree.Tree { return e.tree }
 
-// Index exposes the underlying inverted index (read-only).
-func (e *Engine) Index() *index.Index { return e.ix }
+// Index exposes the underlying base inverted index (read-only). Postings
+// appended since the last compaction live in delta segments on top of it;
+// query paths resolve snapshots instead of reading the base directly.
+func (e *Engine) Index() *index.Index { return e.head.Load().Base }
 
-// Generation reports the engine's mutation generation: zero at
-// construction, incremented by every successful AppendXML. Caching layers
-// (internal/service) compare generations to detect stale cached results.
-func (e *Engine) Generation() uint64 { return e.gen.Load() }
+// Generation reports the engine's current version token: the packed
+// (rebuild generation, node count) pair of the newest published head
+// (delta.PackVersion). It grows with every append, is unchanged by
+// compaction, and jumps to a fresh rebuild generation when an append
+// renumbers IDs. Caching layers (internal/service) compare tokens to
+// detect stale cached results; cursors embed the token to re-pin their
+// issuing snapshot.
+func (e *Engine) Generation() uint64 { return e.head.Load().Version() }
+
+// DeltaInfo summarizes the delta subsystem's state for one engine (or,
+// summed, a corpus): live write-side segments and postings, the
+// pinned-snapshot refcount, and compaction totals. Exposed on /metrics as
+// the xks_delta_* and xks_snapshots_pinned / xks_compactions_total /
+// xks_compaction_seconds families.
+type DeltaInfo struct {
+	Segments          int64
+	Postings          int64
+	PinnedSnapshots   int64
+	Compactions       int64
+	CompactionSeconds float64
+}
+
+// DeltaInfo reports the engine's delta-subsystem state: live segment and
+// posting gauges from the published head, pinned-snapshot and compaction
+// totals from the engine's counters.
+func (e *Engine) DeltaInfo() DeltaInfo {
+	h := e.head.Load()
+	info := DeltaInfo{
+		Segments:          int64(len(h.Segs)),
+		PinnedSnapshots:   e.counters.Pinned(),
+		Compactions:       e.counters.Compactions(),
+		CompactionSeconds: e.counters.CompactionSeconds(),
+	}
+	for _, sg := range h.Segs {
+		info.Postings += int64(sg.Count)
+	}
+	return info
+}
+
+// Compact folds the engine's delta segments into a fresh base index and
+// publishes it, returning how many segments were folded. The version token
+// does not change — no IDs move, no postings appear or disappear — so
+// cached results stay valid and outstanding cursors resume seamlessly;
+// snapshots pinned on the old base keep reading it until released. Safe to
+// run concurrently with reads; writes serialize behind it.
+func (e *Engine) Compact(ctx context.Context) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := e.head.Load()
+	if len(h.Segs) == 0 {
+		return 0, nil
+	}
+	start := time.Now()
+	folded := delta.Fold(h)
+	// Chaos injection point: a compactor crash after folding but before
+	// publishing must leave the published head untouched — the fold is
+	// garbage-collected, nothing is half-applied.
+	if err := fault.Inject(ctx, fault.PointCompact, ""); err != nil {
+		return 0, err
+	}
+	e.head.Store(&delta.Head{RebuildGen: h.RebuildGen, Tab: h.Tab, Base: folded})
+	e.counters.RecordCompaction(time.Since(start))
+	return len(h.Segs), nil
+}
 
 // StageStats breaks one search's wall-clock time down by pipeline stage
 // (plan → candidates → select → materialize; see internal/exec). The
@@ -498,12 +643,22 @@ func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[
 		if ctx == nil {
 			ctx = context.Background()
 		}
-		gen := e.Generation()
-		req, err := req.clampPaging().ResolveCursor(gen)
+		req, v, err := e.resolveRequest(req)
 		if err != nil {
 			yield(nil, err)
 			return
 		}
+		// gen is the snapshot's version: cursors issued from this page
+		// re-pin exactly this state, whatever is appended meanwhile.
+		gen := v.snap.Version()
+		release := v.release
+		// Chaos injection point: a scripted snapshot-pin fault makes the
+		// engine skip the release — the refcount-leak scenario the chaos
+		// suite proves the pinned gauge detects.
+		if ferr := fault.Inject(ctx, fault.PointSnapshotPin, ""); ferr != nil {
+			release = func() {}
+		}
+		defer release()
 		res.Request = req
 		ctx, cancel := req.applyTimeout(ctx)
 		defer cancel()
@@ -521,9 +676,9 @@ func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[
 
 		planSp := sp.Child("plan")
 		planStart := time.Now()
-		p, err := e.plan(req.Query)
+		p, err := e.planAt(v, req.Query)
 		if err == nil {
-			p.Decision = e.decide(req, p)
+			p.Decision = e.decideAt(v, req, p)
 		}
 		res.Stats.Stages.Plan = time.Since(planStart)
 		res.Stats.Keywords = p.Keywords
@@ -532,6 +687,7 @@ func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[
 		if err == nil {
 			stampPlan(planSp, p)
 		}
+		stampSnapshot(planSp, v, &e.counters)
 		planSp.End()
 		if err != nil {
 			var nm *index.ErrNoMatch
@@ -545,7 +701,7 @@ func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[
 
 		start := time.Now()
 		defer func() { res.Stats.Elapsed = time.Since(start) }()
-		params := e.params(req)
+		params := e.paramsAt(v, req)
 		candSp := sp.Child("candidates")
 		cands, err := safeCandidates(trace.ContextWithSpan(ctx, candSp), "", p, params, 0)
 		res.Stats.Stages.Candidates = time.Since(start)
@@ -619,21 +775,22 @@ func (e *Engine) stream(ctx context.Context, req Request, keep bool) (iter.Seq2[
 	return seq, func() *Result { return res }
 }
 
-// plan runs the planning stage: the query parsed and resolved to ID
-// posting sets over the engine's node table. On *index.ErrNoMatch the
-// returned plan still carries the display keywords.
-func (e *Engine) plan(queryText string) (exec.Plan, error) {
-	words, idfWords, sets, err := e.resolveIDSets(queryText)
+// planAt runs the planning stage over one resolved snapshot: the query
+// parsed and resolved to ID posting sets over the snapshot's node table.
+// On *index.ErrNoMatch the returned plan still carries the display
+// keywords.
+func (e *Engine) planAt(v *view, queryText string) (exec.Plan, error) {
+	words, idfWords, sets, err := e.resolveIDSetsAt(v, queryText)
 	return exec.Plan{Keywords: words, IDFWords: idfWords, Sets: sets}, err
 }
 
-// decide resolves the planner decision for one planned query: fixed
+// decideAt resolves the planner decision for one planned query: fixed
 // strategies map straight through (query order, no galloping — the baseline
-// behavior), Auto consults the index statistics and the calibrated cost
-// model. ELCA semantics always evaluates via the stack merge — there is no
-// indexed variant — so the resolved strategy is normalized to ScanMerge
-// there, keeping explain output and cache keys honest.
-func (e *Engine) decide(req Request, p exec.Plan) planner.Decision {
+// behavior), Auto consults the snapshot's statistics and the calibrated
+// cost model. ELCA semantics always evaluates via the stack merge — there
+// is no indexed variant — so the resolved strategy is normalized to
+// ScanMerge there, keeping explain output and cache keys honest.
+func (e *Engine) decideAt(v *view, req Request, p exec.Plan) planner.Decision {
 	var d planner.Decision
 	if req.Strategy != Auto {
 		d = planner.Fixed(req.Strategy.plannerStrategy())
@@ -642,7 +799,7 @@ func (e *Engine) decide(req Request, p exec.Plan) planner.Decision {
 		for i, s := range p.Sets {
 			sizes[i] = len(s)
 		}
-		d = planner.Decide(sizes, e.ix.Stats(), planner.Default)
+		d = planner.Decide(sizes, v.snap.Stats(), planner.Default)
 	}
 	if req.Semantics != SLCAOnly {
 		d.Strategy = planner.ScanMerge
@@ -657,15 +814,17 @@ func (e *Engine) decide(req Request, p exec.Plan) planner.Decision {
 // postings) fall back to the requested strategy — such requests error or
 // come back empty before any algorithm runs.
 func (e *Engine) ResolveStrategy(req Request) Strategy {
+	v := e.currentView()
+	defer v.release()
 	var p exec.Plan
 	if req.Strategy == Auto {
 		var err error
-		p, err = e.plan(req.Query)
+		p, err = e.planAt(v, req.Query)
 		if err != nil {
 			return req.Strategy
 		}
 	}
-	return publicStrategy(e.decide(req, p).Strategy)
+	return publicStrategy(e.decideAt(v, req, p).Strategy)
 }
 
 // stampPlan annotates a plan span with the planner's decision — the chosen
@@ -679,10 +838,24 @@ func stampPlan(sp *trace.Span, p exec.Plan) {
 	sp.SetInt("estIndexed", int64(d.EstIndexed))
 }
 
-// params maps the public request onto pipeline parameters, closing over the
-// engine's node table, document source and scorer.
-func (e *Engine) params(req Request) exec.Params {
-	tab := e.ix.Table()
+// stampSnapshot annotates a plan span with the resolved snapshot's shape —
+// which state the query is reading (version, visible nodes), how much
+// write-side delta it merges, and the engine's compaction count — next to
+// the planner decision.
+func stampSnapshot(sp *trace.Span, v *view, c *delta.Counters) {
+	sp.SetInt("snapshotVersion", int64(v.snap.Version()))
+	sp.SetInt("snapshotNodes", int64(v.snap.NumNodes()))
+	sp.SetInt("deltaSegments", int64(v.snap.Segments()))
+	sp.SetInt("deltaPostings", int64(v.snap.DeltaPostings()))
+	sp.SetInt("compactions", c.Compactions())
+}
+
+// paramsAt maps the public request onto pipeline parameters, closing over
+// the resolved snapshot's node table and scorer plus the engine's document
+// source.
+func (e *Engine) paramsAt(v *view, req Request) exec.Params {
+	tab := v.snap.Table()
+	scorer := v.scorer
 	return exec.Params{
 		Tab:      tab,
 		SLCAOnly: req.Semantics == SLCAOnly,
@@ -692,9 +865,9 @@ func (e *Engine) params(req Request) exec.Params {
 		Limit:    req.Limit,
 		Offset:   req.Offset,
 		Score: func(root nid.ID, events []lca.IDEvent, words []string) float64 {
-			return e.scorer.ScoreIDs(tab, root, events, words)
+			return scorer.ScoreIDs(tab, root, events, words)
 		},
-		Incremental: e.scorer.Incremental,
+		Incremental: scorer.Incremental,
 		// A ranked, limited search materializes only one page: skip
 		// per-candidate event lists and hydrate the selected few lazily.
 		DeferEvents: req.Rank && req.Limit > 0,
@@ -749,43 +922,65 @@ func (e *Engine) materializeSafe(ctx context.Context, label string, c *exec.Cand
 // fields — corpus searches zero per-document Limit but still materialize
 // only the merged top-K page. The returned Params are the ones the
 // candidates were generated under; materialization must reuse them.
-func (e *Engine) searchCandidates(ctx context.Context, req Request, doc int, deferEvents bool) (exec.Plan, exec.Params, []*exec.Candidate, error) {
-	params := e.params(req)
+//
+// version pins the snapshot the stages read: 0 means the newest head, any
+// other value re-pins the exact state a corpus-level cursor was issued
+// against. The returned release func unpins the snapshot; it is non-nil
+// exactly when the error is nil, and the caller must invoke it after
+// materializing — the Params close over snapshot state. On error the pin
+// is already released internally (the corpus fan-out drops partial
+// outputs, so a pin travelling inside an error path would leak).
+func (e *Engine) searchCandidates(ctx context.Context, req Request, doc int, deferEvents bool, version uint64) (exec.Plan, exec.Params, []*exec.Candidate, func(), error) {
+	var v *view
+	if version == 0 {
+		v = e.currentView()
+	} else {
+		var err error
+		v, err = e.viewAtVersion(version)
+		if err != nil {
+			return exec.Plan{}, exec.Params{}, nil, nil, err
+		}
+	}
+	params := e.paramsAt(v, req)
 	if deferEvents && req.Rank {
 		params.DeferEvents = true
 	}
 	sp := trace.SpanFromContext(ctx)
 	planSp := sp.Child("plan")
-	p, err := e.plan(req.Query)
+	p, err := e.planAt(v, req.Query)
 	if err == nil {
-		p.Decision = e.decide(req, p)
+		p.Decision = e.decideAt(v, req, p)
 	}
 	planSp.SetInt("keywordNodes", int64(p.KeywordNodes()))
 	planSp.SetInt("terms", int64(len(p.Keywords)))
 	if err == nil {
 		stampPlan(planSp, p)
 	}
+	stampSnapshot(planSp, v, &e.counters)
 	planSp.End()
 	if err != nil {
 		var nm *index.ErrNoMatch
 		if errors.As(err, &nm) {
-			return p, params, nil, nil
+			return p, params, nil, v.release, nil
 		}
-		return p, params, nil, err
+		v.release()
+		return p, params, nil, nil, err
 	}
 	cands, err := exec.Candidates(ctx, p, params, doc)
 	if err != nil {
-		return p, params, nil, err
+		v.release()
+		return p, params, nil, nil, err
 	}
-	return p, params, cands, nil
+	return p, params, cands, v.release, nil
 }
 
-// resolveIDSets turns the query text into per-term ID posting lists over
-// the engine's node table. Plain keywords read straight off the inverted
-// index (shared slices, no materialization); label predicates filter
-// postings through the document source's labels. It returns the display
-// strings, the words used for IDF scoring, and the sets D1..Dk.
-func (e *Engine) resolveIDSets(queryText string) (display, idfWords []string, sets [][]nid.ID, err error) {
+// resolveIDSetsAt turns the query text into per-term ID posting lists over
+// one snapshot's node table. Plain keywords read straight off the merged
+// base+delta lists (shared slices where no delta touches the term); label
+// predicates filter postings through the document source's labels. It
+// returns the display strings, the words used for IDF scoring, and the
+// sets D1..Dk.
+func (e *Engine) resolveIDSetsAt(v *view, queryText string) (display, idfWords []string, sets [][]nid.ID, err error) {
 	terms, err := query.Parse(queryText, e.an)
 	if err != nil {
 		return nil, nil, nil, err
@@ -807,7 +1002,7 @@ func (e *Engine) resolveIDSets(queryText string) (display, idfWords []string, se
 			}
 		}
 		idfWords[i] = word
-		postings := e.ix.LookupIDs(word)
+		postings := v.snap.LookupIDs(word)
 		if t.Label != "" {
 			var filtered []nid.ID
 			for _, id := range postings {
@@ -825,15 +1020,17 @@ func (e *Engine) resolveIDSets(queryText string) (display, idfWords []string, se
 	return display, idfWords, sets, nil
 }
 
-// resolveSets is the Dewey-code view of resolveIDSets, serving the
-// reference/eager paths and stage benchmarks. Codes are zero-copy views
-// into the node table.
+// resolveSets is the Dewey-code view of resolveIDSetsAt over the newest
+// state, serving the reference/eager paths and stage benchmarks. Codes are
+// zero-copy views into the node table.
 func (e *Engine) resolveSets(queryText string) (display, idfWords []string, sets [][]dewey.Code, err error) {
-	display, idfWords, idSets, err := e.resolveIDSets(queryText)
+	v := e.currentView()
+	defer v.release()
+	display, idfWords, idSets, err := e.resolveIDSetsAt(v, queryText)
 	if err != nil {
 		return display, idfWords, nil, err
 	}
-	tab := e.ix.Table()
+	tab := v.snap.Table()
 	sets = make([][]dewey.Code, len(idSets))
 	for i, s := range idSets {
 		cs := make([]dewey.Code, len(s))
@@ -918,3 +1115,33 @@ func (e *Engine) materialize(c *exec.Candidate, p exec.Plan, params exec.Params)
 // since construction (test/benchmark hook for the late-materialization
 // contract).
 func (e *Engine) assembledFragments() uint64 { return e.assembled.Load() }
+
+// plan, params, resolveIDSets and currentScorer are the snapshot-free
+// shims over the newest state, serving in-package tests and benchmarks
+// that exercise one pipeline stage in isolation. The returned structures
+// stay valid after the pin is released — pinning is accounting, not
+// lifetime (the garbage collector owns the memory).
+
+func (e *Engine) plan(queryText string) (exec.Plan, error) {
+	v := e.currentView()
+	defer v.release()
+	return e.planAt(v, queryText)
+}
+
+func (e *Engine) params(req Request) exec.Params {
+	v := e.currentView()
+	defer v.release()
+	return e.paramsAt(v, req)
+}
+
+func (e *Engine) resolveIDSets(queryText string) (display, idfWords []string, sets [][]nid.ID, err error) {
+	v := e.currentView()
+	defer v.release()
+	return e.resolveIDSetsAt(v, queryText)
+}
+
+func (e *Engine) currentScorer() *rank.Scorer {
+	v := e.currentView()
+	defer v.release()
+	return v.scorer
+}

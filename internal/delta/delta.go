@@ -1,0 +1,335 @@
+// Package delta is the write-optimized side index behind snapshot-isolated
+// reads: the LSM-style discipline that makes appends cheap and readers
+// immortal.
+//
+// The base index (internal/index) stays immutable. Each append lands as a
+// Segment — a mini posting map over the contiguous ID range the append
+// added at the tail of the node table — and the engine publishes a new
+// Head (base + segment list + extended table header) with one atomic
+// pointer store. Because tail appends preserve "ID order == pre-order",
+// merging base and delta posting lists is pure concatenation: every base
+// ID precedes every segment ID and later segments start where earlier ones
+// end, so the k-way merge machinery downstream sees one sorted logical
+// list per term and needs no changes.
+//
+// A Snapshot is a read view resolved from a Head at a node count n: the
+// table truncated to its first n rows, base lists cut at the first ID >= n,
+// and exactly the segments whose ranges fall inside n. Any node count that
+// was ever published as a head remains resolvable from every later head of
+// the same rebuild generation — appends only grow the tail, and compaction
+// (Fold) rewrites which structure holds the postings but never renumbers an
+// ID — which is what lets cursors and caches pin a snapshot instead of
+// dying whenever anything changed. Snapshots are refcounted (pinned) for
+// observability and leak detection; the memory itself is reclaimed by the
+// garbage collector once the last pinned snapshot referencing a retired
+// epoch is released.
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xks/internal/index"
+	"xks/internal/nid"
+	"xks/internal/planner"
+)
+
+// ErrNoSnapshot reports a version that no head can resolve: a different
+// rebuild generation (the table was renumbered by a non-tail append or a
+// document replacement) or a node count that never was a published
+// boundary. Callers surface it as a stale cursor.
+var ErrNoSnapshot = errors.New("delta: no snapshot at requested version")
+
+// PackVersion encodes a (rebuild generation, node count) pair as one uint64
+// version token: the high 32 bits count renumbering rebuilds, the low 32
+// bits the table length. Within one rebuild generation the version grows
+// with every append and is untouched by compaction, so a version uniquely
+// names a logical index state.
+func PackVersion(rebuildGen uint64, n int) uint64 {
+	return rebuildGen<<32 | uint64(uint32(n))
+}
+
+// UnpackVersion splits a version token back into its parts.
+func UnpackVersion(v uint64) (rebuildGen uint64, n int) {
+	return v >> 32, int(v & 0xffffffff)
+}
+
+// Segment is one append batch's postings: an immutable mini-index over the
+// contiguous ID range [Start, End) that a single append added at the tail
+// of the node table. Posting lists are strictly ascending and confined to
+// the range; the map must not be mutated after construction.
+type Segment struct {
+	Start    nid.ID
+	End      nid.ID
+	Postings map[string][]nid.ID
+	// Count is the total posting entries across all words.
+	Count int
+}
+
+// NewSegment validates and wraps one append batch. Every posting must lie
+// in [start, end) and every list must be strictly ascending — the tail
+// invariant concatenation-merging relies on.
+func NewSegment(start, end nid.ID, postings map[string][]nid.ID) (*Segment, error) {
+	if end < start {
+		return nil, fmt.Errorf("delta: inverted segment range [%d, %d)", start, end)
+	}
+	count := 0
+	for w, ids := range postings {
+		for i, id := range ids {
+			if id < start || id >= end {
+				return nil, fmt.Errorf("delta: posting %d of %q outside segment [%d, %d)", id, w, start, end)
+			}
+			if i > 0 && ids[i-1] >= id {
+				return nil, fmt.Errorf("delta: postings of %q not strictly ascending", w)
+			}
+		}
+		count += len(ids)
+	}
+	return &Segment{Start: start, End: end, Postings: postings, Count: count}, nil
+}
+
+// Head is one engine's published index state: the immutable base index,
+// the delta segments appended since the base was built (ascending, with
+// seg[i].End == seg[i+1].Start), and the full node-table header covering
+// base plus segments (Tab.Len() is the head's node count). Heads are
+// immutable once published; the engine swaps them with an atomic pointer.
+type Head struct {
+	// RebuildGen counts renumbering rebuilds (non-tail appends, document
+	// replacement). Snapshots never cross a rebuild: IDs changed meaning.
+	RebuildGen uint64
+	Tab        *nid.Table
+	Base       *index.Index
+	Segs       []*Segment
+}
+
+// Version returns the head's version token.
+func (h *Head) Version() uint64 { return PackVersion(h.RebuildGen, h.Tab.Len()) }
+
+// At resolves (and pins) the snapshot of this head at n nodes. n must be a
+// boundary some head of this rebuild generation published: at most the
+// current length, and never splitting a segment. The returned snapshot is
+// pinned against c (Release unpins); pass the same Counters the engine
+// reports from.
+func (h *Head) At(n int, c *Counters) (*Snapshot, error) {
+	if n < 0 || n > h.Tab.Len() {
+		return nil, fmt.Errorf("%w: %d nodes, head has %d", ErrNoSnapshot, n, h.Tab.Len())
+	}
+	tab, err := h.Tab.Truncate(n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoSnapshot, err)
+	}
+	var segs []*Segment
+	for _, sg := range h.Segs {
+		if sg.Start >= nid.ID(n) {
+			break // segments are ascending; the rest lie past the snapshot
+		}
+		if sg.End > nid.ID(n) {
+			return nil, fmt.Errorf("%w: %d nodes splits segment [%d, %d)", ErrNoSnapshot, n, sg.Start, sg.End)
+		}
+		segs = append(segs, sg)
+	}
+	s := &Snapshot{
+		version:  PackVersion(h.RebuildGen, n),
+		n:        n,
+		tab:      tab,
+		base:     h.Base,
+		baseLen:  h.Base.Table().Len(),
+		segs:     segs,
+		counters: c,
+	}
+	if c != nil {
+		c.pinned.Add(1)
+	}
+	return s, nil
+}
+
+// Snapshot is an immutable, pinned read view of one logical index state:
+// base postings cut at the snapshot's node count plus the visible delta
+// segments. It satisfies the read surface the query pipeline needs
+// (LookupIDs / Frequency / NumNodes / Stats), merging base and delta
+// transparently.
+type Snapshot struct {
+	version  uint64
+	n        int
+	tab      *nid.Table
+	base     *index.Index
+	baseLen  int
+	segs     []*Segment
+	counters *Counters
+	release  sync.Once
+}
+
+// Version returns the packed version token the snapshot serves at.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Table returns the node table view, with Len() == NumNodes().
+func (s *Snapshot) Table() *nid.Table { return s.tab }
+
+// NumNodes reports the indexed node count visible to the snapshot.
+func (s *Snapshot) NumNodes() int {
+	// The base's own count anchors store-backed shapes where indexed nodes
+	// and table rows differ; tail appends add rows and indexed nodes 1:1,
+	// and a base compacted past this snapshot subtracts back down.
+	return s.base.NumNodes() + (s.n - s.baseLen)
+}
+
+// Segments reports how many delta segments the snapshot merges.
+func (s *Snapshot) Segments() int { return len(s.segs) }
+
+// DeltaPostings reports the total delta posting entries the snapshot sees.
+func (s *Snapshot) DeltaPostings() int {
+	total := 0
+	for _, sg := range s.segs {
+		total += sg.Count
+	}
+	return total
+}
+
+// LookupIDs returns the merged posting list for the word: the base list cut
+// at the snapshot boundary, followed by each visible segment's list. With
+// no visible delta for the word the base's shared slice is returned as-is
+// (the common hot path allocates nothing); otherwise one concatenation is
+// allocated. Callers must not modify the result.
+func (s *Snapshot) LookupIDs(word string) []nid.ID {
+	base := s.base.LookupIDs(word)
+	if s.baseLen > s.n {
+		base = cutAt(base, nid.ID(s.n))
+	}
+	if len(s.segs) == 0 {
+		return base
+	}
+	total := len(base)
+	for _, sg := range s.segs {
+		total += len(sg.Postings[word])
+	}
+	if total == len(base) {
+		return base
+	}
+	out := make([]nid.ID, 0, total)
+	out = append(out, base...)
+	for _, sg := range s.segs {
+		out = append(out, sg.Postings[word]...)
+	}
+	return out
+}
+
+// Frequency returns the merged posting count for the word without
+// materializing the list.
+func (s *Snapshot) Frequency(word string) int {
+	n := s.base.Frequency(word)
+	if s.baseLen > s.n {
+		// The base extends past the snapshot (it was compacted since):
+		// count only the visible prefix.
+		n = len(cutAt(s.base.LookupIDs(word), nid.ID(s.n)))
+	}
+	for _, sg := range s.segs {
+		n += len(sg.Postings[word])
+	}
+	return n
+}
+
+// Stats returns planner statistics for the merged view: the base's
+// statistics with the delta segments' node and posting mass overlaid.
+func (s *Snapshot) Stats() planner.Stats {
+	st := s.base.Stats()
+	if len(s.segs) == 0 {
+		return st
+	}
+	var postings, maxPostings, words int
+	for _, sg := range s.segs {
+		postings += sg.Count
+		words += len(sg.Postings)
+		for _, ids := range sg.Postings {
+			if len(ids) > maxPostings {
+				maxPostings = len(ids)
+			}
+		}
+	}
+	return planner.Overlay(st, s.n-s.baseLen, words, postings, maxPostings)
+}
+
+// Release unpins the snapshot. Idempotent; after the last release of the
+// last snapshot referencing a retired epoch, the garbage collector reclaims
+// that epoch's structures.
+func (s *Snapshot) Release() {
+	s.release.Do(func() {
+		if s.counters != nil {
+			s.counters.pinned.Add(-1)
+		}
+	})
+}
+
+// cutAt returns the prefix of the (sorted) list strictly below n.
+func cutAt(list []nid.ID, n nid.ID) []nid.ID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= n })
+	return list[:i]
+}
+
+// Fold merges the head's delta segments into a fresh base index over the
+// head's full table — the compactor's core. Posting lists no segment
+// touched are shared with the old base (zero copy, zero writes — pinned
+// snapshots may be reading them concurrently); each touched word gets one
+// freshly allocated concatenation. The old base remains valid and
+// immutable for every pinned snapshot. With no segments the base is
+// returned unchanged.
+func Fold(h *Head) *index.Index {
+	if len(h.Segs) == 0 {
+		return h.Base
+	}
+	touched := map[string][][]nid.ID{}
+	for _, sg := range h.Segs {
+		for w, ids := range sg.Postings {
+			touched[w] = append(touched[w], ids) // segments ascend, so parts do too
+		}
+	}
+	merged := make(map[string][]nid.ID, h.Base.NumWords()+len(touched))
+	for _, w := range h.Base.Words() {
+		merged[w] = h.Base.LookupIDs(w)
+	}
+	for w, parts := range touched {
+		base := merged[w]
+		total := len(base)
+		for _, p := range parts {
+			total += len(p)
+		}
+		out := make([]nid.ID, 0, total)
+		out = append(out, base...)
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		merged[w] = out
+	}
+	numNodes := h.Base.NumNodes() + (h.Tab.Len() - h.Base.Table().Len())
+	return index.FromSortedIDPostings(h.Tab, merged, numNodes, h.Base.Analyzer())
+}
+
+// Counters aggregates the delta subsystem's observability state for one
+// engine: the pinned-snapshot refcount and compaction totals. Segment and
+// posting gauges are derived from the live head instead of counted here.
+type Counters struct {
+	pinned       atomic.Int64
+	compactions  atomic.Int64
+	compactNanos atomic.Int64
+}
+
+// Pinned reports the snapshots currently pinned (resolved, not yet
+// released). A value stuck above zero while the engine is idle is a leak.
+func (c *Counters) Pinned() int64 { return c.pinned.Load() }
+
+// Compactions reports how many folds have been published.
+func (c *Counters) Compactions() int64 { return c.compactions.Load() }
+
+// CompactionSeconds reports the total wall time spent folding.
+func (c *Counters) CompactionSeconds() float64 {
+	return float64(c.compactNanos.Load()) / float64(time.Second)
+}
+
+// RecordCompaction accounts one published fold.
+func (c *Counters) RecordCompaction(d time.Duration) {
+	c.compactions.Add(1)
+	c.compactNanos.Add(int64(d))
+}

@@ -1,0 +1,209 @@
+package experiments
+
+// The append sweep behind BENCH_PR10.json: what one tail append costs on
+// the delta path (an immutable segment + one atomic head swap, O(appended
+// subtree)) versus the pre-delta renumbering baseline (splice into the node
+// table, rescan every posting list — O(index) per node), and what a write
+// storm does to read tail latency now that readers pin snapshots instead of
+// contending with writers.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"xks"
+)
+
+// AppendResult is the append sweep over one generated dataset.
+type AppendResult struct {
+	Dataset string
+	Nodes   int
+
+	// DeltaNs / BaselineNs are averaged wall nanoseconds per append on each
+	// path; the ops counts differ because the baseline is O(index) per
+	// appended node and would dominate the sweep at equal counts.
+	DeltaOps    int
+	DeltaNs     int64
+	BaselineOps int
+	BaselineNs  int64
+
+	// ReadP99Idle / ReadP99Storm are the p99 search latencies over the same
+	// query mix on a quiet engine and during a continuous append storm.
+	ReadP99Idle  time.Duration
+	ReadP99Storm time.Duration
+
+	// CompactNs is the one-shot cost of folding the storm's segments;
+	// SegmentsFolded is how many it merged.
+	CompactNs      int64
+	SegmentsFolded int
+}
+
+// Speedup is the renumbering-baseline / delta per-append ratio.
+func (r *AppendResult) Speedup() float64 {
+	if r.DeltaNs == 0 {
+		return 0
+	}
+	return float64(r.BaselineNs) / float64(r.DeltaNs)
+}
+
+// appendSnippet builds the i-th appended record: a small paper whose title
+// carries both a workload keyword (so reads see the writes) and a unique
+// token (so every append grows the vocabulary a little, as real ingest
+// does).
+func appendSnippet(i int) string {
+	return fmt.Sprintf(`<paper><title>incremental keyword batch%d</title><author><name>appender</name></author></paper>`, i)
+}
+
+// RunAppend generates the DBLP dataset at the given preset size and
+// measures: per-append cost on the delta path vs the renumbering baseline
+// (deltaOps vs baselineOps appends under the document root — both tail
+// appends, the baseline's best case), then read p99 idle vs during a write
+// storm, then the cost of compacting the storm's backlog.
+func RunAppend(size string, deltaOps, baselineOps int) (*AppendResult, error) {
+	if deltaOps < 1 {
+		deltaOps = 500
+	}
+	if baselineOps < 1 {
+		baselineOps = 15
+	}
+	specs, err := Presets(size)
+	if err != nil {
+		return nil, err
+	}
+	spec := specs[0] // DBLP panel
+	tree, w, err := Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	query, err := w.Expand(w.Queries[0])
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AppendResult{Dataset: fmt.Sprintf("dblp-%s", size)}
+
+	// Renumbering baseline: each append splices into the base in place.
+	baseline := xks.FromTree(tree.Clone())
+	start := time.Now()
+	for i := 0; i < baselineOps; i++ {
+		if err := baseline.AppendXMLBaseline("0", appendSnippet(i)); err != nil {
+			return nil, fmt.Errorf("baseline append %d: %w", i, err)
+		}
+	}
+	res.BaselineOps = baselineOps
+	res.BaselineNs = time.Since(start).Nanoseconds() / int64(baselineOps)
+
+	// Delta path: each append lands in a segment; the base never changes.
+	engine := xks.FromTree(tree.Clone())
+	res.Nodes = engine.Index().NumNodes()
+	start = time.Now()
+	for i := 0; i < deltaOps; i++ {
+		if err := engine.AppendXML("0", appendSnippet(i)); err != nil {
+			return nil, fmt.Errorf("delta append %d: %w", i, err)
+		}
+	}
+	res.DeltaOps = deltaOps
+	res.DeltaNs = time.Since(start).Nanoseconds() / int64(deltaOps)
+
+	// Read tail latency: the same ranked query, idle then during sustained
+	// appends running in the background. The storm is paced at a fixed
+	// ingest rate (one the renumbering baseline could not sustain at the
+	// large size, where each of its appends costs tens of milliseconds of
+	// exclusive index time) and runs the way production does (xkserver
+	// -compact-interval): a compactor folds the backlog whenever it piles
+	// up, so per-query merge cost stays bounded by the segment cap instead
+	// of growing with every append.
+	const (
+		readSamples = 120
+		segmentCap  = 64
+		stormPace   = 5 * time.Millisecond // 200 appends/second
+	)
+	if _, err := engine.Compact(context.Background()); err != nil {
+		return nil, err
+	}
+	req := xks.Request{Query: query, Rank: true, Limit: 10}
+	measure := func() (time.Duration, error) {
+		lat := make([]time.Duration, 0, readSamples)
+		for i := 0; i < readSamples; i++ {
+			t0 := time.Now()
+			if _, err := engine.Search(context.Background(), req); err != nil {
+				return 0, err
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[len(lat)*99/100], nil
+	}
+	if res.ReadP99Idle, err = measure(); err != nil {
+		return nil, err
+	}
+	var stop atomic.Bool
+	stormDone := make(chan error, 1)
+	go func() {
+		tick := time.NewTicker(stormPace)
+		defer tick.Stop()
+		for i := deltaOps; !stop.Load(); i++ {
+			if err := engine.AppendXML("0", appendSnippet(i)); err != nil {
+				stormDone <- err
+				return
+			}
+			if engine.DeltaInfo().Segments >= segmentCap {
+				if _, err := engine.Compact(context.Background()); err != nil {
+					stormDone <- err
+					return
+				}
+			}
+			<-tick.C
+		}
+		stormDone <- nil
+	}()
+	p99, merr := measure()
+	stop.Store(true)
+	if err := <-stormDone; err != nil {
+		return nil, fmt.Errorf("write storm: %w", err)
+	}
+	if merr != nil {
+		return nil, merr
+	}
+	res.ReadP99Storm = p99
+
+	// Fold the backlog and account it.
+	res.SegmentsFolded = int(engine.DeltaInfo().Segments)
+	start = time.Now()
+	if _, err := engine.Compact(context.Background()); err != nil {
+		return nil, err
+	}
+	res.CompactNs = time.Since(start).Nanoseconds()
+	return res, nil
+}
+
+// Records flattens the sweep into the BENCH_*.json record shape.
+func (r *AppendResult) Records() []BenchRecord {
+	pre := fmt.Sprintf("append/%s/", r.Dataset)
+	return []BenchRecord{
+		{Name: pre + "delta", NsPerOp: r.DeltaNs},
+		{Name: pre + "renumber-baseline", NsPerOp: r.BaselineNs},
+		{Name: pre + "read-p99-idle", NsPerOp: r.ReadP99Idle.Nanoseconds()},
+		{Name: pre + "read-p99-write-storm", NsPerOp: r.ReadP99Storm.Nanoseconds()},
+		{Name: pre + "compact", NsPerOp: r.CompactNs, Fragments: r.SegmentsFolded},
+	}
+}
+
+// Table renders the sweep for terminal output.
+func (r *AppendResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "append: %s (%d nodes)\n", r.Dataset, r.Nodes)
+	fmt.Fprintf(&b, "%-22s %14s %8s\n", "path", "ns/append", "ops")
+	fmt.Fprintf(&b, "%-22s %14d %8d\n", "delta", r.DeltaNs, r.DeltaOps)
+	fmt.Fprintf(&b, "%-22s %14d %8d\n", "renumber-baseline", r.BaselineNs, r.BaselineOps)
+	fmt.Fprintf(&b, "speedup: %.1fx\n", r.Speedup())
+	fmt.Fprintf(&b, "read p99: idle %s, write storm %s\n",
+		r.ReadP99Idle.Round(time.Microsecond), r.ReadP99Storm.Round(time.Microsecond))
+	fmt.Fprintf(&b, "compaction: %d segments folded in %s\n",
+		r.SegmentsFolded, time.Duration(r.CompactNs).Round(time.Microsecond))
+	return b.String()
+}

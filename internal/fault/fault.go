@@ -44,6 +44,16 @@ const (
 	// duration, which is how the overload tests congest the server
 	// deterministically.
 	PointAdmission Point = "admission"
+	// PointCompact fires inside Engine.Compact between folding the delta
+	// segments and publishing the merged head — a crash there must leave
+	// the published state untouched (the fold is discarded, nothing
+	// half-applied).
+	PointCompact Point = "compact"
+	// PointSnapshotPin fires when a query pins its snapshot; an injected
+	// failure makes the engine skip the release (a scripted refcount leak),
+	// which the chaos suite uses to prove the pinned-snapshots gauge
+	// detects leaks.
+	PointSnapshotPin Point = "snapshot-pin"
 )
 
 // ErrInjected is the default error of Action{Err: nil, Fail: true}

@@ -19,6 +19,15 @@
 //	GET /stats
 //	GET /metrics
 //	GET /healthz
+//	POST /append  {"doc": name, "parent": dewey, "xml": snippet}
+//	POST /compact
+//
+// Writes: the POST endpoints exist only when Options.AllowWrites is set
+// (404 otherwise). /append lands the snippet in the named document's
+// write-side delta index — outstanding cursors and cached pages keep
+// working, pinned to the snapshot they were issued at — and /compact folds
+// accumulated delta segments into the base without changing version
+// tokens. Both answer JSON.
 //
 // Error mapping: malformed parameters and unsearchable queries
 // (xks.ErrEmptyQuery, xks.ErrTooManyTerms) are 400, an unknown doc=
@@ -103,6 +112,9 @@ type Options struct {
 	// Connection: close (and /healthz flips unhealthy), and the admission
 	// counters ride along on /metrics and the explain span tree.
 	Admission *admission.Controller
+	// AllowWrites enables the POST /append and /compact endpoints; off by
+	// default so a plain read-only server exposes no mutation surface.
+	AllowWrites bool
 }
 
 // Fragment is the JSON shape of one result fragment.
@@ -168,6 +180,32 @@ type StreamTrailer struct {
 type DocumentsResponse struct {
 	Documents []xks.DocumentInfo `json:"documents"`
 }
+
+// AppendRequest is the JSON body of POST /append: append the parsed XML
+// snippet under the node identified by the Dewey code parent (e.g. "0.2")
+// in the named document (doc may be empty on a single-document server).
+type AppendRequest struct {
+	Doc    string `json:"doc"`
+	Parent string `json:"parent"`
+	XML    string `json:"xml"`
+}
+
+// AppendResponse is the JSON shape of a successful POST /append.
+type AppendResponse struct {
+	OK bool `json:"ok"`
+	// Generation is the corpus version token after the append.
+	Generation uint64 `json:"generation"`
+}
+
+// CompactResponse is the JSON shape of a successful POST /compact.
+type CompactResponse struct {
+	OK             bool `json:"ok"`
+	SegmentsFolded int  `json:"segmentsFolded"`
+}
+
+// maxAppendBody bounds the POST /append body (the XML snippet plus JSON
+// framing) so a client cannot stream an unbounded document at the decoder.
+const maxAppendBody = 8 << 20
 
 // StatsResponse is the JSON shape of /stats.
 type StatsResponse struct {
@@ -426,6 +464,40 @@ func NewHandler(svc *service.Service, opts *Options) http.Handler {
 			opts.Admission.WritePrometheus(w)
 		}
 	})
+	if opts.AllowWrites {
+		mux.HandleFunc("/append", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			var body AppendRequest
+			if err := json.NewDecoder(io.LimitReader(r.Body, maxAppendBody)).Decode(&body); err != nil {
+				http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if body.XML == "" {
+				http.Error(w, `missing "xml" field`, http.StatusBadRequest)
+				return
+			}
+			if err := svc.Append(body.Doc, body.Parent, body.XML); err != nil {
+				http.Error(w, errorBody(err), status(err))
+				return
+			}
+			writeJSON(w, logger, AppendResponse{OK: true, Generation: svc.Generation()})
+		})
+		mux.HandleFunc("/compact", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			folded, err := svc.Compact(r.Context())
+			if err != nil {
+				http.Error(w, errorBody(err), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, logger, CompactResponse{OK: true, SegmentsFolded: folded})
+		})
+	}
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		req, withSnippets, err := parseRequest(r)

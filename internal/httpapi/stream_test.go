@@ -153,10 +153,12 @@ func TestStreamCursorWalk(t *testing.T) {
 	}
 }
 
-// TestCursorStaleAfterAppendIs410 covers the mutation contract end to end:
-// scroll page 1, append to the document, and the page-2 cursor comes back
-// 410 Gone with a restart hint.
-func TestCursorStaleAfterAppendIs410(t *testing.T) {
+// TestCursorSurvivesAppendStaleOnRebuild covers the mutation contract end
+// to end: scroll page 1, tail-append to the document, and the page-2
+// cursor still works — it re-pins the snapshot it was issued at and serves
+// the pre-append page 2. Only a non-tail append (a renumbering rebuild)
+// kills it with 410 Gone and a restart hint.
+func TestCursorSurvivesAppendStaleOnRebuild(t *testing.T) {
 	engine, err := xks.LoadString(`<bib><paper><title>xml search</title></paper><paper><title>search trees</title></paper></bib>`)
 	if err != nil {
 		t.Fatal(err)
@@ -170,13 +172,28 @@ func TestCursorStaleAfterAppendIs410(t *testing.T) {
 		t.Fatalf("page 1: status %d cursor %q", code, page1.Cursor)
 	}
 	// The cursor works before the append...
-	if code, _ := getJSON(t, srv.URL+"/search?q=search&limit=1&cursor="+url.QueryEscape(page1.Cursor)); code != http.StatusOK {
-		t.Fatalf("pre-append page 2: status %d", code)
+	code, before := getJSON(t, srv.URL+"/search?q=search&limit=1&cursor="+url.QueryEscape(page1.Cursor))
+	if code != http.StatusOK || len(before.Fragments) != 1 {
+		t.Fatalf("pre-append page 2: status %d, %d fragments", code, len(before.Fragments))
 	}
 	if err := engine.AppendXML("0", `<paper><title>fresh search result</title></paper>`); err != nil {
 		t.Fatal(err)
 	}
-	// ...and is 410 Gone after, with the restart hint in the body.
+	// ...and still works after a tail append: the delta index kept the old
+	// node IDs, so resumption re-pins the issuing snapshot and the page
+	// boundary cannot shift.
+	code, after := getJSON(t, srv.URL+"/search?q=search&limit=1&cursor="+url.QueryEscape(page1.Cursor))
+	if code != http.StatusOK {
+		t.Fatalf("post-append cursor: status = %d, want 200", code)
+	}
+	if len(after.Fragments) != 1 || after.Fragments[0].Root != before.Fragments[0].Root {
+		t.Fatalf("pinned page 2 = %+v, want the pre-append page 2 (%s)", after.Fragments, before.Fragments[0].Root)
+	}
+	// A non-tail append renumbers every node: the pinned snapshot is gone
+	// and the cursor is 410 Gone, with the restart hint in the body.
+	if err := engine.AppendXML("0.0", `<note>search aside</note>`); err != nil {
+		t.Fatal(err)
+	}
 	resp, err := http.Get(srv.URL + "/search?q=search&limit=1&cursor=" + url.QueryEscape(page1.Cursor))
 	if err != nil {
 		t.Fatal(err)
@@ -185,7 +202,7 @@ func TestCursorStaleAfterAppendIs410(t *testing.T) {
 	n, _ := resp.Body.Read(body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusGone {
-		t.Fatalf("post-append cursor: status = %d, want 410", resp.StatusCode)
+		t.Fatalf("post-rebuild cursor: status = %d, want 410", resp.StatusCode)
 	}
 	if !strings.Contains(string(body[:n]), "restart") {
 		t.Errorf("410 body carries no restart hint: %q", body[:n])
@@ -198,7 +215,7 @@ func TestCursorStaleAfterAppendIs410(t *testing.T) {
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusGone {
-		t.Fatalf("post-append stream cursor: status = %d, want 410", resp.StatusCode)
+		t.Fatalf("post-rebuild stream cursor: status = %d, want 410", resp.StatusCode)
 	}
 }
 

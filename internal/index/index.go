@@ -145,6 +145,18 @@ func FromIDPostings(tab *nid.Table, postings map[string][]nid.ID, numNodes int, 
 	return &Index{analyzer: a, tab: tab, postings: postings, numNodes: numNodes}
 }
 
+// FromSortedIDPostings constructs an index from posting lists the caller
+// guarantees are already sorted and duplicate-free (the delta compactor's
+// fold path). Unlike FromIDPostings there is no defensive pass: lists are
+// retained exactly as given and never written, so they may alias posting
+// lists of another live index that concurrent readers are using.
+func FromSortedIDPostings(tab *nid.Table, postings map[string][]nid.ID, numNodes int, a *analysis.Analyzer) *Index {
+	if a == nil {
+		a = analysis.New()
+	}
+	return &Index{analyzer: a, tab: tab, postings: postings, numNodes: numNodes}
+}
+
 // FromCompressed constructs an index over block-compressed posting lists
 // without decoding any of them — the store's v3 load path. words[i] names
 // lists[i]; each list decodes lazily on its first lookup and the decoded

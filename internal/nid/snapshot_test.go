@@ -1,0 +1,117 @@
+package nid
+
+import (
+	"testing"
+
+	"xks/internal/dewey"
+)
+
+// TestTruncateViewsPrefix: a truncated view exposes exactly the first n
+// rows, with every structural query (parent, depth, code, subtree) intact,
+// and shares backing with the original.
+func TestTruncateViewsPrefix(t *testing.T) {
+	full := FromCodes(codes("0", "0.0", "0.0.0", "0.1", "0.1.0"))
+	v, err := full.Truncate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", v.Len())
+	}
+	for i := ID(0); i < 3; i++ {
+		if got, want := v.Code(i).String(), full.Code(i).String(); got != want {
+			t.Errorf("code %d = %s, want %s", i, got, want)
+		}
+		if v.Parent(i) != full.Parent(i) {
+			t.Errorf("parent %d = %d, want %d", i, v.Parent(i), full.Parent(i))
+		}
+	}
+	// The subtree of the root ends at the view's length, not the full
+	// table's: the view must not see past its boundary.
+	if end := v.SubtreeEnd(0); end != 3 {
+		t.Errorf("view SubtreeEnd(root) = %d, want 3", end)
+	}
+	if _, ok := v.Find(dewey.MustParse("0.1")); ok {
+		t.Error("view resolved a code past its boundary")
+	}
+
+	// Full-length truncation is the identity.
+	same, err := full.Truncate(full.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != full {
+		t.Error("Truncate(Len()) did not return the table itself")
+	}
+
+	// Out-of-range lengths fail.
+	if _, err := full.Truncate(-1); err == nil {
+		t.Error("Truncate(-1) did not fail")
+	}
+	if _, err := full.Truncate(full.Len() + 1); err == nil {
+		t.Error("Truncate(Len()+1) did not fail")
+	}
+}
+
+// TestExtendAppendsAtTail: Extend assigns dense tail IDs, resolves
+// parents across the old/new boundary, and leaves earlier headers (and
+// truncated views of the result) valid.
+func TestExtendAppendsAtTail(t *testing.T) {
+	base := FromCodes(codes("0", "0.0", "0.0.0"))
+	oldLen := base.Len()
+	ext, ids, err := base.Extend(codes("0.1", "0.1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 4 {
+		t.Fatalf("assigned IDs = %v, want [3 4]", ids)
+	}
+	if ext.Len() != 5 {
+		t.Fatalf("extended Len = %d, want 5", ext.Len())
+	}
+	if p := ext.Parent(3); p != 0 {
+		t.Errorf("parent of 0.1 = %d, want 0 (resolved in the old rows)", p)
+	}
+	if p := ext.Parent(4); p != 3 {
+		t.Errorf("parent of 0.1.0 = %d, want 3 (resolved among the new rows)", p)
+	}
+	// The pre-extend header still describes exactly the old table.
+	if base.Len() != oldLen {
+		t.Fatalf("base header grew to %d", base.Len())
+	}
+	if end := base.SubtreeEnd(0); end != ID(oldLen) {
+		t.Errorf("base SubtreeEnd(root) = %d, want %d", end, oldLen)
+	}
+	// A truncated view of the extension at the old boundary matches base.
+	v, err := ext.Truncate(oldLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := ID(0); i < ID(oldLen); i++ {
+		if v.Code(i).String() != base.Code(i).String() {
+			t.Fatalf("truncated view diverges from pre-extend header at %d", i)
+		}
+	}
+}
+
+// TestExtendRejectsInvalid: empty codes, out-of-order codes, and codes
+// whose parent does not exist are all rejected.
+func TestExtendRejectsInvalid(t *testing.T) {
+	base := FromCodes(codes("0", "0.0"))
+	cases := map[string][]dewey.Code{
+		"empty code":       {dewey.Code(nil)},
+		"not after tail":   codes("0.0"),
+		"descending order": codes("0.2", "0.1"),
+		"orphan parent":    codes("0.5.0"),
+	}
+	for name, cs := range cases {
+		if _, _, err := base.Extend(cs); err == nil {
+			t.Errorf("%s: Extend accepted %v", name, cs)
+		}
+	}
+	// The zero-length extend is the identity.
+	nt, ids, err := base.Extend(nil)
+	if err != nil || nt != base || ids != nil {
+		t.Errorf("empty Extend = (%v, %v, %v), want identity", nt, ids, err)
+	}
+}

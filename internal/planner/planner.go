@@ -109,6 +109,21 @@ func Merge(a, b Stats) Stats {
 	return out
 }
 
+// Overlay folds a delta-segment summary into base statistics: counts add,
+// maxima take the larger, and the averaged shape metrics (depth, fanout,
+// histogram) stay the base's. Delta segments are small relative to the
+// base and the statistics are advisory — they steer cost estimates, never
+// answers — so the base's shape remains the better predictor. Unlike
+// Merge, an overlay never changes Docs: base and delta describe the same
+// document.
+func Overlay(base Stats, nodes, words, postings, maxPostings int) Stats {
+	base.Nodes += nodes
+	base.Words += words // upper bound; base and delta vocabularies overlap
+	base.Postings += postings
+	base.MaxPostings = max(base.MaxPostings, maxPostings)
+	return base
+}
+
 // CostModel holds the calibrated unit costs the planner plugs into its
 // estimates. The constants are in arbitrary "work units" (roughly
 // nanoseconds on the calibration machine); only their ratios matter for the

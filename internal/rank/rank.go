@@ -29,9 +29,23 @@ type Scorer struct {
 	IDF func(word string) float64
 }
 
+// IndexStats is the read surface a scorer needs from an index-like source:
+// per-word document frequency and the indexed node count. Both *index.Index
+// and a delta snapshot satisfy it.
+type IndexStats interface {
+	Frequency(word string) int
+	NumNodes() int
+}
+
 // NewScorer builds a scorer whose IDF derives from the posting-list sizes
 // of the given index: idf(w) = log(1 + N/df(w)).
-func NewScorer(ix *index.Index) *Scorer {
+func NewScorer(ix *index.Index) *Scorer { return NewScorerFrom(ix) }
+
+// NewScorerFrom is NewScorer over any IndexStats source, letting snapshot
+// views score with IDF weights reflecting exactly the nodes they can see —
+// the same floating-point op order as an index freshly rebuilt at that
+// state, so scores stay bit-identical.
+func NewScorerFrom(ix IndexStats) *Scorer {
 	return &Scorer{
 		Decay: 0.8,
 		IDF: func(word string) float64 {

@@ -57,6 +57,19 @@ func (sv *Service) WritePrometheus(w io.Writer) {
 			"Store file bytes materialized on the Go heap at open.", float64(so.HeapBytes))
 	}
 
+	if di, ok := sv.DeltaInfo(); ok {
+		writeGauge(w, "xks_delta_segments",
+			"Live write-side delta segments awaiting compaction, summed over documents.", float64(di.Segments))
+		writeGauge(w, "xks_delta_postings",
+			"Postings held in delta segments (not yet folded into the base index).", float64(di.Postings))
+		writeGauge(w, "xks_snapshots_pinned",
+			"Snapshots currently pinned by in-flight queries, cursors being resolved, or scripted leaks.", float64(di.PinnedSnapshots))
+		writeCounter(w, "xks_compactions_total",
+			"Delta-to-base compactions completed.", uint64(di.Compactions))
+		writeGauge(w, "xks_compaction_seconds",
+			"Total wall time spent folding delta segments into base indexes.", di.CompactionSeconds)
+	}
+
 	writeGauge(w, "xks_cache_entries",
 		"Live entries in the query-result cache.", float64(sv.CacheLen()))
 	writeGauge(w, "xks_corpus_generation",

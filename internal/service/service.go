@@ -29,6 +29,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"strconv"
@@ -77,12 +78,51 @@ type Planner interface {
 	ResolveStrategy(req xks.Request) xks.Strategy
 }
 
+// Versioner is the optional request-scoped versioning surface of a
+// Searcher: the token caching layers should tag req's entries with. A
+// snapshot-aware searcher narrows it — a document-filtered request gets a
+// token covering only that document, so appends to other documents never
+// evict its cached pages. Searchers without the method fall back to the
+// global Generation.
+type Versioner interface {
+	VersionFor(req xks.Request) uint64
+}
+
+// Appender is the optional write surface of a Searcher: append a parsed
+// XML snippet under the identified parent node of the named document.
+type Appender interface {
+	AppendXML(doc, parentDewey, snippet string) error
+}
+
+// Compactor is the optional maintenance surface of a Searcher: fold
+// accumulated delta segments into the base index, returning how many were
+// folded.
+type Compactor interface {
+	Compact(ctx context.Context) (int, error)
+}
+
+// DeltaReporter is the optional delta-index introspection surface of a
+// Searcher; the Prometheus endpoint exports its counters as the
+// xks_delta_* / xks_snapshots_pinned / xks_compactions_total /
+// xks_compaction_seconds families.
+type DeltaReporter interface {
+	DeltaInfo() xks.DeltaInfo
+}
+
 var (
-	_ Searcher = (*xks.Corpus)(nil)
-	_ Streamer = (*xks.Corpus)(nil)
-	_ Planner  = (*xks.Corpus)(nil)
-	_ Streamer = SingleDoc{}
-	_ Planner  = SingleDoc{}
+	_ Searcher      = (*xks.Corpus)(nil)
+	_ Streamer      = (*xks.Corpus)(nil)
+	_ Planner       = (*xks.Corpus)(nil)
+	_ Versioner     = (*xks.Corpus)(nil)
+	_ Appender      = (*xks.Corpus)(nil)
+	_ Compactor     = (*xks.Corpus)(nil)
+	_ DeltaReporter = (*xks.Corpus)(nil)
+	_ Streamer      = SingleDoc{}
+	_ Planner       = SingleDoc{}
+	_ Versioner     = SingleDoc{}
+	_ Appender      = SingleDoc{}
+	_ Compactor     = SingleDoc{}
+	_ DeltaReporter = SingleDoc{}
 )
 
 // SingleDoc adapts one engine to the Searcher interface under a document
@@ -134,6 +174,24 @@ func (s SingleDoc) Documents() []xks.DocumentInfo {
 
 func (s SingleDoc) Generation() uint64 { return s.Engine.Generation() }
 
+// VersionFor reports the engine's snapshot version token — the single
+// document is the whole corpus, so request scoping adds nothing.
+func (s SingleDoc) VersionFor(req xks.Request) uint64 { return s.Engine.Generation() }
+
+// AppendXML appends to the wrapped engine; doc must name it (or be empty).
+func (s SingleDoc) AppendXML(doc, parentDewey, snippet string) error {
+	if doc != "" && doc != s.Name {
+		return fmt.Errorf("xks: %w: %q", xks.ErrUnknownDocument, doc)
+	}
+	return s.Engine.AppendXML(parentDewey, snippet)
+}
+
+// Compact folds the wrapped engine's delta segments.
+func (s SingleDoc) Compact(ctx context.Context) (int, error) { return s.Engine.Compact(ctx) }
+
+// DeltaInfo reports the wrapped engine's delta-subsystem state.
+func (s SingleDoc) DeltaInfo() xks.DeltaInfo { return s.Engine.DeltaInfo() }
+
 // ResolveStrategy delegates planning to the engine (Planner interface).
 func (s SingleDoc) ResolveStrategy(req xks.Request) xks.Strategy {
 	return s.Engine.ResolveStrategy(req)
@@ -183,6 +241,50 @@ func (sv *Service) Generation() uint64 { return sv.searcher.Generation() }
 
 // Metrics exposes the live counters (read with Metrics().Snapshot()).
 func (sv *Service) Metrics() *Metrics { return &sv.metrics }
+
+// Append forwards a document append to the searcher's write surface. The
+// error reports searchers without one (Appender). Snapshot-pinned cursors
+// and cached pages survive the append: cache entries are tagged with
+// request-scoped version tokens, so only pages that could observe the
+// appended document go stale.
+func (sv *Service) Append(doc, parentDewey, snippet string) error {
+	a, ok := sv.searcher.(Appender)
+	if !ok {
+		return fmt.Errorf("xks: this searcher does not support appends")
+	}
+	return a.AppendXML(doc, parentDewey, snippet)
+}
+
+// Compact forwards to the searcher's maintenance surface (Compactor),
+// folding accumulated delta segments into the base. Version tokens do not
+// change, so cached pages and outstanding cursors survive.
+func (sv *Service) Compact(ctx context.Context) (int, error) {
+	c, ok := sv.searcher.(Compactor)
+	if !ok {
+		return 0, fmt.Errorf("xks: this searcher does not support compaction")
+	}
+	return c.Compact(ctx)
+}
+
+// DeltaInfo reports the searcher's delta-index state; ok is false when the
+// searcher does not expose one (DeltaReporter).
+func (sv *Service) DeltaInfo() (xks.DeltaInfo, bool) {
+	d, ok := sv.searcher.(DeltaReporter)
+	if !ok {
+		return xks.DeltaInfo{}, false
+	}
+	return d.DeltaInfo(), true
+}
+
+// generationFor is the version token req's cache entries are tagged with:
+// the searcher's request-scoped token when it has one (Versioner), the
+// global generation otherwise.
+func (sv *Service) generationFor(req xks.Request) uint64 {
+	if v, ok := sv.searcher.(Versioner); ok {
+		return v.VersionFor(req)
+	}
+	return sv.searcher.Generation()
+}
 
 // CacheLen reports the number of live cache entries (0 when caching is
 // disabled).
@@ -263,15 +365,30 @@ func (sv *Service) Search(ctx context.Context, req xks.Request) (res *xks.Result
 		sv.metrics.observe(time.Since(start))
 	}()
 
-	// Capture the generation before searching: if the data mutates while
-	// the pipeline runs, the entry is stored under the old generation and
-	// dies on its next lookup instead of serving stale results forever.
-	// Cursor resolution uses the same snapshot, so a token issued under
-	// this generation is honored exactly as long as its cache entries are.
-	gen := sv.searcher.Generation()
+	// Capture the version token before searching: if the data mutates while
+	// the pipeline runs, the entry is stored under the old token and dies
+	// on its next lookup instead of serving stale results forever. The
+	// token is request-scoped (generationFor): a document-filtered entry is
+	// tagged with its own document's token, so appends elsewhere in the
+	// corpus never evict it.
+	gen := sv.generationFor(req)
 	req, err = req.ResolveCursor(gen)
 	if err != nil {
-		return nil, false, err
+		if !errors.Is(err, xks.ErrStaleCursor) {
+			return nil, false, err
+		}
+		// The cursor does not match the current token, but the searcher may
+		// still resolve it: cursors pin the snapshot they were issued at
+		// (delta truncation in the engine, the snapshot registry in the
+		// corpus). Serve the pinned page directly, uncached — it belongs to
+		// an old snapshot no current cache entry should replay. Only a
+		// genuinely unresolvable snapshot surfaces ErrStaleCursor.
+		res, err = sv.searcher.Search(ctx, req)
+		if err != nil {
+			return nil, false, err
+		}
+		sv.metrics.observeStages(res.Stats.Stages, res.Truncated)
+		return res, false, nil
 	}
 	key := cacheKey(req, sv.resolveStrategy(req))
 	// Annotate the request's trace (when one is attached) with the serving
@@ -425,10 +542,42 @@ func (sv *Service) Stream(ctx context.Context, req xks.Request) (iter.Seq2[xks.C
 			sv.metrics.observe(time.Since(start))
 		}()
 
-		gen := sv.searcher.Generation()
+		gen := sv.generationFor(req)
 		req, err = req.ResolveCursor(gen)
 		if err != nil {
-			yield(xks.CorpusFragment{}, err)
+			if !errors.Is(err, xks.ErrStaleCursor) {
+				yield(xks.CorpusFragment{}, err)
+				return
+			}
+			// Snapshot-pinned resume (see Search): the searcher can often
+			// still resolve a cursor whose token predates the current
+			// snapshot. Stream it directly, uncached.
+			err = nil
+			if st, ok := sv.searcher.(Streamer); ok {
+				sseq, strailer := st.Stream(ctx, req)
+				for f, ferr := range sseq {
+					if ferr != nil {
+						err = ferr
+						yield(xks.CorpusFragment{}, ferr)
+						return
+					}
+					if !yield(f, nil) {
+						break
+					}
+				}
+				t := strailer()
+				*res = *t
+				sv.metrics.observeStages(t.Stats.Stages, t.Truncated)
+				return
+			}
+			r, serr := sv.searcher.Search(ctx, req)
+			if serr != nil {
+				err = serr
+				yield(xks.CorpusFragment{}, serr)
+				return
+			}
+			sv.metrics.observeStages(r.Stats.Stages, r.Truncated)
+			*res = *replay(r, req, gen, yield)
 			return
 		}
 		key := cacheKey(req, sv.resolveStrategy(req))

@@ -285,10 +285,11 @@ func TestCacheEvictionUnderPressure(t *testing.T) {
 }
 
 // TestCursorScrollStalenessAndMismatch covers the cursor lifecycle at the
-// serving layer: scroll page 1 → page 2 by cursor, then AppendXML and
-// watch the old cursor die with ErrStaleCursor; a cursor replayed under a
-// different query fails with ErrCursorMismatch. Both are validated before
-// any cache lookup and counted as request errors.
+// serving layer: scroll page 1 → page 2 by cursor; a tail AppendXML does
+// NOT stale the cursor — it re-pins the snapshot it was issued at and
+// serves the same page 2 — while a non-tail append (a renumbering rebuild)
+// kills it with ErrStaleCursor; a cursor replayed under a different query
+// fails with ErrCursorMismatch. Failures are counted as request errors.
 func TestCursorScrollStalenessAndMismatch(t *testing.T) {
 	e, err := xks.LoadString(`<bib><paper><title>xml search</title></paper><paper><title>search trees</title></paper><paper><title>search engines</title></paper></bib>`)
 	if err != nil {
@@ -316,13 +317,27 @@ func TestCursorScrollStalenessAndMismatch(t *testing.T) {
 		t.Fatalf("mismatched cursor: err = %v, want ErrCursorMismatch", err)
 	}
 
-	// An append invalidates the page boundary: the old cursor is 410
-	// material, deterministically.
+	// A tail append lands in the delta index without renumbering: the old
+	// cursor re-pins the snapshot it was issued at and serves the exact
+	// same page 2, with the appended paper invisible to the pinned scroll.
 	if err := e.AppendXML("0", `<paper><title>fresh search result</title></paper>`); err != nil {
 		t.Fatal(err)
 	}
+	pinned, _, err := sv.Search(context.Background(), xks.Request{Query: "search", Limit: 1, Cursor: page1.Cursor})
+	if err != nil {
+		t.Fatalf("post-append cursor: err = %v, want snapshot-pinned resume", err)
+	}
+	if len(pinned.Fragments) != 1 || pinned.Fragments[0].Root != page2.Fragments[0].Root {
+		t.Fatalf("pinned page 2 = %+v, want the pre-append page 2 (%s)", pinned.Fragments, page2.Fragments[0].Root)
+	}
+
+	// A non-tail append renumbers the whole document: the pinned snapshot
+	// is gone and the old cursor is 410 material, deterministically.
+	if err := e.AppendXML("0.0", `<note>search aside</note>`); err != nil {
+		t.Fatal(err)
+	}
 	if _, _, err := sv.Search(context.Background(), xks.Request{Query: "search", Limit: 1, Cursor: page1.Cursor}); !errors.Is(err, xks.ErrStaleCursor) {
-		t.Fatalf("post-append cursor: err = %v, want ErrStaleCursor", err)
+		t.Fatalf("post-rebuild cursor: err = %v, want ErrStaleCursor", err)
 	}
 	// Restarting from the first page issues a fresh, working cursor.
 	fresh, _, err := sv.Search(context.Background(), xks.Request{Query: "search", Limit: 1})
@@ -637,5 +652,80 @@ func TestPlanFlipInvalidatesCache(t *testing.T) {
 	}
 	if _, cached, err := real.Search(context.Background(), req); err != nil || !cached {
 		t.Fatalf("real corpus repeat should hit: cached=%t err=%v", cached, err)
+	}
+}
+
+// TestAppendDoesNotEvictOtherDocuments pins the narrowed invalidation the
+// snapshot-vector generation buys: doc-filtered cache entries are tagged
+// with that document's own version, so appending to one document must not
+// evict another document's cached pages or kill its cursors. Only the
+// appended document's entries (and corpus-wide merges, which really did
+// change) turn over.
+func TestAppendDoesNotEvictOtherDocuments(t *testing.T) {
+	a, err := xks.LoadString(`<bib><paper><title>alpha search</title></paper></bib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := xks.NewCorpus()
+	c.Add("a.xml", a)
+	c.Add("b.xml", xks.FromTree(paperdata.Publications()))
+	sv := service.New(c, service.Config{CacheSize: 64})
+
+	reqA := xks.Request{Query: "search", Document: "a.xml"}
+	reqB := xks.Request{Query: "liu keyword", Document: "b.xml"}
+	reqAll := xks.Request{Query: "name"}
+	for _, req := range []xks.Request{reqA, reqB, reqAll} {
+		if _, cached, err := sv.Search(context.Background(), req); err != nil || cached {
+			t.Fatalf("warm-up %+v: cached=%t err=%v", req, cached, err)
+		}
+		if _, cached, err := sv.Search(context.Background(), req); err != nil || !cached {
+			t.Fatalf("warm-up hit %+v: cached=%t err=%v", req, cached, err)
+		}
+	}
+	// A live cursor over document B, issued before the append.
+	pageB, _, err := sv.Search(context.Background(), xks.Request{Query: "liu keyword", Document: "b.xml", Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pageB.Cursor == "" {
+		t.Fatal("doc-B page 1 issued no cursor")
+	}
+
+	if err := sv.Append("a.xml", "0", `<paper><title>fresh search paper</title></paper>`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Document B's entry survives the unrelated append...
+	if _, cached, err := sv.Search(context.Background(), reqB); err != nil || !cached {
+		t.Errorf("append to a.xml evicted b.xml's cache entry (cached=%t err=%v)", cached, err)
+	}
+	// ...and so does its cursor — no 410 for a document that never changed.
+	resumed, _, err := sv.Search(context.Background(), xks.Request{Query: "liu keyword", Document: "b.xml", Limit: 1, Cursor: pageB.Cursor})
+	if err != nil {
+		t.Fatalf("doc-B cursor after unrelated append: %v", err)
+	}
+	for _, f := range resumed.Fragments {
+		if f.Document != "b.xml" {
+			t.Errorf("resumed fragment from %s", f.Document)
+		}
+	}
+
+	// The appended document's own entry turned over and now sees the write.
+	resA, cached, err := sv.Search(context.Background(), reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("append must invalidate the appended document's entry")
+	}
+	if len(resA.Fragments) < 2 {
+		t.Errorf("a.xml fragments = %d, want the appended paper visible", len(resA.Fragments))
+	}
+	// Corpus-wide merges span the appended document, so they turn over too.
+	if _, cached, err := sv.Search(context.Background(), reqAll); err != nil || cached {
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Error("corpus-wide entry must not survive an append to a member")
 	}
 }

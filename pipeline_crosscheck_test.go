@@ -72,7 +72,7 @@ func eagerSearch(e *Engine, queryText string, opts Options) (*Result, error) {
 		// rtfs[i].KeywordNodes, still in document order at this point.
 		scores := make([]float64, len(res.Fragments))
 		for i := range res.Fragments {
-			scores[i] = e.scorer.Score(rtfs[i].Root, rtfs[i].KeywordNodes, idfWords)
+			scores[i] = e.currentScorer().Score(rtfs[i].Root, rtfs[i].KeywordNodes, idfWords)
 			res.Fragments[i].Score = scores[i]
 		}
 		ordered := rank.Order(scores)

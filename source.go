@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"xks/internal/analysis"
 	"xks/internal/dewey"
@@ -35,14 +37,30 @@ type docSource interface {
 	renderXMLTo(w io.Writer, root dewey.Code, kept []dewey.Code, keep map[string]bool) error
 }
 
-// treeSource serves everything from the in-memory document tree. nodes
-// lists the tree in pre-order, so a node table ID doubles as an index into
-// it (the engine's table is built over the same pre-order walk); words
-// caches each node's analyzed content set so the pruning hot path never
-// re-runs the analyzer.
+// treeSource serves everything from the in-memory document tree.
+//
+// Concurrency: the tail-append write path mutates the tree (AppendChild
+// touches the parent's child slice and the tree's key map) while readers
+// walk it, so structural access is guarded by mu — shared for NodeAt
+// lookups and renders, exclusive for appendChild. The ID-aligned caches
+// live in an atomically swapped srcState instead: the hot path
+// (labelOfID/contentOfID during pruning and scoring) stays lock-free.
+// Appends extend the arrays and publish a longer state; a reader that
+// loaded an older state never indexes past its own length, so earlier
+// prefixes stay immutable. Snapshot renders of pre-append states remain
+// byte-identical because appends only add last children, which keep-map
+// filtering excludes.
 type treeSource struct {
+	mu    sync.RWMutex // guards tree structure (walks and renders vs appendChild)
 	tree  *xmltree.Tree
 	an    *analysis.Analyzer
+	state atomic.Pointer[srcState]
+}
+
+// srcState is one published version of the pre-order node list and each
+// node's analyzed content set. A node table ID doubles as an index into
+// both (the engine's table is built over the same pre-order walk).
+type srcState struct {
 	nodes []*xmltree.Node
 	words [][]string
 }
@@ -53,59 +71,88 @@ func newTreeSource(t *xmltree.Tree, an *analysis.Analyzer) *treeSource {
 	return s
 }
 
-// refresh rebuilds the ID-aligned caches after the tree changed (the
-// engine's append path renumbers IDs).
+// refresh rebuilds the ID-aligned caches from scratch after the tree
+// changed shape (the renumbering rebuild path).
 func (s *treeSource) refresh() {
-	s.nodes = s.tree.Nodes()
-	s.words = make([][]string, len(s.nodes))
-	for i, n := range s.nodes {
-		s.words[i] = s.an.ContentSet(n.ContentPieces()...)
+	nodes := s.tree.Nodes()
+	words := make([][]string, len(nodes))
+	for i, n := range nodes {
+		words[i] = s.an.ContentSet(n.ContentPieces()...)
 	}
+	s.state.Store(&srcState{nodes: nodes, words: words})
+}
+
+// appendChild splices e under parent as its last child (exclusive lock —
+// readers walking the tree see either before or after, never a torn
+// child slice) and returns the attached subtree root.
+func (s *treeSource) appendChild(parent dewey.Code, e xmltree.E) (*xmltree.Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.AppendChild(parent, e)
+}
+
+// extend publishes a state with the new tail nodes appended — the delta
+// append path, where IDs of existing nodes are stable and only the tail
+// grows.
+func (s *treeSource) extend(nodes []*xmltree.Node, words [][]string) {
+	st := s.state.Load()
+	s.state.Store(&srcState{
+		nodes: append(st.nodes[:len(st.nodes):len(st.nodes)], nodes...),
+		words: append(st.words[:len(st.words):len(st.words)], words...),
+	})
+}
+
+func (s *treeSource) nodeAt(c dewey.Code) *xmltree.Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.NodeAt(c)
 }
 
 func (s *treeSource) labelOf(c dewey.Code) string {
-	if n := s.tree.NodeAt(c); n != nil {
+	if n := s.nodeAt(c); n != nil {
 		return n.Label
 	}
 	return ""
 }
 
 func (s *treeSource) contentOf(c dewey.Code) []string {
-	if n := s.tree.NodeAt(c); n != nil {
+	if n := s.nodeAt(c); n != nil {
 		return s.an.ContentSet(n.ContentPieces()...)
 	}
 	return nil
 }
 
 func (s *treeSource) nodeText(c dewey.Code) string {
-	if n := s.tree.NodeAt(c); n != nil {
+	if n := s.nodeAt(c); n != nil {
 		return n.Text
 	}
 	return ""
 }
 
 func (s *treeSource) labelOfID(id nid.ID) string {
-	if int(id) < len(s.nodes) {
-		return s.nodes[id].Label
+	if st := s.state.Load(); int(id) < len(st.nodes) {
+		return st.nodes[id].Label
 	}
 	return ""
 }
 
 func (s *treeSource) contentOfID(id nid.ID) []string {
-	if int(id) < len(s.words) {
-		return s.words[id]
+	if st := s.state.Load(); int(id) < len(st.words) {
+		return st.words[id]
 	}
 	return nil
 }
 
 func (s *treeSource) nodeTextID(id nid.ID) string {
-	if int(id) < len(s.nodes) {
-		return s.nodes[id].Text
+	if st := s.state.Load(); int(id) < len(st.nodes) {
+		return st.nodes[id].Text
 	}
 	return ""
 }
 
 func (s *treeSource) renderASCII(root dewey.Code, _ []dewey.Code, keep map[string]bool) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := s.tree.NodeAt(root)
 	if n == nil {
 		return ""
@@ -114,6 +161,8 @@ func (s *treeSource) renderASCII(root dewey.Code, _ []dewey.Code, keep map[strin
 }
 
 func (s *treeSource) renderXML(root dewey.Code, _ []dewey.Code, keep map[string]bool) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := s.tree.NodeAt(root)
 	if n == nil {
 		return ""
@@ -126,6 +175,11 @@ func (s *treeSource) renderXML(root dewey.Code, _ []dewey.Code, keep map[string]
 }
 
 func (s *treeSource) renderXMLTo(w io.Writer, root dewey.Code, _ []dewey.Code, keep map[string]bool) error {
+	// Held for the duration of the streamed write: a slow consumer delays
+	// writers, but never corrupts them. Appends are rare relative to reads
+	// and the fragments are small; revisit with a tee buffer if needed.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := s.tree.NodeAt(root)
 	if n == nil {
 		return nil
